@@ -1,0 +1,67 @@
+"""Figure 1: monthly active IPv4 addresses — linear growth, then stagnation.
+
+Paper: nearly perfectly linear growth from 2008 until January 2014
+(regression drawn until 2014-01), then a sudden plateau; the series is
+annotated with RIR exhaustion dates.  We regenerate the monthly series
+from the growth model, fit the pre-2014 regression, recover the
+changepoint blindly, and check the exhaustion timeline ordering.
+"""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from conftest import print_comparison
+from repro.core.growth import detect_stagnation, fit_until, projection_gap
+from repro.registry.rir import exhaustion_timeline
+from repro.sim.growth import GrowthModel, synthesize_monthly_counts
+
+CUTOFF = datetime.date(2014, 1, 1)
+
+
+@pytest.fixture(scope="module")
+def series(rng):
+    return synthesize_monthly_counts(rng, GrowthModel())
+
+
+def test_fig1_growth_and_stagnation(benchmark, series):
+    analysis = benchmark(detect_stagnation, series)
+
+    pre_fit = fit_until(series, CUTOFF)
+    gap = projection_gap(series, analysis)
+    true_index = series.month_index(GrowthModel().stagnation)
+
+    print_comparison(
+        "Fig. 1 — monthly active IPv4 addresses",
+        [
+            ("pre-2014 linearity (R^2)", "~1.0 (visually linear)", f"{pre_fit.r_squared:.4f}"),
+            ("stagnation month", "2014-01", analysis.changepoint_month.isoformat()),
+            ("post/pre slope ratio", "~0 (flat plateau)", f"{analysis.slope_collapse:.3f}"),
+            ("projection overshoot at end", "> 0 (line overshoots)", f"{gap:.2%}"),
+        ],
+    )
+
+    # Shape assertions.
+    assert pre_fit.r_squared > 0.99
+    assert abs(analysis.changepoint_index - true_index) <= 3
+    assert analysis.slope_collapse < 0.15
+    assert gap > 0.15
+
+
+def test_fig1_exhaustion_annotations(benchmark):
+    timeline = benchmark(exhaustion_timeline)
+    labels = [label for _, label in timeline]
+    # The Fig. 1 annotation order.
+    assert labels == [
+        "IANA exhaustion",
+        "APNIC exhaustion",
+        "RIPE exhaustion",
+        "LACNIC exhaustion",
+        "ARIN exhaustion",
+    ]
+    dates = [date for date, _ in timeline]
+    assert dates == sorted(dates)
+    # All annotated events fall inside the Fig. 1 x-range.
+    assert dates[0] >= datetime.date(2008, 1, 1)
+    assert dates[-1] <= datetime.date(2016, 3, 1)

@@ -1,0 +1,117 @@
+"""Figure 2: CDN vs. ICMP visibility and the ICMP-only classification.
+
+Paper (Fig. 2a): comparing one month of CDN logs against the union of
+8 ZMap ICMP scans, >40% of ~950M addresses are CDN-only; the gap
+nearly closes at /24 granularity and inverts mildly at prefix/AS level
+(ICMP outnumbers the CDN for routed prefixes).
+
+Paper (Fig. 2b): of the ICMP-only addresses (~8% of the union), close
+to half are attributable to servers (port scans) or routers (Ark
+traceroutes); the rest show no identifiable activity.
+"""
+
+from conftest import print_comparison
+from repro.core.visibility import (
+    classify_icmp_only,
+    classify_icmp_only_grouped,
+    visibility_at_granularities,
+)
+from repro.report import format_percent
+
+
+def test_fig2a_visibility_granularities(
+    benchmark, month_union, icmp_union, daily_run
+):
+    routing = daily_run.routing.table_at(60)
+    counts = benchmark(
+        visibility_at_granularities, month_union.ips, icmp_union, routing
+    )
+
+    rows = []
+    for granularity, paper in (
+        ("ip", ">40% CDN-only"),
+        ("slash24", "small CDN-only share"),
+        ("prefix", "ICMP covers more"),
+        ("as", "comparable"),
+    ):
+        c = counts[granularity]
+        rows.append(
+            (
+                f"{granularity}: cdn-only/both/icmp-only",
+                paper,
+                f"{format_percent(c.cdn_only_fraction)}/"
+                f"{format_percent(c.both_fraction)}/"
+                f"{format_percent(c.icmp_only_fraction)}",
+            )
+        )
+    print_comparison("Fig. 2a — visibility of addresses, blocks, networks", rows)
+
+    # >40% of addresses are CDN-only; ICMP-only is a small minority.
+    assert counts["ip"].cdn_only_fraction > 0.40
+    assert counts["ip"].icmp_only_fraction < 0.15
+    # The gap closes monotonically with aggregation.
+    assert counts["slash24"].cdn_only_fraction < 0.10
+    assert counts["prefix"].cdn_only_fraction < counts["slash24"].cdn_only_fraction + 0.05
+    assert counts["as"].cdn_only_fraction < 0.05
+    # At prefix level active measurement has significant coverage.
+    assert counts["prefix"].both_fraction + counts["prefix"].icmp_only_fraction > 0.9
+
+
+def test_fig2b_icmp_only_classification(
+    benchmark, month_union, icmp_union, probe_observatory, scan_state
+):
+    servers = probe_observatory.port_scan(scan_state)
+    routers = probe_observatory.ark_routers(scan_state)
+    cls = benchmark(
+        classify_icmp_only, month_union.ips, icmp_union, servers, routers
+    )
+
+    print_comparison(
+        "Fig. 2b — classification of ICMP-only addresses",
+        [
+            (
+                "server/router attributable",
+                "close to half",
+                format_percent(cls.infrastructure_fraction),
+            ),
+            ("unknown", "about half", format_percent(cls.unknown / cls.total)),
+        ],
+    )
+
+    # Close to half infrastructure, the rest unknown.
+    assert 0.25 < cls.infrastructure_fraction < 0.75
+    assert cls.unknown > 0
+    assert cls.server > 0
+    assert cls.router > 0
+
+
+def test_fig2b_infrastructure_share_grows_with_aggregation(
+    month_union, icmp_union, probe_observatory, scan_state, daily_run, benchmark
+):
+    """Paper: 'This fraction increases when aggregating to prefixes
+    and ASes' — one identified server marks its whole aggregate."""
+    servers = probe_observatory.port_scan(scan_state)
+    routers = probe_observatory.ark_routers(scan_state)
+    routing = daily_run.routing.table_at(60)
+    grouped = benchmark(
+        classify_icmp_only_grouped,
+        month_union.ips,
+        icmp_union,
+        servers,
+        routers,
+        routing,
+    )
+
+    rows = [
+        (
+            f"{granularity}: infrastructure share",
+            "grows with aggregation",
+            format_percent(cls.infrastructure_fraction),
+        )
+        for granularity, cls in grouped.items()
+        if cls.total
+    ]
+    print_comparison("Fig. 2b — classification across granularities", rows)
+
+    assert grouped["slash24"].infrastructure_fraction >= grouped["ip"].infrastructure_fraction
+    assert grouped["as"].infrastructure_fraction >= grouped["ip"].infrastructure_fraction

@@ -1,0 +1,86 @@
+"""Figure 3: geographic visibility — per RIR and per country.
+
+Paper (Fig. 3a): the CDN adds substantial visibility in all regions,
+most dramatically in AFRINIC (>150% over what probing sees).
+
+Paper (Fig. 3b): countries rank by CDN-visible addresses roughly as
+they rank by fixed-broadband subscribers, much less so by cellular
+subscribers (CGN); ICMP response rates vary wildly (CN ~80%, JP ~25%).
+"""
+
+import pytest
+
+from conftest import print_comparison
+from repro.core.visibility import (
+    country_rank_agreement,
+    icmp_response_rate_by_country,
+    visibility_by_country,
+    visibility_by_rir,
+)
+from repro.registry.rir import RIR
+from repro.report import format_percent
+
+
+def test_fig3a_visibility_by_rir(benchmark, month_union, icmp_union, daily_world):
+    per_rir = benchmark(
+        visibility_by_rir, month_union.ips, icmp_union, daily_world.delegations
+    )
+
+    rows = []
+    for rir in RIR:
+        counts = per_rir.get(rir)
+        if counts is None:
+            continue
+        rows.append(
+            (
+                f"{rir.name} CDN gain over ICMP",
+                ">150%" if rir is RIR.AFRINIC else "substantial",
+                format_percent(counts.cdn_gain_over_icmp),
+            )
+        )
+    print_comparison("Fig. 3a — visibility by RIR", rows)
+
+    # The CDN adds visibility in every region...
+    for counts in per_rir.values():
+        assert counts.cdn_only > 0
+    # ...most of all in AFRINIC (low probe-response regimes).
+    if RIR.AFRINIC in per_rir:
+        afrinic_gain = per_rir[RIR.AFRINIC].cdn_gain_over_icmp
+        assert afrinic_gain > 1.0
+        others = [
+            counts.cdn_gain_over_icmp
+            for rir, counts in per_rir.items()
+            if rir is not RIR.AFRINIC
+        ]
+        assert afrinic_gain > max(others)
+
+
+def test_fig3b_country_ranks_and_response_rates(
+    benchmark, month_union, icmp_union, daily_world
+):
+    per_country = benchmark(
+        visibility_by_country, month_union.ips, icmp_union, daily_world.delegations
+    )
+    broadband_corr, cellular_corr = country_rank_agreement(per_country)
+    rates = icmp_response_rate_by_country(
+        month_union.ips, icmp_union, daily_world.delegations
+    )
+
+    rows = [
+        ("rank corr. vs broadband", "high (top countries agree)", f"{broadband_corr:.2f}"),
+        ("rank corr. vs cellular", "much lower (CGN)", f"{cellular_corr:.2f}"),
+    ]
+    if "CN" in rates:
+        rows.append(("CN ICMP response", "~80%", format_percent(rates["CN"])))
+    if "JP" in rates:
+        rows.append(("JP ICMP response", "~25%", format_percent(rates["JP"])))
+    print_comparison("Fig. 3b — top countries and ITU ranks", rows)
+
+    assert broadband_corr > 0.5
+    assert broadband_corr > cellular_corr
+    if "CN" in rates and "JP" in rates:
+        assert rates["CN"] > 2 * rates["JP"]
+        assert rates["CN"] > 0.6
+        assert rates["JP"] < 0.4
+    if not rates:
+        pytest.fail("no per-country response rates computed")

@@ -1,0 +1,125 @@
+"""Figure 4: activity and churn in active IPv4 addresses.
+
+Paper (Fig. 4a): ~650M active addresses daily with weekend dips, and
+~55M up plus ~55M down events per day (~8% each).
+
+Paper (Fig. 4b): min/median/max up/down percentages per aggregation
+window: ~8% at one day (max ~14% on weekday/weekend boundaries),
+declining but *plateauing near 5%* for windows of 7+ days.
+
+Paper (Fig. 4c): vs. the first week of 2015, the appearing and
+disappearing address counts grow through the year, reaching ~25% of
+the pool by December.
+"""
+
+import numpy as np
+
+from conftest import print_comparison
+from repro.core.churn import churn_by_window_size, daily_churn, up_down_event_series
+from repro.core.longterm import baseline_divergence
+from repro.core.seasonal import churn_by_boundary, weekday_profile
+from repro.report import format_percent
+
+
+def test_fig4a_daily_activity_and_events(benchmark, daily_dataset):
+    summary = benchmark(daily_churn, daily_dataset)
+    ups, downs = up_down_event_series(daily_dataset)
+    counts = daily_dataset.active_counts()
+
+    # Weekend dip: average weekend-day count below weekday count.
+    day_of_week = np.array(
+        [(daily_dataset.start.weekday() + i) % 7 for i in range(len(daily_dataset))]
+    )
+    weekday_mean = counts[day_of_week < 5].mean()
+    weekend_mean = counts[day_of_week >= 5].mean()
+
+    print_comparison(
+        "Fig. 4a — daily active addresses and up/down events",
+        [
+            ("daily up events / active", "~8% (55M of 650M)",
+             format_percent(summary.up_median)),
+            ("daily down events / active", "~8%", format_percent(summary.down_median)),
+            ("weekend dip", "visible", f"{weekend_mean / weekday_mean:.3f}x weekday"),
+        ],
+    )
+
+    assert 0.04 < summary.up_median < 0.16
+    assert 0.04 < summary.down_median < 0.16
+    assert weekend_mean < weekday_mean
+    # Up and down volumes are balanced (the active count is stable).
+    assert abs(ups.mean() - downs.mean()) / ups.mean() < 0.25
+
+
+def test_fig4a_weekend_structure(benchmark, daily_dataset):
+    """The day-of-week texture of Fig. 4a: weekends are quieter, and
+    churn maxima sit on the weekday/weekend boundaries."""
+    profile = benchmark(weekday_profile, daily_dataset)
+    boundary = churn_by_boundary(daily_dataset)
+
+    print_comparison(
+        "Fig. 4a — weekday structure",
+        [
+            ("weekend dip", "visible dip", f"{profile.weekend_dip:.3f}x weekday level"),
+            ("quietest day", "weekend day", profile.quietest_day()),
+            ("churn weekday->weekday", "(baseline)",
+             format_percent(boundary["weekday->weekday"])),
+            ("churn at weekend boundaries", "max ~14%",
+             format_percent(max(boundary["weekday->weekend"],
+                                boundary["weekend->weekday"]))),
+        ],
+    )
+
+    assert profile.weekend_dip < 1.0
+    assert profile.quietest_day() in ("Sat", "Sun")
+    # Boundary transitions churn more than mid-week ones.
+    boundary_max = max(boundary["weekday->weekend"], boundary["weekend->weekday"])
+    assert boundary_max > boundary["weekday->weekday"]
+
+
+def test_fig4b_churn_by_window_size(benchmark, daily_dataset):
+    sizes = (1, 2, 3, 4, 7, 14, 28)
+    summaries = benchmark(churn_by_window_size, daily_dataset, sizes)
+
+    rows = [
+        (
+            f"window {size}d up [min/med/max]",
+            "8%/… at 1d; ~5% plateau at 7d+" if size in (1, 7) else "",
+            f"{format_percent(summaries[size].up_min)}/"
+            f"{format_percent(summaries[size].up_median)}/"
+            f"{format_percent(summaries[size].up_max)}",
+        )
+        for size in sizes
+    ]
+    print_comparison("Fig. 4b — churn vs. aggregation window", rows)
+
+    # Daily churn clearly positive, with weekday/weekend amplitude.
+    assert summaries[1].up_median > 0.04
+    assert summaries[1].up_max > summaries[1].up_median
+    # THE paper's key observation: churn does NOT decay to zero at
+    # coarse windows — it plateaus at a substantial level.
+    for size in (7, 14, 28):
+        assert summaries[size].up_median > 0.02
+        assert summaries[size].down_median > 0.02
+    # And the plateau is below the daily level.
+    assert summaries[28].up_median < summaries[1].up_median
+
+
+def test_fig4c_yearly_divergence(benchmark, yearly_dataset):
+    divergence = benchmark(baseline_divergence, yearly_dataset)
+
+    print_comparison(
+        "Fig. 4c — change vs. first week over 52 weeks",
+        [
+            ("appear by year end", "~25% of pool",
+             format_percent(divergence.final_appear_fraction)),
+            ("disappear by year end", "~25% of pool",
+             format_percent(divergence.final_disappear_fraction)),
+        ],
+    )
+
+    # Divergence grows over the year...
+    half = len(yearly_dataset) // 2
+    assert divergence.appear_counts[-1] > divergence.appear_counts[half]
+    # ...and reaches a substantial share of the pool on both sides.
+    assert 0.10 < divergence.final_appear_fraction < 0.60
+    assert 0.10 < divergence.final_disappear_fraction < 0.60

@@ -1,0 +1,124 @@
+"""Figure 5: properties of address churn.
+
+Paper (Fig. 5a): per-AS median up-event percentage (ASes with >1000
+active addresses): about half of ASes churn below 5%, 10–20% of ASes
+at 10%+ — churn is ubiquitous, not a few-networks phenomenon.
+
+Paper (Fig. 5b): event sizes by smallest covering prefix: >70% of
+1-day up events affect only /31–/32 (individual addresses), while at
+28-day windows 38%+ of events affect prefixes of /24 or shorter.
+
+Paper (Fig. 5c): the fraction of up/down events coinciding with a BGP
+change grows with window size but stays below ~2.5% even monthly;
+steadily-active addresses coincide far less.
+"""
+
+from conftest import print_comparison
+from repro.core.asview import per_as_churn
+from repro.core.bgpcorr import bgp_event_correlation
+from repro.core.eventsize import event_size_distribution
+from repro.report import format_percent
+
+# Scaled-down AS-size filter: the bench world's ASes hold fewer
+# addresses than real ones (paper uses >1000 active IPs).
+MIN_ACTIVE_IPS = 300
+
+
+def test_fig5a_per_as_churn(benchmark, daily_dataset, origins_for_daily):
+    churn = benchmark(
+        per_as_churn, daily_dataset, origins_for_daily, 7, MIN_ACTIVE_IPS
+    )
+    sweep = {
+        size: per_as_churn(daily_dataset, origins_for_daily, size, MIN_ACTIVE_IPS)
+        for size in (1, 28)
+    }
+    sweep[7] = churn
+
+    below_5 = 1 - churn.fraction_above(0.05)
+    above_10 = churn.fraction_above(0.10)
+    rows = [
+        ("ASes analysed", "8.6K (>1K IPs)", str(churn.num_ases)),
+        ("ASes below 5% churn (7d)", "about half", format_percent(below_5)),
+        ("ASes at 10%+ churn (7d)", "10-20%", format_percent(above_10)),
+    ]
+    for size in (1, 7, 28):
+        rows.append(
+            (
+                f"{size}d window: ASes at 10%+ churn",
+                "similar across windows, slight decrease",
+                format_percent(sweep[size].fraction_above(0.10)),
+            )
+        )
+    print_comparison("Fig. 5a — per-AS median up events", rows)
+
+    assert churn.num_ases >= 10
+    # Churn is ubiquitous: a broad spread, not all-zero or all-high.
+    assert 0.2 < below_5 < 0.95
+    assert above_10 > 0.03
+    # High-churn ASes exist at every aggregation window.
+    for size in (1, 7, 28):
+        assert sweep[size].fraction_above(0.10) > 0.02
+    # The CDF is non-degenerate.
+    x, y = churn.up_cdf()
+    assert x[-1] > x[0]
+
+
+def test_fig5b_event_sizes(benchmark, daily_dataset):
+    daily = benchmark(event_size_distribution, daily_dataset, 1)
+    monthly = event_size_distribution(daily_dataset, 28)
+
+    print_comparison(
+        "Fig. 5b — event size by covering prefix mask",
+        [
+            ("1-day events at /31-/32", ">70%", format_percent(daily.fraction_at_least(31))),
+            ("28-day events at <= /24", ">=38%", format_percent(monthly.fraction_at_most(24))),
+            ("28-day events at /31-/32", ">36%", format_percent(monthly.fraction_at_least(31))),
+        ],
+    )
+
+    # Daily churn is dominated by individual addresses.
+    assert daily.fraction_at_least(31) > 0.55
+    # Monthly churn is much bulkier...
+    assert monthly.fraction_at_most(24) > daily.fraction_at_most(24)
+    assert monthly.fraction_at_most(24) > 0.15
+    # ...but single-address events persist even month-to-month.
+    assert monthly.fraction_at_least(31) > 0.15
+    # Bucket fractions form a distribution.
+    assert abs(sum(monthly.bucket_fractions().values()) - 1.0) < 1e-9
+
+
+def test_fig5c_bgp_correlation(benchmark, daily_dataset, daily_run):
+    routing = daily_run.routing
+
+    def sweep():
+        return {
+            size: bgp_event_correlation(daily_dataset, routing, size)
+            for size in (1, 7, 28)
+        }
+
+    correlations = benchmark(sweep)
+
+    rows = []
+    for size, corr in correlations.items():
+        rows.append(
+            (
+                f"window {size}d: up/down/steady",
+                "<2.5% even monthly; steady ~0",
+                f"{format_percent(corr.up_fraction)}/"
+                f"{format_percent(corr.down_fraction)}/"
+                f"{format_percent(corr.steady_fraction, digits=2)}",
+            )
+        )
+    print_comparison("Fig. 5c — churn coinciding with BGP changes", rows)
+
+    # Correlation grows with window size...
+    assert correlations[28].up_fraction >= correlations[1].up_fraction
+    assert correlations[28].down_fraction >= correlations[1].down_fraction
+    # ...but stays a tiny minority even at monthly windows.
+    assert correlations[28].up_fraction < 0.06
+    assert correlations[28].down_fraction < 0.06
+    # Events coincide with BGP changes far more than steady addresses.
+    for size in (7, 28):
+        corr = correlations[size]
+        assert corr.up_fraction > corr.steady_fraction
+        assert corr.down_fraction > corr.steady_fraction

@@ -1,0 +1,81 @@
+"""Figure 7: modified assignment practice.
+
+Paper: two example /24s whose activity pattern changes mid-window —
+evidence of reallocation / reconfiguration / repurposing rather than
+constant policy.  We regenerate the scenario (a block switching policy
+at a scheduled day), verify the activity matrix shows the transition,
+and that the STU-based change detector (Sec. 5.2) flags exactly the
+changed block and not a stable control block.
+"""
+
+import datetime
+
+import numpy as np
+
+from conftest import print_comparison
+from repro.core.change import detect_change
+from repro.core.dataset import ActivityDataset, Snapshot
+from repro.core.metrics import activity_matrix, block_metrics_from_matrix
+from repro.sim.config import SimulationConfig
+from repro.sim.policies import PolicyKind, make_policy
+
+CHANGED_BLOCK = 40 << 8
+STABLE_BLOCK = 80 << 8
+NUM_DAYS = 112
+SWITCH_DAY = 56
+CONFIG = SimulationConfig()
+
+
+def simulate_switch_world() -> ActivityDataset:
+    """One block switches static -> short-lease mid-window; a control
+    block stays static throughout."""
+    changed = make_policy(PolicyKind.STATIC, 31, "residential", CONFIG, 1_000_000)
+    stable = make_policy(PolicyKind.STATIC, 32, "residential", CONFIG, 2_000_000)
+    snapshots = []
+    for day in range(NUM_DAYS):
+        if day == SWITCH_DAY:
+            changed = make_policy(
+                PolicyKind.DYNAMIC_SHORT, 33, "residential", CONFIG, 3_000_000
+            )
+        parts = []
+        for base, policy in ((CHANGED_BLOCK, changed), (STABLE_BLOCK, stable)):
+            activity = policy.day_activity(day % 7)
+            parts.append(base + activity.offsets.astype(np.uint32))
+        ips = np.sort(np.concatenate(parts))
+        snapshots.append(
+            Snapshot(CONFIG.start_date + datetime.timedelta(days=day), 1, ips)
+        )
+    return ActivityDataset(snapshots)
+
+
+def test_fig7_pattern_change_visible_in_matrix(benchmark):
+    dataset = simulate_switch_world()
+    matrix = benchmark(activity_matrix, dataset, CHANGED_BLOCK)
+
+    before_fd = int(matrix[:, :SWITCH_DAY].any(axis=1).sum())
+    after_fd = int(matrix[:, SWITCH_DAY:].any(axis=1).sum())
+    fd, stu = block_metrics_from_matrix(matrix)
+
+    print_comparison(
+        "Fig. 7 — modified assignment practice",
+        [
+            ("pattern before/after switch", "sparse -> dense (e.g. FD 187->256)",
+             f"FD {before_fd} -> {after_fd}"),
+            ("whole-window FD/STU", "FD=187, STU=0.38 (example b)", f"FD={fd}, STU={stu:.2f}"),
+        ],
+    )
+
+    # The switch is unmistakable in the spatial footprint.
+    assert after_fd > 3 * before_fd
+    assert after_fd > 250
+
+
+def test_fig7_change_detector_flags_the_switch(benchmark):
+    dataset = simulate_switch_world()
+    detection = benchmark(detect_change, dataset, 28)
+
+    assert CHANGED_BLOCK in detection.major_bases.tolist()
+    assert STABLE_BLOCK in detection.stable_bases.tolist()
+    # The switch direction is positive (utilization rose).
+    row = detection.bases.tolist().index(CHANGED_BLOCK)
+    assert detection.max_change[row] > 0.25

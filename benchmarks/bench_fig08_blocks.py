@@ -1,0 +1,111 @@
+"""Figure 8: spatio-temporal aggregate views of block activity.
+
+Paper (Fig. 8a): the CDF of each /24's max month-to-month STU change
+clusters at zero; ~90.2% of blocks are minor-change (|Δ| <= 0.25) and
+~9.8% major.
+
+Paper (Fig. 8b): filling-degree CDFs: ~75% of rDNS-tagged *static*
+blocks fill <64 addresses; >80% of *dynamic* blocks fill >250; of all
+active blocks ~50% fill >250 and ~30% fill <64.
+
+Paper (Fig. 8c): among high-FD (>250) pools, utilization is mostly
+above 80%, with ~60K blocks at exactly 100% and a >450K tail under 60%.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_comparison
+from repro.core.addressing import dissect_by_rdns, pool_utilization
+from repro.core.change import detect_change
+from repro.rdns.classify import classify_zone
+from repro.rdns.ptr import synthesize_block_ptrs
+from repro.report import format_percent
+
+
+@pytest.fixture(scope="module")
+def rdns_tags(daily_world, rng):
+    """Keyword tags obtained exactly as the paper does: synthesise each
+    block's PTR zone from its naming scheme, then classify by keyword."""
+    records = []
+    for block in daily_world.blocks:
+        records.extend(
+            synthesize_block_ptrs(
+                block.base, block.naming, f"as{block.asn}", rng, coverage=0.92
+            )
+        )
+    return classify_zone(records)
+
+
+def test_fig8a_change_detection(benchmark, daily_dataset):
+    detection = benchmark(detect_change, daily_dataset, 28)
+
+    print_comparison(
+        "Fig. 8a — max monthly STU change per /24",
+        [
+            ("major-change blocks (|Δ|>0.25)", "9.8%", format_percent(detection.major_fraction)),
+            ("stable blocks", "90.2%", format_percent(1 - detection.major_fraction)),
+        ],
+    )
+
+    assert 0.04 < detection.major_fraction < 0.20
+    # The CDF concentrates around zero: the central half of blocks
+    # moves by far less than the threshold.
+    x, y = detection.cdf()
+    central = np.abs(x[(y > 0.25) & (y < 0.75)])
+    assert central.max() < 0.25
+
+
+def test_fig8b_static_vs_dynamic_fd(benchmark, block_metrics, rdns_tags):
+    dissection = benchmark(dissect_by_rdns, block_metrics, rdns_tags)
+
+    print_comparison(
+        "Fig. 8b — filling degree by rDNS tag",
+        [
+            ("tagged blocks (static/dynamic)", "262K / 456K",
+             f"{dissection.fd_static.size} / {dissection.fd_dynamic.size}"),
+            ("static blocks with FD<64", "~75%",
+             format_percent(dissection.static_low_fd_fraction)),
+            ("dynamic blocks with FD>250", ">80%",
+             format_percent(dissection.dynamic_high_fd_fraction)),
+            ("all active blocks FD>250", "~50%",
+             format_percent(dissection.all_high_fd_fraction)),
+            ("all active blocks FD<64", "~30%",
+             format_percent(dissection.all_low_fd_fraction)),
+        ],
+    )
+
+    assert dissection.fd_static.size > 10
+    assert dissection.fd_dynamic.size > 10
+    # More dynamic than static blocks get tagged (as in the paper).
+    assert dissection.static_low_fd_fraction > 0.6
+    assert dissection.dynamic_high_fd_fraction > 0.6
+    assert 0.3 < dissection.all_high_fd_fraction < 0.7
+    assert 0.15 < dissection.all_low_fd_fraction < 0.55
+
+
+def test_fig8c_pool_utilization(benchmark, block_metrics):
+    pools = benchmark(pool_utilization, block_metrics)
+
+    counts, _ = pools.histogram(num_bins=5)
+    print_comparison(
+        "Fig. 8c — STU of high-FD (>250) pools",
+        [
+            ("pools analysed", "1.2M", str(pools.num_pools)),
+            ("pools above 80% STU", "most", format_percent(pools.fraction_above(0.8))),
+            ("pools below 60% STU", "~37% (450K/1.2M)", format_percent(pools.fraction_below(0.6))),
+            ("pools below 20% STU", "~17% (200K/1.2M)", format_percent(pools.fraction_below(0.2))),
+            ("pools at 100% STU", "~5% (60K)", format_percent(pools.fully_utilized_count / pools.num_pools)),
+        ],
+    )
+
+    assert pools.num_pools > 100
+    # High utilization dominates the upper end...
+    assert pools.fraction_above(0.8) > 0.25
+    # ...with a substantial under-utilized tail (the Sec. 5.4 reserve).
+    assert 0.15 < pools.fraction_below(0.6) < 0.6
+    # Some pools are saturated (gateway/proxy candidates).
+    assert pools.fully_utilized_count > 0
+    assert pools.fully_utilized_count / pools.num_pools < 0.3
+    # The histogram is top-heavy: the highest STU bin beats the lowest.
+    assert counts[-1] > counts[0]

@@ -1,0 +1,104 @@
+"""Figure 9: activity time-range vs. traffic contribution.
+
+Paper (Fig. 9a): binning addresses by days active, the median daily
+hits rise strongly with activity span — from <100 for rarely-active
+addresses to orders of magnitude more for the always-active (which
+are gateways, proxies, bots).
+
+Paper (Fig. 9b): the <10% of addresses active every single day carry
+>40% of total traffic.
+
+Paper (Fig. 9c): across 2015, the weekly traffic share of the top-10%
+addresses rises from ~49.5% to ~52.5% — consolidation onto heavy
+hitters while the address count stagnates.
+"""
+
+import numpy as np
+
+from conftest import print_comparison
+from repro.core.traffic import (
+    consolidation_trend,
+    cumulative_by_days_active,
+    hits_by_days_active,
+    top_share_series,
+)
+from repro.report import format_percent
+
+
+def test_fig9a_hits_by_days_active(benchmark, daily_dataset):
+    stats = benchmark(hits_by_days_active, daily_dataset)
+    medians = stats.medians()
+    valid = ~np.isnan(medians)
+    low_bins = medians[:28][valid[:28]]
+    top_bin = stats.median(len(daily_dataset))
+
+    print_comparison(
+        "Fig. 9a — median daily hits by days active",
+        [
+            ("rarely active (first month of bins)", "<100 hits/day",
+             f"{np.nanmedian(low_bins):.0f}"),
+            ("always active", "thousands of hits/day", f"{top_bin:.0f}"),
+            ("ratio top/low", ">>1", f"{top_bin / np.nanmedian(low_bins):.1f}x"),
+        ],
+    )
+
+    # Strong positive correlation between activity span and volume.
+    assert top_bin > 3 * np.nanmedian(low_bins)
+    # The trend is broadly monotone: late-bin medians beat early-bin.
+    early = np.nanmean(medians[:14])
+    late = np.nanmean(medians[-3:])
+    assert late > early
+    # The percentile fan is ordered at the top bin.
+    fan = stats.percentile_fan()
+    assert fan[5.0][-1] <= fan[50.0][-1] <= fan[95.0][-1]
+
+
+def test_fig9b_cumulative_concentration(benchmark, daily_dataset):
+    stats = hits_by_days_active(daily_dataset)
+    cumulative = benchmark(cumulative_by_days_active, stats)
+
+    print_comparison(
+        "Fig. 9b — cumulative addresses vs. traffic",
+        [
+            ("always-on share of addresses", "<10%",
+             format_percent(cumulative.always_on_ip_share)),
+            ("their share of traffic", ">40%",
+             format_percent(cumulative.always_on_traffic_share)),
+        ],
+    )
+
+    # A small minority of always-on addresses...
+    assert cumulative.always_on_ip_share < 0.30
+    # ...carries a disproportionate share of traffic.
+    assert cumulative.always_on_traffic_share > 0.40
+    assert (
+        cumulative.always_on_traffic_share
+        > 2.5 * cumulative.always_on_ip_share
+    )
+    # Cumulative traffic lags cumulative addresses everywhere.
+    middle = slice(1, -1)
+    assert (
+        cumulative.traffic_fractions[middle]
+        <= cumulative.ip_fractions[middle] + 1e-9
+    ).all()
+
+
+def test_fig9c_traffic_consolidation(benchmark, yearly_dataset):
+    shares = benchmark(top_share_series, yearly_dataset, 0.10)
+    slope = consolidation_trend(shares)
+    total_gain = shares[-4:].mean() - shares[:4].mean()
+
+    print_comparison(
+        "Fig. 9c — weekly traffic share of top-10% addresses",
+        [
+            ("share at start of year", "~49.5%", format_percent(shares[:4].mean())),
+            ("share at end of year", "~52.5%", format_percent(shares[-4:].mean())),
+            ("gain over the year", "~+3 points", f"+{100 * total_gain:.1f} points"),
+        ],
+    )
+
+    # The top decile holds around half the traffic or more...
+    assert shares.mean() > 0.40
+    # ...and its share trends upward across the year.
+    assert slope > 0
+    assert total_gain > 0.005

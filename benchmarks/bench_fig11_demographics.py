@@ -1,0 +1,81 @@
+"""Figure 11: Internet-wide demographics of the active address space.
+
+Paper: combining STU, normalised traffic, and normalised relative host
+count per /24 into a 10x10x10 matrix shows (i) a strong bimodal split
+along the STU axis (assignment practice), (ii) dense blocks carrying
+more traffic — but with notable high-traffic mass in sparse regions
+too, (iii) only a tiny population in the top host-count bin, which
+also maxes out STU and traffic (gateways) yet carries a large share of
+total traffic.
+"""
+
+import numpy as np
+
+from conftest import print_comparison
+from benchmarks_util_demo import demographics_inputs
+from repro.core.demographics import build_demographics
+from repro.report import format_percent
+
+
+def test_fig11_demographics_matrix(benchmark, daily_dataset, daily_run, block_metrics):
+    traffic, hosts = demographics_inputs(daily_dataset, daily_run)
+    matrix = benchmark(build_demographics, block_metrics, traffic, hosts)
+
+    stu_marginal = matrix.marginal(0)
+    low_stu = stu_marginal[:3].sum() / matrix.num_blocks
+    high_stu = stu_marginal[7:].sum() / matrix.num_blocks
+    middle_stu = stu_marginal[3:7].sum() / matrix.num_blocks
+
+    top_host = matrix.host_bin == 9
+    top_host_share = top_host.mean()
+    # Traffic per STU bin: mean traffic bin among dense vs sparse.
+    dense = matrix.traffic_bin[matrix.stu_bin >= 7]
+    sparse = matrix.traffic_bin[matrix.stu_bin <= 2]
+
+    print_comparison(
+        "Fig. 11 — demographic matrix (10x10x10)",
+        [
+            ("blocks", "6.5M", str(matrix.num_blocks)),
+            ("occupied cells", "(sparse matrix)", str(matrix.occupied_cells())),
+            ("STU split low(<0.3)/mid/high(>=0.7)", "bimodal",
+             f"{format_percent(low_stu)}/{format_percent(middle_stu)}/{format_percent(high_stu)}"),
+            ("top host-count bin", "very tiny population", format_percent(top_host_share)),
+            ("mean traffic bin dense vs sparse", "dense higher",
+             f"{dense.mean():.1f} vs {sparse.mean():.1f}"),
+        ],
+    )
+
+    # (i) Bimodal STU: both extremes outweigh the middle.
+    assert low_stu + high_stu > middle_stu
+    assert low_stu > 0.1 and high_stu > 0.1
+    # (ii) Dense blocks carry more traffic on average...
+    assert dense.mean() > sparse.mean()
+    # ...yet sparse regions still contain high-traffic mass.
+    assert (sparse >= 7).sum() > 0
+    # (iii) The top host bin is a tiny population.
+    assert 0 < top_host_share < 0.10
+    # Top-host blocks sit at high STU and traffic: clearly above the
+    # population mean and in the upper half of each scale.
+    assert matrix.stu_bin[top_host].mean() > max(5.0, matrix.stu_bin.mean())
+    assert matrix.traffic_bin[top_host].mean() > max(6.0, matrix.traffic_bin.mean())
+
+
+def test_fig11_top_host_blocks_carry_traffic(benchmark, daily_dataset, daily_run, block_metrics):
+    """The small spheres at the matrix's top-right are responsible for
+    a significant share of overall traffic (Sec. 7.1)."""
+    traffic, hosts = demographics_inputs(daily_dataset, daily_run)
+    matrix = benchmark(build_demographics, block_metrics, traffic, hosts)
+
+    top_host_bases = {int(b) for b in matrix.bases[matrix.host_bin == 9]}
+    total = sum(traffic.values())
+    top_traffic = sum(traffic.get(base, 0) for base in top_host_bases)
+    share = top_traffic / total
+
+    print_comparison(
+        "Fig. 11 — traffic share of top host-count blocks",
+        [
+            ("block share", "tiny", format_percent(len(top_host_bases) / matrix.num_blocks)),
+            ("traffic share", "significant", format_percent(share)),
+        ],
+    )
+    assert share > 3 * (len(top_host_bases) / matrix.num_blocks)

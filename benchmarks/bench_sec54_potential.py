@@ -1,0 +1,55 @@
+"""Section 5.4: potential utilization within already-active blocks.
+
+Paper: >30% of active /24s (1.5M+) fill fewer than 64 addresses, with
+rDNS tags pointing at static assignment as the main driver; about one
+third of dynamic pools run at low utilization, so shrinking those
+pools "could instantly free significant portions of address space".
+"""
+
+import pytest
+
+from conftest import print_comparison
+from repro.core.potential import potential_utilization
+from repro.rdns.classify import classify_zone
+from repro.rdns.ptr import synthesize_block_ptrs
+from repro.report import format_count, format_percent
+
+
+@pytest.fixture(scope="module")
+def rdns_tags(daily_world, rng):
+    records = []
+    for block in daily_world.blocks:
+        records.extend(
+            synthesize_block_ptrs(
+                block.base, block.naming, f"as{block.asn}", rng, coverage=0.92
+            )
+        )
+    return classify_zone(records)
+
+
+def test_sec54_potential_utilization(benchmark, block_metrics, rdns_tags):
+    report = benchmark(potential_utilization, block_metrics, rdns_tags)
+
+    print_comparison(
+        "Sec. 5.4 — potential utilization",
+        [
+            ("active blocks with FD<64", ">30% (1.5M+ blocks)",
+             f"{format_percent(report.low_fd_fraction)} ({report.low_fd_blocks})"),
+            ("low-FD blocks tagged static vs dynamic", "static dominates",
+             f"{report.low_fd_static_tagged} vs {report.low_fd_dynamic_tagged}"),
+            ("dynamic pools at low STU", "~one third",
+             format_percent(report.underutilized_pool_fraction)),
+            ("reclaimable addresses (shrink pools)", "significant",
+             format_count(report.reclaimable_addresses)),
+        ],
+    )
+
+    # A large minority of active blocks is sparsely filled.
+    assert 0.15 < report.low_fd_fraction < 0.60
+    # Static naming dominates the sparse population's tags.
+    assert report.low_fd_static_tagged > report.low_fd_dynamic_tagged
+    # A substantial fraction of pools could be shrunk.
+    assert 0.10 < report.underutilized_pool_fraction < 0.75
+    # Reclaimable space amounts to a meaningful share of pool capacity.
+    pool_capacity = report.dynamic_pool_blocks * 256
+    assert report.reclaimable_addresses > 0.03 * pool_capacity

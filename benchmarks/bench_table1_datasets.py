@@ -1,0 +1,107 @@
+"""Table 1: dataset totals and per-snapshot averages.
+
+Paper: the daily dataset (08/17/15–12/06/15) totals 975M addresses /
+5.9M /24s / 50.7K ASes with per-day averages 655M / 5.1M / 47.9K; the
+weekly year-long dataset totals 1.2B / 6.5M / 53.3K with weekly
+averages 790M / 5.3M / 47.8K.  Also covered here: the Sec. 8
+address-accounting implication that active addresses are ~42.8% of
+advertised space.
+
+Our worlds are ~1/300 scale, so the assertions are on *ratios*:
+total/average ≈ 1.5 for the daily set, weekly-average over daily-
+average > 1, and an advertised-space activity share well below 1.
+"""
+
+import numpy as np
+
+from conftest import print_comparison
+from repro.core.metrics import compute_block_metrics
+from repro.net.ipv4 import blocks_of
+from repro.report import format_count, format_percent
+
+
+def _dataset_stats(dataset, origins):
+    total_ips = dataset.total_unique()
+    mean_ips = dataset.mean_active()
+    total_blocks = np.unique(blocks_of(dataset.all_ips(), 24)).size
+    mean_blocks = float(
+        np.mean([np.unique(blocks_of(s.ips, 24)).size for s in dataset])
+    )
+    total_as = np.unique(origins[origins >= 0]).size
+    return total_ips, mean_ips, total_blocks, mean_blocks, total_as
+
+
+def test_table1_daily_dataset(benchmark, daily_dataset, origins_for_daily, daily_run):
+    total_ips, mean_ips, total_blocks, mean_blocks, total_as = benchmark(
+        _dataset_stats, daily_dataset, origins_for_daily
+    )
+
+    advertised = daily_run.routing.table_at(0).advertised_addresses()
+    active_share = total_ips / advertised
+
+    print_comparison(
+        "Table 1 — daily dataset (112 days)",
+        [
+            ("unique IPs total / daily avg", "975M / 655M (ratio 1.49)",
+             f"{format_count(total_ips)} / {format_count(mean_ips)} "
+             f"(ratio {total_ips / mean_ips:.2f})"),
+            ("/24s total / daily avg", "5.9M / 5.1M (ratio 1.16)",
+             f"{format_count(total_blocks)} / {format_count(mean_blocks)} "
+             f"(ratio {total_blocks / mean_blocks:.2f})"),
+            ("active ASes", "50.7K", format_count(total_as)),
+            ("active share of advertised space", "42.8%", format_percent(active_share)),
+        ],
+    )
+
+    # Total exceeds the daily average by a churn-driven margin.
+    assert 1.2 < total_ips / mean_ips < 2.5
+    # /24 coverage is much more stable than address coverage.
+    assert 1.0 <= total_blocks / mean_blocks < total_ips / mean_ips
+    assert total_as > 10
+    # Advertised space is far from fully active (Sec. 8: 42.8%).
+    assert 0.1 < active_share < 0.8
+
+
+def test_table1_weekly_dataset(benchmark, yearly_dataset):
+    def stats():
+        total = yearly_dataset.total_unique()
+        mean = yearly_dataset.mean_active()
+        return total, mean
+
+    total, mean = benchmark(stats)
+    print_comparison(
+        "Table 1 — weekly dataset (52 weeks)",
+        [
+            ("unique IPs total / weekly avg", "1.2B / 790M (ratio 1.52)",
+             f"{format_count(total)} / {format_count(mean)} (ratio {total / mean:.2f})"),
+        ],
+    )
+    assert 1.2 < total / mean < 2.6
+
+
+def test_table1_weekly_exceeds_daily_granularity(benchmark, daily_dataset):
+    """Weekly windows see more unique addresses than daily ones do."""
+    weekly = benchmark(daily_dataset.aggregate, 7)
+    assert weekly.mean_active() > daily_dataset.mean_active()
+    # Union totals agree regardless of the window size.
+    kept_days = len(weekly) * 7
+    assert weekly.total_unique() == daily_dataset.slice(0, kept_days - 1).total_unique()
+
+
+def test_sec8_unused_space_within_active_blocks(benchmark, daily_dataset):
+    """Sec. 8: within active /24s, a large address reserve sits unused
+    (the paper estimates ~450M of the 6.5M active /24s' space)."""
+    metrics = benchmark(compute_block_metrics, daily_dataset)
+    capacity = metrics.num_blocks * 256
+    used = int(metrics.filling_degree.sum())
+    unused_share = 1 - used / capacity
+
+    print_comparison(
+        "Sec. 8 — unused addresses within active /24s",
+        [
+            ("unused share of active blocks' space",
+             "~27% (450M of 1.66B)",
+             format_percent(unused_share)),
+        ],
+    )
+    assert 0.1 < unused_share < 0.6

@@ -1,0 +1,105 @@
+"""Table 2: addresses appearing/disappearing between Jan/Feb and Nov/Dec.
+
+Paper: comparing the unions of the first two months of 2015 and the
+last two, 139M addresses appeared and 129M disappeared; 65% of the
+appearing (54% of the disappearing) addresses sat in /24s that flipped
+entirely; and the overwhelming majority of both classes saw no BGP
+change at all (87.1% / 90.4%), with origin changes more common among
+disappearances and announce/withdraw among appearances.  Sec. 4.3
+additionally finds the top contributor ASes overlap heavily between
+the two classes (AS-internal recycling).
+"""
+
+import numpy as np
+
+from conftest import print_comparison
+from repro.core.asview import top_contributors
+from repro.core.bgpcorr import change_kind_breakdown
+from repro.core.longterm import compare_period_ranges
+from repro.report import format_count, format_percent
+
+# Weekly indexes for the first and last two months of the year run.
+FIRST_PERIOD = (0, 7)
+SECOND_PERIOD = (44, 51)
+
+
+def test_table2_period_comparison(benchmark, yearly_dataset, yearly_run):
+    comparison = benchmark(
+        compare_period_ranges, yearly_dataset, FIRST_PERIOD, SECOND_PERIOD
+    )
+    last_day = yearly_run.num_days - 1
+    appear_bgp = change_kind_breakdown(
+        comparison.appeared, yearly_run.routing, 0, last_day
+    )
+    disappear_bgp = change_kind_breakdown(
+        comparison.disappeared, yearly_run.routing, 0, last_day
+    )
+
+    pool = yearly_dataset.union_snapshot(*FIRST_PERIOD).num_active
+    print_comparison(
+        "Table 2 — Jan/Feb vs. Nov/Dec comparison",
+        [
+            ("appeared", "139M (~13% of pool)",
+             f"{format_count(comparison.appear_count)} "
+             f"({format_percent(comparison.appear_count / pool)})"),
+            ("disappeared", "129M (~12% of pool)",
+             f"{format_count(comparison.disappear_count)} "
+             f"({format_percent(comparison.disappear_count / pool)})"),
+            ("entire /24 affected (appear)", "65%",
+             format_percent(comparison.appeared_whole_block_fraction)),
+            ("entire /24 affected (disappear)", "54%",
+             format_percent(comparison.disappeared_whole_block_fraction)),
+            ("BGP no change (appear)", "87.1%", format_percent(appear_bgp.no_change)),
+            ("BGP no change (disappear)", "90.4%", format_percent(disappear_bgp.no_change)),
+            ("BGP origin change (appear/disappear)", "3.3% / 7.1%",
+             f"{format_percent(appear_bgp.origin_change)} / "
+             f"{format_percent(disappear_bgp.origin_change)}"),
+            ("BGP ann/wd (appear/disappear)", "9.6% / 2.5%",
+             f"{format_percent(appear_bgp.announce_withdraw)} / "
+             f"{format_percent(disappear_bgp.announce_withdraw)}"),
+        ],
+    )
+
+    # Both classes are substantial and of similar magnitude.
+    assert comparison.appear_count > 0 and comparison.disappear_count > 0
+    ratio = comparison.appear_count / comparison.disappear_count
+    assert 0.4 < ratio < 2.5
+    # A large share of the long-term churn affects whole /24s.
+    assert comparison.appeared_whole_block_fraction > 0.3
+    assert comparison.disappeared_whole_block_fraction > 0.3
+    # The overwhelming majority sees no BGP change.
+    assert appear_bgp.no_change > 0.80
+    assert disappear_bgp.no_change > 0.80
+    # Both kinds of visible change occur on both sides; the paper's
+    # exact split (announce-heavy appears, origin-heavy disappears) is
+    # a second-order effect that needs Internet-scale AS counts.
+    assert appear_bgp.origin_change > 0
+    assert appear_bgp.announce_withdraw > 0
+    assert disappear_bgp.origin_change > 0
+
+
+def test_sec43_top_as_overlap(benchmark, yearly_dataset, yearly_run):
+    all_ips = yearly_dataset.all_ips()
+    origins = yearly_run.routing.majority_origin_many(
+        all_ips, 0, yearly_run.num_days - 1
+    )
+    top_appear, top_disappear, overlap = benchmark(
+        top_contributors, yearly_dataset, origins, FIRST_PERIOD, SECOND_PERIOD, 10
+    )
+
+    print_comparison(
+        "Sec. 4.3 — top contributor ASes",
+        [
+            ("top-10 appear ∩ top-10 disappear", "7 of 10", f"{overlap} of 10"),
+        ],
+    )
+
+    # The same networks appear on both sides (internal recycling).
+    # The paper finds 7 of 10 at 51K-AS scale; with ~55 simulated ASes
+    # the top-10 is a fifth of the population, so the bar is lower.
+    assert overlap >= 2
+    assert len(top_appear) > 0 and len(top_disappear) > 0
+    # Total active count per AS stays roughly stable despite churn:
+    # verified implicitly by the overlap; also check global stability.
+    counts = yearly_dataset.active_counts()
+    assert counts[-1] > 0.5 * counts[0]

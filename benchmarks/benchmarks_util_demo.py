@@ -1,0 +1,29 @@
+"""Shared helpers for the demographic benchmarks (Figs. 11 and 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hosts import relative_host_counts
+from repro.net.ipv4 import blocks_of
+
+
+def traffic_per_block(dataset) -> dict[int, int]:
+    """Total hits per /24 over the whole dataset (the traffic feature)."""
+    totals: dict[int, int] = {}
+    ips, _, hits = dataset.per_ip_stats()
+    bases = blocks_of(ips, 24)
+    order = np.argsort(bases, kind="stable")
+    bases = bases[order]
+    hits = hits[order]
+    boundaries = np.flatnonzero(np.diff(bases.astype(np.int64)) != 0)
+    starts = np.concatenate(([0], boundaries + 1))
+    stops = np.concatenate((boundaries + 1, [bases.size]))
+    for start, stop in zip(starts, stops):
+        totals[int(bases[start])] = int(hits[start:stop].sum())
+    return totals
+
+
+def demographics_inputs(dataset, run) -> tuple[dict[int, int], dict[int, int]]:
+    """``(traffic_per_block, hosts_per_block)`` for the feature matrix."""
+    return traffic_per_block(dataset), relative_host_counts(run.ua_store)

@@ -1,0 +1,122 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures from
+a synthetic world.  The worlds and observatory runs are expensive, so
+they are built once per session here and shared.
+
+Two worlds are used:
+
+- the **daily world** (~2000 /24 blocks, 112 days) mirrors the paper's
+  daily dataset (08/17/15 – 12/06/15, Table 1 row 1) and feeds the
+  per-day analyses (Figs. 2–10);
+- the **yearly world** (smaller, 52 weeks) mirrors the weekly dataset
+  (Table 1 row 2) and feeds the long-horizon analyses (Figs. 4c, 9c,
+  Table 2).
+
+Benchmarks print a paper-vs-measured comparison (visible with ``-s``)
+and assert the *shape* of each result, never absolute magnitudes —
+the synthetic Internet is ~1/300 scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import metrics
+from repro.sim import (
+    CDNObservatory,
+    InternetPopulation,
+    ProbeObservatory,
+    SimulationConfig,
+    bench_config,
+)
+
+#: Day index (within the daily run) on which the scanners run; inside
+#: the final month, like the paper's October 2015 scan comparison.
+SCAN_DAY = 60
+
+#: The final month of the daily run (UA sampling window, Sec. 6.3).
+UA_WINDOW = (84, 111)
+
+#: The paper's daily observation length.
+NUM_DAYS = 112
+
+
+def print_comparison(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a 'paper vs measured' block (shown with pytest -s)."""
+    from repro.report import render_table
+
+    print()
+    print(render_table(["quantity", "paper", "measured"], rows, title=title))
+
+
+@pytest.fixture(scope="session")
+def daily_world() -> InternetPopulation:
+    return InternetPopulation.build(bench_config(seed=42))
+
+
+@pytest.fixture(scope="session")
+def daily_run(daily_world):
+    return CDNObservatory(daily_world).collect_daily(
+        NUM_DAYS, ua_window=UA_WINDOW, scan_days=(SCAN_DAY,)
+    )
+
+
+@pytest.fixture(scope="session")
+def daily_dataset(daily_run):
+    return daily_run.dataset
+
+
+@pytest.fixture(scope="session")
+def block_metrics(daily_dataset):
+    return metrics.compute_block_metrics(daily_dataset)
+
+
+@pytest.fixture(scope="session")
+def probe_observatory(daily_world):
+    return ProbeObservatory(daily_world)
+
+
+@pytest.fixture(scope="session")
+def scan_state(daily_run):
+    return daily_run.scan_states[SCAN_DAY]
+
+
+@pytest.fixture(scope="session")
+def icmp_union(probe_observatory, scan_state):
+    return probe_observatory.icmp_union(scan_state, num_scans=8)
+
+
+@pytest.fixture(scope="session")
+def month_union(daily_dataset):
+    """The final month of CDN activity (compared against the scans)."""
+    return daily_dataset.union_snapshot(84, 111)
+
+
+@pytest.fixture(scope="session")
+def yearly_world() -> InternetPopulation:
+    config = SimulationConfig(seed=7, num_ases=60, mean_blocks_per_as=8.0)
+    return InternetPopulation.build(config)
+
+
+@pytest.fixture(scope="session")
+def yearly_run(yearly_world):
+    return CDNObservatory(yearly_world).collect_weekly(52)
+
+
+@pytest.fixture(scope="session")
+def yearly_dataset(yearly_run):
+    return yearly_run.dataset
+
+
+@pytest.fixture(scope="session")
+def origins_for_daily(daily_dataset, daily_run):
+    """Majority-vote origin AS per address of the daily dataset."""
+    all_ips = daily_dataset.all_ips()
+    return daily_run.routing.majority_origin_many(all_ips, 0, NUM_DAYS - 1)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2016)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Estimating the invisible: capture–recapture on probe snapshots.
+
+The paper counts 1.2B active addresses — the highest ever *measured* —
+and notes the agreement with Zander et al.'s statistical estimate,
+"boding well for future use of such statistical models" (Sec. 8).
+This example demonstrates both the promise and the pitfall:
+
+- across repeated ICMP snapshots, Chapman/Schnabel estimators recover
+  the ICMP-responsive population well (captures are near-independent
+  day to day);
+- but against the *true* active population they are biased low,
+  because firewalled and NATted hosts have capture probability zero —
+  precisely the >40% of addresses only the passive CDN view sees
+  (Fig. 2a).
+
+Run:  python examples/population_estimation.py
+"""
+
+from repro.core.estimation import (
+    chapman_from_sets,
+    heterogeneity_bias,
+    schnabel_estimate,
+)
+from repro.net.sets import IPSet
+from repro.report import format_count, render_table
+from repro.sim import CDNObservatory, InternetPopulation, ProbeObservatory, small_config
+
+
+def main() -> None:
+    world = InternetPopulation.build(small_config(seed=23))
+    result = CDNObservatory(world).collect_daily(28, scan_days=(20,))
+    state = result.scan_states[20]
+    probe = ProbeObservatory(world)
+
+    scans = [probe.icmp_scan(state, index) for index in range(8)]
+    union = IPSet()
+    for scan in scans:
+        union = union | scan
+
+    cdn_month = IPSet.from_ips(result.dataset.union_snapshot(0, 27).ips)
+    true_active = len(cdn_month | union)
+
+    two_sample = chapman_from_sets(scans[0], scans[1])
+    k_sample = schnabel_estimate(scans)
+
+    rows = [
+        ("single ICMP scan", format_count(len(scans[0]))),
+        ("union of 8 scans", format_count(len(union))),
+        ("Chapman (2 scans)", format_count(two_sample.estimate)),
+        ("Schnabel (8 scans)", format_count(k_sample.estimate)),
+        ("CDN-active addresses (1 month)", format_count(len(cdn_month))),
+        ("combined observed population", format_count(true_active)),
+    ]
+    print(render_table(["quantity", "addresses"], rows, title="Population estimates"))
+
+    icmp_bias = heterogeneity_bias(true_active, k_sample)
+    print(
+        f"\nSchnabel vs. combined population: {icmp_bias:+.1%} — "
+        "capture-recapture over active probes estimates the *probe-"
+        "responsive* population only."
+    )
+    low, high = k_sample.interval()
+    print(
+        f"Schnabel 95% interval: {format_count(low)} .. {format_count(high)} "
+        f"(responsive population {format_count(len(union))})"
+    )
+    print(
+        "\nTakeaway: the estimators are sound for the population their "
+        "samples can reach; the passive CDN vantage point is what reveals "
+        "the firewalled remainder those samples structurally miss."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Reputation expiry: when should an IP's reputation stop being trusted?
+
+The paper's Sec. 8 "implications to network security": host reputations
+keyed on IP addresses go stale because addresses are reassigned — at
+wildly different rates per network — and whole ranges get renumbered or
+repurposed.  This example implements the suggested mechanisms:
+
+1. per-block *reputation half-life* estimated from day-over-day address
+   stickiness (how long until a block's active set has substantially
+   turned over), and
+2. the Sec. 5.2 change detector as a *revocation trigger*: blocks whose
+   assignment practice visibly changed should have all reputations
+   expired immediately.
+
+Run:  python examples/reputation_expiry_monitor.py
+"""
+
+import numpy as np
+
+from repro.core import change, metrics
+from repro.net.ipv4 import format_ip
+from repro.report import render_table
+from repro.sim import CDNObservatory, InternetPopulation, small_config
+
+
+def stickiness_half_life(matrix: np.ndarray) -> float:
+    """Days until half of a block's active addresses have churned away.
+
+    Uses the mean retention curve of the activity matrix: for lag L,
+    the fraction of day-t active addresses still active on day t+L.
+    Returns +inf when retention never falls below 0.5 in the window.
+    """
+    days = matrix.shape[1]
+    for lag in range(1, days):
+        retentions = []
+        for start in range(0, days - lag):
+            active_now = matrix[:, start]
+            if not active_now.any():
+                continue
+            still = (matrix[:, start + lag] & active_now).sum() / active_now.sum()
+            retentions.append(still)
+        if retentions and float(np.mean(retentions)) < 0.5:
+            return float(lag)
+    return float("inf")
+
+
+def main() -> None:
+    world = InternetPopulation.build(small_config(seed=29))
+    result = CDNObservatory(world).collect_daily(112)
+    dataset = result.dataset
+    block_metrics = metrics.compute_block_metrics(dataset)
+
+    # 1. Reputation half-life per block (sample the busiest blocks).
+    order = np.argsort(block_metrics.stu)[::-1]
+    rows = []
+    for row in order[:6].tolist() + order[-6:].tolist():
+        base = int(block_metrics.bases[row])
+        matrix = metrics.activity_matrix(dataset, base)
+        half_life = stickiness_half_life(matrix)
+        policy = "unknown"
+        block = world.block_at(base)
+        if block is not None:
+            policy = result.final_kinds[block.index].value
+        rows.append(
+            (
+                f"{format_ip(base)}/24",
+                f"{block_metrics.stu[row]:.2f}",
+                "stable (>112d)" if half_life == float("inf") else f"{half_life:.0f} days",
+                policy,
+            )
+        )
+    print(
+        render_table(
+            ["block", "STU", "reputation half-life", "true policy"],
+            rows,
+            title="Per-block reputation half-life (how fast addresses change hands)",
+        )
+    )
+
+    # 2. Change-detector as a revocation trigger.
+    detection = change.detect_change(dataset, month_days=28)
+    revoked = detection.major_bases
+    event_blocks = {
+        world.blocks[index].base
+        for event in result.schedule.events
+        for index in event.block_indexes
+    }
+    true_positive = sum(1 for base in revoked if int(base) in event_blocks)
+    print(
+        f"\nRevocation trigger: {revoked.size} of {detection.bases.size} active "
+        f"blocks flagged for immediate reputation expiry"
+    )
+    print(
+        f"Cross-check against ground truth: {true_positive} of {revoked.size} "
+        f"flagged blocks did undergo a real restructuring event"
+    )
+    print(
+        "\nCaveat: a saturated short-lease pool looks perfectly stable at "
+        "the activity level (every address active every day) although the "
+        "subscriber behind each address changes daily — so activity-derived "
+        "half-lives are an upper bound on reputation lifetime.  Combine them "
+        "with rDNS assignment tags (Sec. 5.3): dynamic-tagged blocks get a "
+        "TTL of at most one lease period regardless of activity stability."
+    )
+    print(
+        "Takeaway: static ranges hold reputations for months; dynamic pools "
+        "need lease-scale TTLs; renumbered blocks need immediate revocation, "
+        "which STU change detection provides without any inside knowledge "
+        "of the operator's practice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""IPv4 transfer market: finding sellers and vetting buyers.
+
+Operationalises the paper's Sec. 8 governance implication: an RIR (or
+broker) with utilization measurements can identify likely sellers
+(networks sitting on stable, under-used space), likely buyers
+(networks running saturated pools), and check whether a proposed
+transfer recipient can justify need.
+
+Run:  python examples/transfer_market.py
+"""
+
+from repro.core import metrics
+from repro.core.change import detect_change
+from repro.core.markets import (
+    assess_transfer,
+    buyer_candidates,
+    seller_candidates,
+    utilization_by_network,
+)
+from repro.report import format_percent, render_table
+from repro.sim import CDNObservatory, InternetPopulation, small_config
+
+
+def main() -> None:
+    world = InternetPopulation.build(small_config(seed=41))
+    run = CDNObservatory(world).collect_daily(56)
+    block_metrics = metrics.compute_block_metrics(run.dataset)
+
+    table = run.routing.table_at(0)
+    origins = {
+        int(base): int(origin)
+        for base, origin in zip(
+            block_metrics.bases, table.origin_of_many(block_metrics.bases)
+        )
+        if origin >= 0
+    }
+    utilization = utilization_by_network(block_metrics, origins)
+    detection = detect_change(run.dataset, month_days=28)
+
+    sellers = seller_candidates(utilization, detection, min_blocks=3)
+    buyers = buyer_candidates(utilization, min_blocks=3)
+
+    print(
+        render_table(
+            ["AS", "blocks", "mean STU", "slack blocks"],
+            [
+                (f"AS{record.asn}", record.num_blocks, f"{record.mean_stu:.2f}",
+                 f"{record.underutilized_blocks} ({format_percent(record.slack_ratio)})")
+                for record in sellers[:8]
+            ],
+            title="Seller candidates (stable, under-utilized space)",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["AS", "blocks", "mean STU", "saturated blocks"],
+            [
+                (f"AS{record.asn}", record.num_blocks, f"{record.mean_stu:.2f}",
+                 f"{record.saturated_blocks} ({format_percent(record.saturation_ratio)})")
+                for record in buyers[:8]
+            ],
+            title="Buyer candidates (demonstrable need)",
+        )
+    )
+
+    print("\nNeeds-justification checks for proposed transfers:")
+    for recipient in ([buyers[0].asn] if buyers else []) + (
+        [sellers[0].asn] if sellers else []
+    ):
+        assessment = assess_transfer(recipient, utilization)
+        verdict = "APPROVE" if assessment.justified else "REJECT"
+        print(f"  AS{recipient}: {verdict} — {assessment.reason}")
+
+
+if __name__ == "__main__":
+    main()

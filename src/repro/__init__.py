@@ -1,0 +1,61 @@
+"""repro — spatio-temporal analysis of the active IPv4 address space.
+
+A from-scratch reproduction of Richter, Smaragdakis, Plonka and Berger,
+*"Beyond Counting: New Perspectives on the Active IPv4 Address Space"*
+(ACM IMC 2016).
+
+The package is organised in layers:
+
+- :mod:`repro.net` — IPv4 addresses, prefixes, tries, range sets.
+- :mod:`repro.registry` — RIRs, delegations, country data.
+- :mod:`repro.routing` — BGP routing-table snapshots and series.
+- :mod:`repro.rdns` — reverse-DNS synthesis and classification.
+- :mod:`repro.sim` — the synthetic Internet population and the CDN /
+  scanner observatories standing in for the paper's proprietary data.
+- :mod:`repro.core` — the paper's analyses: churn, block metrics
+  (filling degree, spatio-temporal utilization), change detection,
+  traffic correlation, host-count estimation, demographics.
+- :mod:`repro.report` — plain-text rendering of tables and figures.
+
+Quick start::
+
+    from repro import sim, core
+
+    world = sim.InternetPopulation.build(sim.SimulationConfig(seed=7))
+    cdn = sim.CDNObservatory(world)
+    dataset = cdn.collect_daily(num_days=28)
+    stats = core.churn.daily_churn(dataset)
+    print(stats.median_up_fraction)
+"""
+
+from repro import baselines, core, net, rdns, registry, report, routing, sim
+from repro.errors import (
+    AddressError,
+    ConfigError,
+    DatasetError,
+    PrefixError,
+    RegistryError,
+    ReproError,
+    RoutingError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressError",
+    "ConfigError",
+    "DatasetError",
+    "PrefixError",
+    "RegistryError",
+    "ReproError",
+    "RoutingError",
+    "__version__",
+    "baselines",
+    "core",
+    "net",
+    "rdns",
+    "registry",
+    "report",
+    "routing",
+    "sim",
+]

@@ -1,0 +1,29 @@
+"""Baseline methods from the paper's related work.
+
+The paper positions its CDN-log methodology against prior techniques
+for inferring address dynamics.  This subpackage implements the
+closest reproducible baseline:
+
+- :mod:`repro.baselines.udmap` — UDmap (Xie et al., SIGCOMM 2007):
+  dynamic-address inference from user-login traces.  Used to
+  cross-validate the paper's rDNS- and filling-degree-based
+  classification without access to the simulator's ground truth.
+"""
+
+from repro.baselines.udmap import (
+    BlockDynamism,
+    LoginTrace,
+    classify_blocks_udmap,
+    estimate_lease_days,
+    lease_runs_by_block,
+    udmap_scores,
+)
+
+__all__ = [
+    "BlockDynamism",
+    "LoginTrace",
+    "classify_blocks_udmap",
+    "estimate_lease_days",
+    "lease_runs_by_block",
+    "udmap_scores",
+]

@@ -1,0 +1,172 @@
+"""Command-line interface: simulate worlds and analyse activity datasets.
+
+Separates the two halves of the paper's pipeline the way an operator
+would run them:
+
+- ``repro simulate`` builds a synthetic Internet, observes it through
+  the CDN, and writes the dataset (``.npz``) and daily routing series
+  (``.rib.txt``) to disk;
+- ``repro analyze`` loads a stored dataset and prints one of the
+  paper's analyses (churn, block metrics, change detection, traffic
+  concentration).
+
+Example::
+
+    python -m repro simulate --seed 7 --days 28 --out world
+    python -m repro analyze churn world.npz
+    python -m repro analyze change world.npz --month-days 14
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core import change, churn, metrics, potential, seasonal, traffic
+from repro.core.io import load_dataset, save_dataset, save_routing_series
+from repro.report import format_count, format_percent, render_table
+from repro.sim import CDNObservatory, InternetPopulation, SimulationConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spatio-temporal analysis of active IPv4 address space",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="build a world, collect CDN logs, write them to disk"
+    )
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--ases", type=int, default=60, help="number of ASes")
+    simulate.add_argument(
+        "--blocks-per-as", type=float, default=8.0, help="mean /24 blocks per AS"
+    )
+    simulate.add_argument("--days", type=int, default=28)
+    simulate.add_argument(
+        "--weekly", action="store_true", help="store weekly aggregates (days must be a multiple of 7)"
+    )
+    simulate.add_argument("--out", required=True, help="output path prefix")
+
+    analyze = commands.add_parser("analyze", help="run one analysis on a stored dataset")
+    analyze.add_argument(
+        "analysis",
+        choices=["churn", "metrics", "change", "traffic", "potential", "weekday"],
+    )
+    analyze.add_argument("dataset", help="path to a .npz dataset")
+    analyze.add_argument("--month-days", type=int, default=28)
+    analyze.add_argument("--top-fraction", type=float, default=0.10)
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        seed=args.seed, num_ases=args.ases, mean_blocks_per_as=args.blocks_per_as
+    )
+    world = InternetPopulation.build(config)
+    observatory = CDNObservatory(world)
+    if args.weekly:
+        if args.days % 7:
+            print("--weekly requires --days to be a multiple of 7", file=sys.stderr)
+            return 2
+        result = observatory.collect_weekly(args.days // 7)
+    else:
+        result = observatory.collect_daily(args.days)
+    dataset_path = f"{args.out}.npz"
+    routing_path = f"{args.out}.rib.txt"
+    save_dataset(dataset_path, result.dataset)
+    save_routing_series(routing_path, result.routing)
+    print(
+        f"world: {len(world.ases)} ASes, {len(world.blocks)} /24 blocks\n"
+        f"dataset: {dataset_path} ({len(result.dataset)} x "
+        f"{result.dataset.window_days}d snapshots, "
+        f"{format_count(result.dataset.total_unique())} unique addresses)\n"
+        f"routing: {routing_path} ({len(result.routing)} daily tables)"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    if args.analysis == "churn":
+        if dataset.window_days != 1:
+            summary = churn.ChurnSummary(
+                dataset.window_days, tuple(churn.transition_churn(dataset))
+            )
+        else:
+            summary = churn.daily_churn(dataset)
+        rows = [
+            ("window", f"{summary.window_days}d"),
+            ("up events (min/median/max)",
+             f"{format_percent(summary.up_min)} / {format_percent(summary.up_median)} / "
+             f"{format_percent(summary.up_max)}"),
+            ("down events (min/median/max)",
+             f"{format_percent(summary.down_min)} / {format_percent(summary.down_median)} / "
+             f"{format_percent(summary.down_max)}"),
+        ]
+        print(render_table(["quantity", "value"], rows, title="Churn"))
+    elif args.analysis == "metrics":
+        block_metrics = metrics.compute_block_metrics(dataset)
+        fd = block_metrics.filling_degree
+        rows = [
+            ("active /24 blocks", str(block_metrics.num_blocks)),
+            ("median filling degree", str(int(np.median(fd)))),
+            ("blocks with FD > 250", format_percent(float((fd > 250).mean()))),
+            ("blocks with FD < 64", format_percent(float((fd < 64).mean()))),
+            ("median STU", f"{float(np.median(block_metrics.stu)):.3f}"),
+        ]
+        print(render_table(["quantity", "value"], rows, title="Block metrics"))
+    elif args.analysis == "change":
+        detection = change.detect_change(dataset, month_days=args.month_days)
+        rows = [
+            ("blocks analysed", str(detection.bases.size)),
+            ("major change (|ΔSTU| > 0.25)", format_percent(detection.major_fraction)),
+        ]
+        print(render_table(["quantity", "value"], rows, title="Change detection"))
+    elif args.analysis == "potential":
+        block_metrics = metrics.compute_block_metrics(dataset)
+        report = potential.potential_utilization(block_metrics)
+        rows = [
+            ("active /24 blocks", str(report.total_blocks)),
+            ("sparse blocks (FD<64)", format_percent(report.low_fd_fraction)),
+            ("dynamic pools", str(report.dynamic_pool_blocks)),
+            ("under-utilized pools", format_percent(report.underutilized_pool_fraction)),
+            ("reclaimable addresses", format_count(report.reclaimable_addresses)),
+        ]
+        print(render_table(["quantity", "value"], rows, title="Potential utilization"))
+    elif args.analysis == "weekday":
+        profile = seasonal.weekday_profile(dataset)
+        rows = [
+            (name, format_count(profile.mean_active[day]))
+            for day, name in enumerate(seasonal.WEEKDAY_NAMES)
+            if profile.samples[day] > 0
+        ]
+        rows.append(("weekend dip", f"{profile.weekend_dip:.3f}x"))
+        print(render_table(["day", "mean active"], rows, title="Weekday profile"))
+    else:  # traffic
+        shares = traffic.top_share_series(dataset, args.top_fraction)
+        trend = traffic.consolidation_trend(shares) if shares.size > 1 else 0.0
+        rows = [
+            ("windows", str(shares.size)),
+            (f"top-{format_percent(args.top_fraction, 0)} share (first/last)",
+             f"{format_percent(shares[0])} / {format_percent(shares[-1])}"),
+            ("trend per window", f"{100 * trend:+.3f} points"),
+        ]
+        print(render_table(["quantity", "value"], rows, title="Traffic concentration"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    return _cmd_analyze(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

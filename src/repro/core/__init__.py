@@ -1,0 +1,55 @@
+"""The paper's analyses: the core library.
+
+Each module maps to a section of the paper; see DESIGN.md for the full
+experiment index.  Everything here consumes only observable data —
+activity datasets, routing series, scan sets, PTR tags, UA samples —
+never the simulator's ground truth.
+"""
+
+from repro.core import (
+    addressing,
+    asview,
+    bgpcorr,
+    change,
+    churn,
+    demographics,
+    estimation,
+    eventsize,
+    growth,
+    hosts,
+    io,
+    longterm,
+    markets,
+    metrics,
+    potential,
+    seasonal,
+    traffic,
+    visibility,
+    windows,
+)
+from repro.core.dataset import ActivityDataset, Snapshot, dataset_from_daily_logs
+
+__all__ = [
+    "ActivityDataset",
+    "Snapshot",
+    "addressing",
+    "asview",
+    "bgpcorr",
+    "change",
+    "churn",
+    "dataset_from_daily_logs",
+    "demographics",
+    "estimation",
+    "eventsize",
+    "growth",
+    "hosts",
+    "io",
+    "longterm",
+    "markets",
+    "metrics",
+    "potential",
+    "seasonal",
+    "traffic",
+    "visibility",
+    "windows",
+]

@@ -1,0 +1,154 @@
+"""Internet-wide demographics of the active space (Sec. 7, Figs. 11/12).
+
+Three per-/24 features — spatio-temporal utilization, traffic
+contribution, and relative host count — are projected onto a unified
+[0, 1] scale (STU is already normalised; traffic and host counts are
+log-transformed and divided by the maximum log value), binned into
+10×10×10 cells, and the number of blocks per cell examined.
+
+Fig. 11 is the global 3-D matrix; Fig. 12 splits it per RIR and flattens
+to (STU × traffic) with the mean host count as colour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import BlockMetrics
+from repro.errors import DatasetError
+from repro.registry.rir import RIR
+
+NUM_BINS = 10
+
+
+def normalize_log(values: np.ndarray) -> np.ndarray:
+    """The paper's normalisation: log-transform, divide by the max log.
+
+    Zero values map to 0; the maximum maps to 1.  Uses log(1 + x) so
+    single-sample blocks still separate from empty ones.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise DatasetError("cannot normalise an empty feature")
+    if (values < 0).any():
+        raise DatasetError("features must be non-negative")
+    logs = np.log1p(values)
+    peak = logs.max()
+    if peak == 0:
+        return np.zeros_like(logs)
+    return logs / peak
+
+
+def bin_index(normalised: np.ndarray, num_bins: int = NUM_BINS) -> np.ndarray:
+    """Map [0, 1] values to bin indexes 0..num_bins-1 (1.0 included)."""
+    normalised = np.asarray(normalised)
+    if normalised.size and (normalised.min() < 0 or normalised.max() > 1 + 1e-9):
+        raise DatasetError("normalised features must lie in [0, 1]")
+    return np.minimum((normalised * num_bins).astype(np.int64), num_bins - 1)
+
+
+@dataclass(frozen=True)
+class DemographicsMatrix:
+    """The Fig. 11 feature matrix and its per-block assignments."""
+
+    bases: np.ndarray
+    stu_bin: np.ndarray
+    traffic_bin: np.ndarray
+    host_bin: np.ndarray
+    counts: np.ndarray  # (10, 10, 10) block counts
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.bases.size)
+
+    def occupied_cells(self) -> int:
+        return int((self.counts > 0).sum())
+
+    def marginal(self, axis: int) -> np.ndarray:
+        """Block counts summed onto one feature axis (0=stu, 1=traffic, 2=host)."""
+        axes = tuple(a for a in range(3) if a != axis)
+        return self.counts.sum(axis=axes)
+
+
+def build_demographics(
+    metrics: BlockMetrics,
+    traffic_per_block: dict[int, int],
+    hosts_per_block: dict[int, int],
+    num_bins: int = NUM_BINS,
+) -> DemographicsMatrix:
+    """Combine the three features into the Fig. 11 matrix.
+
+    Blocks missing from the traffic or host maps contribute zeros —
+    an active block with no UA sample simply lands in the lowest host
+    bin, mirroring the paper's sparse sampling.
+    """
+    traffic = np.array(
+        [traffic_per_block.get(int(base), 0) for base in metrics.bases], dtype=np.float64
+    )
+    hosts = np.array(
+        [hosts_per_block.get(int(base), 0) for base in metrics.bases], dtype=np.float64
+    )
+    stu_bins = bin_index(metrics.stu, num_bins)
+    traffic_bins = bin_index(normalize_log(traffic), num_bins)
+    host_bins = bin_index(normalize_log(hosts), num_bins)
+    counts = np.zeros((num_bins, num_bins, num_bins), dtype=np.int64)
+    np.add.at(counts, (stu_bins, traffic_bins, host_bins), 1)
+    return DemographicsMatrix(
+        bases=metrics.bases.copy(),
+        stu_bin=stu_bins,
+        traffic_bin=traffic_bins,
+        host_bin=host_bins,
+        counts=counts,
+    )
+
+
+@dataclass(frozen=True)
+class RIRDemographics:
+    """One Fig. 12 panel: (STU × traffic) with host-count colour."""
+
+    rir: RIR
+    counts: np.ndarray      # (10, 10) blocks per (stu, traffic) cell
+    mean_host_bin: np.ndarray  # (10, 10) mean host bin per cell (nan if empty)
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.counts.sum())
+
+    def low_utilization_fraction(self, stu_bins: int = 3) -> float:
+        """Fraction of the region's blocks in the lowest STU bins."""
+        if self.num_blocks == 0:
+            return 0.0
+        return float(self.counts[:stu_bins, :].sum() / self.num_blocks)
+
+    def gateway_corner_fraction(self, margin: int = 2) -> float:
+        """Fraction in the top-right corner (high STU, high traffic)."""
+        if self.num_blocks == 0:
+            return 0.0
+        return float(self.counts[-margin:, -margin:].sum() / self.num_blocks)
+
+
+def split_by_rir(
+    matrix: DemographicsMatrix, rir_per_block: dict[int, RIR]
+) -> dict[RIR, RIRDemographics]:
+    """Fig. 12: per-RIR flattened demographics.
+
+    *rir_per_block* maps /24 bases to registries (from the delegation
+    table); blocks with unknown registry are dropped.
+    """
+    num_bins = matrix.counts.shape[0]
+    out: dict[RIR, RIRDemographics] = {}
+    for rir in RIR:
+        counts = np.zeros((num_bins, num_bins), dtype=np.int64)
+        host_sum = np.zeros((num_bins, num_bins), dtype=np.float64)
+        for row in range(matrix.num_blocks):
+            if rir_per_block.get(int(matrix.bases[row])) is not rir:
+                continue
+            s, t, h = matrix.stu_bin[row], matrix.traffic_bin[row], matrix.host_bin[row]
+            counts[s, t] += 1
+            host_sum[s, t] += h
+        with np.errstate(invalid="ignore"):
+            mean_host = np.where(counts > 0, host_sum / np.maximum(counts, 1), np.nan)
+        out[rir] = RIRDemographics(rir=rir, counts=counts, mean_host_bin=mean_host)
+    return out

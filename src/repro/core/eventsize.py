@@ -1,0 +1,139 @@
+"""Event-size attribution: how bulky is churn? (Sec. 4.2, Fig. 5b).
+
+For every per-address up event between two windows, the paper finds
+the smallest prefix mask *m* such that every address inside the
+length-*m* prefix either had an up event itself or showed no activity
+in both windows.  Single-address flickers tag as /31–/32; operator
+actions renumbering whole ranges tag as /24 or shorter masks.
+
+The implementation is a vectorised neighbour search: for up events,
+the "blockers" are exactly the addresses active in the earlier window
+(they had activity and no up event), so an event address's tag is
+determined by its nearest blockers below and above in address space —
+the event's clean prefix must exclude both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import ActivityDataset, Snapshot
+from repro.errors import DatasetError
+
+#: The histogram buckets of Fig. 5b, as (label, lowest mask, highest mask).
+FIG5B_BUCKETS: tuple[tuple[str, int, int], ...] = (
+    (">=/16", 0, 16),
+    ("/17-/20", 17, 20),
+    ("/21-/24", 21, 24),
+    ("/25-/28", 25, 28),
+    ("/29-/32", 29, 32),
+)
+
+
+def _bit_length(values: np.ndarray) -> np.ndarray:
+    """Per-element bit length of non-negative int64 values (exact)."""
+    _, exponents = np.frexp(values.astype(np.float64))
+    exponents = exponents.astype(np.int64)
+    exponents[values == 0] = 0
+    return exponents
+
+
+def tag_event_masks(events: np.ndarray, blockers: np.ndarray) -> np.ndarray:
+    """Smallest clean prefix mask per event address.
+
+    ``events`` are the addresses with an up (or down) event;
+    ``blockers`` are the addresses whose presence limits the clean
+    prefix (for up events: everything active in the earlier window).
+    Both may be unsorted; blockers need not be disjoint from events
+    (they are by construction, but this is not relied upon).
+    """
+    events = np.asarray(events, dtype=np.int64)
+    if events.size == 0:
+        return np.empty(0, dtype=np.int64)
+    blockers = np.unique(np.asarray(blockers, dtype=np.int64))
+    if blockers.size == 0:
+        return np.zeros(events.size, dtype=np.int64)
+    pos = np.searchsorted(blockers, events)
+    masks = np.zeros(events.size, dtype=np.int64)
+    has_above = pos < blockers.size
+    above = np.where(has_above, blockers[np.minimum(pos, blockers.size - 1)], 0)
+    has_below = pos > 0
+    below = np.where(has_below, blockers[np.maximum(pos - 1, 0)], 0)
+    # A clean prefix must exclude the neighbour: its mask must be one
+    # bit longer than the common prefix shared with that neighbour.
+    xor_above = np.where(has_above, events ^ above, 0)
+    xor_below = np.where(has_below, events ^ below, 0)
+    need_above = np.where(has_above, 32 - _bit_length(xor_above) + 1, 0)
+    need_below = np.where(has_below, 32 - _bit_length(xor_below) + 1, 0)
+    np.maximum(need_above, need_below, out=masks)
+    return np.minimum(masks, 32)
+
+
+@dataclass(frozen=True)
+class EventSizeDistribution:
+    """Histogram of event prefix masks for one window size."""
+
+    window_days: int
+    masks: np.ndarray  # one entry per event, values 0..32
+
+    @property
+    def num_events(self) -> int:
+        return int(self.masks.size)
+
+    def mask_histogram(self) -> np.ndarray:
+        """Counts per mask length 0..32."""
+        return np.bincount(self.masks, minlength=33)
+
+    def fraction_at_most(self, masklen: int) -> float:
+        """Fraction of events with mask <= *masklen* (bulkier events)."""
+        if self.num_events == 0:
+            return 0.0
+        return float((self.masks <= masklen).mean())
+
+    def fraction_at_least(self, masklen: int) -> float:
+        """Fraction of events with mask >= *masklen* (individual churn)."""
+        if self.num_events == 0:
+            return 0.0
+        return float((self.masks >= masklen).mean())
+
+    def bucket_fractions(self) -> dict[str, float]:
+        """The Fig. 5b bars: fraction of events per mask bucket."""
+        if self.num_events == 0:
+            return {label: 0.0 for label, _, _ in FIG5B_BUCKETS}
+        out = {}
+        for label, low, high in FIG5B_BUCKETS:
+            out[label] = float(((self.masks >= low) & (self.masks <= high)).mean())
+        return out
+
+
+def up_event_sizes(before: Snapshot, after: Snapshot) -> np.ndarray:
+    """Masks of all up events between two windows."""
+    return tag_event_masks(after.up_from(before), before.ips)
+
+
+def down_event_sizes(before: Snapshot, after: Snapshot) -> np.ndarray:
+    """Masks of all down events between two windows."""
+    return tag_event_masks(before.down_to(after), after.ips)
+
+
+def event_size_distribution(
+    dataset: ActivityDataset, window_days: int, direction: str = "up"
+) -> EventSizeDistribution:
+    """Fig. 5b for one window size: pool event masks over all transitions."""
+    if direction not in ("up", "down"):
+        raise DatasetError(f"direction must be 'up' or 'down': {direction!r}")
+    if dataset.window_days != 1:
+        raise DatasetError("event-size analysis expects a daily dataset")
+    windowed = dataset.aggregate(window_days)
+    if len(windowed) < 2:
+        raise DatasetError(f"window size {window_days} leaves fewer than two windows")
+    parts = []
+    for before, after in zip(windowed.snapshots, windowed.snapshots[1:]):
+        if direction == "up":
+            parts.append(up_event_sizes(before, after))
+        else:
+            parts.append(down_event_sizes(before, after))
+    masks = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    return EventSizeDistribution(window_days=window_days, masks=masks)

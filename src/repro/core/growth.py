@@ -1,0 +1,127 @@
+"""Growth-trend analysis: the stagnation of IPv4 (Sec. 2, Fig. 1).
+
+Fig. 1's message is carried by two statistics computed here from a
+monthly count series:
+
+- a linear regression of the counts up to January 2014, which fits the
+  pre-stagnation era almost perfectly (the paper draws this line), and
+- a changepoint estimate locating where growth actually broke, found
+  by minimising the combined squared error of a two-segment piecewise
+  linear fit.
+
+The analysis is generator-agnostic: it runs on the synthetic series of
+:mod:`repro.sim.growth` or on any real monthly count series.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.sim.growth import MonthlySeries
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line with goodness of fit."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        return self.intercept + self.slope * np.asarray(x)
+
+
+def fit_line(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """Least-squares fit with R^2 (perfect fit on constant y is 1.0)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise DatasetError("need at least two aligned points to fit")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = intercept + slope * x
+    total = float(((y - y.mean()) ** 2).sum())
+    residual = float(((y - predicted) ** 2).sum())
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+
+
+def fit_until(series: MonthlySeries, cutoff: datetime.date) -> LinearFit:
+    """The Fig. 1 regression: fit the counts of months before *cutoff*."""
+    subset = series.slice_until(cutoff)
+    return fit_line(np.arange(len(subset)), subset.counts)
+
+
+@dataclass(frozen=True)
+class StagnationAnalysis:
+    """Where growth broke, and how hard."""
+
+    changepoint_index: int
+    changepoint_month: datetime.date
+    pre_fit: LinearFit
+    post_fit: LinearFit
+
+    @property
+    def slope_collapse(self) -> float:
+        """Post-slope over pre-slope; near zero for a hard stagnation."""
+        if self.pre_fit.slope == 0:
+            return float("nan")
+        return self.post_fit.slope / self.pre_fit.slope
+
+
+def detect_stagnation(
+    series: MonthlySeries, min_segment: int = 6
+) -> StagnationAnalysis:
+    """Locate the growth changepoint by two-segment least squares.
+
+    Scans every admissible breakpoint (leaving *min_segment* months on
+    both sides), fits a line to each segment, and picks the breakpoint
+    with the lowest combined squared error.  On a ramp-then-plateau
+    series this lands at the plateau's start.
+    """
+    counts = np.asarray(series.counts, dtype=np.float64)
+    n = counts.size
+    if n < 2 * min_segment + 1:
+        raise DatasetError(
+            f"series of {n} months too short for segments of {min_segment}"
+        )
+    x = np.arange(n, dtype=np.float64)
+    best_index = -1
+    best_error = np.inf
+    for breakpoint in range(min_segment, n - min_segment):
+        left = fit_line(x[:breakpoint], counts[:breakpoint])
+        right = fit_line(x[breakpoint:], counts[breakpoint:])
+        error = float(
+            ((counts[:breakpoint] - left.predict(x[:breakpoint])) ** 2).sum()
+            + ((counts[breakpoint:] - right.predict(x[breakpoint:])) ** 2).sum()
+        )
+        if error < best_error:
+            best_error = error
+            best_index = breakpoint
+    pre = fit_line(x[:best_index], counts[:best_index])
+    post = fit_line(x[best_index:], counts[best_index:])
+    return StagnationAnalysis(
+        changepoint_index=best_index,
+        changepoint_month=series.months[best_index],
+        pre_fit=pre,
+        post_fit=post,
+    )
+
+
+def projection_gap(series: MonthlySeries, analysis: StagnationAnalysis) -> float:
+    """How far below the pre-trend projection the series ends.
+
+    The paper's visual: extending the pre-2014 line to the end of the
+    series overshoots the observed plateau.  Returns the relative gap
+    ``(projected - observed) / observed`` at the final month.
+    """
+    final_index = len(series) - 1
+    projected = float(analysis.pre_fit.predict(final_index))
+    observed = float(series.counts[final_index])
+    if observed <= 0:
+        raise DatasetError("non-positive final observation")
+    return (projected - observed) / observed

@@ -1,0 +1,149 @@
+"""Persistence for datasets and routing series.
+
+Activity datasets are the expensive artifact of a collection run; the
+analyses are cheap by comparison.  These helpers store a dataset (and
+a routing series) on disk so a measurement pipeline can separate
+collection from analysis, exactly as the paper's distributed log
+aggregation precedes its offline study.
+
+Formats:
+
+- datasets: a single ``.npz`` with per-snapshot IP/hit columns plus a
+  small header (start date, window length) — compressed, loads back
+  bit-identically;
+- routing tables/series: a line-oriented text format
+  (``prefix|origin_asn``) with day separators, mirroring the shape of
+  RIB dump exports.
+"""
+
+from __future__ import annotations
+
+import datetime
+import io as _io
+import os
+
+import numpy as np
+
+from repro.core.dataset import ActivityDataset, Snapshot
+from repro.errors import DatasetError, RoutingError
+from repro.net.prefix import Prefix
+from repro.routing.series import RoutingSeries
+from repro.routing.table import RoutingTable
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(path: str | os.PathLike, dataset: ActivityDataset) -> None:
+    """Write a dataset to ``path`` as compressed ``.npz``."""
+    arrays: dict[str, np.ndarray] = {
+        "version": np.array([_FORMAT_VERSION]),
+        "start": np.array([dataset.start.toordinal()]),
+        "window_days": np.array([dataset.window_days]),
+        "num_snapshots": np.array([len(dataset)]),
+    }
+    for index, snapshot in enumerate(dataset):
+        arrays[f"ips_{index}"] = snapshot.ips
+        arrays[f"hits_{index}"] = snapshot.hits
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset(path: str | os.PathLike) -> ActivityDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    with np.load(path) as bundle:
+        try:
+            version = int(bundle["version"][0])
+            start = datetime.date.fromordinal(int(bundle["start"][0]))
+            window_days = int(bundle["window_days"][0])
+            count = int(bundle["num_snapshots"][0])
+        except KeyError as exc:
+            raise DatasetError(f"not a dataset file: {path}") from exc
+        if version != _FORMAT_VERSION:
+            raise DatasetError(f"unsupported dataset format version: {version}")
+        snapshots = []
+        for index in range(count):
+            window_start = start + datetime.timedelta(days=index * window_days)
+            snapshots.append(
+                Snapshot(
+                    window_start,
+                    window_days,
+                    bundle[f"ips_{index}"],
+                    bundle[f"hits_{index}"],
+                )
+            )
+    return ActivityDataset(snapshots)
+
+
+def dump_routing_table(table: RoutingTable, stream: _io.TextIOBase) -> None:
+    """Write one table as ``prefix|origin`` lines."""
+    for prefix, origin in table:
+        stream.write(f"{prefix}|{origin}\n")
+
+
+def parse_routing_table(lines) -> RoutingTable:
+    """Parse ``prefix|origin`` lines into a table."""
+    table = RoutingTable()
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        prefix_text, _, origin_text = stripped.partition("|")
+        if not origin_text:
+            raise RoutingError(f"malformed route line: {line!r}")
+        try:
+            origin = int(origin_text)
+        except ValueError as exc:
+            raise RoutingError(f"bad origin in route line: {line!r}") from exc
+        table.announce(Prefix.parse(prefix_text), origin)
+    return table
+
+
+def save_routing_series(path: str | os.PathLike, series: RoutingSeries) -> None:
+    """Write a daily series as a text file with ``=== day N`` separators.
+
+    Consecutive identical tables are stored once with a reference line
+    (``=== day N same``), keeping year-long series compact.
+    """
+    with open(path, "w", encoding="ascii") as stream:
+        previous = None
+        for day in range(len(series)):
+            table = series.table_at(day)
+            if previous is not None and table is previous:
+                stream.write(f"=== day {day} same\n")
+                continue
+            stream.write(f"=== day {day}\n")
+            dump_routing_table(table, stream)
+            previous = table
+
+
+def load_routing_series(path: str | os.PathLike) -> RoutingSeries:
+    """Load a series written by :func:`save_routing_series`."""
+    tables: list[RoutingTable] = []
+    current_lines: list[str] = []
+    pending_same = False
+
+    def flush() -> None:
+        nonlocal current_lines
+        if pending_same:
+            if not tables:
+                raise RoutingError("'same' marker before any table")
+            tables.append(tables[-1])
+        else:
+            tables.append(parse_routing_table(current_lines))
+        current_lines = []
+
+    started = False
+    with open(path, encoding="ascii") as stream:
+        for line in stream:
+            if line.startswith("=== day"):
+                if started:
+                    flush()
+                started = True
+                pending_same = line.strip().endswith("same")
+                continue
+            if not started:
+                raise RoutingError(f"route data before day header: {line!r}")
+            current_lines.append(line)
+    if not started:
+        raise RoutingError(f"empty routing series file: {path}")
+    flush()
+    return RoutingSeries(tables)

@@ -1,0 +1,133 @@
+"""Long-term volatility: appear/disappear against a baseline (Sec. 4.3).
+
+Two analyses live here:
+
+- :func:`baseline_divergence` — Fig. 4c: per week, how many addresses
+  are active now but were not in the first week (*appear*) and vice
+  versa (*disappear*).  Over 2015 each side reaches ~25% of the pool.
+- :func:`compare_periods` — Table 2: take two two-month unions
+  (Jan/Feb vs. Nov/Dec), list appearing/disappearing addresses, and
+  measure how often the entire containing /24 flipped with them —
+  the signature of operational change rather than user behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import ActivityDataset, Snapshot
+from repro.errors import DatasetError
+from repro.net.ipv4 import blocks_of
+
+
+@dataclass(frozen=True)
+class BaselineDivergence:
+    """Fig. 4c series: divergence of each window from the baseline."""
+
+    baseline_index: int
+    appear_counts: np.ndarray
+    disappear_counts: np.ndarray
+    baseline_active: int
+
+    @property
+    def appear_fractions(self) -> np.ndarray:
+        return self.appear_counts / self.baseline_active
+
+    @property
+    def disappear_fractions(self) -> np.ndarray:
+        return self.disappear_counts / self.baseline_active
+
+    @property
+    def final_appear_fraction(self) -> float:
+        return float(self.appear_fractions[-1])
+
+    @property
+    def final_disappear_fraction(self) -> float:
+        return float(self.disappear_fractions[-1])
+
+
+def baseline_divergence(
+    dataset: ActivityDataset, baseline_index: int = 0
+) -> BaselineDivergence:
+    """Appear/disappear counts of every window vs. window *baseline_index*."""
+    if not 0 <= baseline_index < len(dataset):
+        raise DatasetError(f"baseline index {baseline_index} out of range")
+    baseline = dataset[baseline_index]
+    appear = []
+    disappear = []
+    for snapshot in dataset:
+        appear.append(int(snapshot.up_from(baseline).size))
+        disappear.append(int(baseline.down_to(snapshot).size))
+    return BaselineDivergence(
+        baseline_index=baseline_index,
+        appear_counts=np.array(appear, dtype=np.int64),
+        disappear_counts=np.array(disappear, dtype=np.int64),
+        baseline_active=baseline.num_active,
+    )
+
+
+@dataclass(frozen=True)
+class PeriodComparison:
+    """Table 2 core: addresses appearing/disappearing between two periods."""
+
+    appeared: np.ndarray
+    disappeared: np.ndarray
+    appeared_whole_block_fraction: float
+    disappeared_whole_block_fraction: float
+
+    @property
+    def appear_count(self) -> int:
+        return int(self.appeared.size)
+
+    @property
+    def disappear_count(self) -> int:
+        return int(self.disappeared.size)
+
+
+def _whole_block_fraction(events: np.ndarray, blockers: np.ndarray) -> float:
+    """Fraction of event addresses whose entire /24 flipped with them.
+
+    An appearing address sits in a wholly-appearing /24 iff no address
+    of that /24 was active in the earlier period (*blockers* = the
+    other period's active set); symmetrically for disappearances.
+    """
+    if events.size == 0:
+        return 0.0
+    blocked = np.unique(blocks_of(blockers, 24))
+    event_blocks = blocks_of(events, 24)
+    pos = np.searchsorted(blocked, event_blocks)
+    in_blocked = pos < blocked.size
+    in_blocked[in_blocked] &= blocked[pos[in_blocked]] == event_blocks[in_blocked]
+    return float((~in_blocked).mean())
+
+
+def compare_periods(first: Snapshot, second: Snapshot) -> PeriodComparison:
+    """The Table 2 comparison between two (typically 2-month) unions."""
+    appeared = second.up_from(first)
+    disappeared = first.down_to(second)
+    return PeriodComparison(
+        appeared=appeared,
+        disappeared=disappeared,
+        appeared_whole_block_fraction=_whole_block_fraction(appeared, first.ips),
+        disappeared_whole_block_fraction=_whole_block_fraction(disappeared, second.ips),
+    )
+
+
+def compare_period_ranges(
+    dataset: ActivityDataset,
+    first_range: tuple[int, int],
+    second_range: tuple[int, int],
+) -> PeriodComparison:
+    """Convenience wrapper taking window index ranges into *dataset*.
+
+    The paper compares the union of the first two months of 2015 with
+    the union of the last two months (Sec. 4.3): e.g. weekly windows
+    ``(0, 8)`` vs. ``(43, 51)``.
+    """
+    first = dataset.union_snapshot(*first_range)
+    second = dataset.union_snapshot(*second_range)
+    if first.start >= second.start:
+        raise DatasetError("period ranges must be in chronological order")
+    return compare_periods(first, second)

@@ -1,0 +1,167 @@
+"""Transfer-market analysis: candidate sellers and buyers of IPv4 space.
+
+An extension built on the paper's Sec. 8 implications for Internet
+governance: spatio-temporal utilization metrics "can aid RIRs in
+determining the current state of address utilization in their
+respective regions, in determining if a transfer conforms with their
+transfer policy (four of five RIRs require market transfer recipients
+to justify need), as well as in identifying likely candidate buyers
+and sellers of addresses."
+
+This module operationalises that paragraph:
+
+- **seller candidates** — networks holding stable, persistently
+  under-utilized space (low STU, no recent major change: reclaiming it
+  is an administrative decision, not a disruption);
+- **buyer candidates** — networks running saturated dynamic pools
+  (STU near 1 across their blocks: genuine, demonstrable need);
+- a **needs-justification check** for a proposed transfer, comparing
+  the recipient's measured utilization against a policy threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.core.change import ChangeDetection
+from repro.core.metrics import BlockMetrics
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class NetworkUtilization:
+    """Aggregated utilization of one network's active blocks."""
+
+    asn: int
+    num_blocks: int
+    mean_stu: float
+    saturated_blocks: int
+    underutilized_blocks: int
+
+    @property
+    def saturation_ratio(self) -> float:
+        return self.saturated_blocks / self.num_blocks if self.num_blocks else 0.0
+
+    @property
+    def slack_ratio(self) -> float:
+        return self.underutilized_blocks / self.num_blocks if self.num_blocks else 0.0
+
+
+def utilization_by_network(
+    metrics: BlockMetrics,
+    origins: dict[int, int],
+    saturated_stu: float = 0.9,
+    underutilized_stu: float = 0.2,
+) -> dict[int, NetworkUtilization]:
+    """Aggregate block metrics per origin AS.
+
+    *origins* maps /24 base addresses to AS numbers (from a routing
+    table); unrouted blocks are skipped.
+    """
+    if not 0.0 <= underutilized_stu < saturated_stu <= 1.0:
+        raise DatasetError(
+            f"thresholds must satisfy 0 <= under ({underutilized_stu}) < "
+            f"saturated ({saturated_stu}) <= 1"
+        )
+    per_as: dict[int, list[int]] = {}
+    for row, base in enumerate(metrics.bases):
+        asn = origins.get(int(base))
+        if asn is not None:
+            per_as.setdefault(asn, []).append(row)
+    out = {}
+    for asn, rows in per_as.items():
+        stu = metrics.stu[rows]
+        out[asn] = NetworkUtilization(
+            asn=asn,
+            num_blocks=len(rows),
+            mean_stu=float(stu.mean()),
+            saturated_blocks=int((stu >= saturated_stu).sum()),
+            underutilized_blocks=int((stu <= underutilized_stu).sum()),
+        )
+    return out
+
+
+def seller_candidates(
+    utilization: dict[int, NetworkUtilization],
+    detection: ChangeDetection | None = None,
+    min_blocks: int = 4,
+    min_slack_ratio: float = 0.4,
+) -> list[NetworkUtilization]:
+    """Networks with substantial stable slack, ordered by slack.
+
+    When a :class:`ChangeDetection` is supplied, networks are only
+    proposed if their space is not in flux (a network mid-renumbering
+    is a poor transfer source).
+    """
+    candidates = [
+        record
+        for record in utilization.values()
+        if record.num_blocks >= min_blocks and record.slack_ratio >= min_slack_ratio
+    ]
+    candidates.sort(key=lambda record: record.slack_ratio, reverse=True)
+    return candidates
+
+
+def buyer_candidates(
+    utilization: dict[int, NetworkUtilization],
+    min_blocks: int = 4,
+    min_saturation_ratio: float = 0.5,
+) -> list[NetworkUtilization]:
+    """Networks running most of their space saturated, ordered by need."""
+    candidates = [
+        record
+        for record in utilization.values()
+        if record.num_blocks >= min_blocks
+        and record.saturation_ratio >= min_saturation_ratio
+    ]
+    candidates.sort(key=lambda record: record.saturation_ratio, reverse=True)
+    return candidates
+
+
+@dataclass(frozen=True)
+class TransferAssessment:
+    """Outcome of a needs-justification check for one proposed transfer."""
+
+    recipient_asn: int
+    justified: bool
+    recipient_mean_stu: float
+    policy_threshold: float
+    reason: str
+
+
+def assess_transfer(
+    recipient_asn: int,
+    utilization: dict[int, NetworkUtilization],
+    policy_threshold: float = 0.6,
+) -> TransferAssessment:
+    """The RIR-side check: does measured utilization justify need?
+
+    Mirrors the policy stance that "market transfer recipients must
+    justify need for address space": a recipient whose existing space
+    runs below the threshold has spare capacity and fails the check.
+    """
+    if not 0.0 < policy_threshold <= 1.0:
+        raise DatasetError(f"bad policy threshold: {policy_threshold}")
+    record = utilization.get(recipient_asn)
+    if record is None:
+        return TransferAssessment(
+            recipient_asn=recipient_asn,
+            justified=False,
+            recipient_mean_stu=float("nan"),
+            policy_threshold=policy_threshold,
+            reason="no measured activity for recipient network",
+        )
+    justified = record.mean_stu >= policy_threshold
+    reason = (
+        f"mean STU {record.mean_stu:.2f} >= threshold {policy_threshold:.2f}"
+        if justified
+        else f"mean STU {record.mean_stu:.2f} below threshold {policy_threshold:.2f}"
+    )
+    return TransferAssessment(
+        recipient_asn=recipient_asn,
+        justified=justified,
+        recipient_mean_stu=record.mean_stu,
+        policy_threshold=policy_threshold,
+        reason=reason,
+    )

@@ -1,0 +1,154 @@
+"""Block activity metrics: filling degree and spatio-temporal utilization.
+
+The two metrics of Sec. 5.1, computed per /24 block:
+
+- **Filling degree (FD)** — the number of distinct addresses in the
+  block that were active at least once in the observation window
+  (1..256).  Separates static assignment (sparse, typically <64) from
+  cycling dynamic pools (≈256).
+- **Spatio-temporal utilization (STU)** — active address-days divided
+  by the maximum possible (256 × days), in (0, 1].  Separates heavily
+  used pools from barely used ones regardless of filling degree.
+
+Both are computed for every active block at once via bincount over the
+dataset's sparse columns, so a multi-million-address dataset is a few
+vector passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import ActivityDataset
+from repro.errors import DatasetError
+from repro.net.ipv4 import block_of, blocks_of
+
+BLOCK_SIZE = 256
+
+
+@dataclass(frozen=True)
+class BlockMetrics:
+    """Per-/24 filling degree and STU over one observation window."""
+
+    bases: np.ndarray            # sorted /24 base addresses
+    filling_degree: np.ndarray   # 1..256 per block
+    stu: np.ndarray              # (0, 1] per block
+    window_days: int             # total days in the observation window
+
+    def __post_init__(self) -> None:
+        if not (self.bases.size == self.filling_degree.size == self.stu.size):
+            raise DatasetError("misaligned block metric arrays")
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.bases.size)
+
+    def index_of(self, base: int) -> int:
+        """Row index of a block base; raises if the block is inactive."""
+        pos = int(np.searchsorted(self.bases, base))
+        if pos >= self.bases.size or int(self.bases[pos]) != base:
+            raise DatasetError(f"block {base:#010x} not active in this window")
+        return pos
+
+    def fd_of(self, base: int) -> int:
+        return int(self.filling_degree[self.index_of(base)])
+
+    def stu_of(self, base: int) -> float:
+        return float(self.stu[self.index_of(base)])
+
+    def select(self, mask: np.ndarray) -> "BlockMetrics":
+        """Metrics restricted to the blocks where *mask* is True."""
+        return BlockMetrics(
+            bases=self.bases[mask],
+            filling_degree=self.filling_degree[mask],
+            stu=self.stu[mask],
+            window_days=self.window_days,
+        )
+
+
+def compute_block_metrics(dataset: ActivityDataset) -> BlockMetrics:
+    """FD and STU for every /24 with any activity in *dataset*.
+
+    STU counts one unit per (address, snapshot) pair; with a daily
+    dataset that is exactly the paper's active address-days.  For
+    coarser windows the denominator scales accordingly (an address
+    active in a week contributes one unit out of the week's one).
+    """
+    all_ips = dataset.all_ips()
+    if all_ips.size == 0:
+        raise DatasetError("dataset has no active addresses")
+    bases = np.unique(blocks_of(all_ips, 24))
+
+    fd = np.bincount(
+        np.searchsorted(bases, blocks_of(all_ips, 24)), minlength=bases.size
+    )
+    activity = np.zeros(bases.size, dtype=np.int64)
+    for snapshot in dataset:
+        if snapshot.ips.size == 0:
+            continue
+        block_idx = np.searchsorted(bases, blocks_of(snapshot.ips, 24))
+        activity += np.bincount(block_idx, minlength=bases.size)
+    stu = activity / (BLOCK_SIZE * len(dataset))
+    return BlockMetrics(
+        bases=bases,
+        filling_degree=fd.astype(np.int64),
+        stu=stu,
+        window_days=dataset.total_days,
+    )
+
+
+def activity_matrix(dataset: ActivityDataset, block_base: int) -> np.ndarray:
+    """The Fig. 6/7 spatio-temporal view: a 256 × windows boolean matrix.
+
+    Row *r* is address ``block_base + r``; column *c* is snapshot *c*;
+    a True cell means the address was active in that window.
+    """
+    base = block_of(block_base, 24)
+    matrix = np.zeros((BLOCK_SIZE, len(dataset)), dtype=bool)
+    for column, snapshot in enumerate(dataset):
+        lo = int(np.searchsorted(snapshot.ips, base))
+        hi = int(np.searchsorted(snapshot.ips, base + BLOCK_SIZE))
+        offsets = snapshot.ips[lo:hi].astype(np.int64) - base
+        matrix[offsets, column] = True
+    return matrix
+
+
+def block_metrics_from_matrix(matrix: np.ndarray) -> tuple[int, float]:
+    """``(FD, STU)`` of one activity matrix — the Fig. 6 annotations."""
+    if matrix.shape[0] != BLOCK_SIZE or matrix.ndim != 2 or matrix.shape[1] == 0:
+        raise DatasetError(f"expected a 256 x windows matrix, got {matrix.shape}")
+    fd = int(matrix.any(axis=1).sum())
+    stu = float(matrix.sum() / matrix.size)
+    return fd, stu
+
+
+def monthly_stu(
+    dataset: ActivityDataset, month_days: int = 28
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-block STU for each month-sized chunk of a daily dataset.
+
+    Returns ``(bases, stu_matrix)`` with one row per active block and
+    one column per month.  Blocks are the union of blocks active in
+    any month; months without activity contribute STU 0.  This is the
+    input to the change detection of Sec. 5.2 (Fig. 8a).
+    """
+    if dataset.window_days != 1:
+        raise DatasetError("monthly STU expects a daily dataset")
+    num_months = len(dataset) // month_days
+    if num_months < 1:
+        raise DatasetError(
+            f"dataset of {len(dataset)} days has no full {month_days}-day month"
+        )
+    all_bases = np.unique(blocks_of(dataset.all_ips(), 24))
+    stu_matrix = np.zeros((all_bases.size, num_months))
+    for month in range(num_months):
+        chunk = dataset.slice(month * month_days, (month + 1) * month_days - 1)
+        for snapshot in chunk:
+            if snapshot.ips.size == 0:
+                continue
+            idx = np.searchsorted(all_bases, blocks_of(snapshot.ips, 24))
+            stu_matrix[:, month] += np.bincount(idx, minlength=all_bases.size)
+    stu_matrix /= BLOCK_SIZE * month_days
+    return all_bases, stu_matrix

@@ -1,0 +1,89 @@
+"""Potential utilization: how much active space is reclaimable (Sec. 5.4).
+
+The paper's back-of-envelope on already-active blocks: sparsely filled
+blocks (FD < 64, mostly static assignment) could be densified by
+switching to dynamic pools, and a third of the dynamic pools run at low
+utilization and could simply be shrunk.  This module turns those
+observations into an explicit report with address-count estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.addressing import HIGH_FD_THRESHOLD, LOW_FD_THRESHOLD
+from repro.core.metrics import BLOCK_SIZE, BlockMetrics
+from repro.errors import DatasetError
+from repro.rdns.classify import AssignmentTag
+
+
+@dataclass(frozen=True)
+class PotentialReport:
+    """Sec. 5.4 quantities over one set of active blocks."""
+
+    total_blocks: int
+    low_fd_blocks: int
+    low_fd_static_tagged: int
+    low_fd_dynamic_tagged: int
+    dynamic_pool_blocks: int
+    underutilized_pool_blocks: int
+    reclaimable_addresses: int
+
+    @property
+    def low_fd_fraction(self) -> float:
+        """Fraction of active blocks with FD < 64 (paper: >30%)."""
+        return self.low_fd_blocks / self.total_blocks if self.total_blocks else 0.0
+
+    @property
+    def underutilized_pool_fraction(self) -> float:
+        """Fraction of dynamic pools with low STU (paper: ~one third)."""
+        if self.dynamic_pool_blocks == 0:
+            return 0.0
+        return self.underutilized_pool_blocks / self.dynamic_pool_blocks
+
+
+def potential_utilization(
+    metrics: BlockMetrics,
+    tags: dict[int, AssignmentTag] | None = None,
+    low_stu_threshold: float = 0.6,
+    pool_target_stu: float = 0.8,
+) -> PotentialReport:
+    """Quantify densification potential within already-active blocks.
+
+    Reclaimable addresses are estimated conservatively, per
+    under-utilized dynamic pool (FD > 250, STU < *low_stu_threshold*):
+    shrinking the pool so it would run at *pool_target_stu* frees
+    ``256 * (1 - stu / pool_target_stu)`` addresses.
+    """
+    if not 0.0 < low_stu_threshold < pool_target_stu <= 1.0:
+        raise DatasetError(
+            f"thresholds must satisfy 0 < low ({low_stu_threshold}) < "
+            f"target ({pool_target_stu}) <= 1"
+        )
+    tags = tags or {}
+    fd = metrics.filling_degree
+    stu = metrics.stu
+
+    low_fd_mask = fd < LOW_FD_THRESHOLD
+    low_fd_bases = metrics.bases[low_fd_mask]
+    static_tagged = sum(
+        1 for base in low_fd_bases if tags.get(int(base)) is AssignmentTag.STATIC
+    )
+    dynamic_tagged = sum(
+        1 for base in low_fd_bases if tags.get(int(base)) is AssignmentTag.DYNAMIC
+    )
+
+    pool_mask = fd > HIGH_FD_THRESHOLD
+    under_mask = pool_mask & (stu < low_stu_threshold)
+    reclaimable = BLOCK_SIZE * (1.0 - stu[under_mask] / pool_target_stu)
+    return PotentialReport(
+        total_blocks=metrics.num_blocks,
+        low_fd_blocks=int(low_fd_mask.sum()),
+        low_fd_static_tagged=static_tagged,
+        low_fd_dynamic_tagged=dynamic_tagged,
+        dynamic_pool_blocks=int(pool_mask.sum()),
+        underutilized_pool_blocks=int(under_mask.sum()),
+        reclaimable_addresses=int(np.floor(reclaimable).sum()),
+    )

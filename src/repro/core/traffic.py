@@ -1,0 +1,179 @@
+"""Activity vs. traffic volume (Sec. 6.1–6.2, Fig. 9).
+
+Three analyses:
+
+- :func:`hits_by_days_active` — Fig. 9a: bin addresses by the number
+  of days they were active; per bin, the distribution (median and
+  percentile fan) of daily hit counts.  Always-on addresses issue
+  orders of magnitude more requests — they are gateways, proxies, and
+  bots.
+- :func:`cumulative_by_days_active` — Fig. 9b: cumulative fraction of
+  addresses and of total traffic per days-active bin.  The <10% of
+  addresses active every single day carry >40% of all traffic.
+- :func:`top_share_series` — Fig. 9c: the weekly traffic share of the
+  top-10% addresses, which creeps upward across 2015 (consolidation).
+
+Per-bin hit distributions are held as logarithmic histograms, so the
+analysis streams over snapshots without materialising the full
+(address × day) hit matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import ActivityDataset
+from repro.errors import DatasetError
+
+#: Number of log2 bins for daily-hit histograms (covers 1 .. 2^48).
+_LOG_BINS = 48
+
+
+def _log_bin(hits: np.ndarray) -> np.ndarray:
+    """log2 bin index per hit count (hits >= 1)."""
+    _, exponents = np.frexp(hits.astype(np.float64))
+    return np.minimum(exponents.astype(np.int64) - 1, _LOG_BINS - 1)
+
+
+@dataclass(frozen=True)
+class HitsByActivity:
+    """Per days-active bin, a log-histogram of daily hit counts."""
+
+    num_windows: int
+    histograms: np.ndarray       # (num_windows, _LOG_BINS); row d-1 = active d windows
+    ip_counts: np.ndarray        # addresses per bin
+    hit_totals: np.ndarray       # total hits per bin
+
+    def percentile(self, days_active: int, q: float) -> float:
+        """Approximate percentile of daily hits within one bin.
+
+        Resolves within the matched log2 bin by geometric
+        interpolation; adequate for the log-scaled Fig. 9a fan.
+        """
+        if not 1 <= days_active <= self.num_windows:
+            raise DatasetError(f"days_active out of range: {days_active}")
+        if not 0.0 <= q <= 100.0:
+            raise DatasetError(f"percentile out of range: {q}")
+        histogram = self.histograms[days_active - 1]
+        total = histogram.sum()
+        if total == 0:
+            return float("nan")
+        target = q / 100.0 * total
+        cumulative = np.cumsum(histogram)
+        bin_index = int(np.searchsorted(cumulative, target, side="left"))
+        bin_index = min(bin_index, _LOG_BINS - 1)
+        before = cumulative[bin_index - 1] if bin_index else 0
+        inside = histogram[bin_index]
+        fraction = (target - before) / inside if inside else 0.0
+        return float(2.0 ** (bin_index + fraction))
+
+    def median(self, days_active: int) -> float:
+        return self.percentile(days_active, 50.0)
+
+    def medians(self) -> np.ndarray:
+        """Median daily hits for every days-active bin (Fig. 9a line)."""
+        return np.array(
+            [self.percentile(d, 50.0) for d in range(1, self.num_windows + 1)]
+        )
+
+    def percentile_fan(
+        self, qs: tuple[float, ...] = (5.0, 25.0, 50.0, 75.0, 95.0)
+    ) -> dict[float, np.ndarray]:
+        """The Fig. 9a percentile bands across all bins."""
+        return {
+            q: np.array(
+                [self.percentile(d, q) for d in range(1, self.num_windows + 1)]
+            )
+            for q in qs
+        }
+
+
+def hits_by_days_active(dataset: ActivityDataset) -> HitsByActivity:
+    """Fig. 9a: distributions of per-window hits, binned by activity span.
+
+    Only windows in which an address was active contribute (the paper
+    conditions on days with at least one hit by construction: inactive
+    days have no log line).
+    """
+    ips, windows_active, total_hits = dataset.per_ip_stats()
+    if ips.size == 0:
+        raise DatasetError("dataset has no active addresses")
+    histograms = np.zeros((len(dataset), _LOG_BINS), dtype=np.int64)
+    for snapshot in dataset:
+        pos = np.searchsorted(ips, snapshot.ips)
+        bins_for_ip = windows_active[pos] - 1
+        log_bins = _log_bin(snapshot.hits)
+        np.add.at(histograms, (bins_for_ip, log_bins), 1)
+    ip_counts = np.bincount(windows_active - 1, minlength=len(dataset))
+    hit_totals = np.bincount(
+        windows_active - 1, weights=total_hits.astype(np.float64), minlength=len(dataset)
+    )
+    return HitsByActivity(
+        num_windows=len(dataset),
+        histograms=histograms,
+        ip_counts=ip_counts.astype(np.int64),
+        hit_totals=hit_totals.astype(np.int64),
+    )
+
+
+@dataclass(frozen=True)
+class CumulativeActivityTraffic:
+    """Fig. 9b: cumulative address and traffic fractions per bin."""
+
+    ip_fractions: np.ndarray       # cumulative, ending at 1.0
+    traffic_fractions: np.ndarray  # cumulative, ending at 1.0
+
+    @property
+    def always_on_ip_share(self) -> float:
+        """Fraction of addresses active in every window."""
+        return float(1.0 - self.ip_fractions[-2]) if self.ip_fractions.size > 1 else 1.0
+
+    @property
+    def always_on_traffic_share(self) -> float:
+        """Traffic share of the always-on addresses (paper: >40%)."""
+        return (
+            float(1.0 - self.traffic_fractions[-2])
+            if self.traffic_fractions.size > 1
+            else 1.0
+        )
+
+
+def cumulative_by_days_active(stats: HitsByActivity) -> CumulativeActivityTraffic:
+    """Fig. 9b from the Fig. 9a binning."""
+    total_ips = stats.ip_counts.sum()
+    total_hits = stats.hit_totals.sum()
+    if total_ips == 0 or total_hits == 0:
+        raise DatasetError("no addresses or no traffic to accumulate")
+    return CumulativeActivityTraffic(
+        ip_fractions=np.cumsum(stats.ip_counts) / total_ips,
+        traffic_fractions=np.cumsum(stats.hit_totals) / total_hits,
+    )
+
+
+def top_share_series(dataset: ActivityDataset, top_fraction: float = 0.10) -> np.ndarray:
+    """Fig. 9c: per window, the traffic share of the top heavy hitters.
+
+    The paper computes, weekly across 2015, the share of total traffic
+    received by the 10% of addresses with the greatest traffic.
+    """
+    if not 0.0 < top_fraction < 1.0:
+        raise DatasetError(f"top fraction must be in (0, 1): {top_fraction}")
+    shares = np.empty(len(dataset))
+    for index, snapshot in enumerate(dataset):
+        if snapshot.num_active == 0:
+            shares[index] = 0.0
+            continue
+        top = max(1, int(snapshot.num_active * top_fraction))
+        # argpartition: O(n) selection of the heaviest addresses.
+        heavy = np.partition(snapshot.hits, snapshot.num_active - top)[-top:]
+        shares[index] = heavy.sum() / snapshot.total_hits
+    return shares
+
+
+def consolidation_trend(shares: np.ndarray) -> float:
+    """Least-squares slope of the Fig. 9c series, in share per window."""
+    if shares.size < 2:
+        raise DatasetError("need at least two windows for a trend")
+    return float(np.polyfit(np.arange(shares.size), shares, 1)[0])

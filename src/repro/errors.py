@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers
+can catch one base class.  Each subclass marks a distinct failure
+domain (address parsing, dataset consistency, simulation configuration)
+so tests and downstream code can assert on the precise kind of failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class AddressError(ReproError, ValueError):
+    """An IPv4 address or prefix string/integer is malformed or out of range."""
+
+
+class PrefixError(AddressError):
+    """A CIDR prefix is malformed (bad length, host bits set, ...)."""
+
+
+class DatasetError(ReproError):
+    """An activity dataset is inconsistent (unsorted IPs, misaligned columns,
+    empty window, mismatched date axes, ...)."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A simulation or analysis configuration value is invalid."""
+
+
+class RegistryError(ReproError):
+    """A delegation/registry lookup failed or the table is malformed."""
+
+
+class RoutingError(ReproError):
+    """A routing table or routing series is malformed or misused."""

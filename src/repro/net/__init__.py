@@ -1,0 +1,55 @@
+"""IPv4 addressing substrate.
+
+This subpackage provides the low-level machinery every other part of
+the library builds on:
+
+- :mod:`repro.net.ipv4` — addresses as unsigned 32-bit integers with
+  parsing, formatting, and vectorised helpers.
+- :mod:`repro.net.prefix` — CIDR prefixes with subnet/supernet algebra
+  and the smallest-covering-prefix operation used for event-size
+  attribution (paper Fig. 5b).
+- :mod:`repro.net.trie` — a binary radix trie for longest-prefix match
+  (IP → origin AS, IP → delegation record).
+- :mod:`repro.net.sets` — compressed sets of IPv4 ranges with exact
+  set algebra, used to hold scan results and active-address pools.
+"""
+
+from repro.net.ipv4 import (
+    MAX_IPV4,
+    block_of,
+    blocks_of,
+    format_ip,
+    format_ips,
+    ip_distance,
+    is_valid_ip_int,
+    parse_ip,
+    parse_ips,
+)
+from repro.net.prefix import (
+    Prefix,
+    coalesce,
+    common_prefix_length,
+    smallest_covering_prefix,
+    span_to_prefixes,
+)
+from repro.net.sets import IPSet
+from repro.net.trie import PrefixTrie
+
+__all__ = [
+    "MAX_IPV4",
+    "IPSet",
+    "Prefix",
+    "PrefixTrie",
+    "block_of",
+    "blocks_of",
+    "coalesce",
+    "common_prefix_length",
+    "format_ip",
+    "format_ips",
+    "ip_distance",
+    "is_valid_ip_int",
+    "parse_ip",
+    "parse_ips",
+    "smallest_covering_prefix",
+    "span_to_prefixes",
+]

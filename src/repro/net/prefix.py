@@ -1,0 +1,253 @@
+"""CIDR prefixes and prefix algebra.
+
+A :class:`Prefix` is an immutable ``(network, masklen)`` pair with the
+host bits forced to zero.  Besides the usual containment and
+subnet/supernet operations, this module provides
+:func:`smallest_covering_prefix`, the operation at the heart of the
+paper's event-size analysis (Fig. 5b): given a set of addresses that
+changed state together, find the smallest CIDR block that contains all
+of them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PrefixError
+from repro.net.ipv4 import MAX_IPV4, format_ip, is_valid_ip_int, parse_ip
+
+
+def _mask_for(masklen: int) -> int:
+    if masklen == 0:
+        return 0
+    return (0xFFFFFFFF << (32 - masklen)) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An IPv4 CIDR prefix, e.g. ``192.0.2.0/24``.
+
+    Ordering is lexicographic on ``(network, masklen)``, which groups
+    nested prefixes next to their covering prefix — convenient for the
+    sorted sweeps used in aggregation code.
+    """
+
+    network: int
+    masklen: int
+
+    def __post_init__(self) -> None:
+        if not is_valid_ip_int(self.network):
+            raise PrefixError(f"bad network address: {self.network!r}")
+        if not isinstance(self.masklen, int) or not 0 <= self.masklen <= 32:
+            raise PrefixError(f"bad mask length: {self.masklen!r}")
+        if self.network & ~_mask_for(self.masklen) & 0xFFFFFFFF:
+            raise PrefixError(
+                f"host bits set: {format_ip(self.network)}/{self.masklen}"
+            )
+
+    # -- constructors ------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` (or a bare address, meaning /32).
+
+        >>> Prefix.parse("192.0.2.0/24").num_addresses
+        256
+        >>> str(Prefix.parse("10.0.0.1"))
+        '10.0.0.1/32'
+        """
+        if "/" in text:
+            addr_part, _, len_part = text.partition("/")
+            try:
+                masklen = int(len_part)
+            except ValueError as exc:
+                raise PrefixError(f"bad mask length in {text!r}") from exc
+            return cls(parse_ip(addr_part), masklen)
+        return cls(parse_ip(text), 32)
+
+    @classmethod
+    def from_ip(cls, ip: int, masklen: int) -> "Prefix":
+        """The length-*masklen* prefix containing address *ip*."""
+        if not is_valid_ip_int(ip):
+            raise PrefixError(f"bad address: {ip!r}")
+        if not 0 <= masklen <= 32:
+            raise PrefixError(f"bad mask length: {masklen!r}")
+        return cls(int(ip) & _mask_for(masklen), masklen)
+
+    # -- basic properties --------------------------------------------
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses covered (2**(32-masklen))."""
+        return 1 << (32 - self.masklen)
+
+    @property
+    def first(self) -> int:
+        """Lowest address in the prefix (the network address)."""
+        return self.network
+
+    @property
+    def last(self) -> int:
+        """Highest address in the prefix (the broadcast address)."""
+        return self.network + self.num_addresses - 1
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Prefix):
+            return self.contains_prefix(item)
+        if is_valid_ip_int(item):  # type: ignore[arg-type]
+            return self.first <= int(item) <= self.last  # type: ignore[arg-type]
+        return False
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """True if *other* is fully inside (or equal to) this prefix."""
+        return other.masklen >= self.masklen and (
+            other.network & _mask_for(self.masklen)
+        ) == self.network
+
+    def __str__(self) -> str:
+        return f"{format_ip(self.network)}/{self.masklen}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    # -- algebra -----------------------------------------------------
+
+    def supernet(self, new_masklen: int | None = None) -> "Prefix":
+        """The covering prefix with a shorter mask (default: one bit shorter)."""
+        if new_masklen is None:
+            new_masklen = self.masklen - 1
+        if not 0 <= new_masklen <= self.masklen:
+            raise PrefixError(
+                f"supernet mask {new_masklen} not shorter than /{self.masklen}"
+            )
+        return Prefix(self.network & _mask_for(new_masklen), new_masklen)
+
+    def subnets(self, new_masklen: int | None = None) -> Iterator["Prefix"]:
+        """Yield the subdivision of this prefix into longer-mask prefixes."""
+        if new_masklen is None:
+            new_masklen = self.masklen + 1
+        if not self.masklen <= new_masklen <= 32:
+            raise PrefixError(
+                f"subnet mask {new_masklen} not longer than /{self.masklen}"
+            )
+        step = 1 << (32 - new_masklen)
+        for base in range(self.first, self.last + 1, step):
+            yield Prefix(base, new_masklen)
+
+    def addresses(self) -> np.ndarray:
+        """All covered addresses as a ``uint32`` array (careful with short masks)."""
+        if self.masklen < 16:
+            raise PrefixError(
+                f"refusing to materialise {self}: {self.num_addresses} addresses"
+            )
+        return np.arange(self.first, self.last + 1, dtype=np.uint32)
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """True if the two prefixes share any address."""
+        return self.contains_prefix(other) or other.contains_prefix(self)
+
+
+def smallest_covering_prefix(ips: Iterable[int] | np.ndarray) -> Prefix:
+    """Smallest CIDR prefix containing every address in *ips*.
+
+    This implements the event-size attribution of the paper (Sec. 4.2,
+    Fig. 5b): a set of addresses that flipped state together is tagged
+    with the mask of the smallest prefix covering all of them.  For a
+    single address the result is a /32; for addresses spanning the
+    whole space it is 0.0.0.0/0.
+
+    The smallest covering prefix of ``lo`` and ``hi`` is determined by
+    the highest differing bit between them: every bit above it is a
+    shared prefix, everything at or below must be inside the block.
+
+    >>> from repro.net.ipv4 import parse_ip
+    >>> base = parse_ip("10.2.3.0")
+    >>> str(smallest_covering_prefix([base, base + 255]))
+    '10.2.3.0/24'
+    """
+    arr = np.asarray(list(ips) if not isinstance(ips, np.ndarray) else ips)
+    if arr.size == 0:
+        raise PrefixError("cannot cover an empty set of addresses")
+    lo = int(arr.min())
+    hi = int(arr.max())
+    if not is_valid_ip_int(lo) or not is_valid_ip_int(hi):
+        raise PrefixError(f"addresses out of range: {lo!r}..{hi!r}")
+    diff = lo ^ hi
+    masklen = 32 - diff.bit_length()
+    return Prefix.from_ip(lo, masklen)
+
+
+def common_prefix_length(a: int, b: int) -> int:
+    """Number of leading bits shared by two addresses (0..32)."""
+    if not is_valid_ip_int(a) or not is_valid_ip_int(b):
+        raise PrefixError(f"bad addresses: {a!r}, {b!r}")
+    return 32 - (int(a) ^ int(b)).bit_length()
+
+
+def coalesce(prefixes: Iterable[Prefix]) -> list[Prefix]:
+    """Merge a collection of prefixes into a minimal disjoint covering list.
+
+    Nested prefixes are absorbed by their covers and adjacent sibling
+    prefixes are merged into their supernet, repeatedly, until a fixed
+    point.  The result is sorted and pairwise non-overlapping.
+    """
+    items = sorted(set(prefixes))
+    # Drop prefixes covered by an earlier (shorter or equal) prefix.
+    pruned: list[Prefix] = []
+    for pfx in items:
+        if pruned and pruned[-1].contains_prefix(pfx):
+            continue
+        pruned.append(pfx)
+    # Merge sibling pairs bottom-up until stable.
+    changed = True
+    while changed:
+        changed = False
+        merged: list[Prefix] = []
+        i = 0
+        while i < len(pruned):
+            current = pruned[i]
+            if (
+                i + 1 < len(pruned)
+                and current.masklen == pruned[i + 1].masklen
+                and current.masklen > 0
+                and current.supernet() == pruned[i + 1].supernet()
+            ):
+                merged.append(current.supernet())
+                i += 2
+                changed = True
+            else:
+                merged.append(current)
+                i += 1
+        pruned = merged
+    return pruned
+
+
+def span_to_prefixes(first: int, last: int) -> list[Prefix]:
+    """Decompose the inclusive address range ``[first, last]`` into a
+    minimal list of CIDR prefixes, in address order.
+
+    This is the classic range-to-CIDR algorithm: repeatedly take the
+    largest aligned block that starts at ``first`` and does not run
+    past ``last``.
+    """
+    if not is_valid_ip_int(first) or not is_valid_ip_int(last):
+        raise PrefixError(f"bad range bounds: {first!r}, {last!r}")
+    if first > last:
+        raise PrefixError(f"empty range: {first} > {last}")
+    out: list[Prefix] = []
+    cursor = int(first)
+    last = int(last)
+    while cursor <= last:
+        # Largest power-of-two block aligned at cursor...
+        align_bits = (cursor & -cursor).bit_length() - 1 if cursor else 32
+        # ...but no larger than the remaining span.
+        span_bits = (last - cursor + 1).bit_length() - 1
+        bits = min(align_bits, span_bits)
+        out.append(Prefix(cursor, 32 - bits))
+        cursor += 1 << bits
+        if cursor > MAX_IPV4:
+            break
+    return out

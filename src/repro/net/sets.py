@@ -1,0 +1,230 @@
+"""Compressed sets of IPv4 addresses.
+
+An :class:`IPSet` stores a set of addresses as sorted, disjoint,
+half-open integer ranges ``[start, stop)`` held in two parallel numpy
+arrays.  Scan results ("every address that answered ICMP in October")
+and pool definitions ("the CDN-visible addresses of AS 64500") are
+range-heavy, so this representation is hundreds of times smaller than
+materialised address arrays while still supporting exact union,
+intersection, difference, and membership tests.
+
+The class is immutable; every operation returns a new set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import AddressError
+from repro.net.ipv4 import MAX_IPV4, is_valid_ip_int
+from repro.net.prefix import Prefix, span_to_prefixes
+
+
+def _normalise(starts: np.ndarray, stops: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort ranges and merge overlapping/adjacent ones."""
+    if starts.size == 0:
+        return starts, stops
+    order = np.argsort(starts, kind="stable")
+    starts = starts[order]
+    stops = stops[order]
+    out_starts = [int(starts[0])]
+    out_stops = [int(stops[0])]
+    for start, stop in zip(starts[1:], stops[1:]):
+        start = int(start)
+        stop = int(stop)
+        if start <= out_stops[-1]:
+            out_stops[-1] = max(out_stops[-1], stop)
+        else:
+            out_starts.append(start)
+            out_stops.append(stop)
+    return (
+        np.asarray(out_starts, dtype=np.int64),
+        np.asarray(out_stops, dtype=np.int64),
+    )
+
+
+class IPSet:
+    """An immutable set of IPv4 addresses stored as disjoint ranges."""
+
+    __slots__ = ("_starts", "_stops")
+
+    def __init__(self, ranges: Iterable[tuple[int, int]] = ()) -> None:
+        """Build from an iterable of inclusive ``(first, last)`` pairs."""
+        starts: list[int] = []
+        stops: list[int] = []
+        for first, last in ranges:
+            if not is_valid_ip_int(first) or not is_valid_ip_int(last):
+                raise AddressError(f"bad range bounds: {first!r}, {last!r}")
+            if first > last:
+                raise AddressError(f"empty range: {first} > {last}")
+            starts.append(int(first))
+            stops.append(int(last) + 1)
+        self._starts, self._stops = _normalise(
+            np.asarray(starts, dtype=np.int64), np.asarray(stops, dtype=np.int64)
+        )
+
+    # -- constructors ------------------------------------------------
+
+    @classmethod
+    def _from_arrays(cls, starts: np.ndarray, stops: np.ndarray) -> "IPSet":
+        obj = cls.__new__(cls)
+        obj._starts = starts
+        obj._stops = stops
+        return obj
+
+    @classmethod
+    def from_ips(cls, ips: np.ndarray | Iterable[int]) -> "IPSet":
+        """Build from individual addresses (duplicates are fine)."""
+        arr = np.unique(np.asarray(list(ips) if not isinstance(ips, np.ndarray) else ips, dtype=np.int64))
+        if arr.size == 0:
+            return cls()
+        if arr.size and (arr[0] < 0 or arr[-1] > MAX_IPV4):
+            raise AddressError("addresses out of IPv4 range")
+        # Split at gaps to form runs.
+        gap = np.flatnonzero(np.diff(arr) != 1)
+        run_starts = np.concatenate(([0], gap + 1))
+        run_stops = np.concatenate((gap, [arr.size - 1]))
+        return cls._from_arrays(arr[run_starts].copy(), arr[run_stops] + 1)
+
+    @classmethod
+    def from_prefixes(cls, prefixes: Iterable[Prefix]) -> "IPSet":
+        """Build from CIDR prefixes."""
+        return cls((prefix.first, prefix.last) for prefix in prefixes)
+
+    # -- basic protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of addresses in the set."""
+        return int((self._stops - self._starts).sum())
+
+    def __bool__(self) -> bool:
+        return self._starts.size > 0
+
+    def __contains__(self, ip: object) -> bool:
+        if not is_valid_ip_int(ip):  # type: ignore[arg-type]
+            return False
+        pos = int(np.searchsorted(self._starts, int(ip), side="right")) - 1  # type: ignore[arg-type]
+        return pos >= 0 and int(ip) < self._stops[pos]  # type: ignore[arg-type]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IPSet):
+            return NotImplemented
+        return np.array_equal(self._starts, other._starts) and np.array_equal(
+            self._stops, other._stops
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._starts.tobytes(), self._stops.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"IPSet({len(self)} addresses in {self.num_ranges} ranges)"
+
+    @property
+    def num_ranges(self) -> int:
+        """Number of stored disjoint ranges."""
+        return int(self._starts.size)
+
+    def ranges(self) -> Iterator[tuple[int, int]]:
+        """Yield inclusive ``(first, last)`` pairs in address order."""
+        for start, stop in zip(self._starts, self._stops):
+            yield int(start), int(stop) - 1
+
+    def contains_many(self, ips: np.ndarray) -> np.ndarray:
+        """Vectorised membership test; returns a boolean array."""
+        arr = np.asarray(ips, dtype=np.int64)
+        if self._starts.size == 0:
+            return np.zeros(arr.size, dtype=bool)
+        pos = np.searchsorted(self._starts, arr, side="right") - 1
+        inside = pos >= 0
+        inside[inside] &= arr[inside] < self._stops[pos[inside]]
+        return inside
+
+    def addresses(self, limit: int | None = 10_000_000) -> np.ndarray:
+        """Materialise all member addresses as a ``uint32`` array.
+
+        Guards against accidentally expanding an Internet-scale set;
+        pass ``limit=None`` to disable the guard.
+        """
+        total = len(self)
+        if limit is not None and total > limit:
+            raise AddressError(f"set too large to materialise: {total} addresses")
+        parts = [
+            np.arange(start, stop, dtype=np.uint32)
+            for start, stop in zip(self._starts, self._stops)
+        ]
+        if not parts:
+            return np.empty(0, dtype=np.uint32)
+        return np.concatenate(parts)
+
+    def prefixes(self) -> list[Prefix]:
+        """Decompose the set into a minimal list of CIDR prefixes."""
+        out: list[Prefix] = []
+        for first, last in self.ranges():
+            out.extend(span_to_prefixes(first, last))
+        return out
+
+    # -- set algebra ---------------------------------------------------
+
+    def union(self, other: "IPSet") -> "IPSet":
+        starts = np.concatenate((self._starts, other._starts))
+        stops = np.concatenate((self._stops, other._stops))
+        return IPSet._from_arrays(*_normalise(starts, stops))
+
+    def intersection(self, other: "IPSet") -> "IPSet":
+        out_starts: list[int] = []
+        out_stops: list[int] = []
+        i = j = 0
+        while i < self._starts.size and j < other._starts.size:
+            lo = max(self._starts[i], other._starts[j])
+            hi = min(self._stops[i], other._stops[j])
+            if lo < hi:
+                out_starts.append(int(lo))
+                out_stops.append(int(hi))
+            if self._stops[i] < other._stops[j]:
+                i += 1
+            else:
+                j += 1
+        return IPSet._from_arrays(
+            np.asarray(out_starts, dtype=np.int64), np.asarray(out_stops, dtype=np.int64)
+        )
+
+    def difference(self, other: "IPSet") -> "IPSet":
+        out_starts: list[int] = []
+        out_stops: list[int] = []
+        j = 0
+        for start, stop in zip(self._starts, self._stops):
+            cursor = int(start)
+            stop = int(stop)
+            while j < other._starts.size and other._stops[j] <= cursor:
+                j += 1
+            k = j
+            while cursor < stop:
+                if k >= other._starts.size or other._starts[k] >= stop:
+                    out_starts.append(cursor)
+                    out_stops.append(stop)
+                    break
+                if other._starts[k] > cursor:
+                    out_starts.append(cursor)
+                    out_stops.append(int(other._starts[k]))
+                cursor = max(cursor, int(other._stops[k]))
+                k += 1
+        return IPSet._from_arrays(
+            np.asarray(out_starts, dtype=np.int64), np.asarray(out_stops, dtype=np.int64)
+        )
+
+    def __or__(self, other: "IPSet") -> "IPSet":
+        return self.union(other)
+
+    def __and__(self, other: "IPSet") -> "IPSet":
+        return self.intersection(other)
+
+    def __sub__(self, other: "IPSet") -> "IPSet":
+        return self.difference(other)
+
+    def isdisjoint(self, other: "IPSet") -> bool:
+        return not self.intersection(other)
+
+    def issubset(self, other: "IPSet") -> bool:
+        return not self.difference(other)

@@ -1,0 +1,33 @@
+"""Reverse-DNS substrate: PTR synthesis and keyword classification.
+
+Stands in for the PTR datasets the paper uses to tag /24 blocks as
+statically or dynamically assigned (Sec. 5.3, Fig. 8b).
+"""
+
+from repro.rdns.classify import (
+    AssignmentTag,
+    classify_block,
+    classify_hostname,
+    classify_zone,
+)
+from repro.rdns.ptr import (
+    SCHEME_MIX,
+    NamingScheme,
+    PTRRecord,
+    draw_scheme,
+    hostname_for,
+    synthesize_block_ptrs,
+)
+
+__all__ = [
+    "SCHEME_MIX",
+    "AssignmentTag",
+    "NamingScheme",
+    "PTRRecord",
+    "classify_block",
+    "classify_hostname",
+    "classify_zone",
+    "draw_scheme",
+    "hostname_for",
+    "synthesize_block_ptrs",
+]

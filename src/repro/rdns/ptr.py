@@ -1,0 +1,128 @@
+"""Reverse-DNS (PTR) record synthesis.
+
+The paper tags /24 blocks as statically or dynamically assigned by
+looking for consistent keywords (``static`` vs. ``dynamic``/``pool``)
+in PTR names — "a well-known methodology" (Sec. 5.3).  Real ISP naming
+is noisy: many networks use generic or encoded names that carry no
+assignment hint, and some have no PTR records at all.  The synthesiser
+here reproduces that noise so the classifier downstream only ever sees
+the partial, keyword-based view the paper's method would see.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.ipv4 import format_ip, is_valid_ip_int
+from repro.errors import AddressError
+
+
+class NamingScheme(enum.Enum):
+    """How an operator names the PTR records of one address block."""
+
+    STATIC_KEYWORD = "static_keyword"    # e.g. static-198-51-100-7.isp.example
+    DYNAMIC_KEYWORD = "dynamic_keyword"  # e.g. dynamic-198-51-100-7.isp.example
+    POOL_KEYWORD = "pool_keyword"        # e.g. 7.100.pool-51.isp.example
+    GENERIC = "generic"                  # e.g. cpe-198-51-100-7.isp.example
+    NONE = "none"                        # no PTR records at all
+
+
+@dataclass(frozen=True)
+class PTRRecord:
+    """One reverse-DNS record: address and hostname."""
+
+    ip: int
+    hostname: str
+
+    def __post_init__(self) -> None:
+        if not is_valid_ip_int(self.ip):
+            raise AddressError(f"bad address in PTR record: {self.ip!r}")
+
+
+def hostname_for(ip: int, scheme: NamingScheme, operator: str) -> str | None:
+    """Render the PTR hostname of *ip* under a naming scheme.
+
+    Returns ``None`` for :attr:`NamingScheme.NONE`.  The formats are
+    modelled on common ISP conventions; what matters downstream is only
+    whether the keyword substrings survive into the name.
+    """
+    if scheme is NamingScheme.NONE:
+        return None
+    dashed = format_ip(ip).replace(".", "-")
+    last_octet = ip & 0xFF
+    third_octet = (ip >> 8) & 0xFF
+    if scheme is NamingScheme.STATIC_KEYWORD:
+        return f"static-{dashed}.{operator}.example.net"
+    if scheme is NamingScheme.DYNAMIC_KEYWORD:
+        return f"dynamic-{dashed}.{operator}.example.net"
+    if scheme is NamingScheme.POOL_KEYWORD:
+        return f"{last_octet}.{third_octet}.pool.{operator}.example.net"
+    return f"cpe-{dashed}.{operator}.example.net"
+
+
+def synthesize_block_ptrs(
+    block_base: int,
+    scheme: NamingScheme,
+    operator: str,
+    rng: np.random.Generator,
+    coverage: float = 0.95,
+) -> list[PTRRecord]:
+    """PTR records for one /24 block under *scheme*.
+
+    ``coverage`` is the fraction of the 256 addresses that actually
+    have a record (real zones are rarely complete).
+    """
+    if not 0.0 <= coverage <= 1.0:
+        raise AddressError(f"coverage must be a fraction: {coverage!r}")
+    if block_base & 0xFF:
+        raise AddressError(f"not a /24 base: {format_ip(block_base)}")
+    records: list[PTRRecord] = []
+    if scheme is NamingScheme.NONE:
+        return records
+    present = rng.random(256) < coverage
+    for offset in np.flatnonzero(present):
+        ip = block_base + int(offset)
+        hostname = hostname_for(ip, scheme, operator)
+        assert hostname is not None
+        records.append(PTRRecord(ip, hostname))
+    return records
+
+
+#: How likely each true assignment policy is to use each naming scheme.
+#: Keys are the policy-kind strings used by :mod:`repro.sim.policies`.
+#: The deliberate cross-talk (static blocks named generically, dynamic
+#: blocks without keywords, ...) keeps the rDNS view partial and noisy,
+#: like the paper's 456K dynamic + 262K static tagged blocks out of
+#: millions of active blocks.
+SCHEME_MIX: dict[str, list[tuple[NamingScheme, float]]] = {
+    "static": [
+        (NamingScheme.STATIC_KEYWORD, 0.45),
+        (NamingScheme.GENERIC, 0.35),
+        (NamingScheme.NONE, 0.20),
+    ],
+    "dynamic": [
+        (NamingScheme.DYNAMIC_KEYWORD, 0.35),
+        (NamingScheme.POOL_KEYWORD, 0.25),
+        (NamingScheme.GENERIC, 0.25),
+        (NamingScheme.NONE, 0.15),
+    ],
+}
+
+
+def draw_scheme(policy_kind: str, rng: np.random.Generator) -> NamingScheme:
+    """Draw a naming scheme for a block given its true policy kind.
+
+    Policies not listed in :data:`SCHEME_MIX` (gateways, infrastructure,
+    unused space) get generic or absent naming.
+    """
+    mix = SCHEME_MIX.get(
+        policy_kind,
+        [(NamingScheme.GENERIC, 0.5), (NamingScheme.NONE, 0.5)],
+    )
+    schemes = [scheme for scheme, _ in mix]
+    weights = np.array([weight for _, weight in mix])
+    index = int(rng.choice(len(schemes), p=weights / weights.sum()))
+    return schemes[index]

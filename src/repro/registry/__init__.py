@@ -1,0 +1,52 @@
+"""Registry substrate: RIRs, countries, and delegation tables.
+
+Stands in for the RIRs' extended allocation files and the ITU
+subscriber statistics the paper uses to geolocate addresses (Sec. 3.4)
+and to contextualise regional demographics (Sec. 7.2).
+"""
+
+from repro.registry.countries import (
+    COUNTRIES,
+    Country,
+    broadband_ranks,
+    cellular_ranks,
+    countries_of,
+    get_country,
+    spearman_rank_correlation,
+)
+from repro.registry.delegations import (
+    ACTIVE_STATUSES,
+    RIR_SPACE_SHARES,
+    DelegationRecord,
+    DelegationTable,
+    synthesize_delegations,
+)
+from repro.registry.rir import (
+    EXHAUSTION_DATES,
+    IANA_EXHAUSTION,
+    INCORPORATION_YEARS,
+    RIR,
+    exhausted_by,
+    exhaustion_timeline,
+)
+
+__all__ = [
+    "ACTIVE_STATUSES",
+    "COUNTRIES",
+    "Country",
+    "DelegationRecord",
+    "DelegationTable",
+    "EXHAUSTION_DATES",
+    "IANA_EXHAUSTION",
+    "INCORPORATION_YEARS",
+    "RIR",
+    "RIR_SPACE_SHARES",
+    "broadband_ranks",
+    "cellular_ranks",
+    "countries_of",
+    "exhausted_by",
+    "exhaustion_timeline",
+    "get_country",
+    "spearman_rank_correlation",
+    "synthesize_delegations",
+]

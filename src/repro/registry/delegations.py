@@ -1,0 +1,292 @@
+"""NRO-style delegation table: which registry and country hold each range.
+
+The paper assigns a region and country to every observed address using
+the RIRs' extended allocation files (Sec. 3.4).  This module implements
+that machinery:
+
+- :class:`DelegationRecord` — one delegated range (registry, country,
+  status, date), mirroring one line of an NRO extended delegation file.
+- :class:`DelegationTable` — an indexed collection with fast address →
+  record lookup, NRO-format round-tripping, and a synthesiser that
+  carves a configurable slice of the address space into realistic
+  country allocations for the simulation.
+
+The NRO extended format is ``registry|cc|type|start|value|date|status``
+with ``value`` the number of addresses in the range.
+"""
+
+from __future__ import annotations
+
+import datetime
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RegistryError
+from repro.net.ipv4 import format_ip, parse_ip
+from repro.net.prefix import Prefix, span_to_prefixes
+from repro.net.trie import PrefixTrie
+from repro.registry.countries import COUNTRIES, Country, countries_of
+from repro.registry.rir import RIR
+
+#: Delegation status values that mean "usable address space".
+ACTIVE_STATUSES = frozenset({"allocated", "assigned"})
+
+
+@dataclass(frozen=True)
+class DelegationRecord:
+    """One delegated IPv4 range, as in an NRO extended file line."""
+
+    rir: RIR
+    country: str
+    start: int
+    count: int
+    date: datetime.date
+    status: str = "allocated"
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise RegistryError(f"non-positive delegation size: {self.count}")
+        if self.start < 0 or self.start + self.count - 1 > 0xFFFFFFFF:
+            raise RegistryError(
+                f"delegation out of IPv4 space: start={self.start} count={self.count}"
+            )
+
+    @property
+    def last(self) -> int:
+        """Highest address in the range (inclusive)."""
+        return self.start + self.count - 1
+
+    def prefixes(self) -> list[Prefix]:
+        """CIDR decomposition of the range."""
+        return span_to_prefixes(self.start, self.last)
+
+    def to_line(self) -> str:
+        """Serialise in NRO extended delegation format."""
+        return "|".join(
+            [
+                self.rir.value,
+                self.country,
+                "ipv4",
+                format_ip(self.start),
+                str(self.count),
+                self.date.strftime("%Y%m%d"),
+                self.status,
+            ]
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "DelegationRecord":
+        """Parse one NRO extended-format line (ipv4 records only)."""
+        fields = line.strip().split("|")
+        if len(fields) < 7:
+            raise RegistryError(f"short delegation line: {line!r}")
+        registry, country, family, start, value, date_text, status = fields[:7]
+        if family != "ipv4":
+            raise RegistryError(f"not an ipv4 delegation: {line!r}")
+        try:
+            date = datetime.datetime.strptime(date_text, "%Y%m%d").date()
+        except ValueError as exc:
+            raise RegistryError(f"bad date in delegation line: {line!r}") from exc
+        try:
+            count = int(value)
+        except ValueError as exc:
+            raise RegistryError(f"bad count in delegation line: {line!r}") from exc
+        return cls(
+            rir=RIR.parse(registry),
+            country=country.upper(),
+            start=parse_ip(start),
+            count=count,
+            date=date,
+            status=status,
+        )
+
+
+class DelegationTable:
+    """An indexed set of delegation records with address lookup.
+
+    Records must be non-overlapping; the constructor verifies this so a
+    lookup always has exactly one answer.
+    """
+
+    def __init__(self, records: Iterable[DelegationRecord]) -> None:
+        self._records = sorted(records, key=lambda record: record.start)
+        for left, right in zip(self._records, self._records[1:]):
+            if left.last >= right.start:
+                raise RegistryError(
+                    f"overlapping delegations at {format_ip(right.start)}"
+                )
+        self._trie = PrefixTrie()
+        for index, record in enumerate(self._records):
+            for prefix in record.prefixes():
+                self._trie.insert(prefix, index)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DelegationRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[DelegationRecord]:
+        return list(self._records)
+
+    # -- lookup ------------------------------------------------------
+
+    def lookup(self, ip: int) -> DelegationRecord | None:
+        """The record whose range contains *ip*, or ``None``."""
+        match = self._trie.lookup(ip)
+        if match is None:
+            return None
+        return self._records[match[1]]
+
+    def lookup_many(self, ips: np.ndarray) -> np.ndarray:
+        """Record indexes (into :attr:`records`) per address; -1 if none."""
+        return self._trie.lookup_many_int(ips, default=-1)
+
+    def rir_of_many(self, ips: np.ndarray) -> list[RIR | None]:
+        """Registry per address, aligned with input order."""
+        indexes = self.lookup_many(ips)
+        return [
+            self._records[i].rir if i >= 0 else None for i in indexes
+        ]
+
+    def country_of_many(self, ips: np.ndarray) -> list[str | None]:
+        """Country code per address, aligned with input order."""
+        indexes = self.lookup_many(ips)
+        return [
+            self._records[i].country if i >= 0 else None for i in indexes
+        ]
+
+    def records_of(self, rir: RIR | None = None, country: str | None = None) -> list[DelegationRecord]:
+        """Filter records by registry and/or country."""
+        out = self._records
+        if rir is not None:
+            out = [record for record in out if record.rir == rir]
+        if country is not None:
+            out = [record for record in out if record.country == country.upper()]
+        return list(out)
+
+    def total_addresses(self, rir: RIR | None = None) -> int:
+        """Number of delegated addresses, optionally for one registry."""
+        return sum(
+            record.count
+            for record in self._records
+            if rir is None or record.rir == rir
+        )
+
+    # -- serialisation -------------------------------------------------
+
+    def to_lines(self) -> list[str]:
+        """Serialise all records in NRO extended format."""
+        return [record.to_line() for record in self._records]
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "DelegationTable":
+        """Parse an NRO extended file (comments/summary lines skipped)."""
+        records = []
+        for line in lines:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            fields = stripped.split("|")
+            if len(fields) >= 3 and fields[2] != "ipv4":
+                continue  # header, summary, asn or ipv6 record
+            if len(fields) < 7:
+                continue  # version/summary line
+            records.append(DelegationRecord.from_line(stripped))
+        return cls(records)
+
+
+#: Share of the synthetic address space administered by each registry.
+#: Loosely proportional to real-world delegated space.
+RIR_SPACE_SHARES: dict[RIR, float] = {
+    RIR.ARIN: 0.36,
+    RIR.RIPE: 0.24,
+    RIR.APNIC: 0.25,
+    RIR.LACNIC: 0.10,
+    RIR.AFRINIC: 0.05,
+}
+
+
+def synthesize_delegations(
+    rng: np.random.Generator,
+    num_slash8: int = 8,
+    first_slash8: int = 1,
+    min_masklen: int = 12,
+    max_masklen: int = 16,
+    reserved_fraction: float = 0.08,
+) -> DelegationTable:
+    """Carve ``num_slash8`` /8 blocks into a synthetic delegation table.
+
+    Each /8 is assigned to one registry (respecting
+    :data:`RIR_SPACE_SHARES` as closely as the integer count allows)
+    and subdivided into CIDR allocations with masks drawn uniformly
+    from ``[min_masklen, max_masklen]``.  Every allocation is tagged
+    with a country of that registry, chosen with probability
+    proportional to the country's total subscribers, and a plausible
+    allocation date.  A small fraction of allocations is marked
+    ``reserved`` to model unallocated space.
+    """
+    if num_slash8 < len(RIR_SPACE_SHARES):
+        raise RegistryError(
+            f"need at least {len(RIR_SPACE_SHARES)} /8s, got {num_slash8}"
+        )
+    if not 8 <= min_masklen <= max_masklen <= 24:
+        raise RegistryError(
+            f"bad mask range: /{min_masklen}../{max_masklen}"
+        )
+
+    # Apportion /8s to registries: one each, remainder by largest share.
+    counts = {rir: 1 for rir in RIR_SPACE_SHARES}
+    remaining = num_slash8 - len(counts)
+    weights = np.array([RIR_SPACE_SHARES[rir] for rir in RIR_SPACE_SHARES])
+    extra = rng.multinomial(remaining, weights / weights.sum())
+    for rir, extra_count in zip(RIR_SPACE_SHARES, extra):
+        counts[rir] += int(extra_count)
+
+    slash8_owners: list[RIR] = []
+    for rir, count in counts.items():
+        slash8_owners.extend([rir] * count)
+    rng.shuffle(slash8_owners)  # type: ignore[arg-type]
+
+    records: list[DelegationRecord] = []
+    for offset, rir in enumerate(slash8_owners):
+        base = (first_slash8 + offset) << 24
+        country_pool = countries_of(rir)
+        subscriber_mass = np.array(
+            [country.broadband_subs + country.cellular_subs / 10 for country in country_pool]
+        )
+        country_weights = subscriber_mass / subscriber_mass.sum()
+        cursor = base
+        end = base + (1 << 24)
+        while cursor < end:
+            masklen = int(rng.integers(min_masklen, max_masklen + 1))
+            size = 1 << (32 - masklen)
+            # Re-align if the draw would overshoot the /8.
+            size = min(size, end - cursor)
+            country = country_pool[int(rng.choice(len(country_pool), p=country_weights))]
+            status = "reserved" if rng.random() < reserved_fraction else "allocated"
+            year = int(rng.integers(1995, 2015))
+            date = datetime.date(year, int(rng.integers(1, 13)), int(rng.integers(1, 28)))
+            records.append(
+                DelegationRecord(
+                    rir=rir,
+                    country=country.code,
+                    start=cursor,
+                    count=size,
+                    date=date,
+                    status=status,
+                )
+            )
+            cursor += size
+    return DelegationTable(records)
+
+
+def country_parameters(code: str) -> Country:
+    """Convenience re-export: behavioural parameters for a country."""
+    for country in COUNTRIES:
+        if country.code == code.upper():
+            return country
+    raise RegistryError(f"unknown country code: {code!r}")

@@ -1,0 +1,93 @@
+"""Regional Internet Registries (RIRs).
+
+The five RIRs administer IPv4 address delegation for their regions.
+The paper (Sec. 2, Fig. 1) annotates the activity time series with each
+registry's exhaustion date — the day the registry's free pool of
+general-purpose IPv4 space ran out — and breaks demographics down per
+RIR (Figs. 3a and 12).  This module captures that reference data.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+
+from repro.errors import RegistryError
+
+
+class RIR(enum.Enum):
+    """The five Regional Internet Registries."""
+
+    ARIN = "arin"
+    RIPE = "ripencc"
+    APNIC = "apnic"
+    LACNIC = "lacnic"
+    AFRINIC = "afrinic"
+
+    @classmethod
+    def parse(cls, text: str) -> "RIR":
+        """Parse an RIR name as it appears in NRO delegation files
+        (``ripencc``) or in common usage (``RIPE``)."""
+        normalised = text.strip().lower()
+        aliases = {
+            "arin": cls.ARIN,
+            "ripencc": cls.RIPE,
+            "ripe": cls.RIPE,
+            "ripe ncc": cls.RIPE,
+            "apnic": cls.APNIC,
+            "lacnic": cls.LACNIC,
+            "afrinic": cls.AFRINIC,
+        }
+        if normalised not in aliases:
+            raise RegistryError(f"unknown RIR: {text!r}")
+        return aliases[normalised]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Date on which IANA's central free pool was exhausted (the final /8s
+#: were handed to the RIRs).
+IANA_EXHAUSTION = datetime.date(2011, 2, 3)
+
+#: Date each RIR reached exhaustion of its general-purpose IPv4 pool
+#: (entered its last-/8 or equivalent austerity policy).  AFRINIC had
+#: not exhausted during the paper's measurement period, hence ``None``.
+EXHAUSTION_DATES: dict[RIR, datetime.date | None] = {
+    RIR.APNIC: datetime.date(2011, 4, 15),
+    RIR.RIPE: datetime.date(2012, 9, 14),
+    RIR.LACNIC: datetime.date(2014, 6, 10),
+    RIR.ARIN: datetime.date(2015, 9, 24),
+    RIR.AFRINIC: None,
+}
+
+#: Year each registry was incorporated.  LACNIC (2002) and AFRINIC
+#: (2005) were founded late, with address conservation as a goal from
+#: the start — the paper's suggested explanation for their higher
+#: utilization (Sec. 7.2).
+INCORPORATION_YEARS: dict[RIR, int] = {
+    RIR.ARIN: 1997,
+    RIR.RIPE: 1992,
+    RIR.APNIC: 1993,
+    RIR.LACNIC: 2002,
+    RIR.AFRINIC: 2005,
+}
+
+
+def exhausted_by(date: datetime.date) -> list[RIR]:
+    """RIRs whose free pool was exhausted on or before *date*."""
+    return [
+        rir
+        for rir, when in EXHAUSTION_DATES.items()
+        if when is not None and when <= date
+    ]
+
+
+def exhaustion_timeline() -> list[tuple[datetime.date, str]]:
+    """The (date, label) annotations of Fig. 1, in chronological order."""
+    events: list[tuple[datetime.date, str]] = [(IANA_EXHAUSTION, "IANA exhaustion")]
+    for rir, when in EXHAUSTION_DATES.items():
+        if when is not None:
+            events.append((when, f"{rir.name} exhaustion"))
+    events.sort()
+    return events

@@ -1,0 +1,21 @@
+"""Plain-text reporting helpers for examples and benchmarks."""
+
+from repro.report.text import (
+    format_count,
+    format_percent,
+    render_activity_matrix,
+    render_cdf,
+    render_histogram,
+    render_matrix_heatmap,
+    render_table,
+)
+
+__all__ = [
+    "format_count",
+    "format_percent",
+    "render_activity_matrix",
+    "render_cdf",
+    "render_histogram",
+    "render_matrix_heatmap",
+    "render_table",
+]

@@ -1,0 +1,126 @@
+"""Plain-text rendering of tables, histograms, CDFs, and matrices.
+
+The benchmark harness and the examples print the paper's tables and
+figure data as aligned ASCII; these helpers keep that formatting in
+one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def format_count(value: float | int) -> str:
+    """Human-scale counts: 12345678 -> '12.3M'."""
+    value = float(value)
+    for magnitude, suffix in ((1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= magnitude:
+            return f"{value / magnitude:.1f}{suffix}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """0.254 -> '25.4%'."""
+    return f"{100.0 * fraction:.{digits}f}%"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """An aligned ASCII table with a header separator."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def render_histogram(
+    labels: Sequence[str], values: Sequence[float], width: int = 40, title: str | None = None
+) -> str:
+    """Horizontal bar chart of non-negative values."""
+    values = [float(v) for v in values]
+    if any(v < 0 for v in values):
+        raise ValueError("histogram values must be non-negative")
+    peak = max(values) if values else 0.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * (int(round(width * value / peak)) if peak else 0)
+        lines.append(f"{label.rjust(label_width)} |{bar} {format_count(value)}")
+    return "\n".join(lines)
+
+
+def render_cdf(
+    x: np.ndarray,
+    y: np.ndarray,
+    points: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9),
+    value_format: str = "{:.3f}",
+    title: str | None = None,
+) -> str:
+    """Summarise a CDF curve by a few quantile anchors."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size == 0:
+        raise ValueError("x and y must be non-empty and aligned")
+    lines = [title] if title else []
+    for point in points:
+        index = int(np.searchsorted(y, point))
+        index = min(index, x.size - 1)
+        lines.append(f"  F(x)={point:4.0%}  at x = " + value_format.format(x[index]))
+    return "\n".join(lines)
+
+
+def render_activity_matrix(matrix: np.ndarray, max_rows: int = 64) -> str:
+    """A compact dot-plot of a 256 × days block activity matrix (Fig. 6).
+
+    Rows are downsampled groups of addresses; '#' marks any activity in
+    the group on that day.
+    """
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-d matrix, got shape {matrix.shape}")
+    rows, days = matrix.shape
+    group = max(1, rows // max_rows)
+    lines = []
+    for start in range(0, rows, group):
+        chunk = matrix[start : start + group]
+        lines.append(
+            "".join("#" if chunk[:, day].any() else "." for day in range(days))
+        )
+    return "\n".join(lines)
+
+
+def render_matrix_heatmap(counts: np.ndarray, title: str | None = None) -> str:
+    """Render a small 2-d count matrix with density glyphs (Fig. 12)."""
+    if counts.ndim != 2:
+        raise ValueError("heatmap expects a 2-d matrix")
+    glyphs = " .:-=+*#%@"
+    peak = counts.max()
+    lines = [title] if title else []
+    for row in range(counts.shape[0] - 1, -1, -1):
+        cells = []
+        for column in range(counts.shape[1]):
+            value = counts[row, column]
+            level = 0 if peak == 0 else int(round((len(glyphs) - 1) * value / peak))
+            cells.append(glyphs[level])
+        lines.append("|" + "".join(cells) + "|")
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Routing substrate: BGP snapshots, diffs, and daily series.
+
+Stands in for the RouteViews RIB snapshots the paper uses to attribute
+addresses to origin ASes and to test whether address churn is visible
+in the global routing table (Sec. 4.2–4.3).
+"""
+
+from repro.routing.events import BGPChange, ChangeKind
+from repro.routing.series import RoutingSeries
+from repro.routing.table import RoutingTable
+
+__all__ = ["BGPChange", "ChangeKind", "RoutingSeries", "RoutingTable"]

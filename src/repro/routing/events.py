@@ -1,0 +1,57 @@
+"""BGP change events.
+
+The paper (Sec. 4.2, Fig. 5c and Table 2) considers three kinds of
+routing-table change relevant to address activity: a prefix being newly
+announced, a prefix being withdrawn, and a prefix changing origin AS.
+Everything else (path changes, communities, ...) is invisible at the
+granularity of daily RIB snapshots and is out of scope, exactly as in
+the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.net.prefix import Prefix
+
+
+class ChangeKind(enum.Enum):
+    """The three route-change categories of the paper."""
+
+    ANNOUNCE = "announce"
+    WITHDRAW = "withdraw"
+    ORIGIN_CHANGE = "origin_change"
+
+
+@dataclass(frozen=True)
+class BGPChange:
+    """One routing-table difference between two snapshots.
+
+    ``old_origin``/``new_origin`` are AS numbers; ``None`` marks the
+    absent side of an announce/withdraw.
+    """
+
+    prefix: Prefix
+    kind: ChangeKind
+    old_origin: int | None
+    new_origin: int | None
+
+    def __post_init__(self) -> None:
+        if self.kind is ChangeKind.ANNOUNCE and self.old_origin is not None:
+            raise ValueError("announce must have old_origin=None")
+        if self.kind is ChangeKind.WITHDRAW and self.new_origin is not None:
+            raise ValueError("withdraw must have new_origin=None")
+        if self.kind is ChangeKind.ORIGIN_CHANGE and (
+            self.old_origin is None
+            or self.new_origin is None
+            or self.old_origin == self.new_origin
+        ):
+            raise ValueError("origin change must have two distinct origins")
+
+    def __str__(self) -> str:
+        if self.kind is ChangeKind.ANNOUNCE:
+            return f"{self.prefix} announced by AS{self.new_origin}"
+        if self.kind is ChangeKind.WITHDRAW:
+            return f"{self.prefix} withdrawn (was AS{self.old_origin})"
+        return f"{self.prefix} moved AS{self.old_origin} -> AS{self.new_origin}"

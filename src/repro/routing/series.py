@@ -1,0 +1,148 @@
+"""Daily routing-table series.
+
+The paper attributes each active address to its origin AS using daily
+RIB snapshots, and — for multi-day windows — a *majority vote* over the
+window's daily IP→AS mappings (footnote 6).  It then asks, for each
+address with an up/down event between two windows, whether the
+covering route changed between those windows (Fig. 5c, Table 2).
+
+:class:`RoutingSeries` holds one table per day and implements both the
+majority-vote attribution and the changed-address test.
+"""
+
+from __future__ import annotations
+
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.net.sets import IPSet
+from repro.routing.events import BGPChange, ChangeKind
+from repro.routing.table import RoutingTable
+
+
+class RoutingSeries:
+    """A sequence of daily routing-table snapshots (day 0, 1, 2, ...)."""
+
+    def __init__(self, tables: Sequence[RoutingTable]) -> None:
+        if not tables:
+            raise RoutingError("a routing series needs at least one snapshot")
+        self._tables = list(tables)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def table_at(self, day: int) -> RoutingTable:
+        """The snapshot for a given day index."""
+        if not 0 <= day < len(self._tables):
+            raise RoutingError(f"day {day} outside series of {len(self._tables)}")
+        return self._tables[day]
+
+    # -- attribution -----------------------------------------------------
+
+    def origin_at(self, day: int, ip: int) -> int | None:
+        """Origin AS of *ip* on a single day."""
+        return self.table_at(day).origin_of(ip)
+
+    def majority_origin_many(
+        self, ips: np.ndarray, first_day: int, last_day: int
+    ) -> np.ndarray:
+        """Majority-vote origin AS per address over ``[first_day, last_day]``.
+
+        This mirrors the paper's footnote 6: "for larger window sizes,
+        we determine the origin AS for a given IP address using a
+        majority vote of all contained daily IP-to-AS mappings".
+        Returns -1 where an address is unrouted on a majority of days.
+        """
+        if first_day > last_day:
+            raise RoutingError(f"empty window: {first_day}..{last_day}")
+        arr = np.asarray(ips, dtype=np.uint32)
+        if arr.size == 0:
+            return np.empty(0, dtype=np.int64)
+        # Consecutive days usually share the same table object (the
+        # series only forks on change); vote each distinct table once,
+        # weighted by how many days it covers.
+        weights: dict[int, int] = {}
+        tables: dict[int, "RoutingTable"] = {}
+        for day in range(first_day, last_day + 1):
+            table = self.table_at(day)
+            key = id(table)
+            weights[key] = weights.get(key, 0) + 1
+            tables[key] = table
+        votes = np.stack([tables[key].origin_of_many(arr) for key in tables])
+        vote_weights = np.array([weights[key] for key in tables], dtype=np.int64)
+        # Weighted mode per column, vectorised over the (few) distinct
+        # tables: score each row's value by the total weight of rows
+        # agreeing with it, then take the best-scoring row's value.
+        num_tables = votes.shape[0]
+        scores = np.zeros_like(votes)
+        for row in range(num_tables):
+            agreement = votes == votes[row]
+            scores += vote_weights[row] * agreement
+        best_rows = np.argmax(scores, axis=0)
+        return votes[best_rows, np.arange(arr.size)]
+
+    # -- change detection --------------------------------------------------
+
+    def changes_between(self, first_day: int, last_day: int) -> list[BGPChange]:
+        """Net route changes between two daily snapshots.
+
+        Diffs the *endpoint* tables; a prefix that flapped and returned
+        to its original origin counts as unchanged, which is the
+        conservative reading used for the "is churn visible in BGP?"
+        question.
+        """
+        return self.table_at(first_day).diff(self.table_at(last_day))
+
+    def changes_within(self, first_day: int, last_day: int) -> list[BGPChange]:
+        """Union of day-over-day changes inside ``[first_day, last_day]``.
+
+        Unlike :meth:`changes_between`, transient flaps are included.
+        """
+        if first_day > last_day:
+            raise RoutingError(f"empty window: {first_day}..{last_day}")
+        seen: dict[tuple, BGPChange] = {}
+        for day in range(first_day, last_day):
+            for change in self._tables[day].diff(self._tables[day + 1]):
+                key = (change.prefix, change.kind, change.old_origin, change.new_origin)
+                seen.setdefault(key, change)
+        return sorted(seen.values(), key=lambda change: change.prefix)
+
+    def changed_address_space(self, first_day: int, last_day: int) -> IPSet:
+        """All addresses covered by any route change between the two days."""
+        prefixes = [change.prefix for change in self.changes_between(first_day, last_day)]
+        return IPSet.from_prefixes(prefixes)
+
+    def change_mask(
+        self, ips: np.ndarray, first_day: int, last_day: int
+    ) -> np.ndarray:
+        """Boolean per address: did a covering route change between the days?
+
+        This is the primitive behind Fig. 5c — up/down events are
+        intersected with this mask to measure what fraction of churn is
+        visible in the global routing table.
+        """
+        return self.changed_address_space(first_day, last_day).contains_many(
+            np.asarray(ips, dtype=np.int64)
+        )
+
+    def change_kind_of_many(
+        self, ips: np.ndarray, first_day: int, last_day: int
+    ) -> list[ChangeKind | None]:
+        """Per address, the kind of covering route change (or ``None``).
+
+        Used for the Table 2 rows that split appear/disappear events
+        into "BGP no change" / "origin change" / "announce-withdraw".
+        If several changed prefixes cover the same address, the most
+        specific one wins.
+        """
+        changes = self.changes_between(first_day, last_day)
+        from repro.net.trie import PrefixTrie
+
+        trie = PrefixTrie()
+        # Insert shorter masks first so longer masks override on lookup.
+        for change in sorted(changes, key=lambda change: change.prefix.masklen):
+            trie.insert(change.prefix, change.kind)
+        return trie.lookup_many(np.asarray(ips, dtype=np.uint32), default=None)

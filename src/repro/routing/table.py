@@ -1,0 +1,135 @@
+"""Routing-table snapshots.
+
+A :class:`RoutingTable` models one daily RIB snapshot from a route
+collector (the paper uses a RouteViews collector in AS6539): a mapping
+from announced prefixes to origin AS numbers, with longest-prefix-match
+address attribution and an exact diff against another snapshot.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+from repro.routing.events import BGPChange, ChangeKind
+
+
+class RoutingTable:
+    """A prefix → origin-AS snapshot with longest-prefix-match lookup."""
+
+    def __init__(self, routes: Iterable[tuple[Prefix, int]] = ()) -> None:
+        self._routes: dict[Prefix, int] = {}
+        self._trie = PrefixTrie()
+        for prefix, origin in routes:
+            self.announce(prefix, origin)
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._routes
+
+    def __iter__(self) -> Iterator[tuple[Prefix, int]]:
+        return iter(sorted(self._routes.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoutingTable):
+            return NotImplemented
+        return self._routes == other._routes
+
+    def __repr__(self) -> str:
+        return f"RoutingTable({len(self)} prefixes, {len(self.origins())} origins)"
+
+    # -- mutation ------------------------------------------------------
+
+    def announce(self, prefix: Prefix, origin: int) -> None:
+        """Insert or move a route.  Origin must be a positive AS number."""
+        if not isinstance(origin, (int, np.integer)) or isinstance(origin, bool) or origin <= 0:
+            raise RoutingError(f"bad origin AS: {origin!r}")
+        self._routes[prefix] = int(origin)
+        self._trie.insert(prefix, int(origin))
+
+    def withdraw(self, prefix: Prefix) -> None:
+        """Remove a route; raises if the prefix is not announced."""
+        if prefix not in self._routes:
+            raise RoutingError(f"prefix not announced: {prefix}")
+        del self._routes[prefix]
+        self._trie.remove(prefix)
+
+    def copy(self) -> "RoutingTable":
+        """An independent copy (used to evolve daily snapshots)."""
+        clone = RoutingTable()
+        for prefix, origin in self._routes.items():
+            clone.announce(prefix, origin)
+        return clone
+
+    # -- lookup --------------------------------------------------------
+
+    def origin_of(self, ip: int) -> int | None:
+        """Origin AS of the longest matching prefix, or ``None``."""
+        match = self._trie.lookup(ip)
+        return None if match is None else match[1]
+
+    def origin_of_many(self, ips: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`origin_of`; -1 where unrouted."""
+        return self._trie.lookup_many_int(ips, default=-1)
+
+    def matching_prefix(self, ip: int) -> Prefix | None:
+        """The longest announced prefix covering *ip*."""
+        match = self._trie.lookup(ip)
+        if match is None:
+            return None
+        # The trie returns the matched mask on the queried address;
+        # recover the announced prefix object itself.
+        return Prefix.from_ip(ip, match[0].masklen)
+
+    def origin_of_prefix(self, prefix: Prefix) -> int | None:
+        """Exact-match origin for an announced prefix."""
+        return self._routes.get(prefix)
+
+    def prefixes(self) -> list[Prefix]:
+        """All announced prefixes in address order."""
+        return sorted(self._routes)
+
+    def origins(self) -> set[int]:
+        """The set of origin AS numbers present in the table."""
+        return set(self._routes.values())
+
+    def advertised_addresses(self) -> int:
+        """Total address count covered by announced prefixes.
+
+        Covering prefixes are not double-counted: more-specific
+        announcements inside a covering announcement add nothing.
+        """
+        from repro.net.sets import IPSet
+
+        return len(IPSet.from_prefixes(self._routes))
+
+    # -- diffing ---------------------------------------------------------
+
+    def diff(self, later: "RoutingTable") -> list[BGPChange]:
+        """Changes needed to turn this snapshot into *later*.
+
+        Returns announce / withdraw / origin-change events, sorted by
+        prefix, matching the paper's definition of a "BGP change".
+        """
+        changes: list[BGPChange] = []
+        for prefix, origin in self._routes.items():
+            new_origin = later._routes.get(prefix)
+            if new_origin is None:
+                changes.append(
+                    BGPChange(prefix, ChangeKind.WITHDRAW, origin, None)
+                )
+            elif new_origin != origin:
+                changes.append(
+                    BGPChange(prefix, ChangeKind.ORIGIN_CHANGE, origin, new_origin)
+                )
+        for prefix, origin in later._routes.items():
+            if prefix not in self._routes:
+                changes.append(BGPChange(prefix, ChangeKind.ANNOUNCE, None, origin))
+        changes.sort(key=lambda change: change.prefix)
+        return changes

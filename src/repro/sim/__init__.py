@@ -1,0 +1,95 @@
+"""Simulation substrate: the synthetic Internet and its observatories.
+
+The paper's data sources are proprietary (CDN server logs) or external
+(ZMap scans, Ark traceroutes, RouteViews RIBs).  This subpackage builds
+a closed synthetic world that exposes the *same interfaces*: per-IP
+daily/weekly request aggregates, ICMP/port-scan snapshots, traceroute
+router sets, daily routing tables, PTR zones, and sampled User-Agent
+strings.  Every analysis in :mod:`repro.core` runs unmodified against
+either the real data (had one access to it) or this world.
+"""
+
+from repro.sim.behavior import activity_probability, daily_hits, draw_engagement
+from repro.sim.cdn import CDNObservatory, CollectionResult
+from repro.sim.diurnal import (
+    UTC_OFFSETS,
+    DiurnalProfile,
+    awake_probability,
+    best_scan_hour,
+    diurnal_factor,
+    local_hour,
+)
+from repro.sim.config import (
+    BLOCK_POLICY_MIX,
+    ASTypeMix,
+    SimulationConfig,
+    bench_config,
+    small_config,
+)
+from repro.sim.growth import GrowthModel, MonthlySeries, synthesize_monthly_counts
+from repro.sim.policies import (
+    CLIENT_KINDS,
+    DYNAMIC_KINDS,
+    AddressPolicy,
+    DayActivity,
+    PolicyKind,
+    make_policy,
+)
+from repro.sim.population import ASNode, Block, InternetPopulation
+from repro.sim.restructure import (
+    EventKind,
+    RestructureEvent,
+    RestructureSchedule,
+    build_schedule,
+)
+from repro.sim.scanner import ProbeObservatory
+from repro.sim.useragents import (
+    NUM_APP_UAS,
+    NUM_BROWSER_UAS,
+    UASampleStore,
+    sample_uas,
+    subscriber_ua_ids,
+    ua_string,
+)
+
+__all__ = [
+    "BLOCK_POLICY_MIX",
+    "CLIENT_KINDS",
+    "UTC_OFFSETS",
+    "DiurnalProfile",
+    "DYNAMIC_KINDS",
+    "NUM_APP_UAS",
+    "NUM_BROWSER_UAS",
+    "ASNode",
+    "ASTypeMix",
+    "AddressPolicy",
+    "Block",
+    "CDNObservatory",
+    "CollectionResult",
+    "DayActivity",
+    "EventKind",
+    "GrowthModel",
+    "InternetPopulation",
+    "MonthlySeries",
+    "PolicyKind",
+    "ProbeObservatory",
+    "RestructureEvent",
+    "RestructureSchedule",
+    "SimulationConfig",
+    "UASampleStore",
+    "activity_probability",
+    "awake_probability",
+    "bench_config",
+    "best_scan_hour",
+    "build_schedule",
+    "daily_hits",
+    "diurnal_factor",
+    "draw_engagement",
+    "local_hour",
+    "make_policy",
+    "sample_uas",
+    "small_config",
+    "subscriber_ua_ids",
+    "synthesize_monthly_counts",
+    "ua_string",
+]

@@ -1,0 +1,388 @@
+"""The CDN observatory: turning the synthetic world into server logs.
+
+This is the measurement instrument of the paper (Sec. 3.2): every day,
+each client address that completes a WWW transaction appears in the
+logs with its request count.  :class:`CDNObservatory` runs the world
+day by day — applying scheduled restructurings, evolving the routing
+table, sampling User-Agents — and emits the same aggregates the paper's
+data-collection framework provides:
+
+- an :class:`~repro.core.dataset.ActivityDataset` (daily or weekly
+  windows),
+- a :class:`~repro.routing.series.RoutingSeries` of daily RIB
+  snapshots,
+- a :class:`~repro.sim.useragents.UASampleStore` for the sampled
+  User-Agent window,
+- per-day assignment state on requested scan days (consumed by the
+  ICMP scanner, which probes the same world).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import ActivityDataset, Snapshot
+from repro.errors import ConfigError
+from repro.routing.series import RoutingSeries
+from repro.routing.table import RoutingTable
+from repro.sim.policies import AddressPolicy, DayActivity, PolicyKind
+from repro.sim.population import InternetPopulation
+from repro.sim.restructure import (
+    RestructureEvent,
+    RestructureSchedule,
+    build_schedule,
+)
+from repro.sim.useragents import UASampleStore, sample_uas
+from repro.sim.util import hash_coin
+
+#: Salt selecting the fixed login-trace panel of subscribers.
+_LOGIN_PANEL_SALT = 0x106B4BE1
+
+#: Offset added to an AS number to form its post-event sibling origin.
+_SIBLING_ASN_OFFSET = 30000
+
+
+@dataclass
+class CollectionResult:
+    """Everything one observatory run produces."""
+
+    dataset: ActivityDataset
+    routing: RoutingSeries
+    schedule: RestructureSchedule
+    ua_store: UASampleStore | None
+    scan_states: dict[int, dict[int, tuple[PolicyKind, np.ndarray]]] = field(
+        default_factory=dict
+    )
+    final_kinds: dict[int, PolicyKind] = field(default_factory=dict)
+    #: Per day, the (addresses, user ids) of panel subscribers seen
+    #: that day; ``None`` unless a login panel was requested.
+    login_trace: list[tuple[np.ndarray, np.ndarray]] | None = None
+
+    @property
+    def num_days(self) -> int:
+        return self.schedule.num_days
+
+
+class CDNObservatory:
+    """Runs the world and collects logs, deterministically per config."""
+
+    def __init__(self, population: InternetPopulation) -> None:
+        self.population = population
+        self.config = population.config
+
+    # -- public API --------------------------------------------------------
+
+    def collect_daily(
+        self,
+        num_days: int,
+        ua_window: tuple[int, int] | None = None,
+        scan_days: tuple[int, ...] = (),
+        login_panel_rate: float = 0.0,
+    ) -> CollectionResult:
+        """Run *num_days* days and return daily snapshots.
+
+        ``login_panel_rate`` > 0 additionally records a login trace — a
+        per-day (address, user) sample for a fixed panel of subscribers
+        — the input shape of UDmap-style dynamic-address inference
+        (Xie et al., discussed in the paper's related work).
+        """
+        return self._collect(num_days, 1, ua_window, scan_days, login_panel_rate)
+
+    def collect_weekly(
+        self,
+        num_weeks: int,
+        ua_window: tuple[int, int] | None = None,
+        scan_days: tuple[int, ...] = (),
+    ) -> CollectionResult:
+        """Run ``7 * num_weeks`` days, aggregating each week on the fly.
+
+        Weekly aggregation happens during collection (the union of a
+        week's active addresses, summed hits), so a year-long run never
+        materialises per-day columns — the same shape as the paper's
+        weekly dataset (Table 1).
+        """
+        return self._collect(num_weeks * 7, 7, ua_window, scan_days, 0.0)
+
+    # -- internals -----------------------------------------------------------
+
+    def _collect(
+        self,
+        num_days: int,
+        window_days: int,
+        ua_window: tuple[int, int] | None,
+        scan_days: tuple[int, ...],
+        login_panel_rate: float = 0.0,
+    ) -> CollectionResult:
+        if not 0.0 <= login_panel_rate <= 1.0:
+            raise ConfigError(f"login_panel_rate must be a probability: {login_panel_rate}")
+        if num_days <= 0 or num_days % window_days:
+            raise ConfigError(
+                f"num_days={num_days} must be a positive multiple of window_days={window_days}"
+            )
+        if ua_window is not None:
+            first, last = ua_window
+            if not 0 <= first <= last < num_days:
+                raise ConfigError(f"ua_window {ua_window} outside run of {num_days} days")
+        for day in scan_days:
+            if not 0 <= day < num_days:
+                raise ConfigError(f"scan day {day} outside run of {num_days} days")
+
+        population = self.population
+        config = self.config
+        root = np.random.SeedSequence([config.seed, 0xC011EC7])
+        schedule_seed, noise_seed, ua_seed = root.spawn(3)
+        schedule = build_schedule(
+            population, num_days, np.random.default_rng(schedule_seed)
+        )
+        events_by_day = schedule.by_day()
+        noise_rng = np.random.default_rng(noise_seed)
+        ua_rng = np.random.default_rng(ua_seed)
+
+        # Every block gets a policy (even UNUSED — an event may turn it on).
+        policies: dict[int, AddressPolicy] = {
+            block.index: block.make_policy(config) for block in population.blocks
+        }
+        current_kinds = {block.index: block.kind for block in population.blocks}
+
+        routing_tables: list[RoutingTable] = []
+        current_table = population.baseline_routing()
+        self._preannounce_event_covers(schedule, current_table)
+
+        ua_store = UASampleStore() if ua_window is not None else None
+        login_trace: list[tuple[np.ndarray, np.ndarray]] | None = (
+            [] if login_panel_rate > 0 else None
+        )
+        scan_states: dict[int, dict[int, tuple[PolicyKind, np.ndarray]]] = {}
+        scan_day_set = set(scan_days)
+
+        snapshots: list[Snapshot] = []
+        window_ips: list[np.ndarray] = []
+        window_hits: list[np.ndarray] = []
+        window_start = config.start_date
+
+        for day in range(num_days):
+            date = config.start_date + datetime.timedelta(days=day)
+            day_of_week = date.weekday()
+            traffic_scale = config.traffic_weekly_growth ** (day / 7.0)
+
+            table_changed = False
+            for event in events_by_day.get(day, ()):
+                self._apply_event(event, policies, current_kinds)
+                if event.bgp_visible:
+                    if not table_changed:
+                        current_table = current_table.copy()
+                        table_changed = True
+                    self._apply_bgp_effect(event, current_table, noise_rng)
+            current_table, table_changed = self._apply_bgp_noise(
+                current_table, noise_rng, table_changed
+            )
+            if table_changed or not routing_tables:
+                routing_tables.append(current_table)
+            else:
+                routing_tables.append(routing_tables[-1])
+
+            day_ips: list[np.ndarray] = []
+            day_hits: list[np.ndarray] = []
+            trace_ips: list[np.ndarray] = []
+            trace_users: list[np.ndarray] = []
+            in_ua_window = ua_window is not None and ua_window[0] <= day <= ua_window[1]
+            for block in population.blocks:
+                policy = policies[block.index]
+                activity = policy.day_activity(day_of_week, traffic_scale)
+                if activity.offsets.size:
+                    day_ips.append(block.base + activity.offsets.astype(np.uint32))
+                    day_hits.append(activity.hits)
+                    if in_ua_window:
+                        self._sample_uas(block.base, current_kinds[block.index], activity, ua_rng, ua_store)
+                    if login_trace is not None and activity.sub_ids.size:
+                        panel = hash_coin(activity.sub_ids, _LOGIN_PANEL_SALT, login_panel_rate)
+                        if panel.any():
+                            trace_ips.append(
+                                (block.base + activity.sub_offsets[panel]).astype(np.uint32)
+                            )
+                            trace_users.append(activity.sub_ids[panel])
+            if login_trace is not None:
+                if trace_ips:
+                    login_trace.append(
+                        (np.concatenate(trace_ips), np.concatenate(trace_users))
+                    )
+                else:
+                    login_trace.append(
+                        (np.empty(0, dtype=np.uint32), np.empty(0, dtype=np.int64))
+                    )
+            if day in scan_day_set:
+                scan_states[day] = {
+                    block.index: (
+                        current_kinds[block.index],
+                        policies[block.index].assigned_offsets(),
+                    )
+                    for block in population.blocks
+                }
+
+            window_ips.extend(day_ips)
+            window_hits.extend(day_hits)
+            if (day + 1) % window_days == 0:
+                snapshots.append(
+                    _window_snapshot(window_start, window_days, window_ips, window_hits)
+                )
+                window_ips, window_hits = [], []
+                window_start = date + datetime.timedelta(days=1)
+
+        return CollectionResult(
+            dataset=ActivityDataset(snapshots),
+            routing=RoutingSeries(routing_tables),
+            schedule=schedule,
+            ua_store=ua_store,
+            scan_states=scan_states,
+            final_kinds=current_kinds,
+            login_trace=login_trace,
+        )
+
+    def _apply_event(
+        self,
+        event: RestructureEvent,
+        policies: dict[int, AddressPolicy],
+        current_kinds: dict[int, PolicyKind],
+    ) -> None:
+        for index in event.block_indexes:
+            block = self.population.blocks[index]
+            new_kind = event.new_policy_kind
+            assert new_kind is not None
+            policies[index] = block.make_policy(self.config, kind=new_kind, salt=event.salt)
+            current_kinds[index] = new_kind
+
+    def _apply_bgp_effect(
+        self,
+        event: RestructureEvent,
+        table: RoutingTable,
+        rng: np.random.Generator,
+    ) -> None:
+        """Realise an event's routing footprint on the live table.
+
+        The footprint is always the event's covering prefix (which was
+        pre-announced for origin/withdraw effects), so a routing change
+        never spills over onto addresses the event did not touch.
+        """
+        cover = self.schedule_cover(event)
+        first_block = self.population.blocks[event.block_indexes[0]]
+        if event.bgp_effect == "announce":
+            if table.origin_of_prefix(cover) is None:
+                table.announce(cover, first_block.asn)
+            else:
+                table.announce(cover, first_block.asn + _SIBLING_ASN_OFFSET)
+        elif event.bgp_effect == "withdraw":
+            if cover in table:
+                table.withdraw(cover)
+        elif event.bgp_effect == "origin":
+            old = table.origin_of_prefix(cover)
+            if old is None:
+                table.announce(cover, first_block.asn + _SIBLING_ASN_OFFSET)
+            else:
+                table.announce(cover, old + _SIBLING_ASN_OFFSET)
+
+    def _preannounce_event_covers(
+        self, schedule: RestructureSchedule, table: RoutingTable
+    ) -> None:
+        """Announce, at day 0, the cover prefixes of events whose BGP
+        footprint needs an existing route (origin change, withdraw).
+
+        The pre-announcement uses the block's own AS, so day-0 origin
+        attribution is unchanged; the event day then produces exactly
+        one ORIGIN_CHANGE or WITHDRAW on that prefix.
+        """
+        for event in schedule.events:
+            if event.bgp_effect not in ("origin", "withdraw"):
+                continue
+            cover = self.schedule_cover(event)
+            if table.origin_of_prefix(cover) is None:
+                asn = self.population.blocks[event.block_indexes[0]].asn
+                table.announce(cover, asn)
+
+    def schedule_cover(self, event: RestructureEvent):
+        """Smallest prefix covering an event's blocks (helper for tests)."""
+        ips = []
+        for index in event.block_indexes:
+            base = self.population.blocks[index].base
+            ips.extend((base, base + 255))
+        from repro.net.prefix import smallest_covering_prefix
+
+        return smallest_covering_prefix(np.asarray(ips, dtype=np.uint32))
+
+    def _apply_bgp_noise(
+        self,
+        table: RoutingTable,
+        rng: np.random.Generator,
+        already_copied: bool,
+    ) -> tuple[RoutingTable, bool]:
+        """Unrelated background routing churn (rare, Fig. 5c baseline).
+
+        Returns ``(table, changed)``; the table is copied first when
+        this day's snapshot has not been forked from yesterday's yet.
+        """
+        probability = self.config.bgp_background_daily
+        if probability <= 0:
+            return table, already_copied
+        count = rng.binomial(len(table), probability)
+        if count == 0:
+            return table, already_copied
+        if not already_copied:
+            table = table.copy()
+        prefixes = table.prefixes()
+        for _ in range(int(count)):
+            prefix = prefixes[int(rng.integers(0, len(prefixes)))]
+            origin = table.origin_of_prefix(prefix)
+            if origin is None:
+                continue
+            roll = rng.random()
+            if roll < 0.6:
+                table.announce(prefix, origin + _SIBLING_ASN_OFFSET)
+            elif roll < 0.8:
+                table.withdraw(prefix)
+            else:
+                subnets = list(prefix.subnets(min(prefix.masklen + 1, 32)))
+                table.announce(subnets[0], origin)
+        return table, True
+
+    def _sample_uas(
+        self,
+        block_base: int,
+        kind: PolicyKind,
+        activity: DayActivity,
+        rng: np.random.Generator,
+        store: UASampleStore | None,
+    ) -> None:
+        if store is None or activity.sub_ids.size == 0:
+            return
+        ua_ids = sample_uas(
+            rng,
+            activity.sub_ids,
+            activity.sub_hits,
+            self.config.ua_sample_rate,
+            bot_profile=(kind is PolicyKind.CRAWLER),
+        )
+        store.add(block_base, ua_ids)
+
+
+def _window_snapshot(
+    start: datetime.date,
+    days: int,
+    ips_parts: list[np.ndarray],
+    hits_parts: list[np.ndarray],
+) -> Snapshot:
+    """Merge day columns into one deduplicated, hit-summed snapshot."""
+    if not ips_parts:
+        return Snapshot(start, days, np.empty(0, dtype=np.uint32))
+    ips = np.concatenate(ips_parts)
+    hits = np.concatenate(hits_parts).astype(np.float64)
+    order = np.argsort(ips, kind="stable")
+    ips = ips[order]
+    hits = hits[order]
+    boundary = np.empty(ips.size, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = ips[1:] != ips[:-1]
+    group = np.cumsum(boundary) - 1
+    summed = np.bincount(group, weights=hits)
+    return Snapshot(start, days, ips[boundary], summed.astype(np.uint64))

@@ -1,0 +1,197 @@
+"""Simulation configuration.
+
+One :class:`SimulationConfig` object fully determines a synthetic
+Internet: same config, same world, same logs.  The defaults produce a
+"small Internet" (hundreds of ASes, a few thousand /24 blocks) whose
+*shapes* match the paper; scale knobs (``num_slash8``, ``num_ases``)
+trade fidelity against runtime.
+
+The per-policy mixes below are the generative counterpart of the
+paper's findings: the paper measures how much of the space is
+static/dynamic/gateway-like (Figs. 8 and 10), and this config encodes a
+plausible ground truth for the simulator to realise.  Benchmarks then
+verify that the paper's *measurement* pipeline recovers those shapes
+without access to the ground truth.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ASTypeMix:
+    """Fraction of ASes of each type.  Must sum to 1."""
+
+    residential: float = 0.42
+    cellular: float = 0.13
+    university: float = 0.09
+    enterprise: float = 0.16
+    hosting: float = 0.12
+    transit: float = 0.08
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "residential": self.residential,
+            "cellular": self.cellular,
+            "university": self.university,
+            "enterprise": self.enterprise,
+            "hosting": self.hosting,
+            "transit": self.transit,
+        }
+
+    def validate(self) -> None:
+        values = self.as_dict()
+        if any(fraction < 0 for fraction in values.values()):
+            raise ConfigError("AS type fractions must be non-negative")
+        total = sum(values.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(f"AS type fractions must sum to 1, got {total}")
+
+
+#: Per-AS-type mix of /24-block policies.  Keys are policy kinds from
+#: :mod:`repro.sim.policies`.  Each row sums to 1.
+BLOCK_POLICY_MIX: dict[str, dict[str, float]] = {
+    "residential": {
+        "dynamic_short": 0.26,
+        "dynamic_long": 0.22,
+        "round_robin": 0.06,
+        "static": 0.16,
+        "gateway": 0.05,
+        "server": 0.05,
+        "router": 0.02,
+        "unused": 0.18,
+    },
+    "cellular": {
+        "gateway": 0.40,
+        "dynamic_short": 0.16,
+        "static": 0.04,
+        "server": 0.08,
+        "router": 0.04,
+        "unused": 0.28,
+    },
+    "university": {
+        "static": 0.42,
+        "dynamic_long": 0.18,
+        "round_robin": 0.10,
+        "dynamic_short": 0.06,
+        "server": 0.12,
+        "router": 0.04,
+        "unused": 0.08,
+    },
+    "enterprise": {
+        "static": 0.48,
+        "dynamic_long": 0.06,
+        "server": 0.12,
+        "router": 0.03,
+        "unused": 0.31,
+    },
+    "hosting": {
+        "server": 0.52,
+        "crawler": 0.08,
+        "static": 0.10,
+        "router": 0.05,
+        "unused": 0.25,
+    },
+    "transit": {
+        "router": 0.30,
+        "server": 0.15,
+        "unused": 0.55,
+    },
+}
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything that determines a synthetic Internet.
+
+    Attributes:
+        seed: Master seed; every stream in the simulation derives from it.
+        num_slash8: /8 blocks carved into the delegation table.
+        num_ases: Autonomous systems to create.
+        start_date: Day 0 of all generated datasets.  Defaults to the
+            start of the paper's daily dataset (2015-08-17).
+        as_type_mix: Fractions of AS types.
+        mean_blocks_per_as: Mean /24 count per AS (log-normal-ish draw;
+            large ISPs get hundreds, small enterprises a handful).
+        restructure_fraction: Fraction of in-use blocks that undergo a
+            restructuring event during a ~4-month horizon (paper
+            measures ~9.8% of blocks with major STU change, Fig. 8a).
+        restructure_bgp_visibility: Probability that a restructuring
+            is accompanied by a visible BGP change (paper: <2.5% of
+            monthly up/down events coincide with BGP changes, Fig. 5c).
+        bgp_background_daily: Daily probability that a routed prefix
+            experiences an unrelated background BGP event.
+        subscriber_turnover_daily: Daily probability that a subscriber
+            line is replaced (new tenant / contract churn) — drives
+            slow long-term address churn in dynamic pools.
+        weekend_residential_factor: Multiplier on residential activity
+            probability during weekends.
+        weekend_work_factor: Same for university/enterprise networks
+            (strong weekday pattern; Fig. 6a).
+        traffic_weekly_growth: Multiplicative weekly growth of gateway
+            and crawler traffic, producing the Fig. 9c consolidation
+            trend.
+        ua_sample_rate: HTTP User-Agent sampling rate (paper: 1/4000).
+    """
+
+    seed: int = 0
+    num_slash8: int = 5
+    num_ases: int = 220
+    start_date: datetime.date = datetime.date(2015, 8, 17)
+    as_type_mix: ASTypeMix = field(default_factory=ASTypeMix)
+    mean_blocks_per_as: float = 18.0
+    restructure_fraction: float = 0.12
+    restructure_bgp_visibility: float = 0.04
+    bgp_background_daily: float = 2e-5
+    subscriber_turnover_daily: float = 1.0 / 1000.0
+    weekend_residential_factor: float = 0.97
+    weekend_work_factor: float = 0.35
+    traffic_weekly_growth: float = 1.004
+    ua_sample_rate: float = 1.0 / 4000.0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on any out-of-range value."""
+        if self.num_slash8 < 5:
+            raise ConfigError("need at least 5 /8s (one per RIR)")
+        if self.num_ases < 10:
+            raise ConfigError("need at least 10 ASes for meaningful analyses")
+        if self.mean_blocks_per_as <= 0:
+            raise ConfigError("mean_blocks_per_as must be positive")
+        for name in (
+            "restructure_fraction",
+            "restructure_bgp_visibility",
+            "subscriber_turnover_daily",
+            "ua_sample_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be a probability, got {value}")
+        if not 0.0 <= self.bgp_background_daily <= 0.1:
+            raise ConfigError("bgp_background_daily out of sane range")
+        if not 0.0 < self.weekend_residential_factor <= 2.0:
+            raise ConfigError("weekend_residential_factor out of range")
+        if not 0.0 < self.weekend_work_factor <= 2.0:
+            raise ConfigError("weekend_work_factor out of range")
+        if not 0.9 <= self.traffic_weekly_growth <= 1.1:
+            raise ConfigError("traffic_weekly_growth out of sane range")
+        self.as_type_mix.validate()
+        for as_type, mix in BLOCK_POLICY_MIX.items():
+            total = sum(mix.values())
+            if abs(total - 1.0) > 1e-9:
+                raise ConfigError(
+                    f"block policy mix for {as_type} sums to {total}, not 1"
+                )
+
+
+def small_config(seed: int = 0) -> SimulationConfig:
+    """A test-sized world: tens of ASes, hundreds of blocks."""
+    return SimulationConfig(seed=seed, num_slash8=5, num_ases=40, mean_blocks_per_as=7.0)
+
+
+def bench_config(seed: int = 0) -> SimulationConfig:
+    """The default benchmark world (~2000 /24 blocks, as in benchmarks/)."""
+    return SimulationConfig(seed=seed, num_slash8=5, num_ases=120, mean_blocks_per_as=12.0)

@@ -1,0 +1,107 @@
+"""Diurnal activity: time-of-day structure and scan-timing bias.
+
+The paper is careful about active measurement's blind spots: "active
+measurements cannot capture activity at all timescales, as a reply
+might be dependent on many factors [30, 33]" (Sec. 3.1) — citing the
+diurnal-pattern work of Quan et al. ("When the Internet sleeps") and
+Schulman & Spring.  This module gives the simulated Internet a clock:
+
+- each country sits at a representative UTC offset;
+- residential hosts are awake in the evening, office networks during
+  working hours, infrastructure around the clock;
+- the probability that a host answers a probe at a given UTC hour is
+  its daily responsiveness thinned by the local "awake" level.
+
+The hour-of-day scan in :meth:`repro.sim.scanner.ProbeObservatory.
+icmp_scan_at_hour` uses these factors; the scan-hour ablation
+benchmark measures the coverage and per-country bias a single-snapshot
+campaign inherits from its launch time.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Representative UTC offset (hours) per country code.  One offset per
+#: country is deliberately coarse — enough to put China and the US on
+#: opposite sides of the clock.
+UTC_OFFSETS: dict[str, int] = {
+    "US": -6, "CA": -5,
+    "DE": 1, "FR": 1, "GB": 0, "RU": 3, "IT": 1, "ES": 1, "NL": 1,
+    "PL": 1, "TR": 3, "UA": 2,
+    "CN": 8, "JP": 9, "KR": 9, "IN": 5, "ID": 7, "AU": 10, "VN": 7,
+    "TH": 7, "PH": 8,
+    "BR": -3, "MX": -6, "AR": -3, "CO": -5, "CL": -4,
+    "ZA": 2, "NG": 1, "EG": 2, "KE": 3, "MA": 0, "TN": 1,
+}
+
+
+class DiurnalProfile(enum.Enum):
+    """How a population's wakefulness tracks the local clock."""
+
+    RESIDENTIAL = "residential"  # evening peak, deep night trough
+    OFFICE = "office"            # working-hours plateau
+    FLAT = "flat"                # infrastructure: always on
+
+
+#: Network types following office schedules (cf. behavior.WORK_TYPES).
+_OFFICE_TYPES = frozenset({"university", "enterprise"})
+
+
+def profile_for(network_type: str) -> DiurnalProfile:
+    """The diurnal profile of a network type."""
+    if network_type in _OFFICE_TYPES:
+        return DiurnalProfile.OFFICE
+    if network_type in ("hosting", "transit"):
+        return DiurnalProfile.FLAT
+    return DiurnalProfile.RESIDENTIAL
+
+
+def local_hour(utc_hour: float, country_code: str) -> float:
+    """Local wall-clock hour for a UTC hour (wrapped to [0, 24))."""
+    offset = UTC_OFFSETS.get(country_code.upper())
+    if offset is None:
+        raise ConfigError(f"no UTC offset for country: {country_code!r}")
+    return (utc_hour + offset) % 24.0
+
+
+def diurnal_factor(hour: float | np.ndarray, profile: DiurnalProfile) -> np.ndarray:
+    """Wakefulness level in [floor, 1] at a local hour.
+
+    Residential: a raised cosine peaking at 20:00 with a 04:00 trough
+    (floor 0.25 — some hosts are always on).  Office: near-1 between
+    08:00 and 18:00, low outside.  Flat: always 1.
+    """
+    hours = np.atleast_1d(np.asarray(hour, dtype=np.float64)) % 24.0
+    if profile is DiurnalProfile.FLAT:
+        return np.ones_like(hours)
+    if profile is DiurnalProfile.OFFICE:
+        inside = (hours >= 8.0) & (hours < 18.0)
+        return np.where(inside, 0.95, 0.15)
+    # Residential raised cosine: peak 20h, trough 4h, floor 0.25.
+    phase = 2.0 * np.pi * (hours - 20.0) / 24.0
+    return 0.25 + 0.75 * (0.5 + 0.5 * np.cos(phase))
+
+
+def awake_probability(
+    utc_hour: float, country_code: str, network_type: str
+) -> float:
+    """P(an active host of this network answers a probe right now)."""
+    if not 0.0 <= utc_hour < 24.0:
+        raise ConfigError(f"UTC hour out of range: {utc_hour}")
+    profile = profile_for(network_type)
+    hour = local_hour(utc_hour, country_code)
+    return float(diurnal_factor(hour, profile)[0])
+
+
+def best_scan_hour(country_code: str, network_type: str = "residential") -> int:
+    """The UTC hour maximising response for one country's clients."""
+    hours = np.arange(24.0)
+    profile = profile_for(network_type)
+    locals_ = np.array([local_hour(h, country_code) for h in hours])
+    factors = diurnal_factor(locals_, profile)
+    return int(hours[int(np.argmax(factors))])

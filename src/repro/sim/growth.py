@@ -1,0 +1,119 @@
+"""Multi-year growth model for monthly active-address counts (Fig. 1).
+
+Fig. 1 of the paper is a 2008–2016 time series of monthly unique active
+IPv4 addresses: almost perfectly linear growth for years, then a sudden
+stagnation at the start of 2014.  The underlying per-month logs are not
+reproducible (and far predate the paper's datasets), so this module
+generates a parameterised synthetic series with the same structure —
+linear ramp, changepoint, plateau, multiplicative observation noise —
+which the analysis side (:mod:`repro.core.growth`) must then *recover*:
+fit the pre-stagnation trend and locate the changepoint without being
+told where it is.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GrowthModel:
+    """Parameters of the ramp-then-plateau monthly count model.
+
+    Defaults approximate the paper's Fig. 1 (counts in millions):
+    ~220M in January 2008 growing ~11M/month, saturating at ~1000M
+    around January 2014.
+    """
+
+    start: datetime.date = datetime.date(2008, 1, 1)
+    end: datetime.date = datetime.date(2016, 3, 1)
+    initial_count: float = 220.0
+    monthly_growth: float = 11.0
+    stagnation: datetime.date = datetime.date(2014, 1, 1)
+    plateau_drift: float = 0.3
+    noise_sigma: float = 0.012
+
+    def validate(self) -> None:
+        if self.start >= self.end:
+            raise ConfigError("growth model start must precede end")
+        if not self.start <= self.stagnation <= self.end:
+            raise ConfigError("stagnation date outside modelled range")
+        if self.initial_count <= 0 or self.monthly_growth <= 0:
+            raise ConfigError("counts and growth must be positive")
+        if not 0 <= self.noise_sigma < 0.2:
+            raise ConfigError("noise sigma out of sane range")
+
+
+@dataclass(frozen=True)
+class MonthlySeries:
+    """A monthly time series of active-address counts."""
+
+    months: tuple[datetime.date, ...]
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.months) != self.counts.size:
+            raise ConfigError("months and counts must align")
+
+    def __len__(self) -> int:
+        return len(self.months)
+
+    def month_index(self, date: datetime.date) -> int:
+        """Index of the month containing *date*."""
+        for index, month in enumerate(self.months):
+            if month.year == date.year and month.month == date.month:
+                return index
+        raise ConfigError(f"{date} outside series")
+
+    def slice_until(self, date: datetime.date) -> "MonthlySeries":
+        """The sub-series strictly before *date*."""
+        keep = [index for index, month in enumerate(self.months) if month < date]
+        if not keep:
+            raise ConfigError(f"no months before {date}")
+        last = keep[-1] + 1
+        return MonthlySeries(self.months[:last], self.counts[:last])
+
+
+def _months_between(start: datetime.date, end: datetime.date) -> list[datetime.date]:
+    months = []
+    year, month = start.year, start.month
+    while (year, month) <= (end.year, end.month):
+        months.append(datetime.date(year, month, 1))
+        month += 1
+        if month == 13:
+            month = 1
+            year += 1
+    return months
+
+
+def synthesize_monthly_counts(
+    rng: np.random.Generator, model: GrowthModel | None = None
+) -> MonthlySeries:
+    """Generate the Fig. 1 time series under *model*.
+
+    Before the stagnation date the expected count grows linearly; after
+    it, growth collapses to ``plateau_drift`` per month.  Observation
+    noise is multiplicative log-normal, mimicking month-to-month
+    measurement variation.
+    """
+    if model is None:
+        model = GrowthModel()
+    model.validate()
+    months = _months_between(model.start, model.end)
+    stagnation_index = next(
+        index for index, month in enumerate(months) if month >= model.stagnation
+    )
+    expected = np.empty(len(months))
+    for index in range(len(months)):
+        if index < stagnation_index:
+            expected[index] = model.initial_count + model.monthly_growth * index
+        else:
+            plateau_base = model.initial_count + model.monthly_growth * stagnation_index
+            expected[index] = plateau_base + model.plateau_drift * (index - stagnation_index)
+    observed = expected * rng.lognormal(0.0, model.noise_sigma, size=expected.size)
+    return MonthlySeries(tuple(months), observed)

@@ -1,0 +1,530 @@
+"""Address-assignment policies: how one /24 block behaves day by day.
+
+Section 5 of the paper attributes the striking variety of /24 activity
+patterns (Fig. 6) to the interplay of *address assignment practice* and
+*user behaviour*.  Each policy class here is the generative counterpart
+of one observed pattern:
+
+- :class:`StaticPolicy` — fixed subscriber→address mapping, sparse
+  filling degree (Fig. 6a).
+- :class:`RoundRobinPolicy` — a cycling pool assigning consecutive
+  addresses, high filling degree but low utilization (Fig. 6b).
+- :class:`DynamicLongLeasePolicy` — DHCP with long leases: subscribers
+  hold addresses for weeks (Fig. 6c).
+- :class:`DynamicShortLeasePolicy` — ≤24h leases: subscribers land on
+  a fresh address almost daily, near-complete filling (Fig. 6d).
+- :class:`GatewayPolicy` — a handful of CGN/proxy addresses
+  aggregating thousands of subscribers: maximal utilization, huge
+  traffic, huge User-Agent diversity (Sec. 6).
+- :class:`CrawlerPolicy` — bots: huge traffic, one User-Agent.
+- :class:`ServerPolicy` / :class:`RouterPolicy` — infrastructure that
+  rarely or never contacts the CDN but answers probes (Sec. 3.3).
+- :class:`UnusedPolicy` — routed but idle space.
+
+A policy is a stateful day-by-day generator: calling
+:meth:`AddressPolicy.day_activity` for consecutive days yields the
+block's active offsets, per-address hit counts, and the subscriber
+attribution needed for User-Agent sampling.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.behavior import activity_probability, daily_hits, draw_engagement
+from repro.sim.config import SimulationConfig
+from repro.sim.util import hash_int
+
+BLOCK_SIZE = 256
+
+
+class PolicyKind(enum.Enum):
+    """The assignment-practice taxonomy used throughout the library."""
+
+    STATIC = "static"
+    DYNAMIC_SHORT = "dynamic_short"
+    DYNAMIC_LONG = "dynamic_long"
+    ROUND_ROBIN = "round_robin"
+    GATEWAY = "gateway"
+    CRAWLER = "crawler"
+    SERVER = "server"
+    ROUTER = "router"
+    UNUSED = "unused"
+
+
+#: Kinds whose addresses act as WWW clients (appear in CDN logs).
+CLIENT_KINDS = frozenset(
+    {
+        PolicyKind.STATIC,
+        PolicyKind.DYNAMIC_SHORT,
+        PolicyKind.DYNAMIC_LONG,
+        PolicyKind.ROUND_ROBIN,
+        PolicyKind.GATEWAY,
+        PolicyKind.CRAWLER,
+    }
+)
+
+#: Kinds counted as dynamic assignment (for ground-truth comparisons).
+DYNAMIC_KINDS = frozenset(
+    {PolicyKind.DYNAMIC_SHORT, PolicyKind.DYNAMIC_LONG, PolicyKind.ROUND_ROBIN}
+)
+
+
+@dataclass
+class DayActivity:
+    """One block-day of CDN-visible activity.
+
+    ``offsets``/``hits`` are per *address* (offset within the /24);
+    the ``sub_*`` arrays are per active *subscriber* and carry the
+    attribution needed to sample User-Agents (a gateway address
+    aggregates many subscribers).
+    """
+
+    offsets: np.ndarray
+    hits: np.ndarray
+    sub_ids: np.ndarray
+    sub_hits: np.ndarray
+    sub_offsets: np.ndarray
+
+    @classmethod
+    def empty(cls) -> "DayActivity":
+        return cls(
+            offsets=np.empty(0, dtype=np.int64),
+            hits=np.empty(0, dtype=np.int64),
+            sub_ids=np.empty(0, dtype=np.int64),
+            sub_hits=np.empty(0, dtype=np.int64),
+            sub_offsets=np.empty(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_subscribers(
+        cls, sub_ids: np.ndarray, sub_hits: np.ndarray, sub_offsets: np.ndarray
+    ) -> "DayActivity":
+        """Aggregate per-subscriber rows into per-address rows."""
+        if sub_ids.size == 0:
+            return cls.empty()
+        per_offset = np.bincount(sub_offsets, weights=sub_hits, minlength=BLOCK_SIZE)
+        offsets = np.flatnonzero(per_offset)
+        return cls(
+            offsets=offsets.astype(np.int64),
+            hits=per_offset[offsets].astype(np.int64),
+            sub_ids=sub_ids.astype(np.int64),
+            sub_hits=sub_hits.astype(np.int64),
+            sub_offsets=sub_offsets.astype(np.int64),
+        )
+
+
+class AddressPolicy(abc.ABC):
+    """Base class: a stateful per-/24 activity generator."""
+
+    kind: ClassVar[PolicyKind]
+
+    def __init__(self, rng: np.random.Generator, network_type: str, config: SimulationConfig) -> None:
+        self._rng = rng
+        self.network_type = network_type
+        self._config = config
+
+    @abc.abstractmethod
+    def day_activity(self, day_of_week: int, traffic_scale: float = 1.0) -> DayActivity:
+        """Advance one day and return the block's CDN activity."""
+
+    @abc.abstractmethod
+    def assigned_offsets(self) -> np.ndarray:
+        """Offsets currently holding an assignment (probe-relevant)."""
+
+    @property
+    def subscriber_count(self) -> int:
+        """Subscribers currently served by this block (0 for infra)."""
+        return 0
+
+    @property
+    def scan_category(self) -> str:
+        """How the scanner models this block: client/server/router/none."""
+        if self.kind in CLIENT_KINDS:
+            return "client"
+        return "none"
+
+
+class _SubscriberPool:
+    """Shared subscriber bookkeeping: engagement, identity, turnover."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        sub_base: int,
+        turnover_daily: float,
+    ) -> None:
+        if count <= 0:
+            raise ConfigError(f"subscriber count must be positive: {count}")
+        self._rng = rng
+        self.engagement = draw_engagement(rng, count)
+        self.sub_ids = sub_base + np.arange(count, dtype=np.int64)
+        self._next_id = sub_base + count
+        self._turnover_daily = turnover_daily
+
+    def __len__(self) -> int:
+        return int(self.sub_ids.size)
+
+    def turn_over(self) -> np.ndarray:
+        """Replace a random sliver of subscribers (new tenants).
+
+        Returns the indexes that turned over, so policies can decide
+        whether the address mapping follows the line (static) or the
+        pool (dynamic).
+        """
+        churned = np.flatnonzero(self._rng.random(len(self)) < self._turnover_daily)
+        if churned.size:
+            self.engagement[churned] = draw_engagement(self._rng, churned.size)
+            self.sub_ids[churned] = self._next_id + np.arange(churned.size)
+            self._next_id += churned.size
+        return churned
+
+    def active_today(self, day_of_week: int, network_type: str, config: SimulationConfig) -> np.ndarray:
+        """Indexes of subscribers active today."""
+        probabilities = activity_probability(
+            self.engagement,
+            day_of_week,
+            network_type,
+            config.weekend_residential_factor,
+            config.weekend_work_factor,
+        )
+        return np.flatnonzero(self._rng.random(len(self)) < probabilities)
+
+    def hits_for(self, indexes: np.ndarray) -> np.ndarray:
+        return daily_hits(self.engagement[indexes], self._rng)
+
+
+class StaticPolicy(AddressPolicy):
+    """Fixed one-to-one subscriber→address assignment (Fig. 6a).
+
+    Filling degree equals the subscriber count — typically well under
+    64 addresses, the paper's signature of static assignment (Fig. 8b).
+    """
+
+    kind = PolicyKind.STATIC
+
+    def __init__(self, rng, network_type, config, sub_base: int) -> None:
+        super().__init__(rng, network_type, config)
+        count = int(rng.integers(8, 80))
+        self._pool = _SubscriberPool(rng, count, sub_base, config.subscriber_turnover_daily)
+        self._offsets = np.sort(rng.choice(BLOCK_SIZE, size=count, replace=False))
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._pool)
+
+    def assigned_offsets(self) -> np.ndarray:
+        return self._offsets.copy()
+
+    def day_activity(self, day_of_week: int, traffic_scale: float = 1.0) -> DayActivity:
+        self._pool.turn_over()  # line keeps its address; tenant changes
+        active = self._pool.active_today(day_of_week, self.network_type, self._config)
+        return DayActivity.from_subscribers(
+            self._pool.sub_ids[active],
+            self._pool.hits_for(active),
+            self._offsets[active],
+        )
+
+
+class DynamicShortLeasePolicy(AddressPolicy):
+    """DHCP with a ≤24h maximum lease (Fig. 6d).
+
+    Every day, active subscribers draw fresh addresses from the pool,
+    so over weeks nearly every address in the block is used at least
+    once: filling degree ≈ 256 regardless of concurrency.
+    """
+
+    kind = PolicyKind.DYNAMIC_SHORT
+
+    def __init__(self, rng, network_type, config, sub_base: int) -> None:
+        super().__init__(rng, network_type, config)
+        count = int(rng.integers(230, 380))
+        self._pool = _SubscriberPool(rng, count, sub_base, config.subscriber_turnover_daily)
+        self._last_offsets = np.empty(0, dtype=np.int64)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._pool)
+
+    def assigned_offsets(self) -> np.ndarray:
+        return self._last_offsets.copy()
+
+    def day_activity(self, day_of_week: int, traffic_scale: float = 1.0) -> DayActivity:
+        self._pool.turn_over()
+        active = self._pool.active_today(day_of_week, self.network_type, self._config)
+        if active.size > BLOCK_SIZE:
+            active = self._rng.choice(active, size=BLOCK_SIZE, replace=False)
+        offsets = self._rng.permutation(BLOCK_SIZE)[: active.size]
+        self._last_offsets = np.sort(offsets)
+        return DayActivity.from_subscribers(
+            self._pool.sub_ids[active], self._pool.hits_for(active), offsets
+        )
+
+
+class DynamicLongLeasePolicy(AddressPolicy):
+    """DHCP with a long lease (Fig. 6c).
+
+    Subscribers hold their address for weeks; a small daily probability
+    moves a subscriber to a new free address.  Heavily engaged
+    subscribers produce near-continuous rows in the activity matrix,
+    casual ones sparse rows — the texture of Fig. 6c.
+    """
+
+    kind = PolicyKind.DYNAMIC_LONG
+
+    def __init__(self, rng, network_type, config, sub_base: int) -> None:
+        super().__init__(rng, network_type, config)
+        count = int(rng.integers(140, 250))
+        self._pool = _SubscriberPool(rng, count, sub_base, config.subscriber_turnover_daily)
+        self._sub_offsets = rng.permutation(BLOCK_SIZE)[:count]
+        self._lease_churn_daily = float(rng.uniform(1 / 60, 1 / 15))
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._pool)
+
+    def assigned_offsets(self) -> np.ndarray:
+        return np.sort(self._sub_offsets)
+
+    def _reassign_leases(self) -> None:
+        moving = np.flatnonzero(self._rng.random(len(self._pool)) < self._lease_churn_daily)
+        if moving.size == 0:
+            return
+        free = np.setdiff1d(np.arange(BLOCK_SIZE), self._sub_offsets, assume_unique=False)
+        if free.size == 0:
+            return
+        self._rng.shuffle(free)
+        takeable = min(moving.size, free.size)
+        self._sub_offsets[moving[:takeable]] = free[:takeable]
+
+    def day_activity(self, day_of_week: int, traffic_scale: float = 1.0) -> DayActivity:
+        churned = self._pool.turn_over()
+        if churned.size:
+            # A new tenant gets a fresh lease, i.e. a new address.
+            free = np.setdiff1d(np.arange(BLOCK_SIZE), self._sub_offsets)
+            self._rng.shuffle(free)
+            takeable = min(churned.size, free.size)
+            self._sub_offsets[churned[:takeable]] = free[:takeable]
+        self._reassign_leases()
+        active = self._pool.active_today(day_of_week, self.network_type, self._config)
+        return DayActivity.from_subscribers(
+            self._pool.sub_ids[active],
+            self._pool.hits_for(active),
+            self._sub_offsets[active],
+        )
+
+
+class RoundRobinPolicy(AddressPolicy):
+    """A cycling assignment pool (Fig. 6b).
+
+    Few concurrent subscribers, but the pool pointer advances daily, so
+    consecutive addresses light up in a marching diagonal band: filling
+    degree reaches 256 while spatio-temporal utilization stays low —
+    the paper's canonical under-utilized dynamic pool.
+    """
+
+    kind = PolicyKind.ROUND_ROBIN
+
+    def __init__(self, rng, network_type, config, sub_base: int) -> None:
+        super().__init__(rng, network_type, config)
+        count = int(rng.integers(40, 95))
+        self._pool = _SubscriberPool(rng, count, sub_base, config.subscriber_turnover_daily)
+        self._pointer = int(rng.integers(0, BLOCK_SIZE))
+        self._advance = int(rng.integers(2, 9))
+        self._last_offsets = np.empty(0, dtype=np.int64)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._pool)
+
+    def assigned_offsets(self) -> np.ndarray:
+        return self._last_offsets.copy()
+
+    def day_activity(self, day_of_week: int, traffic_scale: float = 1.0) -> DayActivity:
+        self._pool.turn_over()
+        active = self._pool.active_today(day_of_week, self.network_type, self._config)
+        offsets = (self._pointer + np.arange(active.size)) % BLOCK_SIZE
+        self._pointer = (self._pointer + self._advance) % BLOCK_SIZE
+        self._last_offsets = np.sort(np.unique(offsets))
+        return DayActivity.from_subscribers(
+            self._pool.sub_ids[active], self._pool.hits_for(active), offsets
+        )
+
+
+class GatewayPolicy(AddressPolicy):
+    """CGN / proxy gateways: few addresses, thousands of users (Sec. 6).
+
+    The gateway addresses are active every day, carry aggregate traffic
+    orders of magnitude above a residential line, and exhibit huge
+    User-Agent diversity — the top-right region of Fig. 10.
+    """
+
+    kind = PolicyKind.GATEWAY
+
+    def __init__(self, rng, network_type, config, sub_base: int) -> None:
+        super().__init__(rng, network_type, config)
+        # CGN egress ranges fill most of a /24 with translator
+        # addresses, each aggregating many users — the paper's fully
+        # utilized, traffic-heavy gateway blocks (Secs. 5.3 and 6).
+        self._num_gateways = int(rng.integers(128, 257))
+        self._gw_offsets = np.sort(rng.choice(BLOCK_SIZE, self._num_gateways, replace=False))
+        count = int(rng.integers(2000, 12000))
+        self._pool = _SubscriberPool(rng, count, sub_base, config.subscriber_turnover_daily)
+        self._salt = int(rng.integers(0, 2**31))
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._pool)
+
+    def assigned_offsets(self) -> np.ndarray:
+        return self._gw_offsets.copy()
+
+    def day_activity(self, day_of_week: int, traffic_scale: float = 1.0) -> DayActivity:
+        self._pool.turn_over()
+        active = self._pool.active_today(day_of_week, self.network_type, self._config)
+        hits = self._pool.hits_for(active)
+        hits = np.maximum(1, (hits * traffic_scale).astype(np.int64))
+        gateway_index = hash_int(self._pool.sub_ids[active], self._salt, self._num_gateways)
+        return DayActivity.from_subscribers(
+            self._pool.sub_ids[active], hits, self._gw_offsets[gateway_index]
+        )
+
+
+class CrawlerPolicy(AddressPolicy):
+    """WWW client bots: massive request volume, one User-Agent each.
+
+    The bottom-right region of Fig. 10: very many samples, very few
+    unique User-Agent strings.
+    """
+
+    kind = PolicyKind.CRAWLER
+
+    def __init__(self, rng, network_type, config, sub_base: int) -> None:
+        super().__init__(rng, network_type, config)
+        count = int(rng.integers(2, 8))
+        self._offsets = np.sort(rng.choice(BLOCK_SIZE, count, replace=False))
+        self._bot_ids = sub_base + np.arange(count, dtype=np.int64)
+        self._median_hits = rng.uniform(5e4, 2e5, size=count)
+
+    @property
+    def subscriber_count(self) -> int:
+        return int(self._bot_ids.size)
+
+    def assigned_offsets(self) -> np.ndarray:
+        return self._offsets.copy()
+
+    def day_activity(self, day_of_week: int, traffic_scale: float = 1.0) -> DayActivity:
+        active = np.flatnonzero(self._rng.random(self._bot_ids.size) < 0.985)
+        hits = self._median_hits[active] * self._rng.lognormal(0.0, 0.4, size=active.size)
+        hits = np.maximum(1, (hits * traffic_scale).astype(np.int64))
+        return DayActivity.from_subscribers(
+            self._bot_ids[active], hits, self._offsets[active]
+        )
+
+
+class ServerPolicy(AddressPolicy):
+    """Servers: answer probes, almost never appear as WWW clients.
+
+    A minority of server blocks fetch software updates via the WWW
+    (paper Sec. 3.3), producing faint, sporadic CDN activity.
+    """
+
+    kind = PolicyKind.SERVER
+
+    def __init__(self, rng, network_type, config, sub_base: int) -> None:
+        super().__init__(rng, network_type, config)
+        count = int(rng.integers(4, 64))
+        self._offsets = np.sort(rng.choice(BLOCK_SIZE, count, replace=False))
+        self._ids = sub_base + np.arange(count, dtype=np.int64)
+        self._fetches_updates = bool(rng.random() < 0.15)
+
+    def assigned_offsets(self) -> np.ndarray:
+        return self._offsets.copy()
+
+    @property
+    def scan_category(self) -> str:
+        return "server"
+
+    def day_activity(self, day_of_week: int, traffic_scale: float = 1.0) -> DayActivity:
+        if not self._fetches_updates:
+            return DayActivity.empty()
+        active = np.flatnonzero(self._rng.random(self._offsets.size) < 0.03)
+        if active.size == 0:
+            return DayActivity.empty()
+        hits = self._rng.integers(1, 20, size=active.size).astype(np.int64)
+        return DayActivity.from_subscribers(
+            self._ids[active], hits, self._offsets[active]
+        )
+
+
+class RouterPolicy(AddressPolicy):
+    """Router interface addresses: visible to traceroute/ICMP only."""
+
+    kind = PolicyKind.ROUTER
+
+    def __init__(self, rng, network_type, config, sub_base: int) -> None:
+        super().__init__(rng, network_type, config)
+        count = int(rng.integers(2, 33))
+        self._offsets = np.sort(rng.choice(BLOCK_SIZE, count, replace=False))
+
+    def assigned_offsets(self) -> np.ndarray:
+        return self._offsets.copy()
+
+    @property
+    def scan_category(self) -> str:
+        return "router"
+
+    def day_activity(self, day_of_week: int, traffic_scale: float = 1.0) -> DayActivity:
+        return DayActivity.empty()
+
+
+class UnusedPolicy(AddressPolicy):
+    """Routed but idle space: no clients, no probe responses."""
+
+    kind = PolicyKind.UNUSED
+
+    def __init__(self, rng, network_type, config, sub_base: int) -> None:
+        super().__init__(rng, network_type, config)
+
+    def assigned_offsets(self) -> np.ndarray:
+        return np.empty(0, dtype=np.int64)
+
+    def day_activity(self, day_of_week: int, traffic_scale: float = 1.0) -> DayActivity:
+        return DayActivity.empty()
+
+
+_POLICY_CLASSES: dict[PolicyKind, type[AddressPolicy]] = {
+    PolicyKind.STATIC: StaticPolicy,
+    PolicyKind.DYNAMIC_SHORT: DynamicShortLeasePolicy,
+    PolicyKind.DYNAMIC_LONG: DynamicLongLeasePolicy,
+    PolicyKind.ROUND_ROBIN: RoundRobinPolicy,
+    PolicyKind.GATEWAY: GatewayPolicy,
+    PolicyKind.CRAWLER: CrawlerPolicy,
+    PolicyKind.SERVER: ServerPolicy,
+    PolicyKind.ROUTER: RouterPolicy,
+    PolicyKind.UNUSED: UnusedPolicy,
+}
+
+
+def make_policy(
+    kind: PolicyKind,
+    seed: np.random.SeedSequence | int,
+    network_type: str,
+    config: SimulationConfig,
+    sub_base: int,
+) -> AddressPolicy:
+    """Instantiate a fresh policy of the given kind.
+
+    The same ``(kind, seed)`` pair always yields the same day-by-day
+    behaviour, which is how whole simulation runs stay reproducible.
+    """
+    rng = np.random.default_rng(seed)
+    cls = _POLICY_CLASSES[kind]
+    return cls(rng, network_type, config, sub_base=sub_base)

@@ -1,0 +1,326 @@
+"""The synthetic Internet population.
+
+Builds, from one :class:`~repro.sim.config.SimulationConfig`, the full
+static structure the observatories operate on:
+
+- a delegation table (who administers which space),
+- autonomous systems with a network type, country, and address
+  allocations carved from their country's delegated space,
+- /24 blocks, each with an assignment-policy kind, a reverse-DNS naming
+  scheme, and a reproducible seed for its day-by-day behaviour,
+- the baseline BGP routing table announcing every allocation.
+
+The population is *ground truth*: the analyses never see it.  They see
+only what the CDN logs, the scanners, and the routing feed expose —
+the same epistemic position the paper is in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.net.prefix import Prefix, coalesce, span_to_prefixes
+from repro.rdns.ptr import NamingScheme, draw_scheme
+from repro.registry.countries import COUNTRIES, Country
+from repro.registry.delegations import DelegationTable, synthesize_delegations
+from repro.registry.rir import RIR
+from repro.routing.table import RoutingTable
+from repro.sim.config import BLOCK_POLICY_MIX, SimulationConfig
+from repro.sim.policies import CLIENT_KINDS, AddressPolicy, PolicyKind, make_policy
+
+#: Sub-id address space reserved per block (ample for turnover).
+SUBSCRIBER_ID_STRIDE = 1_000_000
+
+#: First AS number handed out to synthetic networks.
+FIRST_ASN = 2000
+
+
+@dataclass
+class ASNode:
+    """One autonomous system: identity, type, location, allocations."""
+
+    asn: int
+    network_type: str
+    country: str
+    rir: RIR
+    prefixes: list[Prefix] = field(default_factory=list)
+    block_indexes: list[int] = field(default_factory=list)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_indexes)
+
+
+@dataclass
+class Block:
+    """One /24 block: the unit of assignment-policy simulation."""
+
+    index: int
+    base: int
+    asn: int
+    country: str
+    rir: RIR
+    network_type: str
+    kind: PolicyKind
+    seed: int
+    naming: NamingScheme
+
+    @property
+    def sub_base(self) -> int:
+        """Base of this block's subscriber-id space."""
+        return (self.index + 1) * SUBSCRIBER_ID_STRIDE
+
+    @property
+    def is_client(self) -> bool:
+        """Whether addresses in this block act as WWW clients."""
+        return self.kind in CLIENT_KINDS
+
+    def make_policy(self, config: SimulationConfig, kind: PolicyKind | None = None, salt: int = 0) -> AddressPolicy:
+        """A fresh, reproducible policy instance for this block.
+
+        ``kind``/``salt`` let restructuring events respawn the block
+        under a different policy with fresh randomness.
+        """
+        effective = self.kind if kind is None else kind
+        seed = np.random.SeedSequence([self.seed, salt])
+        return make_policy(effective, seed, self.network_type, config, self.sub_base)
+
+
+def _naming_group(kind: PolicyKind) -> str:
+    if kind is PolicyKind.STATIC:
+        return "static"
+    if kind in {PolicyKind.DYNAMIC_SHORT, PolicyKind.DYNAMIC_LONG, PolicyKind.ROUND_ROBIN}:
+        return "dynamic"
+    return kind.value
+
+
+#: Multiplier on the unused/static share per registry: early-founded
+#: registries handed out space generously (legacy sparseness), the
+#: late-founded LACNIC/AFRINIC had conservation policies from the start
+#: (paper Sec. 7.2's explanation for Fig. 12's regional contrast).
+LEGACY_SPARSENESS: dict[RIR, float] = {
+    RIR.ARIN: 1.45,
+    RIR.RIPE: 1.10,
+    RIR.APNIC: 0.95,
+    RIR.LACNIC: 0.55,
+    RIR.AFRINIC: 0.50,
+}
+
+
+def _adjusted_policy_mix(network_type: str, country: Country) -> tuple[list[PolicyKind], np.ndarray]:
+    """The block-policy mix for one AS, adjusted for region and CGN.
+
+    Countries with high carrier-grade-NAT shares shift weight from
+    directly-assigned client blocks toward gateways; early-registry
+    regions carry more idle and sparsely-used legacy space.
+    """
+    mix = dict(BLOCK_POLICY_MIX[network_type])
+    if "gateway" in mix:
+        boost = 0.5 + country.cgn_share
+        mix["gateway"] = mix["gateway"] * boost
+    sparseness = LEGACY_SPARSENESS[country.rir]
+    for legacy_kind in ("unused", "static"):
+        if legacy_kind in mix:
+            mix[legacy_kind] = mix[legacy_kind] * sparseness
+    kinds = [PolicyKind(name) for name in mix]
+    weights = np.array([mix[kind.value] for kind in kinds], dtype=float)
+    return kinds, weights / weights.sum()
+
+
+class InternetPopulation:
+    """The full synthetic world, built deterministically from a config."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        delegations: DelegationTable,
+        ases: list[ASNode],
+        blocks: list[Block],
+    ) -> None:
+        self.config = config
+        self.delegations = delegations
+        self.ases = ases
+        self.blocks = blocks
+        self._as_by_number = {node.asn: node for node in ases}
+        self._block_by_base = {block.base: block for block in blocks}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, config: SimulationConfig) -> "InternetPopulation":
+        """Construct the world described by *config* (deterministic)."""
+        config.validate()
+        root = np.random.SeedSequence(config.seed)
+        delegation_seed, as_seed, block_seed = root.spawn(3)
+        delegations = synthesize_delegations(
+            np.random.default_rng(delegation_seed), num_slash8=config.num_slash8
+        )
+        rng = np.random.default_rng(as_seed)
+        block_rng = np.random.default_rng(block_seed)
+
+        # Track a cursor into each country's allocated space.
+        country_space: dict[str, list[tuple[int, int]]] = {}
+        for record in delegations:
+            if record.status != "allocated":
+                continue
+            country_space.setdefault(record.country, []).append(
+                (record.start, record.last)
+            )
+        cursors = {code: [list(span) for span in spans] for code, spans in country_space.items()}
+
+        assignments = _apportion_ases(config, set(cursors))
+        rng.shuffle(assignments)  # type: ignore[arg-type]
+
+        ases: list[ASNode] = []
+        blocks: list[Block] = []
+        for as_index, (network_type, country) in enumerate(assignments):
+            node = ASNode(
+                asn=FIRST_ASN + as_index,
+                network_type=network_type,
+                country=country.code,
+                rir=country.rir,
+            )
+            target_blocks = max(1, int(rng.lognormal(np.log(config.mean_blocks_per_as), 0.9)))
+            spans = _claim_blocks(cursors[country.code], target_blocks)
+            for first, last in spans:
+                node.prefixes.extend(span_to_prefixes(first, last))
+                for base in range(first, last + 1, 256):
+                    kinds, weights = _adjusted_policy_mix(network_type, country)
+                    kind = kinds[int(block_rng.choice(len(kinds), p=weights))]
+                    block = Block(
+                        index=len(blocks),
+                        base=base,
+                        asn=node.asn,
+                        country=country.code,
+                        rir=country.rir,
+                        network_type=network_type,
+                        kind=kind,
+                        seed=int(block_rng.integers(0, 2**62)),
+                        naming=draw_scheme(_naming_group(kind), block_rng),
+                    )
+                    node.block_indexes.append(block.index)
+                    blocks.append(block)
+            node.prefixes = coalesce(node.prefixes)
+            if node.block_indexes:
+                ases.append(node)
+        if not blocks:
+            raise ConfigError("population came out empty; increase space or ASes")
+        return cls(config, delegations, ases, blocks)
+
+    # -- views --------------------------------------------------------------
+
+    def as_of(self, asn: int) -> ASNode:
+        return self._as_by_number[asn]
+
+    def block_at(self, base: int) -> Block | None:
+        """The block whose /24 base is *base*, if any."""
+        return self._block_by_base.get(base)
+
+    def client_blocks(self) -> list[Block]:
+        """Blocks whose addresses appear in CDN logs."""
+        return [block for block in self.blocks if block.is_client]
+
+    def blocks_of_kind(self, kind: PolicyKind) -> list[Block]:
+        return [block for block in self.blocks if block.kind == kind]
+
+    def kind_counts(self) -> dict[PolicyKind, int]:
+        """Ground-truth census of block policies."""
+        counts: dict[PolicyKind, int] = {}
+        for block in self.blocks:
+            counts[block.kind] = counts.get(block.kind, 0) + 1
+        return counts
+
+    def baseline_routing(self) -> RoutingTable:
+        """The day-0 routing table: every AS announces its allocations."""
+        table = RoutingTable()
+        for node in self.ases:
+            for prefix in node.prefixes:
+                table.announce(prefix, node.asn)
+        return table
+
+    def total_subscribers_by_country(self) -> dict[str, int]:
+        """Ground-truth subscriber mass per country (build-time census).
+
+        Instantiates each client block's policy once to read its
+        subscriber count; used to sanity-check the world against the
+        country table, not by any analysis.
+        """
+        totals: dict[str, int] = {}
+        for block in self.client_blocks():
+            policy = block.make_policy(self.config)
+            totals[block.country] = totals.get(block.country, 0) + policy.subscriber_count
+        return totals
+
+
+def _largest_remainder(weights: np.ndarray, total: int) -> np.ndarray:
+    """Apportion *total* seats proportionally to *weights* (Hamilton)."""
+    if total <= 0:
+        return np.zeros(weights.size, dtype=np.int64)
+    quotas = weights / weights.sum() * total
+    counts = np.floor(quotas).astype(np.int64)
+    remainder = total - int(counts.sum())
+    if remainder > 0:
+        order = np.argsort(quotas - counts)[::-1]
+        counts[order[:remainder]] += 1
+    return counts
+
+
+def _apportion_ases(
+    config: SimulationConfig, available: set[str]
+) -> list[tuple[str, Country]]:
+    """Deterministic (type, country) assignment for every AS.
+
+    Network-type counts follow the configured mix; within each type,
+    countries receive ASes proportionally to the relevant subscriber
+    base — cellular mass for cellular operators, fixed broadband for
+    everything else.  Largest-remainder apportionment keeps per-country
+    counts tight around their expectation, which is what lets the
+    Fig. 3b effect (visible addresses track broadband, not cellular)
+    emerge at small world sizes.
+    """
+    candidates = [country for country in COUNTRIES if country.code in available]
+    if not candidates:
+        raise ConfigError("no country has allocated space left")
+    mix = config.as_type_mix.as_dict()
+    type_counts = _largest_remainder(
+        np.array(list(mix.values())), config.num_ases
+    )
+    assignments: list[tuple[str, Country]] = []
+    for network_type, count in zip(mix, type_counts):
+        if network_type == "cellular":
+            mass = np.array([country.cellular_subs for country in candidates])
+        else:
+            mass = np.array([max(country.broadband_subs, 0.3) for country in candidates])
+        per_country = _largest_remainder(mass, int(count))
+        for country, country_count in zip(candidates, per_country):
+            assignments.extend([(network_type, country)] * int(country_count))
+    return assignments
+
+
+def _claim_blocks(
+    spans: list[list[int]], target_blocks: int
+) -> list[tuple[int, int]]:
+    """Claim up to *target_blocks* /24s from a country's free spans.
+
+    Walks the country's delegated ranges front to back, consuming
+    contiguous runs.  Returns inclusive ``(first, last)`` address spans
+    aligned to /24 boundaries; may return fewer blocks than requested
+    when the country's space runs dry.
+    """
+    claimed: list[tuple[int, int]] = []
+    needed = target_blocks
+    for span in spans:
+        if needed == 0:
+            break
+        start, last = span
+        available = (last - start + 1) // 256
+        if available <= 0:
+            continue
+        take = min(available, needed)
+        claimed.append((start, start + take * 256 - 1))
+        span[0] = start + take * 256
+        needed -= take
+    return claimed

@@ -1,0 +1,249 @@
+"""Restructuring events: the root causes of bulky, long-term churn.
+
+Section 5 of the paper distinguishes *in situ* activity (a stable
+policy interacting with user behaviour) from *changed* patterns caused
+by address (a) reallocation, (b) assignment reconfiguration, and
+(c) repurposing (Fig. 7).  Such events move whole address ranges at
+once, which is why long-horizon churn is bulkier than daily churn
+(Fig. 5b, Table 2) — and they are mostly invisible in BGP (Fig. 5c).
+
+This module generates a reproducible schedule of such events for a
+population and answers, per event, whether it is accompanied by a
+visible routing change.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.net.prefix import smallest_covering_prefix
+from repro.sim.policies import CLIENT_KINDS, PolicyKind
+from repro.sim.population import Block, InternetPopulation
+
+
+class EventKind(enum.Enum):
+    """The three root causes of Sec. 5 plus the inverse of reallocation."""
+
+    REALLOCATION_ON = "reallocation_on"    # idle space brought into use
+    REALLOCATION_OFF = "reallocation_off"  # used space taken out of use
+    RECONFIGURATION = "reconfiguration"    # assignment practice changed
+    REPURPOSE = "repurpose"                # client space turned into infrastructure
+
+
+#: Relative frequency of event kinds in the schedule.
+EVENT_KIND_WEIGHTS: dict[EventKind, float] = {
+    EventKind.REALLOCATION_ON: 0.30,
+    EventKind.REALLOCATION_OFF: 0.25,
+    EventKind.RECONFIGURATION: 0.35,
+    EventKind.REPURPOSE: 0.10,
+}
+
+#: Client policies that reallocated-on blocks may adopt.
+_ON_TARGET_KINDS = (
+    PolicyKind.DYNAMIC_SHORT,
+    PolicyKind.DYNAMIC_LONG,
+    PolicyKind.STATIC,
+    PolicyKind.ROUND_ROBIN,
+)
+
+
+#: How each event kind shows up in BGP when visible at all, as
+#: (effect, weight) pairs.  Reallocations skew to announce/withdraw of
+#: the affected range; reconfigurations to origin changes (Table 2).
+BGP_EFFECT_WEIGHTS: dict[EventKind, tuple[tuple[str, float], ...]] = {
+    EventKind.REALLOCATION_ON: (("announce", 0.7), ("origin", 0.3)),
+    EventKind.REALLOCATION_OFF: (("origin", 0.6), ("withdraw", 0.4)),
+    EventKind.RECONFIGURATION: (("origin", 0.8), ("announce", 0.2)),
+    EventKind.REPURPOSE: (("origin", 0.8), ("announce", 0.2)),
+}
+
+
+@dataclass(frozen=True)
+class RestructureEvent:
+    """One scheduled operational change affecting one or more /24s.
+
+    ``bgp_effect`` is ``None`` for the (large) majority of events that
+    are invisible in routing; otherwise one of ``announce``,
+    ``withdraw``, ``origin`` — realised on the event's covering prefix.
+    """
+
+    day: int
+    kind: EventKind
+    block_indexes: tuple[int, ...]
+    new_policy_kind: PolicyKind | None
+    bgp_effect: str | None
+    salt: int
+
+    def __post_init__(self) -> None:
+        if not self.block_indexes:
+            raise ConfigError("an event must affect at least one block")
+        if self.day < 0:
+            raise ConfigError(f"negative event day: {self.day}")
+        if self.bgp_effect not in (None, "announce", "withdraw", "origin"):
+            raise ConfigError(f"unknown BGP effect: {self.bgp_effect!r}")
+
+    @property
+    def bgp_visible(self) -> bool:
+        return self.bgp_effect is not None
+
+
+@dataclass
+class RestructureSchedule:
+    """All events of one simulation run, indexed by day."""
+
+    num_days: int
+    events: list[RestructureEvent] = field(default_factory=list)
+
+    def events_on(self, day: int) -> list[RestructureEvent]:
+        return [event for event in self.events if event.day == day]
+
+    def by_day(self) -> dict[int, list[RestructureEvent]]:
+        out: dict[int, list[RestructureEvent]] = {}
+        for event in self.events:
+            out.setdefault(event.day, []).append(event)
+        return out
+
+    @property
+    def affected_blocks(self) -> set[int]:
+        return {index for event in self.events for index in event.block_indexes}
+
+    def covering_prefix(self, population: InternetPopulation, event: RestructureEvent):
+        """Smallest prefix covering every address the event touches."""
+        ips = []
+        for index in event.block_indexes:
+            base = population.blocks[index].base
+            ips.extend((base, base + 255))
+        return smallest_covering_prefix(np.asarray(ips, dtype=np.uint32))
+
+
+#: Client kinds that restructuring events may take offline or rewire.
+#: Gateways and crawler farms are durable infrastructure: CGN egress
+#: ranges persist across the year (which is what lets their traffic
+#: share consolidate, Fig. 9c).
+_RESTRUCTURABLE_KINDS = frozenset(
+    kind
+    for kind in CLIENT_KINDS
+    if kind not in (PolicyKind.GATEWAY, PolicyKind.CRAWLER)
+)
+
+
+def _eligible(block: Block, kind: EventKind) -> bool:
+    if kind is EventKind.REALLOCATION_ON:
+        return block.kind is PolicyKind.UNUSED
+    return block.kind in _RESTRUCTURABLE_KINDS
+
+
+def _new_kind_for(
+    event_kind: EventKind, block: Block, rng: np.random.Generator
+) -> PolicyKind | None:
+    if event_kind is EventKind.REALLOCATION_ON:
+        return _ON_TARGET_KINDS[int(rng.integers(0, len(_ON_TARGET_KINDS)))]
+    if event_kind is EventKind.REALLOCATION_OFF:
+        return PolicyKind.UNUSED
+    if event_kind is EventKind.REPURPOSE:
+        return PolicyKind.SERVER
+    # Reconfiguration: switch to a different client policy.
+    choices = [kind for kind in _ON_TARGET_KINDS if kind is not block.kind]
+    return choices[int(rng.integers(0, len(choices)))]
+
+
+def build_schedule(
+    population: InternetPopulation,
+    num_days: int,
+    rng: np.random.Generator,
+    restructure_fraction: float | None = None,
+) -> RestructureSchedule:
+    """Generate the event schedule for a run of *num_days* days.
+
+    The target number of affected blocks scales with the horizon:
+    ``restructure_fraction`` (default: from the population's config) is
+    interpreted per 112-day horizon, the paper's daily window.  Events
+    are placed on contiguous runs of same-AS blocks to make long-term
+    churn bulky, with run lengths drawn geometrically (many single-/24
+    events, a tail of multi-block events up to /16-scale).
+    """
+    if num_days <= 0:
+        raise ConfigError(f"non-positive horizon: {num_days}")
+    config = population.config
+    fraction = (
+        config.restructure_fraction if restructure_fraction is None else restructure_fraction
+    )
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigError(f"restructure fraction must be a probability: {fraction}")
+
+    target = int(round(fraction * (num_days / 112.0) * len(population.blocks)))
+    schedule = RestructureSchedule(num_days=num_days)
+    if target == 0:
+        return schedule
+
+    kinds = list(EVENT_KIND_WEIGHTS)
+    kind_weights = np.array([EVENT_KIND_WEIGHTS[kind] for kind in kinds])
+    kind_weights = kind_weights / kind_weights.sum()
+
+    used: set[int] = set()
+    assigned = 0
+    attempts = 0
+    on_blocks = 0
+    off_blocks = 0
+    max_attempts = target * 60 + 100
+    while assigned < target and attempts < max_attempts:
+        attempts += 1
+        event_kind = kinds[int(rng.choice(len(kinds), p=kind_weights))]
+        # Steer reallocation towards balance so the total active
+        # address count stays stagnant over the horizon (Fig. 1/4a):
+        # if one direction runs ahead, flip the draw to the other.
+        if event_kind is EventKind.REALLOCATION_ON and on_blocks > off_blocks + 8:
+            event_kind = EventKind.REALLOCATION_OFF
+        elif event_kind is EventKind.REALLOCATION_OFF and off_blocks > on_blocks + 8:
+            event_kind = EventKind.REALLOCATION_ON
+        node = population.ases[int(rng.integers(0, len(population.ases)))]
+        if not node.block_indexes:
+            continue
+        start = int(rng.integers(0, len(node.block_indexes)))
+        run_length = 1 + int(rng.geometric(0.45)) - 1  # 0-based geometric tail
+        run_length = max(1, min(run_length, 16, len(node.block_indexes) - start))
+        run: list[int] = []
+        run_kind: PolicyKind | None = None
+        for position in range(start, start + run_length):
+            index = node.block_indexes[position]
+            block = population.blocks[index]
+            if index in used or not _eligible(block, event_kind):
+                break
+            # Keep bulky events homogeneous: an operator reconfigures a
+            # range that currently runs one policy, not a mixed bag.
+            if run_kind is None:
+                run_kind = block.kind
+            elif block.kind is not run_kind:
+                break
+            run.append(index)
+        if not run:
+            continue
+        first_block = population.blocks[run[0]]
+        bgp_effect = None
+        if rng.random() < config.restructure_bgp_visibility:
+            effects = BGP_EFFECT_WEIGHTS[event_kind]
+            names = [name for name, _ in effects]
+            weights = np.array([weight for _, weight in effects])
+            bgp_effect = names[int(rng.choice(len(names), p=weights / weights.sum()))]
+        schedule.events.append(
+            RestructureEvent(
+                day=int(rng.integers(1, max(2, num_days))),
+                kind=event_kind,
+                block_indexes=tuple(run),
+                new_policy_kind=_new_kind_for(event_kind, first_block, rng),
+                bgp_effect=bgp_effect,
+                salt=int(rng.integers(1, 2**31)),
+            )
+        )
+        used.update(run)
+        assigned += len(run)
+        if event_kind is EventKind.REALLOCATION_ON:
+            on_blocks += len(run)
+        elif event_kind is EventKind.REALLOCATION_OFF:
+            off_blocks += len(run)
+    schedule.events.sort(key=lambda event: event.day)
+    return schedule

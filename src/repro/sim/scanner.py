@@ -1,0 +1,205 @@
+"""Active-measurement observatories: ICMP scans, port scans, traceroute.
+
+The paper compares its passive CDN view with three active datasets
+(Sec. 3.2–3.3): ZMap ICMP echo scans (8 snapshots in October 2015),
+ZMap application-port scans (HTTP(S)/SMTP/IMAP/POP3, used to identify
+servers), and CAIDA Ark traceroutes (used to identify router
+interfaces).  :class:`ProbeObservatory` simulates all three against the
+same world the CDN observes.
+
+Response behaviour:
+
+- client addresses answer ICMP with their country's response rate
+  (Sec. 3.4: ~80% in China, ~25% in Japan) — the rest sit behind CPE
+  firewalls or NATs that drop probes;
+- server and router addresses answer at high, country-independent
+  rates;
+- a sliver of otherwise idle space answers probes while never
+  contacting the CDN (the paper's "practically unused" responders);
+- whether a given address answers is a *stable property of the
+  address* across scans, modulated by a small per-scan availability
+  factor — so unioning more scans recovers intermittent hosts, but
+  firewalled space stays dark no matter how often it is probed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.sets import IPSet
+from repro.registry.countries import get_country
+from repro.sim.policies import CLIENT_KINDS, PolicyKind
+from repro.sim.population import InternetPopulation
+from repro.sim.util import hash_coin, hash_unit
+
+_SALT_RESPONSIVE = 0x1C3C9A11
+_SALT_AVAILABLE = 0xAA11AB1E
+_SALT_UNUSED_BLOCK = 0x0DDB10CC
+_SALT_UNUSED_IP = 0x0DD1B577
+_SALT_PORTS = 0x90A75CAB
+_SALT_ARK = 0xA4C0FFEE
+
+#: ICMP response rate of infrastructure addresses.
+SERVER_ICMP_RATE = 0.90
+ROUTER_ICMP_RATE = 0.95
+#: Per-scan availability of an otherwise responsive host.
+SCAN_AVAILABILITY = 0.93
+#: Fraction of idle /24s that contain probe-responsive (but unused) space.
+UNUSED_LIT_BLOCK_RATE = 0.15
+#: Within a lit idle block, per-address response probability.
+UNUSED_LIT_IP_RATE = 0.10
+#: Port-scan hit rate on server addresses / routers running services.
+SERVER_PORT_RATE = 0.85
+ROUTER_PORT_RATE = 0.10
+#: Ark traceroute discovery coverage of router interfaces.
+ARK_COVERAGE = 0.70
+
+ScanState = dict[int, tuple[PolicyKind, np.ndarray]]
+
+#: Kinds whose probe responsiveness follows the local clock.  Gateways
+#: are infrastructure (always-on CGN boxes) even though they are
+#: clients from the CDN's viewpoint.
+CLIENT_KINDS_FOR_DIURNAL = frozenset(
+    kind for kind in CLIENT_KINDS if kind not in (PolicyKind.GATEWAY, PolicyKind.CRAWLER)
+)
+
+
+class ProbeObservatory:
+    """ICMP / port / traceroute views of one population."""
+
+    def __init__(self, population: InternetPopulation) -> None:
+        self.population = population
+
+    # -- ICMP ------------------------------------------------------------
+
+    def icmp_scan(self, scan_state: ScanState, scan_index: int = 0) -> IPSet:
+        """One ZMap-style ICMP sweep given a day's assignment state.
+
+        *scan_state* is one entry of
+        :attr:`repro.sim.cdn.CollectionResult.scan_states`.
+        """
+        responders: list[np.ndarray] = []
+        for block in self.population.blocks:
+            kind, offsets = scan_state[block.index]
+            ips = self._icmp_responders(block.base, block.country, kind, offsets)
+            if ips.size:
+                available = hash_coin(
+                    ips ^ np.uint32(scan_index * 2654435761 % 2**32),
+                    _SALT_AVAILABLE,
+                    SCAN_AVAILABILITY,
+                )
+                ips = ips[available]
+            if ips.size:
+                responders.append(ips)
+        if not responders:
+            return IPSet()
+        return IPSet.from_ips(np.concatenate(responders))
+
+    def icmp_union(self, scan_state: ScanState, num_scans: int = 8) -> IPSet:
+        """Union of several scans (the paper unions 8 October scans)."""
+        union = IPSet()
+        for scan_index in range(num_scans):
+            union = union | self.icmp_scan(scan_state, scan_index)
+        return union
+
+    def _icmp_responders(
+        self, base: int, country_code: str, kind: PolicyKind, offsets: np.ndarray
+    ) -> np.ndarray:
+        if kind is PolicyKind.UNUSED:
+            if not bool(hash_coin(base, _SALT_UNUSED_BLOCK, UNUSED_LIT_BLOCK_RATE)[0]):
+                return np.empty(0, dtype=np.uint32)
+            ips = base + np.arange(256, dtype=np.uint32)
+            return ips[hash_coin(ips, _SALT_UNUSED_IP, UNUSED_LIT_IP_RATE)]
+        if offsets.size == 0:
+            return np.empty(0, dtype=np.uint32)
+        ips = (base + offsets).astype(np.uint32)
+        if kind is PolicyKind.SERVER:
+            rate = SERVER_ICMP_RATE
+        elif kind is PolicyKind.ROUTER:
+            rate = ROUTER_ICMP_RATE
+        elif kind is PolicyKind.GATEWAY:
+            # CGN boxes and proxies are managed infrastructure; they
+            # answer probes more often than end-user CPE.
+            rate = max(get_country(country_code).icmp_response_rate, 0.70)
+        else:
+            rate = get_country(country_code).icmp_response_rate
+        return ips[hash_coin(ips, _SALT_RESPONSIVE, rate)]
+
+    def icmp_scan_at_hour(
+        self, scan_state: ScanState, utc_hour: float, scan_index: int = 0
+    ) -> IPSet:
+        """An ICMP sweep launched at a specific UTC hour.
+
+        Client responses are additionally thinned by the diurnal
+        wakefulness of the block's country and network type
+        (:mod:`repro.sim.diurnal`) — the Sec. 3.1 caveat that a probe
+        reply depends on when you ask.  Infrastructure responds around
+        the clock.
+        """
+        from repro.sim.diurnal import awake_probability
+
+        hour_salt = _SALT_AVAILABLE ^ (int(utc_hour * 4) * 0x9E37)
+        responders: list[np.ndarray] = []
+        for block in self.population.blocks:
+            kind, offsets = scan_state[block.index]
+            ips = self._icmp_responders(block.base, block.country, kind, offsets)
+            if ips.size == 0:
+                continue
+            available = hash_coin(
+                ips ^ np.uint32(scan_index * 2654435761 % 2**32),
+                _SALT_AVAILABLE,
+                SCAN_AVAILABILITY,
+            )
+            ips = ips[available]
+            if ips.size and kind in CLIENT_KINDS_FOR_DIURNAL:
+                awake = awake_probability(utc_hour, block.country, block.network_type)
+                ips = ips[hash_coin(ips, hour_salt, awake)]
+            if ips.size:
+                responders.append(ips)
+        if not responders:
+            return IPSet()
+        return IPSet.from_ips(np.concatenate(responders))
+
+    # -- application ports ---------------------------------------------------
+
+    def port_scan(self, scan_state: ScanState) -> IPSet:
+        """Addresses answering server-port probes (HTTP(S)/SMTP/IMAP/POP3)."""
+        responders: list[np.ndarray] = []
+        for block in self.population.blocks:
+            kind, offsets = scan_state[block.index]
+            if offsets.size == 0:
+                continue
+            ips = (block.base + offsets).astype(np.uint32)
+            if kind is PolicyKind.SERVER:
+                hit = hash_coin(ips, _SALT_PORTS, SERVER_PORT_RATE)
+            elif kind is PolicyKind.ROUTER:
+                hit = hash_coin(ips, _SALT_PORTS, ROUTER_PORT_RATE)
+            else:
+                continue
+            if hit.any():
+                responders.append(ips[hit])
+        if not responders:
+            return IPSet()
+        return IPSet.from_ips(np.concatenate(responders))
+
+    # -- traceroute ---------------------------------------------------------
+
+    def ark_routers(self, scan_state: ScanState) -> IPSet:
+        """Router interface addresses appearing on Ark-style traceroutes."""
+        discovered: list[np.ndarray] = []
+        for block in self.population.blocks:
+            kind, offsets = scan_state[block.index]
+            if kind is not PolicyKind.ROUTER or offsets.size == 0:
+                continue
+            ips = (block.base + offsets).astype(np.uint32)
+            seen = hash_coin(ips, _SALT_ARK, ARK_COVERAGE)
+            if seen.any():
+                discovered.append(ips[seen])
+        if not discovered:
+            return IPSet()
+        return IPSet.from_ips(np.concatenate(discovered))
+
+
+def hash_responsiveness(ips: np.ndarray, rate: float) -> np.ndarray:
+    """Expose the stable responsiveness coin (diagnostics/tests)."""
+    return hash_unit(ips, _SALT_RESPONSIVE) < rate

@@ -1,0 +1,176 @@
+"""HTTP User-Agent universe and sampling.
+
+The paper estimates *relative host counts* per /24 by storing one
+User-Agent string for every 4000th HTTP request during the final month
+of the observation window (Sec. 6.3).  The key mechanics reproduced
+here:
+
+- A device emits more than one User-Agent (a smartphone runs many
+  apps, each with its own string), so UA diversity over-counts devices.
+- Many devices share one address behind a gateway, so an address's UA
+  diversity aggregates entire populations — the top-right of Fig. 10.
+- Bots issue enormous request volumes from a single UA string — the
+  bottom-right of Fig. 10.
+
+User-Agent identities are integers derived deterministically from the
+subscriber identity via hashing, so no per-device state is stored;
+:func:`ua_string` renders a realistic string for display.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.util import hash_int, hash_unit
+
+#: Distinct browser User-Agent strings in the universe.
+NUM_BROWSER_UAS = 400
+#: Distinct mobile-app User-Agent strings in the universe.
+NUM_APP_UAS = 6000
+
+_SALT_DEVICES = 0x0D15EA5E
+_SALT_BROWSER = 0xB405E125
+_SALT_APPS = 0xA995C0DE
+_SALT_APP_COUNT = 0xC0FFEE00
+_SALT_PICK = 0x5A5A5A5A
+
+_BROWSERS = ("Mozilla/5.0", "Chrome", "Safari", "Firefox", "Edge", "Opera")
+_PLATFORMS = ("Windows NT 10.0", "Macintosh", "X11; Linux x86_64", "iPhone OS", "Android")
+
+
+def ua_string(ua_id: int) -> str:
+    """Render a UA id as a plausible User-Agent string (for display)."""
+    if ua_id < 0:
+        raise ConfigError(f"negative UA id: {ua_id}")
+    if ua_id < NUM_BROWSER_UAS:
+        browser = _BROWSERS[ua_id % len(_BROWSERS)]
+        platform = _PLATFORMS[(ua_id // len(_BROWSERS)) % len(_PLATFORMS)]
+        version = 40 + ua_id % 30
+        return f"{browser}/{version}.0 ({platform})"
+    app_id = ua_id - NUM_BROWSER_UAS
+    return f"App{app_id:04d}/{1 + app_id % 9}.{app_id % 20} CFNetwork/758 Darwin/15"
+
+
+def device_count(sub_ids: np.ndarray) -> np.ndarray:
+    """Devices per subscriber: 1-4, a stable function of identity."""
+    return 1 + hash_int(sub_ids, _SALT_DEVICES, 4)
+
+
+def subscriber_ua_ids(sub_id: int) -> np.ndarray:
+    """All UA ids a subscriber's devices can emit.
+
+    Each device contributes one browser UA plus 0-6 app UAs.  The set
+    is a pure function of the subscriber id.
+    """
+    devices = int(device_count(np.asarray([sub_id]))[0])
+    ua_ids: list[int] = []
+    for device in range(devices):
+        device_key = sub_id * 8 + device
+        ua_ids.append(int(hash_int(device_key, _SALT_BROWSER, NUM_BROWSER_UAS)[0]))
+        num_apps = int(hash_int(device_key, _SALT_APP_COUNT, 7)[0])
+        for app in range(num_apps):
+            app_key = device_key * 16 + app
+            ua_ids.append(
+                NUM_BROWSER_UAS + int(hash_int(app_key, _SALT_APPS, NUM_APP_UAS)[0])
+            )
+    return np.unique(np.asarray(ua_ids, dtype=np.int64))
+
+
+def sample_uas(
+    rng: np.random.Generator,
+    sub_ids: np.ndarray,
+    sub_hits: np.ndarray,
+    sample_rate: float,
+    bot_profile: bool = False,
+) -> np.ndarray:
+    """Sample UA ids from one block-day of traffic.
+
+    Each of the block's requests survives sampling independently with
+    probability *sample_rate*; sampled requests are attributed to
+    subscribers proportionally to their hit counts, and each sampled
+    request emits one UA id drawn from the subscriber's device set
+    (browser UAs favoured over app UAs).  Bots always emit their single
+    browser UA.
+    """
+    if not 0.0 < sample_rate <= 1.0:
+        raise ConfigError(f"sample rate must be in (0, 1]: {sample_rate}")
+    total_hits = int(sub_hits.sum())
+    if total_hits == 0:
+        return np.empty(0, dtype=np.int64)
+    num_samples = int(rng.binomial(total_hits, sample_rate))
+    if num_samples == 0:
+        return np.empty(0, dtype=np.int64)
+    weights = sub_hits / total_hits
+    per_sub = rng.multinomial(num_samples, weights)
+    out: list[int] = []
+    for sub_index in np.flatnonzero(per_sub):
+        sub_id = int(sub_ids[sub_index])
+        count = int(per_sub[sub_index])
+        if bot_profile:
+            browser = int(hash_int(sub_id * 8, _SALT_BROWSER, NUM_BROWSER_UAS)[0])
+            out.extend([browser] * count)
+            continue
+        ua_pool = subscriber_ua_ids(sub_id)
+        browsers = ua_pool[ua_pool < NUM_BROWSER_UAS]
+        apps = ua_pool[ua_pool >= NUM_BROWSER_UAS]
+        for sample in range(count):
+            pick_browser = apps.size == 0 or rng.random() < 0.55
+            pool = browsers if pick_browser and browsers.size else apps
+            out.append(int(pool[int(rng.integers(0, pool.size))]))
+    return np.asarray(out, dtype=np.int64)
+
+
+@dataclass
+class UASampleStore:
+    """Accumulated UA samples, grouped by /24 block base address.
+
+    Mirrors the paper's one-month sample store: for each block we keep
+    the number of samples (a traffic-volume estimate) and the multiset
+    of sampled UA ids (whose cardinality is the relative host count).
+    """
+
+    samples: dict[int, Counter] = field(default_factory=dict)
+
+    def add(self, block_base: int, ua_ids: np.ndarray) -> None:
+        if ua_ids.size == 0:
+            return
+        counter = self.samples.setdefault(block_base, Counter())
+        counter.update(ua_ids.tolist())
+
+    def sample_count(self, block_base: int) -> int:
+        """Total UA samples recorded for a block."""
+        counter = self.samples.get(block_base)
+        return 0 if counter is None else sum(counter.values())
+
+    def unique_count(self, block_base: int) -> int:
+        """Distinct UA strings recorded for a block."""
+        counter = self.samples.get(block_base)
+        return 0 if counter is None else len(counter)
+
+    def blocks(self) -> list[int]:
+        """All block bases with at least one sample, sorted."""
+        return sorted(self.samples)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(block_bases, sample_counts, unique_counts)`` aligned arrays."""
+        bases = np.asarray(self.blocks(), dtype=np.uint32)
+        counts = np.asarray([self.sample_count(int(b)) for b in bases], dtype=np.int64)
+        uniques = np.asarray([self.unique_count(int(b)) for b in bases], dtype=np.int64)
+        return bases, counts, uniques
+
+
+def expected_devices(sub_ids: np.ndarray) -> float:
+    """Mean device count over a subscriber population (diagnostics)."""
+    if sub_ids.size == 0:
+        return 0.0
+    return float(device_count(np.asarray(sub_ids)).mean())
+
+
+def hash_unit_self_test() -> float:
+    """Cheap uniformity check of the hash stream (used in tests)."""
+    values = hash_unit(np.arange(10000), 12345)
+    return float(values.mean())

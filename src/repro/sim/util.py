@@ -1,0 +1,47 @@
+"""Deterministic hashing helpers for the simulator.
+
+Several simulated properties must be *stable functions of identity*
+rather than fresh random draws: whether a given address answers ICMP
+(the same host is firewalled or not, scan after scan), how many devices
+a subscriber owns, which User-Agent strings those devices emit.  These
+helpers derive uniform values from integer identities with a splitmix-
+style avalanche, so the property is reproducible without storing it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _mix(values: np.ndarray) -> np.ndarray:
+    """SplitMix64 finaliser: avalanche uint64 values."""
+    z = values + _GAMMA
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def hash_unit(ids: np.ndarray | int, salt: int) -> np.ndarray:
+    """Uniform floats in [0, 1) deterministically derived from ids.
+
+    The same ``(id, salt)`` pair always yields the same value; different
+    salts give independent streams.
+    """
+    with np.errstate(over="ignore"):
+        arr = np.atleast_1d(np.asarray(ids)).astype(np.uint64)
+        mixed = _mix(arr ^ _mix(np.asarray([salt], dtype=np.uint64)))
+    return (mixed >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+
+
+def hash_coin(ids: np.ndarray | int, salt: int, probability: float) -> np.ndarray:
+    """Deterministic Bernoulli draws: True with the given probability."""
+    return hash_unit(ids, salt) < probability
+
+
+def hash_int(ids: np.ndarray | int, salt: int, upper: int) -> np.ndarray:
+    """Deterministic integers in [0, upper)."""
+    if upper <= 0:
+        raise ValueError(f"upper bound must be positive: {upper}")
+    return (hash_unit(ids, salt) * upper).astype(np.int64)

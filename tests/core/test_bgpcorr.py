@@ -1,0 +1,129 @@
+"""Tests for repro.core.bgpcorr."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.bgpcorr import (
+    bgp_event_correlation,
+    change_kind_breakdown,
+)
+from repro.core.dataset import ActivityDataset, Snapshot
+from repro.errors import DatasetError
+from repro.net.prefix import Prefix
+from repro.routing.series import RoutingSeries
+from repro.routing.table import RoutingTable
+
+DAY0 = datetime.date(2015, 1, 1)
+BLOCK_A = Prefix.parse("10.0.1.0/24")
+BLOCK_B = Prefix.parse("10.0.2.0/24")
+
+
+def make_dataset(day_sets):
+    return ActivityDataset(
+        [
+            Snapshot(
+                DAY0 + datetime.timedelta(days=index),
+                1,
+                np.array(sorted(ips), dtype=np.uint32),
+            )
+            for index, ips in enumerate(day_sets)
+        ]
+    )
+
+
+def routing_series(num_days, change_day=None):
+    """AS 100 announces both blocks; optionally block B moves to 200."""
+    base = RoutingTable([(BLOCK_A, 100), (BLOCK_B, 100)])
+    tables = []
+    current = base
+    for day in range(num_days):
+        if change_day is not None and day == change_day:
+            current = current.copy()
+            current.announce(BLOCK_B, 200)
+        tables.append(current)
+    return RoutingSeries(tables)
+
+
+class TestBGPEventCorrelation:
+    def test_event_coinciding_with_bgp_change(self):
+        """Block B goes dark the same day its route moves."""
+        a_ips = {BLOCK_A.first + i for i in range(10)}
+        b_ips = {BLOCK_B.first + i for i in range(10)}
+        days = [a_ips | b_ips, a_ips | b_ips, a_ips, a_ips]
+        ds = make_dataset(days)
+        routing = routing_series(4, change_day=2)
+        corr = bgp_event_correlation(ds, routing, window_days=2)
+        # All down events (block B) coincide with the origin change.
+        assert corr.down_fraction == pytest.approx(1.0)
+        # Steady addresses (block A) saw no change.
+        assert corr.steady_fraction == 0.0
+        assert corr.down_events == 10
+        assert corr.steady_addresses == 10
+
+    def test_no_bgp_change_means_zero_correlation(self):
+        a_ips = {BLOCK_A.first + i for i in range(10)}
+        days = [a_ips, a_ips | {BLOCK_B.first}, a_ips, a_ips]
+        ds = make_dataset(days)
+        corr = bgp_event_correlation(ds, routing_series(4), window_days=1)
+        assert corr.up_fraction == 0.0
+        assert corr.down_fraction == 0.0
+
+    def test_rejects_short_routing_series(self):
+        ds = make_dataset([{1}, {2}, {3}, {4}])
+        with pytest.raises(DatasetError):
+            bgp_event_correlation(ds, routing_series(2), window_days=1)
+
+    def test_rejects_non_daily_dataset(self):
+        ds = make_dataset([{1}, {2}, {3}, {4}]).aggregate(2)
+        with pytest.raises(DatasetError):
+            bgp_event_correlation(ds, routing_series(4), window_days=1)
+
+    def test_rejects_oversized_window(self):
+        ds = make_dataset([{1}, {2}, {3}, {4}])
+        with pytest.raises(DatasetError):
+            bgp_event_correlation(ds, routing_series(4), window_days=4)
+
+    def test_larger_windows_capture_more_changes(self):
+        """A change mid-window is visible at window size 2+ but can be
+        missed by the 1-day transition that straddles it."""
+        a_ips = {BLOCK_A.first}
+        b_ips = {BLOCK_B.first + i for i in range(16)}
+        # B active days 0-3, gone days 4-7; BGP change on day 6.
+        days = [a_ips | b_ips] * 4 + [a_ips] * 4
+        ds = make_dataset(days)
+        routing = routing_series(8, change_day=6)
+        daily = bgp_event_correlation(ds, routing, window_days=1)
+        monthly = bgp_event_correlation(ds, routing, window_days=4)
+        assert monthly.down_fraction >= daily.down_fraction
+        assert monthly.down_fraction == pytest.approx(1.0)
+
+
+class TestChangeKindBreakdown:
+    def test_breakdown_fractions(self):
+        routing = routing_series(4, change_day=2)
+        ips = np.array(
+            [BLOCK_A.first + 1, BLOCK_B.first + 1, BLOCK_B.first + 2], dtype=np.uint32
+        )
+        breakdown = change_kind_breakdown(ips, routing, 0, 3)
+        assert breakdown.total == 3
+        assert breakdown.no_change == pytest.approx(1 / 3)
+        assert breakdown.origin_change == pytest.approx(2 / 3)
+        assert breakdown.announce_withdraw == 0.0
+
+    def test_withdraw_counted(self):
+        base = RoutingTable([(BLOCK_A, 100)])
+        later = RoutingTable()
+        routing = RoutingSeries([base, later])
+        breakdown = change_kind_breakdown(
+            np.array([BLOCK_A.first], dtype=np.uint32), routing, 0, 1
+        )
+        assert breakdown.announce_withdraw == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        breakdown = change_kind_breakdown(
+            np.empty(0, dtype=np.uint32), routing_series(2), 0, 1
+        )
+        assert breakdown.total == 0
+        assert breakdown.no_change == 0.0

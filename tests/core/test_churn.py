@@ -1,0 +1,233 @@
+"""Tests for repro.core.windows, repro.core.churn, repro.core.longterm."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.churn import (
+    ChurnSummary,
+    churn_by_window_size,
+    churn_plateau,
+    daily_churn,
+    transition_churn,
+    up_down_event_series,
+)
+from repro.core.dataset import ActivityDataset, Snapshot
+from repro.core.longterm import (
+    baseline_divergence,
+    compare_period_ranges,
+    compare_periods,
+)
+from repro.core.windows import aggregate_to_window, usable_window_sizes
+from repro.errors import DatasetError
+
+DAY0 = datetime.date(2015, 1, 1)
+
+
+def make_dataset(day_sets):
+    snapshots = [
+        Snapshot(
+            DAY0 + datetime.timedelta(days=index),
+            1,
+            np.array(sorted(ips), dtype=np.uint32),
+        )
+        for index, ips in enumerate(day_sets)
+    ]
+    return ActivityDataset(snapshots)
+
+
+class TestWindows:
+    def test_aggregate_to_window(self):
+        ds = make_dataset([{1}, {2}, {3}, {4}])
+        agg = aggregate_to_window(ds, 2)
+        assert len(agg) == 2
+        assert agg[0].ips.tolist() == [1, 2]
+
+    def test_rejects_non_daily(self):
+        ds = make_dataset([{1}, {2}]).aggregate(2)
+        with pytest.raises(DatasetError):
+            aggregate_to_window(ds, 2)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(DatasetError):
+            aggregate_to_window(make_dataset([{1}, {2}]), 0)
+
+    def test_usable_window_sizes(self):
+        ds = make_dataset([{1}] * 10)
+        sizes = usable_window_sizes(ds)
+        assert 1 in sizes and 5 in sizes
+        assert 7 not in sizes  # 10 // 7 == 1 window only
+
+
+class TestTransitionChurn:
+    def test_counts_and_fractions(self):
+        ds = make_dataset([{1, 2, 3, 4}, {3, 4, 5}])
+        (t,) = transition_churn(ds)
+        assert t.up_count == 1  # {5}
+        assert t.down_count == 2  # {1, 2}
+        assert t.up_fraction == pytest.approx(1 / 3)
+        assert t.down_fraction == pytest.approx(2 / 4)
+
+    def test_identical_windows_have_zero_churn(self):
+        ds = make_dataset([{1, 2}, {1, 2}])
+        (t,) = transition_churn(ds)
+        assert t.up_count == 0 and t.down_count == 0
+
+    def test_disjoint_windows_have_full_churn(self):
+        ds = make_dataset([{1, 2}, {3, 4}])
+        (t,) = transition_churn(ds)
+        assert t.up_fraction == 1.0 and t.down_fraction == 1.0
+
+    def test_needs_two_windows(self):
+        with pytest.raises(DatasetError):
+            transition_churn(make_dataset([{1}]))
+
+
+class TestChurnSummary:
+    def test_min_median_max(self):
+        ds = make_dataset([{1, 2}, {1, 2}, {1, 3}, {4, 5}])
+        summary = daily_churn(ds)
+        # up fractions: 0, 1/2, 1 -> min 0, median 0.5, max 1
+        assert summary.up_min == 0.0
+        assert summary.up_median == pytest.approx(0.5)
+        assert summary.up_max == 1.0
+
+    def test_daily_churn_requires_daily(self):
+        ds = make_dataset([{1}, {2}, {3}, {4}]).aggregate(2)
+        with pytest.raises(DatasetError):
+            daily_churn(ds)
+
+    def test_event_series(self):
+        ds = make_dataset([{1, 2}, {2, 3, 4}, {4}])
+        ups, downs = up_down_event_series(ds)
+        assert ups.tolist() == [2, 0]
+        assert downs.tolist() == [1, 2]
+
+
+class TestWindowSweep:
+    def test_sweep_produces_all_sizes(self):
+        ds = make_dataset([{i, i + 1, 100} for i in range(28)])
+        summaries = churn_by_window_size(ds, [1, 7, 14])
+        assert set(summaries) == {1, 7, 14}
+        assert all(isinstance(s, ChurnSummary) for s in summaries.values())
+
+    def test_aggregation_reduces_daily_flicker(self):
+        """An address flickering within a week is churn at 1d, not 7d."""
+        rng = np.random.default_rng(0)
+        base = set(range(1000))
+        days = []
+        for day in range(28):
+            flickering = set(rng.choice(1000, size=500, replace=False).tolist())
+            days.append(base & flickering | {2000 + day // 7})
+        ds = make_dataset(days)
+        summaries = churn_by_window_size(ds, [1, 7])
+        assert summaries[7].up_median < summaries[1].up_median
+
+    def test_rejects_oversized_window(self):
+        ds = make_dataset([{1}] * 6)
+        with pytest.raises(DatasetError):
+            churn_by_window_size(ds, [6])
+
+    def test_plateau_helper(self):
+        ds = make_dataset([{i % 5, 10} for i in range(28)])
+        summaries = churn_by_window_size(ds, [1, 7, 14])
+        value = churn_plateau(summaries, from_size=7)
+        assert 0.0 <= value <= 1.0
+        with pytest.raises(DatasetError):
+            churn_plateau(summaries, from_size=28)
+
+
+class TestBaselineDivergence:
+    def test_divergence_counts(self):
+        ds = make_dataset([{1, 2, 3}, {1, 2, 3}, {2, 3, 4}, {4, 5, 6}])
+        div = baseline_divergence(ds)
+        assert div.appear_counts.tolist() == [0, 0, 1, 3]
+        assert div.disappear_counts.tolist() == [0, 0, 1, 3]
+        assert div.final_appear_fraction == pytest.approx(1.0)
+
+    def test_monotone_under_growing_divergence(self):
+        days = [set(range(day, day + 10)) for day in range(8)]
+        div = baseline_divergence(make_dataset(days))
+        assert (np.diff(div.appear_counts) >= 0).all()
+
+    def test_custom_baseline(self):
+        ds = make_dataset([{9}, {1, 2}, {1, 2}])
+        div = baseline_divergence(ds, baseline_index=1)
+        assert div.appear_counts.tolist() == [1, 0, 0]
+        assert div.baseline_active == 2
+
+    def test_rejects_bad_baseline(self):
+        with pytest.raises(DatasetError):
+            baseline_divergence(make_dataset([{1}]), baseline_index=5)
+
+
+class TestPeriodComparison:
+    def test_counts(self):
+        first = Snapshot(DAY0, 7, np.array([1, 2, 3], dtype=np.uint32))
+        second = Snapshot(
+            DAY0 + datetime.timedelta(days=7), 7, np.array([3, 4], dtype=np.uint32)
+        )
+        cmp = compare_periods(first, second)
+        assert cmp.appear_count == 1
+        assert cmp.disappear_count == 2
+
+    def test_whole_block_fraction(self):
+        block_a = 10 << 8  # /24 #10
+        block_b = 20 << 8  # /24 #20
+        # Period 1: activity in block A only. Period 2: A (partially
+        # different IPs) plus newly-lit block B.
+        first = Snapshot(DAY0, 7, np.array([block_a + 1, block_a + 2], dtype=np.uint32))
+        second = Snapshot(
+            DAY0 + datetime.timedelta(days=7),
+            7,
+            np.array([block_a + 2, block_a + 3, block_b + 1, block_b + 2], dtype=np.uint32),
+        )
+        cmp = compare_periods(first, second)
+        # Appeared: a+3 (block already active -> not whole-block),
+        # b+1, b+2 (whole block appeared).
+        assert cmp.appear_count == 3
+        assert cmp.appeared_whole_block_fraction == pytest.approx(2 / 3)
+        # Disappeared: a+1, block A still active in period 2.
+        assert cmp.disappeared_whole_block_fraction == 0.0
+
+    def test_whole_block_fraction_empty_events(self):
+        snap = Snapshot(DAY0, 7, np.array([1], dtype=np.uint32))
+        later = Snapshot(DAY0 + datetime.timedelta(days=7), 7, np.array([1], dtype=np.uint32))
+        cmp = compare_periods(snap, later)
+        assert cmp.appeared_whole_block_fraction == 0.0
+
+    def test_compare_period_ranges(self):
+        ds = make_dataset([{1}, {1}, {2}, {2}])
+        cmp = compare_period_ranges(ds, (0, 1), (2, 3))
+        assert cmp.appear_count == 1
+        assert cmp.disappear_count == 1
+
+    def test_rejects_unordered_ranges(self):
+        ds = make_dataset([{1}, {1}, {2}, {2}])
+        with pytest.raises(DatasetError):
+            compare_period_ranges(ds, (2, 3), (0, 1))
+
+
+class TestChurnSummaryDownSide:
+    def test_down_statistics(self):
+        ds = make_dataset([{1, 2, 3, 4}, {3, 4}, {3, 4}, {9}])
+        summary = daily_churn(ds)
+        # down fractions: 2/4, 0/2, 2/2
+        assert summary.down_min == 0.0
+        assert summary.down_median == pytest.approx(0.5)
+        assert summary.down_max == 1.0
+
+    def test_empty_windows_do_not_divide_by_zero(self):
+        import numpy as np
+
+        from repro.core.dataset import Snapshot
+
+        empty = Snapshot(DAY0, 1, np.empty(0, dtype=np.uint32))
+        full = Snapshot(
+            DAY0 + datetime.timedelta(days=1), 1, np.array([1, 2], dtype=np.uint32)
+        )
+        ds = ActivityDataset([empty, full])
+        (transition,) = transition_churn(ds)
+        assert transition.down_fraction == 0.0  # nothing was active before
+        assert transition.up_fraction == 1.0

@@ -1,0 +1,272 @@
+"""Tests for repro.core.demographics and repro.core.visibility."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.demographics import (
+    DemographicsMatrix,
+    bin_index,
+    build_demographics,
+    normalize_log,
+    split_by_rir,
+)
+from repro.core.metrics import BlockMetrics
+from repro.core.visibility import (
+    classify_icmp_only,
+    country_rank_agreement,
+    icmp_response_rate_by_country,
+    visibility_at_granularities,
+    visibility_by_country,
+    visibility_by_rir,
+    VisibilityCounts,
+)
+from repro.errors import DatasetError
+from repro.net.prefix import Prefix
+from repro.net.sets import IPSet
+from repro.registry.delegations import DelegationRecord, DelegationTable
+from repro.registry.rir import RIR
+from repro.routing.table import RoutingTable
+
+DATE = datetime.date(2010, 1, 1)
+
+
+class TestNormalisation:
+    def test_normalize_log_range(self):
+        values = normalize_log(np.array([0, 1, 10, 1000]))
+        assert values[0] == 0.0
+        assert values[-1] == pytest.approx(1.0)
+        assert (np.diff(values) > 0).all()
+
+    def test_normalize_all_zero(self):
+        assert normalize_log(np.zeros(4)).tolist() == [0, 0, 0, 0]
+
+    def test_normalize_rejects_negative(self):
+        with pytest.raises(DatasetError):
+            normalize_log(np.array([-1.0]))
+
+    def test_normalize_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            normalize_log(np.array([]))
+
+    def test_bin_index_bounds(self):
+        bins = bin_index(np.array([0.0, 0.05, 0.95, 1.0]))
+        assert bins.tolist() == [0, 0, 9, 9]
+
+    def test_bin_index_rejects_out_of_range(self):
+        with pytest.raises(DatasetError):
+            bin_index(np.array([1.5]))
+
+
+class TestDemographicsMatrix:
+    def make_metrics(self):
+        bases = (np.arange(4, dtype=np.uint32) + 1) << 8
+        return BlockMetrics(
+            bases=bases,
+            filling_degree=np.array([20, 255, 256, 100]),
+            stu=np.array([0.05, 0.95, 1.0, 0.4]),
+            window_days=112,
+        )
+
+    def test_counts_total(self):
+        matrix = build_demographics(self.make_metrics(), {}, {})
+        assert matrix.counts.sum() == 4
+        assert matrix.num_blocks == 4
+
+    def test_gateway_block_lands_top_right(self):
+        metrics = self.make_metrics()
+        traffic = {int(metrics.bases[2]): 10_000_000}
+        hosts = {int(metrics.bases[2]): 50_000}
+        matrix = build_demographics(metrics, traffic, hosts)
+        assert matrix.stu_bin[2] == 9
+        assert matrix.traffic_bin[2] == 9
+        assert matrix.host_bin[2] == 9
+
+    def test_missing_features_land_low(self):
+        matrix = build_demographics(self.make_metrics(), {}, {})
+        assert matrix.traffic_bin.tolist() == [0, 0, 0, 0]
+        assert matrix.host_bin.tolist() == [0, 0, 0, 0]
+
+    def test_marginals(self):
+        matrix = build_demographics(self.make_metrics(), {}, {})
+        for axis in range(3):
+            marginal = matrix.marginal(axis)
+            assert marginal.sum() == 4
+            assert marginal.size == 10
+
+    def test_occupied_cells(self):
+        matrix = build_demographics(self.make_metrics(), {}, {})
+        assert 1 <= matrix.occupied_cells() <= 4
+
+
+class TestSplitByRIR:
+    def test_split_partitions_blocks(self):
+        bases = (np.arange(4, dtype=np.uint32) + 1) << 8
+        metrics = BlockMetrics(
+            bases=bases,
+            filling_degree=np.array([20, 255, 256, 100]),
+            stu=np.array([0.05, 0.95, 1.0, 0.4]),
+            window_days=112,
+        )
+        matrix = build_demographics(metrics, {}, {})
+        rir_map = {
+            int(bases[0]): RIR.ARIN,
+            int(bases[1]): RIR.AFRINIC,
+            int(bases[2]): RIR.AFRINIC,
+            # bases[3] unknown -> dropped
+        }
+        panels = split_by_rir(matrix, rir_map)
+        assert panels[RIR.ARIN].num_blocks == 1
+        assert panels[RIR.AFRINIC].num_blocks == 2
+        assert panels[RIR.RIPE].num_blocks == 0
+        # ARIN's single block sits in the lowest STU bin.
+        assert panels[RIR.ARIN].low_utilization_fraction() == pytest.approx(1.0)
+        assert panels[RIR.AFRINIC].low_utilization_fraction() == 0.0
+
+
+def make_world():
+    """A tiny hand-built world for visibility tests.
+
+    Blocks (all /24): A client-heavy CDN+ICMP, B CDN-only (firewalled),
+    C server block (ICMP+ports only), D router block (ICMP+Ark only).
+    """
+    block_a = Prefix.parse("10.0.0.0/24")
+    block_b = Prefix.parse("10.0.1.0/24")
+    block_c = Prefix.parse("10.1.0.0/24")
+    block_d = Prefix.parse("20.0.0.0/24")
+    cdn = np.concatenate(
+        [
+            np.arange(block_a.first, block_a.first + 100),
+            np.arange(block_b.first, block_b.first + 50),
+        ]
+    ).astype(np.uint32)
+    icmp = IPSet(
+        [
+            (block_a.first, block_a.first + 79),     # 80 of A's 100 respond
+            (block_c.first, block_c.first + 9),      # servers
+            (block_d.first, block_d.first + 4),      # routers
+        ]
+    )
+    servers = IPSet([(block_c.first, block_c.first + 9)])
+    routers = IPSet([(block_d.first, block_d.first + 4)])
+    routing = RoutingTable(
+        [
+            (Prefix.parse("10.0.0.0/16"), 100),
+            (Prefix.parse("10.1.0.0/16"), 200),
+            (Prefix.parse("20.0.0.0/16"), 300),
+        ]
+    )
+    delegations = DelegationTable(
+        [
+            DelegationRecord(RIR.ARIN, "US", Prefix.parse("10.0.0.0/8").first, 2**24, DATE),
+            DelegationRecord(RIR.APNIC, "CN", Prefix.parse("20.0.0.0/8").first, 2**24, DATE),
+        ]
+    )
+    return cdn, icmp, servers, routers, routing, delegations
+
+
+class TestVisibilityGranularities:
+    def test_ip_level(self):
+        cdn, icmp, *_ , routing, _ = make_world()
+        counts = visibility_at_granularities(cdn, icmp, routing)
+        ip = counts["ip"]
+        assert ip.both == 80
+        assert ip.cdn_only == 70     # 20 of A + 50 of B
+        assert ip.icmp_only == 15    # servers + routers
+
+    def test_slash24_level(self):
+        cdn, icmp, *_, routing, _ = make_world()
+        counts = visibility_at_granularities(cdn, icmp, routing)["slash24"]
+        assert counts.both == 1       # block A
+        assert counts.cdn_only == 1   # block B
+        assert counts.icmp_only == 2  # blocks C, D
+
+    def test_prefix_and_as_levels(self):
+        cdn, icmp, *_, routing, _ = make_world()
+        counts = visibility_at_granularities(cdn, icmp, routing)
+        assert counts["prefix"].both == 1      # 10.0/16 seen by both
+        assert counts["prefix"].icmp_only == 2  # 10.1/16, 20.0/16
+        assert counts["as"].both == 1
+        assert counts["as"].icmp_only == 2
+
+    def test_gap_narrows_with_aggregation(self):
+        """The Fig. 2a shape: CDN-only share shrinks at coarser levels."""
+        cdn, icmp, *_, routing, _ = make_world()
+        counts = visibility_at_granularities(cdn, icmp, routing)
+        assert counts["ip"].cdn_only_fraction > counts["slash24"].cdn_only_fraction
+        assert counts["slash24"].cdn_only_fraction >= counts["as"].cdn_only_fraction
+
+    def test_fractions_sum_to_one(self):
+        cdn, icmp, *_, routing, _ = make_world()
+        for counts in visibility_at_granularities(cdn, icmp, routing).values():
+            total = (
+                counts.cdn_only_fraction
+                + counts.both_fraction
+                + counts.icmp_only_fraction
+            )
+            assert total == pytest.approx(1.0)
+
+
+class TestICMPOnlyClassification:
+    def test_classification_counts(self):
+        cdn, icmp, servers, routers, *_ = make_world()
+        cls = classify_icmp_only(cdn, icmp, servers, routers)
+        assert cls.server == 10
+        assert cls.router == 5
+        assert cls.server_and_router == 0
+        assert cls.unknown == 0
+        assert cls.infrastructure_fraction == pytest.approx(1.0)
+
+    def test_unknown_when_unattributed(self):
+        cdn, icmp, *_ = make_world()
+        cls = classify_icmp_only(cdn, icmp, IPSet(), IPSet())
+        assert cls.unknown == cls.total == 15
+
+    def test_overlap_category(self):
+        cdn, icmp, servers, routers, *_ = make_world()
+        both = servers | routers
+        cls = classify_icmp_only(cdn, icmp, both, both)
+        assert cls.server_and_router == 15
+
+
+class TestGeographicVisibility:
+    def test_by_rir(self):
+        cdn, icmp, *_, delegations = make_world()
+        per_rir = visibility_by_rir(cdn, icmp, delegations)
+        assert per_rir[RIR.ARIN].cdn_only == 70
+        assert per_rir[RIR.ARIN].both == 80
+        assert per_rir[RIR.APNIC].icmp_only == 5
+
+    def test_by_country(self):
+        cdn, icmp, *_, delegations = make_world()
+        per_country = visibility_by_country(cdn, icmp, delegations)
+        assert per_country["US"].both == 80
+        assert per_country["CN"].icmp_only == 5
+
+    def test_cdn_gain(self):
+        counts = VisibilityCounts(cdn_only=150, both=80, icmp_only=20)
+        assert counts.cdn_gain_over_icmp == pytest.approx(1.5)
+
+    def test_response_rate_by_country(self):
+        cdn, icmp, *_, delegations = make_world()
+        rates = icmp_response_rate_by_country(cdn, icmp, delegations)
+        assert rates["US"] == pytest.approx(80 / 150)
+
+    def test_rank_agreement_requires_enough_countries(self):
+        with pytest.raises(DatasetError):
+            country_rank_agreement({"US": VisibilityCounts(1, 1, 1)})
+
+    def test_rank_agreement_directional(self):
+        """Visible counts proportional to broadband -> high broadband corr."""
+        from repro.registry.countries import COUNTRIES
+
+        per_country = {
+            country.code: VisibilityCounts(
+                cdn_only=int(country.broadband_subs * 1000), both=0, icmp_only=0
+            )
+            for country in COUNTRIES
+        }
+        broadband_corr, cellular_corr = country_rank_agreement(per_country)
+        assert broadband_corr > 0.99
+        assert cellular_corr < broadband_corr

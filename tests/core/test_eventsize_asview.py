@@ -1,0 +1,203 @@
+"""Tests for repro.core.eventsize and repro.core.asview."""
+
+import datetime
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.asview import per_as_churn, top_contributors
+from repro.core.dataset import ActivityDataset, Snapshot
+from repro.core.eventsize import (
+    EventSizeDistribution,
+    event_size_distribution,
+    tag_event_masks,
+    up_event_sizes,
+)
+from repro.errors import DatasetError
+from repro.net.prefix import Prefix
+
+DAY0 = datetime.date(2015, 1, 1)
+
+
+def make_dataset(day_sets):
+    return ActivityDataset(
+        [
+            Snapshot(
+                DAY0 + datetime.timedelta(days=index),
+                1,
+                np.array(sorted(ips), dtype=np.uint32),
+            )
+            for index, ips in enumerate(day_sets)
+        ]
+    )
+
+
+def reference_mask(event, blockers):
+    """Brute-force smallest clean mask for one event address."""
+    blockers = set(blockers)
+    for masklen in range(32, -1, -1):
+        prefix = Prefix.from_ip(int(event), masklen)
+        if any(b in prefix for b in blockers):
+            return masklen + 1
+    return 0
+
+
+class TestTagEventMasks:
+    def test_isolated_event_is_slash0(self):
+        assert tag_event_masks(np.array([100]), np.array([])).tolist() == [0]
+
+    def test_adjacent_blocker_forces_host_mask(self):
+        # Event at even address, blocker right next to it: the /31 pair
+        # contains the blocker, so only the /32 is clean.
+        assert tag_event_masks(np.array([100]), np.array([101])).tolist() == [32]
+
+    def test_whole_block_event(self):
+        base = 50 << 8
+        events = np.arange(base, base + 256)
+        blockers = np.array([base - 1, base + 256])
+        masks = tag_event_masks(events, blockers)
+        # Every address in the /24 flipped; the clean prefix is the /24
+        # itself (bounded by the adjacent blockers).
+        assert (masks == 24).all()
+
+    def test_distant_blockers_allow_short_masks(self):
+        event = np.array([1 << 24])
+        blockers = np.array([5 << 24])
+        masks = tag_event_masks(event, blockers)
+        assert masks[0] <= 8
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(st.integers(0, 4095), min_size=1, max_size=8, unique=True),
+        st.lists(st.integers(0, 4095), min_size=0, max_size=8, unique=True),
+    )
+    def test_matches_bruteforce(self, events, blockers):
+        blockers = [b for b in blockers if b not in set(events)]
+        masks = tag_event_masks(np.array(events), np.array(blockers, dtype=np.int64))
+        for event, mask in zip(events, masks):
+            assert mask == reference_mask(event, blockers)
+
+
+class TestEventSizeDistribution:
+    def test_up_event_sizes_on_snapshots(self):
+        before = Snapshot(DAY0, 1, np.array([10], dtype=np.uint32))
+        after = Snapshot(
+            DAY0 + datetime.timedelta(days=1), 1, np.array([10, 11], dtype=np.uint32)
+        )
+        masks = up_event_sizes(before, after)
+        assert masks.tolist() == [32]  # 11 flipped, 10 (active before) adjacent
+
+    def test_individual_churn_tags_long_masks(self):
+        """Single-IP flickers inside dense blocks tag as /31-/32."""
+        base = 7 << 8
+        stable = set(range(base, base + 256, 2))
+        days = [stable, stable | {base + 33}]
+        dist = event_size_distribution(make_dataset(days), 1)
+        assert dist.num_events == 1
+        assert dist.fraction_at_least(31) == 1.0
+
+    def test_bulk_renumbering_tags_short_masks(self):
+        """A whole /24 lighting up tags at /24 or shorter."""
+        old = set(range(3 << 8, (3 << 8) + 256))
+        new = set(range(9 << 8, (9 << 8) + 256))
+        dist = event_size_distribution(make_dataset([old, old | new]), 1)
+        assert dist.num_events == 256
+        assert dist.fraction_at_most(24) == 1.0
+
+    def test_bucket_fractions_sum_to_one(self):
+        days = [set(range(100)), set(range(50, 200))]
+        dist = event_size_distribution(make_dataset(days), 1)
+        assert sum(dist.bucket_fractions().values()) == pytest.approx(1.0)
+
+    def test_down_direction(self):
+        days = [{1, 2, 3}, {1}]
+        dist = event_size_distribution(make_dataset(days), 1, direction="down")
+        assert dist.num_events == 2
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(DatasetError):
+            event_size_distribution(make_dataset([{1}, {2}]), 1, direction="sideways")
+
+    def test_empty_distribution(self):
+        dist = EventSizeDistribution(1, np.empty(0, dtype=np.int64))
+        assert dist.fraction_at_most(24) == 0.0
+        assert sum(dist.bucket_fractions().values()) == 0.0
+
+    def test_mask_histogram_total(self):
+        days = [set(range(10)), set(range(5, 20))]
+        dist = event_size_distribution(make_dataset(days), 1)
+        assert dist.mask_histogram().sum() == dist.num_events
+
+
+class TestPerASChurn:
+    def make_world(self):
+        """Two ASes: one stable (AS 1), one churny (AS 2)."""
+        as1 = set(range(0, 1200))            # stays active every day
+        days = []
+        rng = np.random.default_rng(0)
+        for day in range(8):
+            churny = set((10_000 + rng.choice(3000, size=1500, replace=False)).tolist())
+            days.append(as1 | churny)
+        ds = make_dataset(days)
+        all_ips = ds.all_ips()
+        origins = np.where(all_ips < 5000, 1, 2).astype(np.int64)
+        return ds, origins
+
+    def test_identifies_churny_as(self):
+        ds, origins = self.make_world()
+        churn = per_as_churn(ds, origins, window_days=1, min_active_ips=1000)
+        assert churn.num_ases == 2
+        by_asn = dict(zip(churn.asns.tolist(), churn.median_up.tolist()))
+        assert by_asn[1] == pytest.approx(0.0)
+        assert by_asn[2] > 0.3
+
+    def test_min_ip_filter(self):
+        ds, origins = self.make_world()
+        churn = per_as_churn(ds, origins, min_active_ips=10_000)
+        assert churn.num_ases == 0
+
+    def test_cdf_shape(self):
+        ds, origins = self.make_world()
+        churn = per_as_churn(ds, origins, min_active_ips=100)
+        x, y = churn.up_cdf()
+        assert x.size == churn.num_ases
+        assert y[-1] == pytest.approx(1.0)
+        assert churn.fraction_above(0.3) == pytest.approx(0.5)
+
+    def test_rejects_misaligned_origins(self):
+        ds, origins = self.make_world()
+        with pytest.raises(DatasetError):
+            per_as_churn(ds, origins[:-1])
+
+    def test_rejects_non_daily(self):
+        ds, origins = self.make_world()
+        with pytest.raises(DatasetError):
+            per_as_churn(ds.aggregate(2), origins[: ds.aggregate(2).all_ips().size])
+
+    def test_unrouted_addresses_dropped(self):
+        ds, origins = self.make_world()
+        origins = origins.copy()
+        origins[origins == 1] = -1
+        churn = per_as_churn(ds, origins, min_active_ips=100)
+        assert churn.asns.tolist() == [2]
+
+
+class TestTopContributors:
+    def test_recycling_ases_appear_on_both_sides(self):
+        days = []
+        for day in range(4):
+            # AS 5 rotates its pool; AS 6 is static.
+            rotating = set(range(day * 300, day * 300 + 600))
+            static = set(range(50_000, 50_200))
+            days.append(rotating | static)
+        ds = make_dataset(days)
+        all_ips = ds.all_ips()
+        origins = np.where(all_ips < 40_000, 5, 6).astype(np.int64)
+        top_appear, top_disappear, overlap = top_contributors(
+            ds, origins, (0, 0), (3, 3), top_n=2
+        )
+        assert 5 in top_appear
+        assert 5 in top_disappear
+        assert overlap >= 1

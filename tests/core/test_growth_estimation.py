@@ -1,0 +1,175 @@
+"""Tests for repro.core.growth and repro.core.estimation."""
+
+import datetime
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimation import (
+    chapman_estimate,
+    chapman_from_sets,
+    heterogeneity_bias,
+    schnabel_estimate,
+)
+from repro.core.growth import (
+    detect_stagnation,
+    fit_line,
+    fit_until,
+    projection_gap,
+)
+from repro.errors import DatasetError
+from repro.net.sets import IPSet
+from repro.sim.growth import GrowthModel, MonthlySeries, synthesize_monthly_counts
+
+
+class TestFitLine:
+    def test_exact_line(self):
+        x = np.arange(10)
+        fit = fit_line(x, 3 * x + 2)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_constant_series(self):
+        fit = fit_line(np.arange(5), np.full(5, 7.0))
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_line_r2_below_one(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(50)
+        fit = fit_line(x, x + rng.normal(0, 5, size=50))
+        assert 0.5 < fit.r_squared < 1.0
+
+    def test_needs_two_points(self):
+        with pytest.raises(DatasetError):
+            fit_line(np.array([1]), np.array([1]))
+
+    def test_predict(self):
+        fit = fit_line(np.arange(4), 2 * np.arange(4))
+        assert fit.predict(10) == pytest.approx(20.0)
+
+
+class TestStagnationDetection:
+    def test_recovers_changepoint(self):
+        model = GrowthModel()
+        series = synthesize_monthly_counts(np.random.default_rng(1), model)
+        analysis = detect_stagnation(series)
+        true_index = series.month_index(model.stagnation)
+        assert abs(analysis.changepoint_index - true_index) <= 3
+
+    def test_slope_collapse(self):
+        series = synthesize_monthly_counts(np.random.default_rng(2))
+        analysis = detect_stagnation(series)
+        assert analysis.slope_collapse < 0.2
+        assert analysis.pre_fit.r_squared > 0.98
+
+    def test_fit_until_matches_paper_recipe(self):
+        series = synthesize_monthly_counts(np.random.default_rng(3))
+        fit = fit_until(series, datetime.date(2014, 1, 1))
+        assert fit.r_squared > 0.98
+        assert fit.slope > 0
+
+    def test_projection_gap_positive_after_stagnation(self):
+        series = synthesize_monthly_counts(np.random.default_rng(4))
+        analysis = detect_stagnation(series)
+        assert projection_gap(series, analysis) > 0.1
+
+    def test_too_short_series_rejected(self):
+        months = tuple(datetime.date(2015, m, 1) for m in range(1, 9))
+        series = MonthlySeries(months, np.arange(8.0))
+        with pytest.raises(DatasetError):
+            detect_stagnation(series, min_segment=6)
+
+    def test_pure_linear_series_has_no_collapse(self):
+        months = tuple(
+            datetime.date(2010 + m // 12, m % 12 + 1, 1) for m in range(48)
+        )
+        series = MonthlySeries(months, 100 + 5.0 * np.arange(48))
+        analysis = detect_stagnation(series)
+        assert analysis.slope_collapse == pytest.approx(1.0, abs=0.05)
+
+
+class TestChapman:
+    def test_textbook_example(self):
+        estimate = chapman_estimate(100, 100, 20)
+        assert estimate.estimate == pytest.approx((101 * 101 / 21) - 1)
+
+    def test_perfect_overlap_recovers_population(self):
+        estimate = chapman_estimate(50, 50, 50)
+        assert estimate.estimate == pytest.approx(50, rel=0.05)
+        assert estimate.std_error == 0.0
+
+    def test_rejects_impossible_overlap(self):
+        with pytest.raises(DatasetError):
+            chapman_estimate(10, 10, 11)
+
+    def test_rejects_negative(self):
+        with pytest.raises(DatasetError):
+            chapman_estimate(-1, 10, 0)
+
+    def test_from_sets(self):
+        a = IPSet([(0, 99)])
+        b = IPSet([(50, 149)])
+        estimate = chapman_from_sets(a, b)
+        assert estimate.estimate == pytest.approx((101 * 101 / 51) - 1)
+
+    def test_interval_contains_estimate(self):
+        estimate = chapman_estimate(1000, 1000, 100)
+        low, high = estimate.interval()
+        assert low < estimate.estimate < high
+
+    @settings(max_examples=30)
+    @given(st.integers(500, 5000), st.floats(0.3, 0.9), st.floats(0.3, 0.9))
+    def test_unbiased_on_homogeneous_population(self, population, p1, p2):
+        """Chapman recovers N when captures are independent/uniform.
+
+        Tolerance scales with the estimator's own standard error so the
+        assertion stays statistically meaningful at small overlaps.
+        """
+        rng = np.random.default_rng(population)
+        sample1 = rng.random(population) < p1
+        sample2 = rng.random(population) < p2
+        estimate = chapman_estimate(
+            int(sample1.sum()), int(sample2.sum()), int((sample1 & sample2).sum())
+        )
+        tolerance = 5 * estimate.std_error + 0.05 * population
+        assert abs(estimate.estimate - population) < tolerance
+
+    def test_heterogeneity_biases_low(self):
+        """Never-responding hosts make capture-recapture underestimate."""
+        rng = np.random.default_rng(9)
+        population = 10_000
+        responders = rng.random(population) < 0.6  # 40% never captured
+        sample1 = responders & (rng.random(population) < 0.7)
+        sample2 = responders & (rng.random(population) < 0.7)
+        estimate = chapman_estimate(
+            int(sample1.sum()), int(sample2.sum()), int((sample1 & sample2).sum())
+        )
+        assert heterogeneity_bias(population, estimate) < -0.2
+
+
+class TestSchnabel:
+    def test_multi_sample_estimate(self):
+        rng = np.random.default_rng(11)
+        population = np.arange(5000)
+        samples = [
+            IPSet.from_ips(rng.choice(population, size=1500, replace=False))
+            for _ in range(5)
+        ]
+        estimate = schnabel_estimate(samples)
+        assert estimate.estimate == pytest.approx(5000, rel=0.15)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(DatasetError):
+            schnabel_estimate([IPSet([(0, 10)])])
+
+    def test_no_recaptures_rejected(self):
+        with pytest.raises(DatasetError):
+            schnabel_estimate([IPSet([(0, 10)]), IPSet([(100, 110)])])
+
+    def test_heterogeneity_bias_helper_validates(self):
+        with pytest.raises(DatasetError):
+            heterogeneity_bias(0, chapman_estimate(10, 10, 5))

@@ -1,0 +1,128 @@
+"""Tests for repro.core.io (dataset and routing persistence)."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import ActivityDataset, Snapshot
+from repro.core.io import (
+    load_dataset,
+    load_routing_series,
+    parse_routing_table,
+    save_dataset,
+    save_routing_series,
+)
+from repro.errors import DatasetError, RoutingError
+from repro.net.prefix import Prefix
+from repro.routing.series import RoutingSeries
+from repro.routing.table import RoutingTable
+
+DAY0 = datetime.date(2015, 8, 17)
+
+
+def make_dataset():
+    return ActivityDataset(
+        [
+            Snapshot(DAY0, 1, np.array([10, 20], dtype=np.uint32), np.array([3, 7], dtype=np.uint64)),
+            Snapshot(
+                DAY0 + datetime.timedelta(days=1),
+                1,
+                np.array([20, 30], dtype=np.uint32),
+                np.array([1, 9], dtype=np.uint64),
+            ),
+        ]
+    )
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "activity.npz"
+        original = make_dataset()
+        save_dataset(path, original)
+        loaded = load_dataset(path)
+        assert len(loaded) == len(original)
+        assert loaded.start == original.start
+        assert loaded.window_days == original.window_days
+        for snap_a, snap_b in zip(original, loaded):
+            assert np.array_equal(snap_a.ips, snap_b.ips)
+            assert np.array_equal(snap_a.hits, snap_b.hits)
+
+    def test_weekly_roundtrip(self, tmp_path):
+        path = tmp_path / "weekly.npz"
+        weekly = ActivityDataset(
+            [Snapshot(DAY0, 7, np.array([5], dtype=np.uint32))]
+        )
+        save_dataset(path, weekly)
+        assert load_dataset(path).window_days == 7
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(DatasetError):
+            load_dataset(path)
+
+    def test_roundtrip_simulated(self, tmp_path):
+        from repro.sim import CDNObservatory, InternetPopulation, small_config
+
+        world = InternetPopulation.build(small_config(seed=3))
+        dataset = CDNObservatory(world).collect_daily(5).dataset
+        path = tmp_path / "sim.npz"
+        save_dataset(path, dataset)
+        loaded = load_dataset(path)
+        assert loaded.total_unique() == dataset.total_unique()
+        assert loaded.hit_totals().tolist() == dataset.hit_totals().tolist()
+
+
+class TestRoutingIO:
+    def make_series(self):
+        day0 = RoutingTable([(Prefix.parse("10.0.0.0/8"), 100)])
+        day2 = day0.copy()
+        day2.announce(Prefix.parse("192.0.2.0/24"), 200)
+        return RoutingSeries([day0, day0, day2])
+
+    def test_parse_table(self):
+        table = parse_routing_table(["10.0.0.0/8|100", "# comment", "", "192.0.2.0/24|200"])
+        assert len(table) == 2
+        assert table.origin_of_prefix(Prefix.parse("10.0.0.0/8")) == 100
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(RoutingError):
+            parse_routing_table(["10.0.0.0/8"])
+        with pytest.raises(RoutingError):
+            parse_routing_table(["10.0.0.0/8|asn"])
+
+    def test_series_roundtrip(self, tmp_path):
+        path = tmp_path / "rib.txt"
+        original = self.make_series()
+        save_routing_series(path, original)
+        loaded = load_routing_series(path)
+        assert len(loaded) == 3
+        for day in range(3):
+            assert loaded.table_at(day) == original.table_at(day)
+
+    def test_same_marker_dedupes(self, tmp_path):
+        path = tmp_path / "rib.txt"
+        save_routing_series(path, self.make_series())
+        text = path.read_text()
+        assert text.count("=== day 1 same") == 1
+        # Day 1 content is not repeated on disk.
+        assert text.count("10.0.0.0/8|100") == 2  # day 0 and day 2
+
+    def test_loaded_shared_tables_are_shared(self, tmp_path):
+        path = tmp_path / "rib.txt"
+        save_routing_series(path, self.make_series())
+        loaded = load_routing_series(path)
+        assert loaded.table_at(0) is loaded.table_at(1)
+
+    def test_load_rejects_headerless_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("10.0.0.0/8|100\n")
+        with pytest.raises(RoutingError):
+            load_routing_series(path)
+
+    def test_load_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(RoutingError):
+            load_routing_series(path)

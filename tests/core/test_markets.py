@@ -1,0 +1,130 @@
+"""Tests for repro.core.markets (transfer-market extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.markets import (
+    assess_transfer,
+    buyer_candidates,
+    seller_candidates,
+    utilization_by_network,
+)
+from repro.core.metrics import BlockMetrics
+from repro.errors import DatasetError
+
+
+def make_metrics():
+    """Three networks: AS1 slack-heavy, AS2 saturated, AS3 mixed."""
+    bases = (np.arange(12, dtype=np.uint32) + 1) << 8
+    stu = np.array(
+        [0.05, 0.1, 0.15, 0.1,      # AS1: all under-utilized
+         0.95, 0.97, 0.92, 0.99,    # AS2: all saturated
+         0.5, 0.6, 0.1, 0.95]       # AS3: mixed
+    )
+    fd = np.full(12, 200)
+    metrics = BlockMetrics(bases=bases, filling_degree=fd, stu=stu, window_days=112)
+    origins = {int(base): 1 + index // 4 for index, base in enumerate(bases)}
+    return metrics, origins
+
+
+class TestUtilizationByNetwork:
+    def test_aggregation(self):
+        metrics, origins = make_metrics()
+        utilization = utilization_by_network(metrics, origins)
+        assert set(utilization) == {1, 2, 3}
+        assert utilization[1].num_blocks == 4
+        assert utilization[1].slack_ratio == pytest.approx(1.0)
+        assert utilization[2].saturation_ratio == pytest.approx(1.0)
+        assert 0 < utilization[3].saturation_ratio < 1
+
+    def test_unrouted_blocks_skipped(self):
+        metrics, origins = make_metrics()
+        origins.pop(int(metrics.bases[0]))
+        utilization = utilization_by_network(metrics, origins)
+        assert utilization[1].num_blocks == 3
+
+    def test_rejects_bad_thresholds(self):
+        metrics, origins = make_metrics()
+        with pytest.raises(DatasetError):
+            utilization_by_network(metrics, origins, saturated_stu=0.1, underutilized_stu=0.5)
+
+
+class TestCandidates:
+    def test_seller_and_buyer_lists(self):
+        metrics, origins = make_metrics()
+        utilization = utilization_by_network(metrics, origins)
+        sellers = seller_candidates(utilization)
+        buyers = buyer_candidates(utilization)
+        assert [record.asn for record in sellers] == [1]
+        assert [record.asn for record in buyers] == [2]
+
+    def test_min_blocks_filter(self):
+        metrics, origins = make_metrics()
+        utilization = utilization_by_network(metrics, origins)
+        assert seller_candidates(utilization, min_blocks=10) == []
+
+    def test_ordering_by_slack(self):
+        metrics, origins = make_metrics()
+        utilization = utilization_by_network(metrics, origins)
+        sellers = seller_candidates(utilization, min_slack_ratio=0.2)
+        ratios = [record.slack_ratio for record in sellers]
+        assert ratios == sorted(ratios, reverse=True)
+
+
+class TestTransferAssessment:
+    def test_saturated_recipient_justified(self):
+        metrics, origins = make_metrics()
+        utilization = utilization_by_network(metrics, origins)
+        assessment = assess_transfer(2, utilization)
+        assert assessment.justified
+        assert "STU" in assessment.reason
+
+    def test_slack_recipient_rejected(self):
+        metrics, origins = make_metrics()
+        utilization = utilization_by_network(metrics, origins)
+        assessment = assess_transfer(1, utilization)
+        assert not assessment.justified
+
+    def test_unknown_recipient_rejected(self):
+        metrics, origins = make_metrics()
+        utilization = utilization_by_network(metrics, origins)
+        assessment = assess_transfer(999, utilization)
+        assert not assessment.justified
+        assert "no measured activity" in assessment.reason
+
+    def test_rejects_bad_threshold(self):
+        metrics, origins = make_metrics()
+        utilization = utilization_by_network(metrics, origins)
+        with pytest.raises(DatasetError):
+            assess_transfer(1, utilization, policy_threshold=0.0)
+
+    def test_end_to_end_on_simulated_world(self):
+        """Sellers/buyers on a simulated world map onto real policies."""
+        from repro.core.metrics import compute_block_metrics
+        from repro.sim import CDNObservatory, InternetPopulation, small_config
+
+        world = InternetPopulation.build(small_config(seed=61))
+        run = CDNObservatory(world).collect_daily(28)
+        block_metrics = compute_block_metrics(run.dataset)
+        table = run.routing.table_at(0)
+        origins = {
+            int(base): origin
+            for base, origin in zip(
+                block_metrics.bases,
+                table.origin_of_many(block_metrics.bases).tolist(),
+            )
+            if origin >= 0
+        }
+        utilization = utilization_by_network(block_metrics, origins)
+        sellers = seller_candidates(utilization, min_blocks=2, min_slack_ratio=0.3)
+        buyers = buyer_candidates(utilization, min_blocks=2, min_saturation_ratio=0.3)
+        # Both sides of the market exist in a realistic world.
+        assert sellers and buyers
+        # A mixed network can appear on both sides (internal
+        # restructuring candidate), but the clearest seller is not
+        # itself saturation-dominated.
+        assert sellers[0].slack_ratio > sellers[0].saturation_ratio
+        # Strongly saturated networks exist among the buyers.
+        assert any(
+            record.saturation_ratio > record.slack_ratio for record in buyers
+        )

@@ -1,0 +1,160 @@
+"""Cross-module property-based tests on core invariants."""
+
+import datetime
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.churn import transition_churn
+from repro.core.dataset import ActivityDataset, Snapshot
+from repro.core.eventsize import down_event_sizes, up_event_sizes
+from repro.core.metrics import compute_block_metrics
+from repro.core.traffic import cumulative_by_days_active, hits_by_days_active
+
+DAY0 = datetime.date(2015, 1, 1)
+
+
+@st.composite
+def datasets_with_hits(draw):
+    num_days = draw(st.integers(min_value=2, max_value=6))
+    snapshots = []
+    for day in range(num_days):
+        ips = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=1200),
+                min_size=1,
+                max_size=40,
+                unique=True,
+            )
+        )
+        ips = sorted(ips)
+        hits = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=10_000),
+                min_size=len(ips),
+                max_size=len(ips),
+            )
+        )
+        snapshots.append(
+            Snapshot(
+                DAY0 + datetime.timedelta(days=day),
+                1,
+                np.array(ips, dtype=np.uint32),
+                np.array(hits, dtype=np.uint64),
+            )
+        )
+    return ActivityDataset(snapshots)
+
+
+class TestChurnInvariants:
+    @settings(max_examples=50)
+    @given(datasets_with_hits())
+    def test_fractions_are_probabilities(self, ds):
+        for transition in transition_churn(ds):
+            assert 0.0 <= transition.up_fraction <= 1.0
+            assert 0.0 <= transition.down_fraction <= 1.0
+
+    @settings(max_examples=50)
+    @given(datasets_with_hits())
+    def test_event_counts_bounded_by_active(self, ds):
+        for transition in transition_churn(ds):
+            assert transition.up_count <= transition.active_after
+            assert transition.down_count <= transition.active_before
+
+    @settings(max_examples=50)
+    @given(datasets_with_hits())
+    def test_aggregated_union_dominates_parts(self, ds):
+        if len(ds) < 2:
+            return
+        agg = ds.aggregate(2)
+        for index, window in enumerate(agg):
+            left = ds[2 * index]
+            right = ds[2 * index + 1]
+            assert window.num_active >= max(left.num_active, right.num_active)
+            assert window.total_hits == left.total_hits + right.total_hits
+
+
+class TestEventSizeInvariants:
+    @settings(max_examples=50)
+    @given(datasets_with_hits())
+    def test_masks_in_range_and_counted(self, ds):
+        for before, after in zip(ds.snapshots, ds.snapshots[1:]):
+            ups = up_event_sizes(before, after)
+            downs = down_event_sizes(before, after)
+            assert ups.size == after.up_from(before).size
+            assert downs.size == before.down_to(after).size
+            for masks in (ups, downs):
+                if masks.size:
+                    assert masks.min() >= 0 and masks.max() <= 32
+
+    @settings(max_examples=50)
+    @given(datasets_with_hits())
+    def test_event_prefix_contains_no_blockers(self, ds):
+        """Each up event's tagged prefix excludes every blocker."""
+        from repro.net.prefix import Prefix
+
+        before, after = ds[0], ds[1]
+        ups = after.up_from(before)
+        masks = up_event_sizes(before, after)
+        blockers = set(before.ips.tolist())
+        for ip, mask in zip(ups.tolist(), masks.tolist()):
+            prefix = Prefix.from_ip(int(ip), int(mask))
+            assert not any(b in prefix for b in blockers)
+
+
+class TestMetricsInvariants:
+    @settings(max_examples=50)
+    @given(datasets_with_hits())
+    def test_fd_and_stu_bounds(self, ds):
+        metrics = compute_block_metrics(ds)
+        assert (metrics.filling_degree >= 1).all()
+        assert (metrics.filling_degree <= 256).all()
+        assert (metrics.stu > 0).all()
+        assert (metrics.stu <= 1.0 + 1e-12).all()
+
+    @settings(max_examples=50)
+    @given(datasets_with_hits())
+    def test_stu_at_most_fd_share(self, ds):
+        """STU can never exceed FD/256 (an address contributes at most
+        one unit per window)."""
+        metrics = compute_block_metrics(ds)
+        assert (metrics.stu <= metrics.filling_degree / 256 + 1e-12).all()
+
+    @settings(max_examples=50)
+    @given(datasets_with_hits())
+    def test_fd_sums_to_unique_addresses(self, ds):
+        metrics = compute_block_metrics(ds)
+        assert int(metrics.filling_degree.sum()) == ds.total_unique()
+
+
+class TestTrafficInvariants:
+    @settings(max_examples=50)
+    @given(datasets_with_hits())
+    def test_histograms_account_for_every_active_window(self, ds):
+        stats = hits_by_days_active(ds)
+        total_cells = sum(snapshot.num_active for snapshot in ds)
+        assert int(stats.histograms.sum()) == total_cells
+        assert int(stats.ip_counts.sum()) == ds.total_unique()
+        assert int(stats.hit_totals.sum()) == int(ds.hit_totals().sum())
+
+    @settings(max_examples=50)
+    @given(datasets_with_hits())
+    def test_cumulative_fractions_monotone(self, ds):
+        cumulative = cumulative_by_days_active(hits_by_days_active(ds))
+        assert (np.diff(cumulative.ip_fractions) >= -1e-12).all()
+        assert (np.diff(cumulative.traffic_fractions) >= -1e-12).all()
+        assert cumulative.ip_fractions[-1] == pytest.approx(1.0)
+        assert cumulative.traffic_fractions[-1] == pytest.approx(1.0)
+
+    @settings(max_examples=50)
+    @given(datasets_with_hits())
+    def test_percentiles_ordered(self, ds):
+        stats = hits_by_days_active(ds)
+        for days in range(1, stats.num_windows + 1):
+            p5 = stats.percentile(days, 5)
+            p50 = stats.percentile(days, 50)
+            p95 = stats.percentile(days, 95)
+            if not np.isnan(p50):
+                assert p5 <= p50 <= p95

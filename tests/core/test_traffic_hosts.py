@@ -1,0 +1,214 @@
+"""Tests for repro.core.traffic and repro.core.hosts."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import ActivityDataset, Snapshot
+from repro.core.hosts import (
+    HostRegion,
+    RegionThresholds,
+    classify_regions,
+    region_counts,
+    relative_host_counts,
+    ua_scatter,
+)
+from repro.core.traffic import (
+    consolidation_trend,
+    cumulative_by_days_active,
+    hits_by_days_active,
+    top_share_series,
+)
+from repro.errors import DatasetError
+from repro.sim.useragents import UASampleStore
+
+DAY0 = datetime.date(2015, 1, 1)
+
+
+def make_dataset(day_columns):
+    """day_columns: list of dict {ip: hits}."""
+    snapshots = []
+    for index, column in enumerate(day_columns):
+        ips = np.array(sorted(column), dtype=np.uint32)
+        hits = np.array([column[ip] for ip in sorted(column)], dtype=np.uint64)
+        snapshots.append(
+            Snapshot(DAY0 + datetime.timedelta(days=index), 1, ips, hits)
+        )
+    return ActivityDataset(snapshots)
+
+
+class TestHitsByDaysActive:
+    def make_simple(self):
+        # IP 1: active 3 days at 8 hits; IP 2: active 1 day at 64 hits;
+        # IP 3: active 2 days at 2 hits.
+        return make_dataset(
+            [
+                {1: 8, 2: 64, 3: 2},
+                {1: 8, 3: 2},
+                {1: 8},
+            ]
+        )
+
+    def test_bin_populations(self):
+        stats = hits_by_days_active(self.make_simple())
+        assert stats.ip_counts.tolist() == [1, 1, 1]
+        assert stats.hit_totals.tolist() == [64, 4, 24]
+
+    def test_median_matches_constant_hits(self):
+        stats = hits_by_days_active(self.make_simple())
+        # IP 1's daily hits are exactly 8 -> median within [8, 16).
+        assert 8 <= stats.median(3) < 16
+        assert 64 <= stats.median(1) < 128
+
+    def test_percentile_bounds(self):
+        stats = hits_by_days_active(self.make_simple())
+        assert stats.percentile(3, 5) <= stats.percentile(3, 95)
+        with pytest.raises(DatasetError):
+            stats.percentile(0, 50)
+        with pytest.raises(DatasetError):
+            stats.percentile(1, 101)
+
+    def test_fan_shapes(self):
+        stats = hits_by_days_active(self.make_simple())
+        fan = stats.percentile_fan()
+        assert set(fan) == {5.0, 25.0, 50.0, 75.0, 95.0}
+        assert all(values.size == 3 for values in fan.values())
+
+    def test_correlation_emerges_from_coupled_data(self):
+        """Heavier IPs that are active more days -> rising medians."""
+        rng = np.random.default_rng(0)
+        columns = [dict() for _ in range(20)]
+        for ip in range(500):
+            engagement = rng.uniform(0.1, 1.0)
+            hits = int(10 * np.exp(3 * engagement))
+            for day in range(20):
+                if rng.random() < engagement:
+                    columns[day][ip] = hits
+        stats = hits_by_days_active(make_dataset(columns))
+        medians = stats.medians()
+        valid = ~np.isnan(medians)
+        first = medians[valid][: valid.sum() // 3].mean()
+        last = medians[valid][-(valid.sum() // 3) :].mean()
+        assert last > 3 * first
+
+    def test_nan_for_empty_bins(self):
+        stats = hits_by_days_active(self.make_simple())
+        ds = make_dataset([{1: 4}, {1: 4}])
+        stats = hits_by_days_active(ds)
+        assert np.isnan(stats.median(1))  # no IP active exactly 1 day
+
+
+class TestCumulative:
+    def test_fractions_end_at_one(self):
+        ds = make_dataset([{1: 10, 2: 1}, {1: 10}])
+        stats = hits_by_days_active(ds)
+        cumulative = cumulative_by_days_active(stats)
+        assert cumulative.ip_fractions[-1] == pytest.approx(1.0)
+        assert cumulative.traffic_fractions[-1] == pytest.approx(1.0)
+
+    def test_always_on_shares(self):
+        # 1 of 2 IPs is always on and carries 20 of 21 hits.
+        ds = make_dataset([{1: 10, 2: 1}, {1: 10}])
+        stats = hits_by_days_active(ds)
+        cumulative = cumulative_by_days_active(stats)
+        assert cumulative.always_on_ip_share == pytest.approx(0.5)
+        assert cumulative.always_on_traffic_share == pytest.approx(20 / 21)
+
+    def test_traffic_more_concentrated_than_ips(self):
+        """The paper's Fig. 9b gap: traffic accumulates later than IPs."""
+        rng = np.random.default_rng(1)
+        columns = [dict() for _ in range(10)]
+        for ip in range(300):
+            engagement = rng.uniform(0.05, 1.0)
+            hits = int(5 * np.exp(4 * engagement))
+            for day in range(10):
+                if rng.random() < engagement:
+                    columns[day][ip] = hits
+        stats = hits_by_days_active(make_dataset(columns))
+        cumulative = cumulative_by_days_active(stats)
+        # At every bin, cumulative traffic lags cumulative IP count.
+        middle = slice(1, 9)
+        assert (
+            cumulative.traffic_fractions[middle] <= cumulative.ip_fractions[middle] + 1e-9
+        ).all()
+
+
+class TestTopShare:
+    def test_known_share(self):
+        # 10 IPs; top-10% = 1 IP holding 91 of 100 hits.
+        column = {ip: 1 for ip in range(9)}
+        column[9] = 91
+        ds = make_dataset([column])
+        shares = top_share_series(ds, top_fraction=0.1)
+        assert shares[0] == pytest.approx(0.91)
+
+    def test_rising_trend_detected(self):
+        columns = []
+        for week in range(6):
+            column = {ip: 10 for ip in range(90)}
+            for heavy in range(90, 100):
+                column[heavy] = 100 + 40 * week
+            columns.append(column)
+        ds = make_dataset(columns)
+        shares = top_share_series(ds)
+        assert consolidation_trend(shares) > 0
+
+    def test_rejects_bad_fraction(self):
+        ds = make_dataset([{1: 1}])
+        with pytest.raises(DatasetError):
+            top_share_series(ds, top_fraction=1.5)
+
+    def test_trend_needs_two_points(self):
+        with pytest.raises(DatasetError):
+            consolidation_trend(np.array([0.5]))
+
+
+class TestUAScatter:
+    def make_store(self):
+        store = UASampleStore()
+        # bulk block: modest samples, modest diversity
+        store.add(1 << 8, np.arange(40))
+        # bot block: many samples, one UA
+        store.add(2 << 8, np.zeros(5000, dtype=np.int64))
+        # gateway block: many samples, huge diversity
+        store.add(3 << 8, np.arange(4000))
+        return store
+
+    def test_scatter_arrays(self):
+        scatter = ua_scatter(self.make_store())
+        assert scatter.num_blocks == 3
+        assert scatter.samples.tolist() == [40, 5000, 4000]
+        assert scatter.uniques.tolist() == [40, 1, 4000]
+
+    def test_classification(self):
+        scatter = ua_scatter(self.make_store())
+        regions = classify_regions(
+            scatter, RegionThresholds(high_sample_quantile=0.5)
+        )
+        by_base = dict(zip(scatter.bases.tolist(), regions))
+        assert by_base[1 << 8] is HostRegion.BULK
+        assert by_base[2 << 8] is HostRegion.BOT
+        assert by_base[3 << 8] is HostRegion.GATEWAY
+
+    def test_region_counts(self):
+        counts = region_counts([HostRegion.BULK, HostRegion.BULK, HostRegion.BOT])
+        assert counts[HostRegion.BULK] == 2
+        assert counts[HostRegion.GATEWAY] == 0
+
+    def test_correlation(self):
+        scatter = ua_scatter(self.make_store())
+        value = scatter.correlation()
+        assert -1.0 <= value <= 1.0
+
+    def test_relative_host_counts(self):
+        counts = relative_host_counts(self.make_store())
+        assert counts[3 << 8] == 4000
+        assert counts[2 << 8] == 1
+
+    def test_empty_scatter(self):
+        scatter = ua_scatter(UASampleStore())
+        assert scatter.num_blocks == 0
+        assert classify_regions(scatter) == []
+        with pytest.raises(DatasetError):
+            scatter.correlation()

@@ -1,0 +1,144 @@
+"""Unit and property tests for repro.net.ipv4."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.net.ipv4 import (
+    MAX_IPV4,
+    block_of,
+    blocks_of,
+    format_ip,
+    format_ips,
+    ip_distance,
+    is_valid_ip_int,
+    parse_ip,
+    parse_ips,
+)
+
+ip_ints = st.integers(min_value=0, max_value=MAX_IPV4)
+
+
+class TestParseIp:
+    def test_parses_canonical_address(self):
+        assert parse_ip("192.0.2.1") == (192 << 24) | (0 << 16) | (2 << 8) | 1
+
+    def test_parses_zero_address(self):
+        assert parse_ip("0.0.0.0") == 0
+
+    def test_parses_broadcast_address(self):
+        assert parse_ip("255.255.255.255") == MAX_IPV4
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "256.0.0.1",
+            "1.2.3",
+            "1.2.3.4.5",
+            "a.b.c.d",
+            "",
+            " 1.2.3.4",
+            "1.2.3.4 ",
+            "1..2.3",
+            "-1.2.3.4",
+            "0x10.2.3.4",
+        ],
+    )
+    def test_rejects_malformed_strings(self, bad):
+        with pytest.raises(AddressError):
+            parse_ip(bad)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(AddressError):
+            parse_ip(12345)  # type: ignore[arg-type]
+
+
+class TestFormatIp:
+    def test_formats_canonical_address(self):
+        assert format_ip(parse_ip("10.20.30.40")) == "10.20.30.40"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            format_ip(MAX_IPV4 + 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(AddressError):
+            format_ip(-1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(AddressError):
+            format_ip(True)
+
+    def test_accepts_numpy_integer(self):
+        assert format_ip(np.uint32(parse_ip("1.2.3.4"))) == "1.2.3.4"
+
+    @given(ip_ints)
+    def test_roundtrip(self, value):
+        assert parse_ip(format_ip(value)) == value
+
+
+class TestValidity:
+    def test_bool_is_not_an_address(self):
+        assert not is_valid_ip_int(True)
+
+    def test_float_is_not_an_address(self):
+        assert not is_valid_ip_int(1.0)
+
+    @given(ip_ints)
+    def test_in_range_ints_are_valid(self, value):
+        assert is_valid_ip_int(value)
+
+
+class TestBulkHelpers:
+    def test_parse_ips_returns_uint32(self):
+        arr = parse_ips(["1.2.3.4", "5.6.7.8"])
+        assert arr.dtype == np.uint32
+        assert arr.tolist() == [parse_ip("1.2.3.4"), parse_ip("5.6.7.8")]
+
+    def test_format_ips_roundtrip(self):
+        texts = ["0.0.0.0", "127.0.0.1", "255.255.255.255"]
+        assert format_ips(parse_ips(texts)) == texts
+
+    def test_ip_distance_symmetric(self):
+        a, b = parse_ip("10.0.0.1"), parse_ip("10.0.0.9")
+        assert ip_distance(a, b) == ip_distance(b, a) == 8
+
+    def test_ip_distance_rejects_invalid(self):
+        with pytest.raises(AddressError):
+            ip_distance(-1, 0)
+
+
+class TestBlockOf:
+    def test_slash24_base(self):
+        assert block_of(parse_ip("192.0.2.77"), 24) == parse_ip("192.0.2.0")
+
+    def test_slash16_base(self):
+        assert block_of(parse_ip("192.0.2.77"), 16) == parse_ip("192.0.0.0")
+
+    def test_slash0_is_zero(self):
+        assert block_of(parse_ip("192.0.2.77"), 0) == 0
+
+    def test_slash32_is_identity(self):
+        ip = parse_ip("192.0.2.77")
+        assert block_of(ip, 32) == ip
+
+    def test_rejects_bad_masklen(self):
+        with pytest.raises(AddressError):
+            block_of(0, 33)
+
+    @given(ip_ints, st.integers(min_value=0, max_value=32))
+    def test_scalar_and_vector_agree(self, ip, masklen):
+        scalar = block_of(ip, masklen)
+        vector = blocks_of(np.array([ip], dtype=np.uint32), masklen)
+        assert int(vector[0]) == scalar
+
+    @given(ip_ints, st.integers(min_value=0, max_value=32))
+    def test_block_base_is_idempotent(self, ip, masklen):
+        base = block_of(ip, masklen)
+        assert block_of(base, masklen) == base
+
+    @given(ip_ints, st.integers(min_value=0, max_value=31))
+    def test_shorter_mask_gives_smaller_or_equal_base(self, ip, masklen):
+        assert block_of(ip, masklen) <= block_of(ip, masklen + 1)

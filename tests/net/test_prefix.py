@@ -1,0 +1,247 @@
+"""Unit and property tests for repro.net.prefix."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PrefixError
+from repro.net.ipv4 import MAX_IPV4, parse_ip
+from repro.net.prefix import (
+    Prefix,
+    coalesce,
+    common_prefix_length,
+    smallest_covering_prefix,
+    span_to_prefixes,
+)
+
+ip_ints = st.integers(min_value=0, max_value=MAX_IPV4)
+
+
+@st.composite
+def prefixes(draw, min_masklen=0, max_masklen=32):
+    masklen = draw(st.integers(min_value=min_masklen, max_value=max_masklen))
+    ip = draw(ip_ints)
+    return Prefix.from_ip(ip, masklen)
+
+
+class TestPrefixConstruction:
+    def test_parse_cidr(self):
+        pfx = Prefix.parse("192.0.2.0/24")
+        assert pfx.network == parse_ip("192.0.2.0")
+        assert pfx.masklen == 24
+
+    def test_parse_bare_address_is_host_prefix(self):
+        assert Prefix.parse("10.0.0.1").masklen == 32
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix(parse_ip("192.0.2.1"), 24)
+
+    def test_rejects_bad_masklen(self):
+        with pytest.raises(PrefixError):
+            Prefix(0, 33)
+
+    def test_rejects_garbage_mask_text(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.0/abc")
+
+    def test_from_ip_zeroes_host_bits(self):
+        pfx = Prefix.from_ip(parse_ip("192.0.2.77"), 24)
+        assert pfx == Prefix.parse("192.0.2.0/24")
+
+    def test_str_roundtrip(self):
+        assert str(Prefix.parse("172.16.0.0/12")) == "172.16.0.0/12"
+
+
+class TestPrefixProperties:
+    def test_num_addresses(self):
+        assert Prefix.parse("10.0.0.0/24").num_addresses == 256
+        assert Prefix.parse("10.0.0.0/31").num_addresses == 2
+        assert Prefix.parse("0.0.0.0/0").num_addresses == 2**32
+
+    def test_first_last(self):
+        pfx = Prefix.parse("192.0.2.0/24")
+        assert pfx.first == parse_ip("192.0.2.0")
+        assert pfx.last == parse_ip("192.0.2.255")
+
+    def test_contains_ip(self):
+        pfx = Prefix.parse("192.0.2.0/24")
+        assert parse_ip("192.0.2.200") in pfx
+        assert parse_ip("192.0.3.0") not in pfx
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.1.0.0/16")
+        assert inner in outer
+        assert outer not in inner
+
+    def test_contains_rejects_junk(self):
+        assert "hello" not in Prefix.parse("10.0.0.0/8")
+
+    def test_ordering_groups_nested(self):
+        items = sorted(
+            [
+                Prefix.parse("10.0.1.0/24"),
+                Prefix.parse("10.0.0.0/16"),
+                Prefix.parse("10.0.0.0/24"),
+            ]
+        )
+        assert [str(p) for p in items] == ["10.0.0.0/16", "10.0.0.0/24", "10.0.1.0/24"]
+
+
+class TestSupernetSubnets:
+    def test_supernet_default_one_bit(self):
+        assert Prefix.parse("10.1.0.0/16").supernet() == Prefix.parse("10.0.0.0/15")
+
+    def test_supernet_explicit(self):
+        assert Prefix.parse("10.1.2.0/24").supernet(8) == Prefix.parse("10.0.0.0/8")
+
+    def test_supernet_rejects_longer_mask(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.0/16").supernet(24)
+
+    def test_subnets_cover_parent_exactly(self):
+        parent = Prefix.parse("192.0.2.0/24")
+        halves = list(parent.subnets())
+        assert len(halves) == 2
+        assert halves[0].first == parent.first
+        assert halves[1].last == parent.last
+
+    def test_subnets_rejects_shorter_mask(self):
+        with pytest.raises(PrefixError):
+            list(Prefix.parse("10.0.0.0/16").subnets(8))
+
+    def test_addresses_materialises_block(self):
+        addrs = Prefix.parse("192.0.2.0/30").addresses()
+        assert addrs.tolist() == [parse_ip("192.0.2.0") + i for i in range(4)]
+
+    def test_addresses_refuses_huge_block(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.0/8").addresses()
+
+    @given(prefixes(min_masklen=1, max_masklen=31))
+    def test_subnets_partition_parent(self, parent):
+        children = list(parent.subnets())
+        assert children[0].first == parent.first
+        assert children[-1].last == parent.last
+        assert all(child in parent for child in children)
+        assert children[0].last + 1 == children[1].first
+
+
+class TestSmallestCoveringPrefix:
+    def test_single_ip_is_host_prefix(self):
+        ip = parse_ip("192.0.2.5")
+        assert smallest_covering_prefix([ip]) == Prefix(ip, 32)
+
+    def test_adjacent_pair_even_base(self):
+        base = parse_ip("192.0.2.4")
+        assert smallest_covering_prefix([base, base + 1]).masklen == 31
+
+    def test_adjacent_pair_across_boundary_widens(self):
+        # .1 and .2 straddle a /31 boundary, so the cover is a /30.
+        base = parse_ip("192.0.2.1")
+        assert smallest_covering_prefix([base, base + 1]).masklen == 30
+
+    def test_full_slash24(self):
+        block = Prefix.parse("10.2.3.0/24")
+        assert smallest_covering_prefix(block.addresses()) == block
+
+    def test_span_of_everything_is_default_route(self):
+        assert smallest_covering_prefix([0, MAX_IPV4]) == Prefix(0, 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(PrefixError):
+            smallest_covering_prefix([])
+
+    @given(st.lists(ip_ints, min_size=1, max_size=20))
+    def test_cover_contains_all_inputs(self, ips):
+        cover = smallest_covering_prefix(ips)
+        assert all(ip in cover for ip in ips)
+
+    @given(st.lists(ip_ints, min_size=2, max_size=20))
+    def test_cover_is_minimal(self, ips):
+        cover = smallest_covering_prefix(ips)
+        if cover.masklen < 32:
+            halves = list(cover.subnets())
+            arr = np.asarray(ips)
+            # Minimality: the extremes land in different halves of the
+            # cover, so no longer-mask prefix could contain them all.
+            assert int(arr.min()) in halves[0]
+            assert int(arr.max()) in halves[1]
+
+
+class TestCommonPrefixLength:
+    def test_identical_addresses(self):
+        assert common_prefix_length(12345, 12345) == 32
+
+    def test_top_bit_differs(self):
+        assert common_prefix_length(0, 1 << 31) == 0
+
+    @given(ip_ints, ip_ints)
+    def test_matches_cover_masklen(self, a, b):
+        assert common_prefix_length(a, b) == smallest_covering_prefix([a, b]).masklen
+
+
+class TestCoalesce:
+    def test_merges_siblings(self):
+        merged = coalesce([Prefix.parse("10.0.0.0/25"), Prefix.parse("10.0.0.128/25")])
+        assert merged == [Prefix.parse("10.0.0.0/24")]
+
+    def test_absorbs_nested(self):
+        merged = coalesce([Prefix.parse("10.0.0.0/8"), Prefix.parse("10.1.0.0/16")])
+        assert merged == [Prefix.parse("10.0.0.0/8")]
+
+    def test_keeps_disjoint(self):
+        inputs = [Prefix.parse("10.0.0.0/24"), Prefix.parse("10.0.2.0/24")]
+        assert coalesce(inputs) == inputs
+
+    def test_cascading_merge(self):
+        quarters = list(Prefix.parse("10.0.0.0/24").subnets(26))
+        assert coalesce(quarters) == [Prefix.parse("10.0.0.0/24")]
+
+    @given(st.lists(prefixes(min_masklen=8), min_size=1, max_size=15))
+    def test_preserves_address_set(self, items):
+        merged = coalesce(items)
+        # Pairwise disjoint...
+        for i, a in enumerate(merged):
+            for b in merged[i + 1 :]:
+                assert not a.overlaps(b)
+        # ...and same total coverage.
+        covered_before = sum(p.num_addresses for p in coalesce(items))
+        covered_after = sum(p.num_addresses for p in merged)
+        assert covered_before == covered_after
+        for pfx in items:
+            assert any(pfx in m for m in merged)
+
+
+class TestSpanToPrefixes:
+    def test_exact_block(self):
+        block = Prefix.parse("192.0.2.0/24")
+        assert span_to_prefixes(block.first, block.last) == [block]
+
+    def test_single_address(self):
+        ip = parse_ip("10.0.0.1")
+        assert span_to_prefixes(ip, ip) == [Prefix(ip, 32)]
+
+    def test_unaligned_span(self):
+        first = parse_ip("10.0.0.1")
+        last = parse_ip("10.0.0.6")
+        parts = span_to_prefixes(first, last)
+        covered = [ip for part in parts for ip in range(part.first, part.last + 1)]
+        assert covered == list(range(first, last + 1))
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(PrefixError):
+            span_to_prefixes(10, 5)
+
+    @given(ip_ints, ip_ints)
+    def test_partition_covers_span_exactly(self, a, b):
+        first, last = min(a, b), max(a, b)
+        parts = span_to_prefixes(first, last)
+        assert parts[0].first == first
+        assert parts[-1].last == last
+        total = sum(p.num_addresses for p in parts)
+        assert total == last - first + 1
+        for left, right in zip(parts, parts[1:]):
+            assert left.last + 1 == right.first

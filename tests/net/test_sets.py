@@ -1,0 +1,174 @@
+"""Unit and property tests for repro.net.sets.IPSet."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.net.ipv4 import MAX_IPV4, parse_ip
+from repro.net.prefix import Prefix
+from repro.net.sets import IPSet
+
+# Keep property-test sets in a small corner of the space so that
+# reference computations on materialised python sets stay cheap.
+small_ips = st.integers(min_value=0, max_value=2000)
+
+
+@st.composite
+def small_ipsets(draw):
+    ranges = draw(
+        st.lists(st.tuples(small_ips, small_ips), min_size=0, max_size=8)
+    )
+    return IPSet((min(a, b), max(a, b)) for a, b in ranges)
+
+
+def as_python_set(ipset):
+    return {ip for first, last in ipset.ranges() for ip in range(first, last + 1)}
+
+
+class TestConstruction:
+    def test_empty(self):
+        empty = IPSet()
+        assert len(empty) == 0
+        assert not empty
+        assert empty.num_ranges == 0
+
+    def test_single_range_inclusive(self):
+        s = IPSet([(10, 20)])
+        assert len(s) == 11
+        assert 10 in s and 20 in s and 21 not in s
+
+    def test_merges_overlapping_ranges(self):
+        s = IPSet([(10, 20), (15, 30)])
+        assert s.num_ranges == 1
+        assert len(s) == 21
+
+    def test_merges_adjacent_ranges(self):
+        s = IPSet([(10, 20), (21, 30)])
+        assert s.num_ranges == 1
+
+    def test_keeps_disjoint_ranges(self):
+        s = IPSet([(10, 20), (30, 40)])
+        assert s.num_ranges == 2
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(AddressError):
+            IPSet([(20, 10)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            IPSet([(0, MAX_IPV4 + 1)])
+
+    def test_from_ips_builds_runs(self):
+        s = IPSet.from_ips([5, 1, 2, 3, 9, 2])
+        assert s.num_ranges == 3
+        assert len(s) == 5
+        assert list(s.ranges()) == [(1, 3), (5, 5), (9, 9)]
+
+    def test_from_ips_empty(self):
+        assert len(IPSet.from_ips([])) == 0
+
+    def test_from_prefixes(self):
+        s = IPSet.from_prefixes([Prefix.parse("10.0.0.0/24"), Prefix.parse("10.0.1.0/24")])
+        assert s.num_ranges == 1
+        assert len(s) == 512
+
+
+class TestMembership:
+    def test_contains_rejects_non_addresses(self):
+        s = IPSet([(10, 20)])
+        assert "x" not in s
+        assert True not in s
+        assert -5 not in s
+
+    def test_contains_many(self):
+        s = IPSet([(10, 20), (30, 40)])
+        probe = np.array([9, 10, 20, 21, 35, 41])
+        assert s.contains_many(probe).tolist() == [False, True, True, False, True, False]
+
+    def test_contains_many_empty_set(self):
+        assert IPSet().contains_many(np.array([1, 2])).tolist() == [False, False]
+
+    @given(small_ipsets(), st.lists(small_ips, min_size=1, max_size=30))
+    def test_contains_many_matches_scalar(self, s, probes):
+        bulk = s.contains_many(np.array(probes))
+        for probe, got in zip(probes, bulk):
+            assert got == (probe in s)
+
+
+class TestMaterialisation:
+    def test_addresses_roundtrip(self):
+        s = IPSet([(100, 105), (200, 200)])
+        assert s.addresses().tolist() == [100, 101, 102, 103, 104, 105, 200]
+
+    def test_addresses_guard(self):
+        s = IPSet([(0, 20_000_000)])
+        with pytest.raises(AddressError):
+            s.addresses()
+        assert s.addresses(limit=None).size == 20_000_001
+
+    def test_prefixes_decomposition_covers_exactly(self):
+        s = IPSet([(parse_ip("10.0.0.1"), parse_ip("10.0.0.14"))])
+        rebuilt = IPSet.from_prefixes(s.prefixes())
+        assert rebuilt == s
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert (IPSet([(1, 5)]) | IPSet([(4, 9)])) == IPSet([(1, 9)])
+
+    def test_intersection(self):
+        assert (IPSet([(1, 5)]) & IPSet([(4, 9)])) == IPSet([(4, 5)])
+
+    def test_intersection_disjoint_is_empty(self):
+        assert not (IPSet([(1, 5)]) & IPSet([(7, 9)]))
+
+    def test_difference_splits_range(self):
+        got = IPSet([(1, 10)]) - IPSet([(4, 6)])
+        assert got == IPSet([(1, 3), (7, 10)])
+
+    def test_difference_with_superset_is_empty(self):
+        assert not (IPSet([(4, 6)]) - IPSet([(1, 10)]))
+
+    def test_subset_and_disjoint(self):
+        inner, outer = IPSet([(4, 6)]), IPSet([(1, 10)])
+        assert inner.issubset(outer)
+        assert not outer.issubset(inner)
+        assert inner.isdisjoint(IPSet([(20, 30)]))
+        assert not inner.isdisjoint(outer)
+
+    @settings(max_examples=60)
+    @given(small_ipsets(), small_ipsets())
+    def test_union_matches_python_sets(self, a, b):
+        assert as_python_set(a | b) == as_python_set(a) | as_python_set(b)
+
+    @settings(max_examples=60)
+    @given(small_ipsets(), small_ipsets())
+    def test_intersection_matches_python_sets(self, a, b):
+        assert as_python_set(a & b) == as_python_set(a) & as_python_set(b)
+
+    @settings(max_examples=60)
+    @given(small_ipsets(), small_ipsets())
+    def test_difference_matches_python_sets(self, a, b):
+        assert as_python_set(a - b) == as_python_set(a) - as_python_set(b)
+
+    @given(small_ipsets(), small_ipsets())
+    def test_len_inclusion_exclusion(self, a, b):
+        assert len(a | b) == len(a) + len(b) - len(a & b)
+
+    @given(small_ipsets())
+    def test_self_difference_is_empty(self, a):
+        assert len(a - a) == 0
+
+    @given(small_ipsets())
+    def test_ranges_are_sorted_and_disjoint(self, a):
+        ranges = list(a.ranges())
+        for (f1, l1), (f2, l2) in zip(ranges, ranges[1:]):
+            assert l1 + 1 < f2  # gap of at least one address between ranges
+
+    @given(small_ipsets())
+    def test_from_ips_roundtrip(self, a):
+        if len(a) == 0:
+            return
+        assert IPSet.from_ips(a.addresses()) == a

@@ -1,0 +1,185 @@
+"""Unit and property tests for repro.net.trie."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PrefixError
+from repro.net.ipv4 import MAX_IPV4, parse_ip
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+ip_ints = st.integers(min_value=0, max_value=MAX_IPV4)
+
+
+@st.composite
+def prefix_value_maps(draw):
+    entries = draw(
+        st.lists(
+            st.tuples(ip_ints, st.integers(min_value=0, max_value=28)),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    mapping = {}
+    for value, (ip, masklen) in enumerate(entries):
+        mapping[Prefix.from_ip(ip, masklen)] = value
+    return mapping
+
+
+def linear_lpm(mapping, ip):
+    """Reference longest-prefix match by linear scan."""
+    best = None
+    for prefix, value in mapping.items():
+        if ip in prefix and (best is None or prefix.masklen > best[0].masklen):
+            best = (prefix, value)
+    return best
+
+
+class TestTrieBasics:
+    def test_empty_trie(self):
+        trie = PrefixTrie()
+        assert len(trie) == 0
+        assert trie.lookup(parse_ip("1.2.3.4")) is None
+
+    def test_insert_and_exact_get(self):
+        trie = PrefixTrie()
+        pfx = Prefix.parse("10.0.0.0/8")
+        trie.insert(pfx, "ten")
+        assert len(trie) == 1
+        assert pfx in trie
+        assert trie.get(pfx) == "ten"
+
+    def test_get_returns_default_for_missing(self):
+        trie = PrefixTrie()
+        assert trie.get(Prefix.parse("10.0.0.0/8"), default="nope") == "nope"
+
+    def test_insert_replaces_value_without_growing(self):
+        trie = PrefixTrie()
+        pfx = Prefix.parse("10.0.0.0/8")
+        trie.insert(pfx, 1)
+        trie.insert(pfx, 2)
+        assert len(trie) == 1
+        assert trie.get(pfx) == 2
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        pfx = Prefix.parse("10.0.0.0/8")
+        trie.insert(pfx, 1)
+        trie.remove(pfx)
+        assert len(trie) == 0
+        assert pfx not in trie
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(PrefixError):
+            PrefixTrie().remove(Prefix.parse("10.0.0.0/8"))
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix(0, 0), "default")
+        matched, value = trie.lookup(parse_ip("203.0.113.9"))
+        assert value == "default"
+        assert matched.masklen == 0
+
+
+class TestLongestPrefixMatch:
+    def test_prefers_more_specific(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "coarse")
+        trie.insert(Prefix.parse("10.1.0.0/16"), "fine")
+        assert trie.lookup(parse_ip("10.1.2.3"))[1] == "fine"
+        assert trie.lookup(parse_ip("10.2.2.3"))[1] == "coarse"
+
+    def test_no_match_outside_coverage(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "ten")
+        assert trie.lookup(parse_ip("11.0.0.0")) is None
+
+    def test_host_route(self):
+        trie = PrefixTrie()
+        ip = parse_ip("192.0.2.1")
+        trie.insert(Prefix(ip, 32), "host")
+        trie.insert(Prefix.parse("192.0.2.0/24"), "block")
+        assert trie.lookup(ip)[1] == "host"
+        assert trie.lookup(ip + 1)[1] == "block"
+
+    def test_items_sorted_by_address(self):
+        trie = PrefixTrie()
+        for text in ["192.0.2.0/24", "10.0.0.0/8", "172.16.0.0/12"]:
+            trie.insert(Prefix.parse(text), text)
+        assert [str(p) for p in trie.prefixes()] == [
+            "10.0.0.0/8",
+            "172.16.0.0/12",
+            "192.0.2.0/24",
+        ]
+
+    @settings(max_examples=50)
+    @given(prefix_value_maps(), st.lists(ip_ints, min_size=1, max_size=50))
+    def test_matches_linear_reference(self, mapping, ips):
+        trie = PrefixTrie()
+        for prefix, value in mapping.items():
+            trie.insert(prefix, value)
+        for ip in ips:
+            got = trie.lookup(ip)
+            want = linear_lpm(mapping, ip)
+            if want is None:
+                assert got is None
+            else:
+                assert got[1] == want[1]
+                assert got[0].masklen == want[0].masklen
+
+
+class TestBulkLookup:
+    def test_lookup_many_matches_pointwise(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "a")
+        trie.insert(Prefix.parse("10.128.0.0/9"), "b")
+        trie.insert(Prefix.parse("192.0.2.0/24"), "c")
+        ips = np.array(
+            [parse_ip(t) for t in ["10.1.1.1", "10.200.0.1", "192.0.2.9", "8.8.8.8"]],
+            dtype=np.uint32,
+        )
+        assert trie.lookup_many(ips, default="?") == ["a", "b", "c", "?"]
+
+    def test_lookup_many_int(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), 64500)
+        trie.insert(Prefix.parse("10.1.0.0/16"), 64501)
+        ips = np.array([parse_ip("10.1.0.1"), parse_ip("10.9.0.1"), 0], dtype=np.uint32)
+        out = trie.lookup_many_int(ips)
+        assert out.tolist() == [64501, 64500, -1]
+
+    def test_index_invalidated_on_mutation(self):
+        trie = PrefixTrie()
+        pfx = Prefix.parse("10.0.0.0/8")
+        trie.insert(pfx, 1)
+        ips = np.array([parse_ip("10.0.0.1")], dtype=np.uint32)
+        assert trie.lookup_many_int(ips).tolist() == [1]
+        trie.insert(Prefix.parse("10.0.0.0/16"), 2)
+        assert trie.lookup_many_int(ips).tolist() == [2]
+        trie.remove(pfx)
+        assert trie.lookup_many_int(np.array([parse_ip("10.1.0.1")])).tolist() == [-1]
+
+    def test_empty_input(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), 1)
+        assert trie.lookup_many_int(np.empty(0, dtype=np.uint32)).size == 0
+
+    @settings(max_examples=40)
+    @given(prefix_value_maps(), st.lists(ip_ints, min_size=1, max_size=60))
+    def test_bulk_agrees_with_pointwise(self, mapping, ips):
+        trie = PrefixTrie()
+        for prefix, value in mapping.items():
+            trie.insert(prefix, value)
+        arr = np.array(ips, dtype=np.uint32)
+        bulk = trie.lookup_many(arr, default=None)
+        bulk_int = trie.lookup_many_int(arr, default=-1)
+        for ip, got, got_int in zip(ips, bulk, bulk_int):
+            want = trie.lookup(ip)
+            if want is None:
+                assert got is None
+                assert got_int == -1
+            else:
+                assert got == want[1]
+                assert got_int == want[1]

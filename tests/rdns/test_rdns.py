@@ -1,0 +1,196 @@
+"""Tests for repro.rdns (PTR synthesis + classification)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError
+from repro.net.ipv4 import parse_ip
+from repro.rdns.classify import (
+    AssignmentTag,
+    classify_block,
+    classify_hostname,
+    classify_zone,
+)
+from repro.rdns.ptr import (
+    NamingScheme,
+    PTRRecord,
+    draw_scheme,
+    hostname_for,
+    synthesize_block_ptrs,
+)
+
+BLOCK = parse_ip("198.51.100.0")
+
+
+class TestHostnameFor:
+    def test_static_scheme_contains_keyword(self):
+        name = hostname_for(BLOCK + 7, NamingScheme.STATIC_KEYWORD, "ispA")
+        assert "static" in name
+        assert "198-51-100-7" in name
+
+    def test_dynamic_scheme_contains_keyword(self):
+        name = hostname_for(BLOCK + 7, NamingScheme.DYNAMIC_KEYWORD, "ispA")
+        assert "dynamic" in name
+
+    def test_pool_scheme_contains_keyword(self):
+        name = hostname_for(BLOCK + 7, NamingScheme.POOL_KEYWORD, "ispA")
+        assert ".pool." in name
+
+    def test_generic_scheme_has_no_keywords(self):
+        name = hostname_for(BLOCK + 7, NamingScheme.GENERIC, "ispA")
+        assert classify_hostname(name) is None
+
+    def test_none_scheme(self):
+        assert hostname_for(BLOCK, NamingScheme.NONE, "ispA") is None
+
+
+class TestClassifyHostname:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "static-1-2-3-4.isp.example.net",
+            "host.static.isp.example.net",
+            "STATIC-1-2-3-4.ISP.EXAMPLE.NET",
+        ],
+    )
+    def test_static_names(self, name):
+        assert classify_hostname(name) is AssignmentTag.STATIC
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "dynamic-1-2-3-4.isp.example.net",
+            "4.3.pool.isp.example.net",
+            "dyn-1-2-3-4.isp.example.net",
+            "dhcp-104.isp.example.net",
+        ],
+    )
+    def test_dynamic_names(self, name):
+        assert classify_hostname(name) is AssignmentTag.DYNAMIC
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "cpe-1-2-3-4.isp.example.net",
+            "server1.example.net",
+            # Keyword must be token-delimited, not an arbitrary substring.
+            "hydrostatics.example.net",
+            "poolside.example.net",
+            # Contradictory names carry no signal.
+            "static-dynamic.example.net",
+        ],
+    )
+    def test_untagged_names(self, name):
+        assert classify_hostname(name) is None
+
+
+class TestClassifyBlock:
+    def records(self, scheme, n=32):
+        return [
+            PTRRecord(BLOCK + i, hostname_for(BLOCK + i, scheme, "isp"))
+            for i in range(n)
+        ]
+
+    def test_consistent_static_block(self):
+        assert classify_block(self.records(NamingScheme.STATIC_KEYWORD)) is AssignmentTag.STATIC
+
+    def test_consistent_dynamic_block(self):
+        assert classify_block(self.records(NamingScheme.POOL_KEYWORD)) is AssignmentTag.DYNAMIC
+
+    def test_generic_block_untagged(self):
+        assert classify_block(self.records(NamingScheme.GENERIC)) is None
+
+    def test_too_few_keyword_records(self):
+        assert classify_block(self.records(NamingScheme.STATIC_KEYWORD, n=4)) is None
+
+    def test_inconsistent_block_untagged(self):
+        mixed = self.records(NamingScheme.STATIC_KEYWORD, n=16) + self.records(
+            NamingScheme.DYNAMIC_KEYWORD, n=16
+        )
+        assert classify_block(mixed) is None
+
+    def test_minor_noise_tolerated(self):
+        mostly = self.records(NamingScheme.DYNAMIC_KEYWORD, n=30) + self.records(
+            NamingScheme.STATIC_KEYWORD, n=1
+        )
+        assert classify_block(mostly) is AssignmentTag.DYNAMIC
+
+
+class TestClassifyZone:
+    def test_groups_by_slash24(self):
+        block2 = parse_ip("198.51.101.0")
+        records = [
+            PTRRecord(BLOCK + i, hostname_for(BLOCK + i, NamingScheme.STATIC_KEYWORD, "a"))
+            for i in range(16)
+        ] + [
+            PTRRecord(block2 + i, hostname_for(block2 + i, NamingScheme.POOL_KEYWORD, "b"))
+            for i in range(16)
+        ]
+        tags = classify_zone(records)
+        assert tags == {BLOCK: AssignmentTag.STATIC, block2: AssignmentTag.DYNAMIC}
+
+    def test_untaggable_blocks_omitted(self):
+        records = [
+            PTRRecord(BLOCK + i, hostname_for(BLOCK + i, NamingScheme.GENERIC, "a"))
+            for i in range(16)
+        ]
+        assert classify_zone(records) == {}
+
+
+class TestSynthesis:
+    def test_full_coverage_produces_256_records(self):
+        records = synthesize_block_ptrs(
+            BLOCK, NamingScheme.STATIC_KEYWORD, "isp", np.random.default_rng(0), coverage=1.0
+        )
+        assert len(records) == 256
+        assert all(record.ip >> 8 == BLOCK >> 8 for record in records)
+
+    def test_partial_coverage(self):
+        records = synthesize_block_ptrs(
+            BLOCK, NamingScheme.GENERIC, "isp", np.random.default_rng(0), coverage=0.5
+        )
+        assert 80 < len(records) < 176
+
+    def test_none_scheme_empty(self):
+        records = synthesize_block_ptrs(
+            BLOCK, NamingScheme.NONE, "isp", np.random.default_rng(0)
+        )
+        assert records == []
+
+    def test_rejects_non_block_base(self):
+        with pytest.raises(AddressError):
+            synthesize_block_ptrs(BLOCK + 1, NamingScheme.GENERIC, "isp", np.random.default_rng(0))
+
+    def test_rejects_bad_coverage(self):
+        with pytest.raises(AddressError):
+            synthesize_block_ptrs(
+                BLOCK, NamingScheme.GENERIC, "isp", np.random.default_rng(0), coverage=1.5
+            )
+
+    def test_roundtrip_classification(self):
+        """A synthesised keyword block classifies back to its policy."""
+        rng = np.random.default_rng(1)
+        static = synthesize_block_ptrs(BLOCK, NamingScheme.STATIC_KEYWORD, "isp", rng)
+        dynamic = synthesize_block_ptrs(BLOCK, NamingScheme.DYNAMIC_KEYWORD, "isp", rng)
+        assert classify_block(static) is AssignmentTag.STATIC
+        assert classify_block(dynamic) is AssignmentTag.DYNAMIC
+
+
+class TestDrawScheme:
+    def test_static_policy_never_gets_dynamic_keywords(self):
+        rng = np.random.default_rng(2)
+        schemes = {draw_scheme("static", rng) for _ in range(300)}
+        assert NamingScheme.DYNAMIC_KEYWORD not in schemes
+        assert NamingScheme.POOL_KEYWORD not in schemes
+        assert NamingScheme.STATIC_KEYWORD in schemes
+
+    def test_dynamic_policy_never_gets_static_keyword(self):
+        rng = np.random.default_rng(3)
+        schemes = {draw_scheme("dynamic", rng) for _ in range(300)}
+        assert NamingScheme.STATIC_KEYWORD not in schemes
+        assert schemes & {NamingScheme.DYNAMIC_KEYWORD, NamingScheme.POOL_KEYWORD}
+
+    def test_unknown_policy_gets_no_keywords(self):
+        rng = np.random.default_rng(4)
+        schemes = {draw_scheme("gateway", rng) for _ in range(100)}
+        assert schemes <= {NamingScheme.GENERIC, NamingScheme.NONE}

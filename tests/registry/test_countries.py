@@ -1,0 +1,95 @@
+"""Tests for repro.registry.countries."""
+
+import pytest
+
+from repro.errors import RegistryError
+from repro.registry.countries import (
+    COUNTRIES,
+    broadband_ranks,
+    cellular_ranks,
+    countries_of,
+    get_country,
+    spearman_rank_correlation,
+)
+from repro.registry.rir import RIR
+
+
+class TestCountryTable:
+    def test_codes_unique(self):
+        codes = [country.code for country in COUNTRIES]
+        assert len(codes) == len(set(codes))
+
+    def test_every_rir_represented(self):
+        assert {country.rir for country in COUNTRIES} == set(RIR)
+
+    def test_each_rir_has_multiple_countries(self):
+        for rir in RIR:
+            assert len(countries_of(rir)) >= 2
+
+    def test_rates_are_probabilities(self):
+        for country in COUNTRIES:
+            assert 0.0 < country.icmp_response_rate <= 1.0
+            assert 0.0 <= country.cgn_share <= 1.0
+
+    def test_subscriber_counts_positive(self):
+        for country in COUNTRIES:
+            assert country.broadband_subs >= 0
+            assert country.cellular_subs > 0
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_country("us") is get_country("US")
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(RegistryError):
+            get_country("XX")
+
+
+class TestPaperAnchors:
+    """The specific per-country facts the paper leans on (Sec. 3.4)."""
+
+    def test_china_icmp_friendly_japan_not(self):
+        # "close to 80% of the IP addresses do respond to ICMP" (CN)
+        # vs "only about 25%" (JP).
+        assert get_country("CN").icmp_response_rate >= 0.75
+        assert get_country("JP").icmp_response_rate <= 0.30
+
+    def test_china_tops_both_subscriber_ranks(self):
+        assert broadband_ranks()["CN"] == 1
+        assert cellular_ranks()["CN"] == 1
+
+    def test_us_broadband_second(self):
+        assert broadband_ranks()["US"] == 2
+
+    def test_cellular_heavy_countries_have_high_cgn(self):
+        # India/Indonesia/Nigeria: huge cellular bases behind CGN.
+        for code in ("IN", "ID", "NG"):
+            assert get_country(code).cgn_share >= 0.8
+
+    def test_broadband_and_cellular_ranks_disagree(self):
+        # The divergence of the two rank rows in Fig. 3b.
+        broadband = broadband_ranks()
+        cellular = cellular_ranks()
+        disagreements = sum(
+            1 for code in broadband if abs(broadband[code] - cellular[code]) >= 3
+        )
+        assert disagreements >= 5
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        ranks = {"A": 1, "B": 2, "C": 3}
+        assert spearman_rank_correlation(ranks, ranks) == pytest.approx(1.0)
+
+    def test_perfect_reversal(self):
+        a = {"A": 1, "B": 2, "C": 3}
+        b = {"A": 3, "B": 2, "C": 1}
+        assert spearman_rank_correlation(a, b) == pytest.approx(-1.0)
+
+    def test_restricted_to_common_keys(self):
+        a = {"A": 1, "B": 2, "Z": 9}
+        b = {"A": 10, "B": 20, "Q": 1}
+        assert spearman_rank_correlation(a, b) == pytest.approx(1.0)
+
+    def test_needs_two_common_keys(self):
+        with pytest.raises(RegistryError):
+            spearman_rank_correlation({"A": 1}, {"B": 1})

@@ -1,0 +1,178 @@
+"""Tests for repro.registry.delegations."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import RegistryError
+from repro.net.ipv4 import parse_ip
+from repro.registry.delegations import (
+    DelegationRecord,
+    DelegationTable,
+    synthesize_delegations,
+)
+from repro.registry.rir import RIR
+
+DATE = datetime.date(2005, 6, 1)
+
+
+def record(start, count, rir=RIR.RIPE, country="DE", status="allocated"):
+    return DelegationRecord(
+        rir=rir, country=country, start=parse_ip(start), count=count, date=DATE, status=status
+    )
+
+
+class TestDelegationRecord:
+    def test_last_is_inclusive(self):
+        rec = record("10.0.0.0", 256)
+        assert rec.last == parse_ip("10.0.0.255")
+
+    def test_prefix_decomposition(self):
+        rec = record("10.0.0.0", 768)  # /24 + /24 + /24 = not a single CIDR
+        total = sum(prefix.num_addresses for prefix in rec.prefixes())
+        assert total == 768
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(RegistryError):
+            record("10.0.0.0", 0)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(RegistryError):
+            DelegationRecord(RIR.ARIN, "US", 0xFFFFFFFF, 2, DATE)
+
+    def test_line_roundtrip(self):
+        rec = record("41.0.0.0", 2097152, rir=RIR.AFRINIC, country="ZA")
+        line = rec.to_line()
+        assert line == "afrinic|ZA|ipv4|41.0.0.0|2097152|20050601|allocated"
+        assert DelegationRecord.from_line(line) == rec
+
+    def test_from_line_rejects_ipv6(self):
+        with pytest.raises(RegistryError):
+            DelegationRecord.from_line("arin|US|ipv6|2001:db8::|32|20050601|allocated")
+
+    def test_from_line_rejects_bad_date(self):
+        with pytest.raises(RegistryError):
+            DelegationRecord.from_line("arin|US|ipv4|1.0.0.0|256|2005|allocated")
+
+
+class TestDelegationTable:
+    def make_table(self):
+        return DelegationTable(
+            [
+                record("10.0.0.0", 65536, rir=RIR.ARIN, country="US"),
+                record("10.1.0.0", 65536, rir=RIR.RIPE, country="DE"),
+                record("10.2.0.0", 256, rir=RIR.APNIC, country="JP"),
+            ]
+        )
+
+    def test_lookup_hits(self):
+        table = self.make_table()
+        assert table.lookup(parse_ip("10.0.5.5")).country == "US"
+        assert table.lookup(parse_ip("10.1.200.1")).country == "DE"
+        assert table.lookup(parse_ip("10.2.0.255")).country == "JP"
+
+    def test_lookup_miss(self):
+        assert self.make_table().lookup(parse_ip("11.0.0.0")) is None
+
+    def test_rejects_overlap(self):
+        with pytest.raises(RegistryError):
+            DelegationTable(
+                [record("10.0.0.0", 65536), record("10.0.255.0", 512)]
+            )
+
+    def test_bulk_lookup_matches_scalar(self):
+        table = self.make_table()
+        ips = np.array(
+            [parse_ip(t) for t in ["10.0.0.1", "10.1.0.1", "10.2.0.1", "12.0.0.1"]],
+            dtype=np.uint32,
+        )
+        countries = table.country_of_many(ips)
+        assert countries == ["US", "DE", "JP", None]
+        rirs = table.rir_of_many(ips)
+        assert rirs == [RIR.ARIN, RIR.RIPE, RIR.APNIC, None]
+
+    def test_records_of_filters(self):
+        table = self.make_table()
+        assert len(table.records_of(rir=RIR.ARIN)) == 1
+        assert len(table.records_of(country="de")) == 1
+        assert len(table.records_of(rir=RIR.ARIN, country="DE")) == 0
+
+    def test_total_addresses(self):
+        table = self.make_table()
+        assert table.total_addresses() == 65536 * 2 + 256
+        assert table.total_addresses(RIR.APNIC) == 256
+
+    def test_lines_roundtrip(self):
+        table = self.make_table()
+        rebuilt = DelegationTable.from_lines(table.to_lines())
+        assert rebuilt.records == table.records
+
+    def test_from_lines_skips_noise(self):
+        lines = [
+            "# comment",
+            "2|nro|20160101|3|19830705|20151231|+0000",
+            "arin|*|ipv4|*|1000|summary",
+            "",
+            record("10.0.0.0", 256).to_line().replace("ripencc", "arin"),
+        ]
+        table = DelegationTable.from_lines(lines)
+        assert len(table) == 1
+        assert table.records[0].rir == RIR.ARIN
+
+
+class TestSynthesis:
+    def test_deterministic_for_seed(self):
+        a = synthesize_delegations(np.random.default_rng(42), num_slash8=6)
+        b = synthesize_delegations(np.random.default_rng(42), num_slash8=6)
+        assert a.to_lines() == b.to_lines()
+
+    def test_covers_requested_space_exactly(self):
+        table = synthesize_delegations(np.random.default_rng(1), num_slash8=6)
+        assert table.total_addresses() == 6 * (1 << 24)
+
+    def test_every_rir_present(self):
+        table = synthesize_delegations(np.random.default_rng(2), num_slash8=8)
+        assert {rec.rir for rec in table} == set(RIR)
+
+    def test_records_contiguous_and_disjoint(self):
+        table = synthesize_delegations(np.random.default_rng(3), num_slash8=5)
+        recs = table.records
+        for left, right in zip(recs, recs[1:]):
+            assert left.last + 1 == right.start
+
+    def test_country_matches_rir(self):
+        from repro.registry.countries import get_country
+
+        table = synthesize_delegations(np.random.default_rng(4), num_slash8=6)
+        for rec in table:
+            assert get_country(rec.country).rir == rec.rir
+
+    def test_mask_bounds_respected(self):
+        table = synthesize_delegations(
+            np.random.default_rng(5), num_slash8=5, min_masklen=14, max_masklen=15
+        )
+        sizes = {rec.count for rec in table}
+        assert sizes <= {1 << (32 - 14), 1 << (32 - 15)}
+
+    def test_reserved_fraction_zero(self):
+        table = synthesize_delegations(
+            np.random.default_rng(6), num_slash8=5, reserved_fraction=0.0
+        )
+        assert all(rec.status == "allocated" for rec in table)
+
+    def test_rejects_too_few_slash8(self):
+        with pytest.raises(RegistryError):
+            synthesize_delegations(np.random.default_rng(0), num_slash8=3)
+
+    def test_rejects_bad_mask_range(self):
+        with pytest.raises(RegistryError):
+            synthesize_delegations(np.random.default_rng(0), min_masklen=20, max_masklen=10)
+
+    def test_lookup_roundtrip_on_synthetic(self):
+        table = synthesize_delegations(np.random.default_rng(7), num_slash8=5)
+        rng = np.random.default_rng(8)
+        for rec in rng.choice(len(table), size=20, replace=False):
+            rec = table.records[int(rec)]
+            probe = int(rng.integers(rec.start, rec.last + 1))
+            assert table.lookup(probe) == rec

@@ -1,0 +1,79 @@
+"""Tests for repro.registry.rir."""
+
+import datetime
+
+import pytest
+
+from repro.errors import RegistryError
+from repro.registry.rir import (
+    EXHAUSTION_DATES,
+    IANA_EXHAUSTION,
+    INCORPORATION_YEARS,
+    RIR,
+    exhausted_by,
+    exhaustion_timeline,
+)
+
+
+class TestRIRParse:
+    @pytest.mark.parametrize(
+        ("text", "want"),
+        [
+            ("arin", RIR.ARIN),
+            ("ARIN", RIR.ARIN),
+            ("ripencc", RIR.RIPE),
+            ("RIPE", RIR.RIPE),
+            ("ripe ncc", RIR.RIPE),
+            ("apnic", RIR.APNIC),
+            ("lacnic", RIR.LACNIC),
+            ("afrinic", RIR.AFRINIC),
+            ("  arin  ", RIR.ARIN),
+        ],
+    )
+    def test_aliases(self, text, want):
+        assert RIR.parse(text) == want
+
+    def test_rejects_unknown(self):
+        with pytest.raises(RegistryError):
+            RIR.parse("iana")
+
+    def test_str_is_short_name(self):
+        assert str(RIR.RIPE) == "RIPE"
+
+
+class TestExhaustionData:
+    def test_every_rir_has_entry(self):
+        assert set(EXHAUSTION_DATES) == set(RIR)
+
+    def test_afrinic_not_exhausted(self):
+        assert EXHAUSTION_DATES[RIR.AFRINIC] is None
+
+    def test_order_matches_paper_figure1(self):
+        # Fig. 1 annotates: IANA, APNIC, RIPE, LACNIC, ARIN in that order.
+        labels = [label for _, label in exhaustion_timeline()]
+        assert labels == [
+            "IANA exhaustion",
+            "APNIC exhaustion",
+            "RIPE exhaustion",
+            "LACNIC exhaustion",
+            "ARIN exhaustion",
+        ]
+
+    def test_iana_first(self):
+        dates = [date for date, _ in exhaustion_timeline()]
+        assert dates[0] == IANA_EXHAUSTION
+        assert dates == sorted(dates)
+
+    def test_exhausted_by_midpoints(self):
+        assert exhausted_by(datetime.date(2010, 1, 1)) == []
+        mid2013 = set(exhausted_by(datetime.date(2013, 1, 1)))
+        assert mid2013 == {RIR.APNIC, RIR.RIPE}
+        end2015 = set(exhausted_by(datetime.date(2015, 12, 31)))
+        assert end2015 == {RIR.APNIC, RIR.RIPE, RIR.LACNIC, RIR.ARIN}
+
+    def test_late_registries_flagged(self):
+        # LACNIC/AFRINIC incorporated late — the paper's explanation
+        # for their conservation-oriented policies (Sec. 7.2).
+        assert INCORPORATION_YEARS[RIR.LACNIC] > 2000
+        assert INCORPORATION_YEARS[RIR.AFRINIC] > 2000
+        assert INCORPORATION_YEARS[RIR.RIPE] < 1995

@@ -1,0 +1,102 @@
+"""Tests for repro.report.text."""
+
+import numpy as np
+import pytest
+
+from repro.report.text import (
+    format_count,
+    format_percent,
+    render_activity_matrix,
+    render_cdf,
+    render_histogram,
+    render_matrix_heatmap,
+    render_table,
+)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        ("value", "want"),
+        [
+            (0, "0"),
+            (999, "999"),
+            (1200, "1.2K"),
+            (3_400_000, "3.4M"),
+            (1_200_000_000, "1.2B"),
+            (0.5, "0.50"),
+        ],
+    )
+    def test_format_count(self, value, want):
+        assert format_count(value) == want
+
+    def test_format_percent(self):
+        assert format_percent(0.254) == "25.4%"
+        assert format_percent(0.254, digits=0) == "25%"
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(
+            ["name", "count"], [["alpha", 1], ["b", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "count" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+
+class TestRenderHistogram:
+    def test_bars_scale(self):
+        text = render_histogram(["a", "b"], [10, 5], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            render_histogram(["a"], [-1])
+
+    def test_all_zero(self):
+        text = render_histogram(["a"], [0])
+        assert "#" not in text
+
+
+class TestRenderCDF:
+    def test_anchors(self):
+        x = np.linspace(0, 1, 101)
+        y = np.linspace(0, 1, 101)
+        text = render_cdf(x, y, points=(0.5,))
+        assert "50%" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_cdf(np.array([]), np.array([]))
+
+
+class TestRenderMatrices:
+    def test_activity_matrix_glyphs(self):
+        matrix = np.zeros((256, 5), dtype=bool)
+        matrix[0, :] = True
+        text = render_activity_matrix(matrix, max_rows=4)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0] == "#####"
+        assert lines[-1] == "....."
+
+    def test_activity_matrix_validates(self):
+        with pytest.raises(ValueError):
+            render_activity_matrix(np.zeros(5, dtype=bool))
+
+    def test_heatmap_shape(self):
+        counts = np.zeros((3, 4), dtype=int)
+        counts[2, 3] = 10
+        text = render_matrix_heatmap(counts)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        # Highest row printed first; the hot cell gets the densest glyph.
+        assert lines[0].rstrip("|").endswith("@")

@@ -1,0 +1,88 @@
+"""Property-based tests for routing-table diffs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.prefix import Prefix
+from repro.routing.events import BGPChange, ChangeKind
+from repro.routing.table import RoutingTable
+
+# A small universe of prefixes keeps overlap interesting.
+PREFIX_POOL = [
+    Prefix.parse(text)
+    for text in (
+        "10.0.0.0/8",
+        "10.0.0.0/16",
+        "10.1.0.0/16",
+        "10.1.2.0/24",
+        "192.0.2.0/24",
+        "198.51.100.0/24",
+        "203.0.113.0/24",
+        "172.16.0.0/12",
+    )
+]
+
+
+@st.composite
+def routing_tables(draw):
+    table = RoutingTable()
+    for prefix in PREFIX_POOL:
+        if draw(st.booleans()):
+            table.announce(prefix, draw(st.integers(min_value=1, max_value=5)))
+    return table
+
+
+def apply_changes(table: RoutingTable, changes: list[BGPChange]) -> RoutingTable:
+    """Apply a diff to a copy of *table*."""
+    out = table.copy()
+    for change in changes:
+        if change.kind is ChangeKind.WITHDRAW:
+            out.withdraw(change.prefix)
+        else:
+            out.announce(change.prefix, change.new_origin)
+    return out
+
+
+class TestDiffProperties:
+    @settings(max_examples=60)
+    @given(routing_tables(), routing_tables())
+    def test_diff_apply_roundtrip(self, before, after):
+        changes = before.diff(after)
+        assert apply_changes(before, changes) == after
+
+    @settings(max_examples=60)
+    @given(routing_tables())
+    def test_self_diff_empty(self, table):
+        assert table.diff(table.copy()) == []
+
+    @settings(max_examples=60)
+    @given(routing_tables(), routing_tables())
+    def test_diff_sizes_symmetric_in_total(self, a, b):
+        forward = a.diff(b)
+        backward = b.diff(a)
+        # Announce one way = withdraw the other; origin changes match.
+        def census(changes):
+            counts = {kind: 0 for kind in ChangeKind}
+            for change in changes:
+                counts[change.kind] += 1
+            return counts
+
+        f, r = census(forward), census(backward)
+        assert f[ChangeKind.ANNOUNCE] == r[ChangeKind.WITHDRAW]
+        assert f[ChangeKind.WITHDRAW] == r[ChangeKind.ANNOUNCE]
+        assert f[ChangeKind.ORIGIN_CHANGE] == r[ChangeKind.ORIGIN_CHANGE]
+
+    @settings(max_examples=60)
+    @given(routing_tables(), routing_tables())
+    def test_lookup_consistent_after_apply(self, before, after):
+        rebuilt = apply_changes(before, before.diff(after))
+        probes = np.array(
+            [prefix.first for prefix in PREFIX_POOL]
+            + [prefix.last for prefix in PREFIX_POOL],
+            dtype=np.uint32,
+        )
+        assert np.array_equal(
+            rebuilt.origin_of_many(probes), after.origin_of_many(probes)
+        )

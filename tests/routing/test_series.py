@@ -1,0 +1,137 @@
+"""Tests for repro.routing.series."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.net.ipv4 import parse_ip
+from repro.net.prefix import Prefix
+from repro.routing.events import ChangeKind
+from repro.routing.series import RoutingSeries
+from repro.routing.table import RoutingTable
+
+
+def table_from(*routes):
+    return RoutingTable((Prefix.parse(text), asn) for text, asn in routes)
+
+
+def make_series():
+    """Day 0-1: stable. Day 2: origin change + withdraw + announce."""
+    day0 = table_from(("10.0.0.0/8", 100), ("192.0.2.0/24", 200))
+    day1 = day0.copy()
+    day2 = table_from(("10.0.0.0/8", 111), ("203.0.113.0/24", 300))
+    return RoutingSeries([day0, day1, day2])
+
+
+class TestSeriesBasics:
+    def test_rejects_empty(self):
+        with pytest.raises(RoutingError):
+            RoutingSeries([])
+
+    def test_table_at_bounds(self):
+        series = make_series()
+        assert len(series) == 3
+        with pytest.raises(RoutingError):
+            series.table_at(3)
+        with pytest.raises(RoutingError):
+            series.table_at(-1)
+
+    def test_origin_at(self):
+        series = make_series()
+        assert series.origin_at(0, parse_ip("10.1.1.1")) == 100
+        assert series.origin_at(2, parse_ip("10.1.1.1")) == 111
+        assert series.origin_at(2, parse_ip("192.0.2.1")) is None
+
+
+class TestMajorityVote:
+    def test_majority_prefers_most_common(self):
+        series = make_series()
+        ips = np.array([parse_ip("10.1.1.1")], dtype=np.uint32)
+        # Days 0-2: origins 100, 100, 111 -> majority 100.
+        assert series.majority_origin_many(ips, 0, 2).tolist() == [100]
+        # Day 2 only -> 111.
+        assert series.majority_origin_many(ips, 2, 2).tolist() == [111]
+
+    def test_unrouted_majority_is_minus_one(self):
+        series = make_series()
+        ips = np.array([parse_ip("8.8.8.8")], dtype=np.uint32)
+        assert series.majority_origin_many(ips, 0, 2).tolist() == [-1]
+
+    def test_mostly_withdrawn_address(self):
+        series = make_series()
+        ips = np.array([parse_ip("192.0.2.1")], dtype=np.uint32)
+        # Routed on days 0-1, withdrawn day 2 -> majority is 200.
+        assert series.majority_origin_many(ips, 0, 2).tolist() == [200]
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(RoutingError):
+            make_series().majority_origin_many(np.array([0], dtype=np.uint32), 2, 1)
+
+
+class TestChangeDetection:
+    def test_changes_between_endpoints(self):
+        series = make_series()
+        kinds = {change.kind for change in series.changes_between(0, 2)}
+        assert kinds == {
+            ChangeKind.ORIGIN_CHANGE,
+            ChangeKind.WITHDRAW,
+            ChangeKind.ANNOUNCE,
+        }
+
+    def test_no_changes_in_stable_span(self):
+        assert make_series().changes_between(0, 1) == []
+
+    def test_flap_invisible_to_endpoint_diff(self):
+        stable = table_from(("10.0.0.0/8", 100))
+        flapped = table_from(("10.0.0.0/8", 999))
+        series = RoutingSeries([stable, flapped, stable.copy()])
+        assert series.changes_between(0, 2) == []
+        within = series.changes_within(0, 2)
+        assert {change.kind for change in within} == {ChangeKind.ORIGIN_CHANGE}
+        assert len(within) == 2  # 100->999 and 999->100
+
+    def test_change_mask(self):
+        series = make_series()
+        ips = np.array(
+            [parse_ip("10.1.1.1"), parse_ip("192.0.2.1"), parse_ip("8.8.8.8")],
+            dtype=np.int64,
+        )
+        assert series.change_mask(ips, 0, 2).tolist() == [True, True, False]
+        assert series.change_mask(ips, 0, 1).tolist() == [False, False, False]
+
+    def test_change_kind_of_many(self):
+        series = make_series()
+        ips = np.array(
+            [
+                parse_ip("10.1.1.1"),
+                parse_ip("192.0.2.1"),
+                parse_ip("203.0.113.5"),
+                parse_ip("8.8.8.8"),
+            ],
+            dtype=np.uint32,
+        )
+        kinds = series.change_kind_of_many(ips, 0, 2)
+        assert kinds == [
+            ChangeKind.ORIGIN_CHANGE,
+            ChangeKind.WITHDRAW,
+            ChangeKind.ANNOUNCE,
+            None,
+        ]
+
+    def test_most_specific_change_wins(self):
+        day0 = table_from(("10.0.0.0/8", 100), ("10.1.0.0/16", 150))
+        day1 = table_from(("10.0.0.0/8", 999), ("10.1.0.0/16", 150), ("10.1.2.0/24", 151))
+        series = RoutingSeries([day0, day1])
+        ips = np.array([parse_ip("10.1.2.3"), parse_ip("10.1.9.9")], dtype=np.uint32)
+        kinds = series.change_kind_of_many(ips, 0, 1)
+        # /24 announce shadows the /8 origin change for 10.1.2.3; the
+        # untouched /16 does not shield 10.1.9.9 from the /8 change
+        # because the /8's change still covers it in address space.
+        assert kinds[0] is ChangeKind.ANNOUNCE
+        assert kinds[1] is ChangeKind.ORIGIN_CHANGE
+
+    def test_changed_address_space_counts(self):
+        series = make_series()
+        changed = series.changed_address_space(0, 2)
+        # /8 (origin change) + two /24s (withdraw + announce).
+        assert len(changed) == 2**24 + 2 * 256

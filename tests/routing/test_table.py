@@ -1,0 +1,129 @@
+"""Tests for repro.routing.table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.net.ipv4 import parse_ip
+from repro.net.prefix import Prefix
+from repro.routing.events import ChangeKind
+from repro.routing.table import RoutingTable
+
+
+def table_from(*routes):
+    return RoutingTable((Prefix.parse(text), asn) for text, asn in routes)
+
+
+class TestAnnounceWithdraw:
+    def test_announce_and_lookup(self):
+        table = table_from(("10.0.0.0/8", 64500))
+        assert table.origin_of(parse_ip("10.1.2.3")) == 64500
+        assert len(table) == 1
+
+    def test_more_specific_wins(self):
+        table = table_from(("10.0.0.0/8", 64500), ("10.1.0.0/16", 64501))
+        assert table.origin_of(parse_ip("10.1.0.1")) == 64501
+        assert table.origin_of(parse_ip("10.2.0.1")) == 64500
+
+    def test_unrouted_is_none(self):
+        assert table_from(("10.0.0.0/8", 64500)).origin_of(0) is None
+
+    def test_reannounce_moves_origin(self):
+        table = table_from(("10.0.0.0/8", 64500))
+        table.announce(Prefix.parse("10.0.0.0/8"), 64999)
+        assert table.origin_of(parse_ip("10.0.0.1")) == 64999
+        assert len(table) == 1
+
+    def test_withdraw(self):
+        table = table_from(("10.0.0.0/8", 64500))
+        table.withdraw(Prefix.parse("10.0.0.0/8"))
+        assert len(table) == 0
+        assert table.origin_of(parse_ip("10.0.0.1")) is None
+
+    def test_withdraw_missing_raises(self):
+        with pytest.raises(RoutingError):
+            RoutingTable().withdraw(Prefix.parse("10.0.0.0/8"))
+
+    @pytest.mark.parametrize("bad", [0, -5, True, "AS64500"])
+    def test_rejects_bad_origin(self, bad):
+        with pytest.raises(RoutingError):
+            RoutingTable().announce(Prefix.parse("10.0.0.0/8"), bad)
+
+    def test_copy_is_independent(self):
+        table = table_from(("10.0.0.0/8", 64500))
+        clone = table.copy()
+        clone.announce(Prefix.parse("192.0.2.0/24"), 64501)
+        assert len(table) == 1
+        assert len(clone) == 2
+
+
+class TestLookups:
+    def test_origin_of_many(self):
+        table = table_from(("10.0.0.0/8", 64500), ("192.0.2.0/24", 64501))
+        ips = np.array(
+            [parse_ip("10.5.5.5"), parse_ip("192.0.2.1"), parse_ip("8.8.8.8")],
+            dtype=np.uint32,
+        )
+        assert table.origin_of_many(ips).tolist() == [64500, 64501, -1]
+
+    def test_matching_prefix(self):
+        table = table_from(("10.0.0.0/8", 64500), ("10.1.0.0/16", 64501))
+        assert table.matching_prefix(parse_ip("10.1.2.3")) == Prefix.parse("10.1.0.0/16")
+        assert table.matching_prefix(parse_ip("11.0.0.0")) is None
+
+    def test_origin_of_prefix_exact(self):
+        table = table_from(("10.0.0.0/8", 64500))
+        assert table.origin_of_prefix(Prefix.parse("10.0.0.0/8")) == 64500
+        assert table.origin_of_prefix(Prefix.parse("10.0.0.0/9")) is None
+
+    def test_origins_and_prefixes(self):
+        table = table_from(("10.0.0.0/8", 64500), ("192.0.2.0/24", 64500))
+        assert table.origins() == {64500}
+        assert table.prefixes() == [
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("192.0.2.0/24"),
+        ]
+
+    def test_advertised_addresses_dedupes_specifics(self):
+        table = table_from(("10.0.0.0/24", 64500), ("10.0.0.0/25", 64501))
+        assert table.advertised_addresses() == 256
+
+
+class TestDiff:
+    def test_empty_diff(self):
+        table = table_from(("10.0.0.0/8", 64500))
+        assert table.diff(table.copy()) == []
+
+    def test_announce_detected(self):
+        before = RoutingTable()
+        after = table_from(("10.0.0.0/8", 64500))
+        changes = before.diff(after)
+        assert len(changes) == 1
+        assert changes[0].kind is ChangeKind.ANNOUNCE
+        assert changes[0].new_origin == 64500
+
+    def test_withdraw_detected(self):
+        before = table_from(("10.0.0.0/8", 64500))
+        changes = before.diff(RoutingTable())
+        assert changes[0].kind is ChangeKind.WITHDRAW
+        assert changes[0].old_origin == 64500
+
+    def test_origin_change_detected(self):
+        before = table_from(("10.0.0.0/8", 64500))
+        after = table_from(("10.0.0.0/8", 64999))
+        changes = before.diff(after)
+        assert changes[0].kind is ChangeKind.ORIGIN_CHANGE
+        assert (changes[0].old_origin, changes[0].new_origin) == (64500, 64999)
+
+    def test_diff_is_directional(self):
+        before = table_from(("10.0.0.0/8", 64500))
+        after = table_from(("192.0.2.0/24", 64501))
+        forward = {change.kind for change in before.diff(after)}
+        backward = {change.kind for change in after.diff(before)}
+        assert forward == {ChangeKind.WITHDRAW, ChangeKind.ANNOUNCE}
+        assert backward == {ChangeKind.WITHDRAW, ChangeKind.ANNOUNCE}
+
+    def test_diff_sorted_by_prefix(self):
+        before = table_from(("192.0.2.0/24", 64500), ("10.0.0.0/8", 64500))
+        changes = before.diff(RoutingTable())
+        assert changes[0].prefix < changes[1].prefix

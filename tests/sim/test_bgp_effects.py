@@ -1,0 +1,100 @@
+"""Tests for the BGP footprint of restructuring events (sim.cdn)."""
+
+import numpy as np
+import pytest
+
+from repro.routing.events import ChangeKind
+from repro.sim.cdn import CDNObservatory
+from repro.sim.config import small_config
+from repro.sim.population import InternetPopulation
+from repro.sim.restructure import build_schedule
+
+
+@pytest.fixture(scope="module")
+def world():
+    return InternetPopulation.build(small_config(seed=51))
+
+
+@pytest.fixture(scope="module")
+def run(world):
+    return CDNObservatory(world).collect_daily(28)
+
+
+class TestScheduleEffects:
+    def test_effect_values_valid(self, world):
+        schedule = build_schedule(world, 112, np.random.default_rng(1))
+        for event in schedule.events:
+            assert event.bgp_effect in (None, "announce", "withdraw", "origin")
+            assert event.bgp_visible == (event.bgp_effect is not None)
+
+    def test_visibility_rate_matches_config(self, world):
+        rates = []
+        for seed in range(8):
+            schedule = build_schedule(world, 112, np.random.default_rng(seed))
+            if schedule.events:
+                rates.append(
+                    np.mean([event.bgp_visible for event in schedule.events])
+                )
+        assert rates
+        target = world.config.restructure_bgp_visibility
+        assert abs(np.mean(rates) - target) < 0.08
+
+
+class TestRoutingFootprints:
+    def test_preannounced_covers_have_native_origin(self, world, run):
+        """Covers pre-announced at day 0 keep the block's own AS, so
+        day-0 attribution is unchanged by the mechanism."""
+        day0 = run.routing.table_at(0)
+        for event in run.schedule.events:
+            if event.bgp_effect in ("origin", "withdraw"):
+                cover = CDNObservatory(world).schedule_cover(event)
+                origin = day0.origin_of(cover.network)
+                block = world.blocks[event.block_indexes[0]]
+                assert origin == block.asn
+
+    def test_visible_events_leave_exact_footprints(self, world, run):
+        """Every visible event produces a change on its cover prefix
+        between day 0 and the end of the run."""
+        changes = run.routing.changes_between(0, len(run.routing) - 1)
+        changed_prefixes = {change.prefix for change in changes}
+        observatory = CDNObservatory(world)
+        for event in run.schedule.events:
+            if not event.bgp_visible:
+                continue
+            cover = observatory.schedule_cover(event)
+            assert cover in changed_prefixes
+
+    def test_origin_effects_show_as_origin_changes(self, world, run):
+        changes = run.routing.changes_between(0, len(run.routing) - 1)
+        by_prefix = {change.prefix: change for change in changes}
+        observatory = CDNObservatory(world)
+        for event in run.schedule.events:
+            if event.bgp_effect != "origin":
+                continue
+            cover = observatory.schedule_cover(event)
+            assert by_prefix[cover].kind is ChangeKind.ORIGIN_CHANGE
+
+    def test_withdraw_effects_show_as_withdrawals(self, world, run):
+        changes = run.routing.changes_between(0, len(run.routing) - 1)
+        by_prefix = {change.prefix: change for change in changes}
+        observatory = CDNObservatory(world)
+        for event in run.schedule.events:
+            if event.bgp_effect != "withdraw":
+                continue
+            cover = observatory.schedule_cover(event)
+            assert by_prefix[cover].kind is ChangeKind.WITHDRAW
+
+    def test_invisible_events_leave_no_cover_footprint(self, world, run):
+        """Events without a BGP effect do not touch their cover prefix
+        (background noise may still hit the covering aggregate)."""
+        changes = run.routing.changes_between(0, len(run.routing) - 1)
+        changed_prefixes = {change.prefix for change in changes}
+        observatory = CDNObservatory(world)
+        invisible_covers = [
+            observatory.schedule_cover(event)
+            for event in run.schedule.events
+            if not event.bgp_visible
+        ]
+        untouched = [cover for cover in invisible_covers if cover not in changed_prefixes]
+        # Allow for coincidental background noise on a few covers.
+        assert len(untouched) >= 0.9 * len(invisible_covers)

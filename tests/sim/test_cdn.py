@@ -1,0 +1,184 @@
+"""Tests for repro.sim.cdn: the collection pipeline end to end."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.ipv4 import blocks_of
+from repro.sim.cdn import CDNObservatory
+from repro.sim.config import small_config
+from repro.sim.policies import CLIENT_KINDS, PolicyKind
+from repro.sim.population import InternetPopulation
+
+
+@pytest.fixture(scope="module")
+def world():
+    return InternetPopulation.build(small_config(seed=21))
+
+
+@pytest.fixture(scope="module")
+def result(world):
+    return CDNObservatory(world).collect_daily(
+        21, ua_window=(14, 20), scan_days=(10, 20)
+    )
+
+
+class TestCollectionBasics:
+    def test_dataset_shape(self, result):
+        assert len(result.dataset) == 21
+        assert result.dataset.window_days == 1
+        assert result.dataset[0].start == datetime.date(2015, 8, 17)
+
+    def test_snapshots_sorted_unique_with_hits(self, result):
+        for snapshot in result.dataset:
+            assert (np.diff(snapshot.ips.astype(np.int64)) > 0).all()
+            assert (snapshot.hits >= 1).all()
+
+    def test_deterministic(self, world):
+        a = CDNObservatory(world).collect_daily(7)
+        b = CDNObservatory(world).collect_daily(7)
+        for snap_a, snap_b in zip(a.dataset, b.dataset):
+            assert np.array_equal(snap_a.ips, snap_b.ips)
+            assert np.array_equal(snap_a.hits, snap_b.hits)
+
+    def test_active_ips_only_from_client_or_event_blocks(self, world, result):
+        client_bases = {
+            block.base
+            for block in world.blocks
+            if block.is_client or block.kind is PolicyKind.SERVER
+        }
+        event_bases = {
+            world.blocks[index].base
+            for event in result.schedule.events
+            for index in event.block_indexes
+        }
+        allowed = client_bases | event_bases
+        for snapshot in result.dataset.snapshots[::5]:
+            bases = set(blocks_of(snapshot.ips, 24).tolist())
+            assert bases <= allowed
+
+    def test_routing_series_covers_every_day(self, result):
+        assert len(result.routing) == 21
+
+    def test_rejects_bad_arguments(self, world):
+        cdn = CDNObservatory(world)
+        with pytest.raises(ConfigError):
+            cdn.collect_daily(0)
+        with pytest.raises(ConfigError):
+            cdn.collect_daily(7, ua_window=(5, 10))
+        with pytest.raises(ConfigError):
+            cdn.collect_daily(7, scan_days=(9,))
+
+
+class TestWeeklyAggregation:
+    def test_weekly_equals_daily_aggregate(self, world):
+        """On-the-fly weekly merge must match post-hoc aggregation."""
+        daily = CDNObservatory(world).collect_daily(14)
+        weekly = CDNObservatory(world).collect_weekly(2)
+        recombined = daily.dataset.aggregate(7)
+        assert len(weekly.dataset) == 2
+        for snap_w, snap_r in zip(weekly.dataset, recombined):
+            assert np.array_equal(snap_w.ips, snap_r.ips)
+            assert np.array_equal(snap_w.hits, snap_r.hits)
+
+    def test_weekly_window_metadata(self, world):
+        weekly = CDNObservatory(world).collect_weekly(2)
+        assert weekly.dataset.window_days == 7
+        assert weekly.dataset.total_days == 14
+
+
+class TestEvents:
+    def test_events_change_block_kind(self, world, result):
+        changed = {
+            index: event.new_policy_kind
+            for event in result.schedule.events
+            for index in event.block_indexes
+        }
+        for index, new_kind in changed.items():
+            assert result.final_kinds[index] == new_kind
+        untouched = set(range(len(world.blocks))) - set(changed)
+        for index in list(untouched)[:25]:
+            assert result.final_kinds[index] == world.blocks[index].kind
+
+    def test_reallocation_on_lights_up_block(self, world, result):
+        lit = [
+            event
+            for event in result.schedule.events
+            if event.kind.value == "reallocation_on" and event.day <= 14
+        ]
+        if not lit:
+            pytest.skip("no early reallocation-on event in this schedule")
+        event = lit[0]
+        block = world.blocks[event.block_indexes[0]]
+        before = result.dataset.union_snapshot(0, max(0, event.day - 2))
+        after = result.dataset.union_snapshot(event.day, len(result.dataset) - 1)
+        block_ips_before = (blocks_of(before.ips, 24) == block.base).sum()
+        block_ips_after = (blocks_of(after.ips, 24) == block.base).sum()
+        assert block_ips_before == 0
+        assert block_ips_after > 0
+
+
+class TestScanStates:
+    def test_requested_days_present(self, result):
+        assert set(result.scan_states) == {10, 20}
+
+    def test_every_block_reported(self, world, result):
+        assert set(result.scan_states[10]) == {block.index for block in world.blocks}
+
+    def test_offsets_valid(self, result):
+        for kind, offsets in result.scan_states[10].values():
+            assert isinstance(kind, PolicyKind)
+            if offsets.size:
+                assert offsets.min() >= 0 and offsets.max() < 256
+
+
+class TestUASampling:
+    def test_store_present_only_when_requested(self, world, result):
+        assert result.ua_store is not None
+        plain = CDNObservatory(world).collect_daily(7)
+        assert plain.ua_store is None
+
+    def test_samples_only_from_client_blocks(self, world, result):
+        client_bases = {block.base for block in world.blocks if block.is_client}
+        event_bases = {
+            world.blocks[index].base
+            for event in result.schedule.events
+            for index in event.block_indexes
+        }
+        server_fetch_bases = {
+            block.base for block in world.blocks if block.kind is PolicyKind.SERVER
+        }
+        allowed = client_bases | event_bases | server_fetch_bases
+        assert set(result.ua_store.blocks()) <= allowed
+
+    def test_sample_counts_track_traffic(self, world, result):
+        """Blocks with more traffic collect more UA samples."""
+        store = result.ua_store
+        bases, counts, uniques = store.as_arrays()
+        assert (uniques <= counts).all()
+        assert counts.sum() > 0
+        # Gateway/crawler blocks should dominate the sample counts.
+        heavy = {
+            block.base
+            for block in world.blocks
+            if block.kind in (PolicyKind.GATEWAY, PolicyKind.CRAWLER)
+        }
+        if heavy and bases.size:
+            top_base = int(bases[np.argmax(counts)])
+            assert top_base in heavy
+
+
+class TestTrafficConsolidation:
+    def test_gateway_share_grows_over_weeks(self, world):
+        """traffic_weekly_growth shifts share toward heavy hitters."""
+        result = CDNObservatory(world).collect_weekly(8)
+        shares = []
+        for snapshot in result.dataset:
+            order = np.argsort(snapshot.hits)[::-1]
+            top = max(1, snapshot.num_active // 10)
+            shares.append(snapshot.hits[order[:top]].sum() / snapshot.total_hits)
+        # Linear regression slope over weeks should be positive.
+        slope = np.polyfit(np.arange(len(shares)), shares, 1)[0]
+        assert slope > 0

@@ -1,0 +1,138 @@
+"""Tests for repro.sim.config and repro.sim.behavior."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.behavior import (
+    activity_probability,
+    daily_hits,
+    draw_engagement,
+    weekday_factor,
+)
+from repro.sim.config import (
+    BLOCK_POLICY_MIX,
+    ASTypeMix,
+    SimulationConfig,
+    bench_config,
+    small_config,
+)
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        SimulationConfig().validate()
+        small_config().validate()
+        bench_config().validate()
+
+    def test_policy_mixes_sum_to_one(self):
+        for as_type, mix in BLOCK_POLICY_MIX.items():
+            assert sum(mix.values()) == pytest.approx(1.0), as_type
+
+    def test_as_type_mix_sums_to_one(self):
+        values = ASTypeMix().as_dict()
+        assert sum(values.values()) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        ("field", "value"),
+        [
+            ("num_slash8", 3),
+            ("num_ases", 2),
+            ("mean_blocks_per_as", 0.0),
+            ("restructure_fraction", 1.5),
+            ("restructure_bgp_visibility", -0.1),
+            ("ua_sample_rate", 2.0),
+            ("bgp_background_daily", 0.5),
+            ("weekend_work_factor", 0.0),
+            ("traffic_weekly_growth", 2.0),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        config = dataclasses.replace(SimulationConfig(), **{field: value})
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_bad_as_type_mix_rejected(self):
+        mix = ASTypeMix(residential=0.9)  # no longer sums to 1
+        config = dataclasses.replace(SimulationConfig(), as_type_mix=mix)
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_config_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SimulationConfig().seed = 5  # type: ignore[misc]
+
+
+class TestEngagement:
+    def test_range(self):
+        scores = draw_engagement(np.random.default_rng(0), 10_000)
+        assert scores.min() >= 0.02
+        assert scores.max() <= 0.97
+
+    def test_mixture_shape(self):
+        scores = draw_engagement(np.random.default_rng(1), 50_000)
+        # Most lines are always-on households...
+        assert (scores > 0.8).mean() > 0.6
+        # ...with a real casual minority.
+        assert 0.08 < (scores < 0.5).mean() < 0.25
+
+    def test_implied_daily_churn_near_paper(self):
+        """E[p(1-p)]/E[p] ~ daily up-event fraction; paper: ~8%."""
+        scores = draw_engagement(np.random.default_rng(2), 200_000)
+        churn = float((scores * (1 - scores)).mean() / scores.mean())
+        assert 0.05 < churn < 0.14
+
+    def test_deterministic_per_seed(self):
+        a = draw_engagement(np.random.default_rng(7), 100)
+        b = draw_engagement(np.random.default_rng(7), 100)
+        assert np.array_equal(a, b)
+
+
+class TestWeekdayFactor:
+    def test_weekdays_are_unity(self):
+        for day in range(5):
+            assert weekday_factor(day, "residential", 0.9, 0.3) == 1.0
+
+    def test_work_networks_sleep_on_weekends(self):
+        assert weekday_factor(5, "university", 0.9, 0.3) == 0.3
+        assert weekday_factor(6, "enterprise", 0.9, 0.3) == 0.3
+
+    def test_residential_weekends_barely_move(self):
+        assert weekday_factor(6, "residential", 0.97, 0.3) == 0.97
+
+    def test_rejects_bad_day(self):
+        with pytest.raises(ConfigError):
+            weekday_factor(7, "residential", 0.9, 0.3)
+
+
+class TestActivityProbability:
+    def test_clipped_to_probability(self):
+        engagement = np.array([0.0, 0.5, 1.5])
+        probs = activity_probability(engagement, 0, "residential")
+        assert (probs >= 0).all() and (probs <= 0.99).all()
+
+    def test_weekend_reduces_work_activity(self):
+        engagement = np.full(10, 0.8)
+        weekday = activity_probability(engagement, 2, "university")
+        weekend = activity_probability(engagement, 6, "university")
+        assert (weekend < weekday).all()
+
+
+class TestDailyHits:
+    def test_positive_integers(self):
+        hits = daily_hits(np.full(1000, 0.5), np.random.default_rng(0))
+        assert hits.dtype == np.int64
+        assert hits.min() >= 1
+
+    def test_engagement_drives_volume(self):
+        rng = np.random.default_rng(1)
+        casual = daily_hits(np.full(5000, 0.1), rng)
+        heavy = daily_hits(np.full(5000, 0.9), rng)
+        # The Fig. 9a coupling: heavy users pull an order of magnitude more.
+        assert np.median(heavy) > 5 * np.median(casual)
+
+    def test_heavy_tail(self):
+        hits = daily_hits(np.full(20000, 0.5), np.random.default_rng(2))
+        assert hits.max() > 10 * np.median(hits)

@@ -1,0 +1,124 @@
+"""Tests for repro.sim.diurnal and the hour-of-day ICMP scan."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.cdn import CDNObservatory
+from repro.sim.config import small_config
+from repro.sim.diurnal import (
+    UTC_OFFSETS,
+    DiurnalProfile,
+    awake_probability,
+    best_scan_hour,
+    diurnal_factor,
+    local_hour,
+    profile_for,
+)
+from repro.sim.population import InternetPopulation
+from repro.sim.scanner import ProbeObservatory
+
+
+class TestOffsets:
+    def test_every_registry_country_has_offset(self):
+        from repro.registry.countries import COUNTRIES
+
+        assert {country.code for country in COUNTRIES} <= set(UTC_OFFSETS)
+
+    def test_local_hour_wraps(self):
+        assert local_hour(20, "CN") == 4.0  # UTC+8
+        assert local_hour(2, "US") == 20.0  # UTC-6
+
+    def test_unknown_country_rejected(self):
+        with pytest.raises(ConfigError):
+            local_hour(0, "XX")
+
+
+class TestDiurnalFactor:
+    def test_residential_peak_and_trough(self):
+        factors = diurnal_factor(np.arange(24.0), DiurnalProfile.RESIDENTIAL)
+        assert np.argmax(factors) == 20
+        assert np.argmin(factors) == 8  # trough at 20-12=8h from peak -> 8am? check below
+        assert factors.max() == pytest.approx(1.0)
+        assert factors.min() == pytest.approx(0.25)
+
+    def test_office_hours(self):
+        assert diurnal_factor(10.0, DiurnalProfile.OFFICE)[0] == pytest.approx(0.95)
+        assert diurnal_factor(3.0, DiurnalProfile.OFFICE)[0] == pytest.approx(0.15)
+
+    def test_flat_is_constant(self):
+        factors = diurnal_factor(np.arange(24.0), DiurnalProfile.FLAT)
+        assert (factors == 1.0).all()
+
+    def test_profiles_per_network_type(self):
+        assert profile_for("residential") is DiurnalProfile.RESIDENTIAL
+        assert profile_for("cellular") is DiurnalProfile.RESIDENTIAL
+        assert profile_for("university") is DiurnalProfile.OFFICE
+        assert profile_for("hosting") is DiurnalProfile.FLAT
+
+
+class TestAwakeProbability:
+    def test_antipodal_countries_peak_at_different_utc_hours(self):
+        cn_best = best_scan_hour("CN")
+        us_best = best_scan_hour("US")
+        gap = abs(cn_best - us_best)
+        assert min(gap, 24 - gap) >= 8
+
+    def test_probability_range(self):
+        for hour in range(0, 24, 3):
+            p = awake_probability(float(hour), "DE", "residential")
+            assert 0.2 <= p <= 1.0
+
+    def test_rejects_bad_hour(self):
+        with pytest.raises(ConfigError):
+            awake_probability(24.5, "DE", "residential")
+
+
+class TestHourScan:
+    @pytest.fixture(scope="class")
+    def world_and_state(self):
+        world = InternetPopulation.build(small_config(seed=88))
+        run = CDNObservatory(world).collect_daily(7, scan_days=(5,))
+        return world, run.scan_states[5]
+
+    def test_hour_scan_subset_of_daily_scan(self, world_and_state):
+        world, state = world_and_state
+        probe = ProbeObservatory(world)
+        full = probe.icmp_scan(state, 0)
+        at_hour = probe.icmp_scan_at_hour(state, 4.0, 0)
+        assert at_hour.issubset(full)
+
+    def test_coverage_varies_with_hour(self, world_and_state):
+        world, state = world_and_state
+        probe = ProbeObservatory(world)
+        sizes = {hour: len(probe.icmp_scan_at_hour(state, float(hour), 0)) for hour in (4, 20)}
+        assert sizes[4] != sizes[20]
+
+    def test_deterministic(self, world_and_state):
+        world, state = world_and_state
+        probe = ProbeObservatory(world)
+        assert probe.icmp_scan_at_hour(state, 12.0, 1) == probe.icmp_scan_at_hour(
+            state, 12.0, 1
+        )
+
+    def test_infrastructure_immune_to_hour(self, world_and_state):
+        from repro.net.ipv4 import blocks_of
+        from repro.sim.policies import PolicyKind
+
+        world, state = world_and_state
+        probe = ProbeObservatory(world)
+        router_bases = {
+            block.base
+            for block in world.blocks
+            if state[block.index][0] is PolicyKind.ROUTER
+        }
+        for hour in (4.0, 20.0):
+            scan = probe.icmp_scan_at_hour(state, hour, 0)
+            router_hits = np.isin(
+                blocks_of(scan.addresses(), 24), list(router_bases)
+            ).sum()
+            baseline = np.isin(
+                blocks_of(probe.icmp_scan(state, 0).addresses(), 24),
+                list(router_bases),
+            ).sum()
+            assert router_hits == baseline

@@ -1,0 +1,220 @@
+"""Tests for repro.sim.policies: each assignment practice's signature."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.policies import (
+    BLOCK_SIZE,
+    CLIENT_KINDS,
+    DayActivity,
+    PolicyKind,
+    make_policy,
+)
+
+CONFIG = SimulationConfig()
+
+
+def run_policy(kind, seed=0, days=56, network_type="residential"):
+    """Simulate one block for *days* days; return per-day DayActivity."""
+    policy = make_policy(kind, seed, network_type, CONFIG, sub_base=10_000_000)
+    return policy, [policy.day_activity(day % 7) for day in range(days)]
+
+
+def filling_degree(activities):
+    seen = set()
+    for activity in activities:
+        seen.update(activity.offsets.tolist())
+    return len(seen)
+
+
+def mean_daily_active(activities):
+    return float(np.mean([activity.offsets.size for activity in activities]))
+
+
+class TestDayActivityInvariants:
+    @pytest.mark.parametrize("kind", sorted(CLIENT_KINDS, key=lambda k: k.value))
+    def test_offsets_in_block_and_unique(self, kind):
+        _, activities = run_policy(kind, seed=3, days=21)
+        for activity in activities:
+            offsets = activity.offsets
+            assert (offsets >= 0).all() and (offsets < BLOCK_SIZE).all()
+            assert np.unique(offsets).size == offsets.size
+
+    @pytest.mark.parametrize("kind", sorted(CLIENT_KINDS, key=lambda k: k.value))
+    def test_hits_positive_and_consistent(self, kind):
+        _, activities = run_policy(kind, seed=4, days=21)
+        for activity in activities:
+            assert (activity.hits >= 1).all() or activity.hits.size == 0
+            # Per-address hits equal the sum of subscriber hits.
+            assert activity.hits.sum() == activity.sub_hits.sum()
+
+    @pytest.mark.parametrize("kind", sorted(CLIENT_KINDS, key=lambda k: k.value))
+    def test_subscriber_offsets_within_active_set(self, kind):
+        _, activities = run_policy(kind, seed=5, days=14)
+        for activity in activities:
+            if activity.sub_offsets.size:
+                assert set(activity.sub_offsets.tolist()) == set(activity.offsets.tolist())
+
+    def test_deterministic_per_seed(self):
+        _, run_a = run_policy(PolicyKind.DYNAMIC_SHORT, seed=9, days=10)
+        _, run_b = run_policy(PolicyKind.DYNAMIC_SHORT, seed=9, days=10)
+        for a, b in zip(run_a, run_b):
+            assert np.array_equal(a.offsets, b.offsets)
+            assert np.array_equal(a.hits, b.hits)
+
+    def test_different_seeds_differ(self):
+        _, run_a = run_policy(PolicyKind.DYNAMIC_SHORT, seed=1, days=5)
+        _, run_b = run_policy(PolicyKind.DYNAMIC_SHORT, seed=2, days=5)
+        assert any(
+            not np.array_equal(a.offsets, b.offsets) for a, b in zip(run_a, run_b)
+        )
+
+    def test_empty_day_activity(self):
+        empty = DayActivity.empty()
+        assert empty.offsets.size == 0
+        assert empty.hits.size == 0
+
+    def test_from_subscribers_aggregates_shared_offsets(self):
+        activity = DayActivity.from_subscribers(
+            sub_ids=np.array([1, 2, 3]),
+            sub_hits=np.array([10, 20, 5]),
+            sub_offsets=np.array([4, 4, 9]),
+        )
+        assert activity.offsets.tolist() == [4, 9]
+        assert activity.hits.tolist() == [30, 5]
+
+
+class TestStaticPolicy:
+    def test_low_filling_degree(self):
+        # Paper Fig. 8b: 75% of static /24s fill fewer than 64 addresses.
+        degrees = [
+            filling_degree(run_policy(PolicyKind.STATIC, seed=s, days=56)[1])
+            for s in range(12)
+        ]
+        assert np.median(degrees) < 64
+        assert max(degrees) < 128
+
+    def test_addresses_are_stable(self):
+        policy, activities = run_policy(PolicyKind.STATIC, seed=1, days=56)
+        all_offsets = set()
+        for activity in activities:
+            all_offsets.update(activity.offsets.tolist())
+        assert all_offsets <= set(policy.assigned_offsets().tolist())
+
+
+class TestDynamicShortLease:
+    def test_fills_the_block(self):
+        # Paper Fig. 6d/8b: daily reassignment cycles the whole pool.
+        assert filling_degree(run_policy(PolicyKind.DYNAMIC_SHORT, seed=1, days=56)[1]) > 250
+
+    def test_subscriber_mapping_shuffles_daily(self):
+        """A saturated pool keeps the whole /24 active, so the lease
+        behaviour shows in the subscriber->address mapping, not the
+        active set: a given subscriber lands on a new address almost
+        every day."""
+        _, activities = run_policy(PolicyKind.DYNAMIC_SHORT, seed=2, days=10)
+        sticky = 0
+        total = 0
+        for a, b in zip(activities, activities[1:]):
+            map_a = dict(zip(a.sub_ids.tolist(), a.sub_offsets.tolist()))
+            map_b = dict(zip(b.sub_ids.tolist(), b.sub_offsets.tolist()))
+            common = set(map_a) & set(map_b)
+            sticky += sum(1 for sub in common if map_a[sub] == map_b[sub])
+            total += len(common)
+        assert total > 0
+        assert sticky / total < 0.05
+
+
+class TestDynamicLongLease:
+    def test_fills_slower_than_short_lease(self):
+        short = filling_degree(run_policy(PolicyKind.DYNAMIC_SHORT, seed=3, days=14)[1])
+        long = filling_degree(run_policy(PolicyKind.DYNAMIC_LONG, seed=3, days=14)[1])
+        assert long < short
+
+    def test_addresses_mostly_stable_day_to_day(self):
+        _, activities = run_policy(PolicyKind.DYNAMIC_LONG, seed=4, days=20)
+        overlaps = []
+        for a, b in zip(activities, activities[1:]):
+            if a.offsets.size and b.offsets.size:
+                inter = np.intersect1d(a.offsets, b.offsets).size
+                overlaps.append(inter / min(a.offsets.size, b.offsets.size))
+        assert np.mean(overlaps) > 0.5
+
+
+class TestRoundRobin:
+    def test_high_filling_low_concurrency(self):
+        # Fig. 6b: the pool cycles (high FD) but few are on at once.
+        _, activities = run_policy(PolicyKind.ROUND_ROBIN, seed=5, days=112)
+        assert filling_degree(activities) > 200
+        assert mean_daily_active(activities) < 100
+
+    def test_band_marches(self):
+        _, activities = run_policy(PolicyKind.ROUND_ROBIN, seed=6, days=30)
+        starts = [int(a.offsets.min()) for a in activities if a.offsets.size]
+        assert len(set(starts)) > 10  # the band start keeps moving
+
+
+class TestGateway:
+    def test_dense_addresses_every_day(self):
+        policy, activities = run_policy(PolicyKind.GATEWAY, seed=7, days=28)
+        # CGN ranges fill at least half the /24 and are always on.
+        assert filling_degree(activities) >= 128
+        active_days = sum(1 for a in activities if a.offsets.size)
+        assert active_days == len(activities)
+
+    def test_aggregates_many_subscribers(self):
+        policy, activities = run_policy(PolicyKind.GATEWAY, seed=8, days=7)
+        assert policy.subscriber_count >= 2000
+        assert all(a.sub_ids.size > a.offsets.size for a in activities)
+
+    def test_huge_hits_per_address(self):
+        _, gateway = run_policy(PolicyKind.GATEWAY, seed=9, days=7)
+        _, static = run_policy(PolicyKind.STATIC, seed=9, days=7)
+        gateway_hits = np.mean([a.hits.mean() for a in gateway if a.hits.size])
+        static_hits = np.mean([a.hits.mean() for a in static if a.hits.size])
+        assert gateway_hits > 10 * static_hits
+
+    def test_traffic_scale_multiplies_hits(self):
+        policy_a = make_policy(PolicyKind.GATEWAY, 11, "cellular", CONFIG, 1_000_000)
+        policy_b = make_policy(PolicyKind.GATEWAY, 11, "cellular", CONFIG, 1_000_000)
+        base = policy_a.day_activity(0, traffic_scale=1.0)
+        boosted = policy_b.day_activity(0, traffic_scale=2.0)
+        assert boosted.hits.sum() == pytest.approx(2 * base.hits.sum(), rel=0.01)
+
+
+class TestCrawler:
+    def test_massive_hits_single_subscribers(self):
+        _, activities = run_policy(PolicyKind.CRAWLER, seed=10, days=14)
+        for activity in activities:
+            if activity.offsets.size:
+                assert activity.hits.min() > 1000
+                # Bots map 1:1 to addresses.
+                assert activity.sub_ids.size == activity.offsets.size
+
+
+class TestInfrastructure:
+    def test_router_never_contacts_cdn(self):
+        _, activities = run_policy(PolicyKind.ROUTER, seed=11, days=28)
+        assert all(a.offsets.size == 0 for a in activities)
+
+    def test_unused_is_silent_and_unassigned(self):
+        policy, activities = run_policy(PolicyKind.UNUSED, seed=12, days=14)
+        assert all(a.offsets.size == 0 for a in activities)
+        assert policy.assigned_offsets().size == 0
+
+    def test_server_activity_is_rare(self):
+        # Across many server blocks, CDN contact is faint (Sec. 3.3).
+        total_active_days = 0
+        total_days = 0
+        for seed in range(20):
+            _, activities = run_policy(PolicyKind.SERVER, seed=seed, days=28)
+            total_active_days += sum(1 for a in activities if a.offsets.size)
+            total_days += len(activities)
+        assert total_active_days < 0.25 * total_days
+
+    def test_scan_categories(self):
+        assert make_policy(PolicyKind.SERVER, 0, "hosting", CONFIG, 1).scan_category == "server"
+        assert make_policy(PolicyKind.ROUTER, 0, "transit", CONFIG, 1).scan_category == "router"
+        assert make_policy(PolicyKind.STATIC, 0, "enterprise", CONFIG, 1).scan_category == "client"
+        assert make_policy(PolicyKind.UNUSED, 0, "transit", CONFIG, 1).scan_category == "none"

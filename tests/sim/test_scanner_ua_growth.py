@@ -1,0 +1,249 @@
+"""Tests for repro.sim.scanner, repro.sim.useragents, repro.sim.growth."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.ipv4 import blocks_of
+from repro.sim.cdn import CDNObservatory
+from repro.sim.config import small_config
+from repro.sim.growth import GrowthModel, synthesize_monthly_counts
+from repro.sim.policies import PolicyKind
+from repro.sim.population import InternetPopulation
+from repro.sim.scanner import ProbeObservatory
+from repro.sim.useragents import (
+    NUM_APP_UAS,
+    NUM_BROWSER_UAS,
+    UASampleStore,
+    device_count,
+    sample_uas,
+    subscriber_ua_ids,
+    ua_string,
+)
+from repro.sim.util import hash_int, hash_unit
+
+
+@pytest.fixture(scope="module")
+def world():
+    return InternetPopulation.build(small_config(seed=31))
+
+
+@pytest.fixture(scope="module")
+def scan_state(world):
+    result = CDNObservatory(world).collect_daily(7, scan_days=(5,))
+    return result.scan_states[5]
+
+
+class TestHashHelpers:
+    def test_hash_unit_range_and_determinism(self):
+        values = hash_unit(np.arange(1000), 42)
+        assert (values >= 0).all() and (values < 1).all()
+        assert np.array_equal(values, hash_unit(np.arange(1000), 42))
+
+    def test_hash_unit_roughly_uniform(self):
+        values = hash_unit(np.arange(50_000), 7)
+        assert abs(values.mean() - 0.5) < 0.01
+
+    def test_salts_independent(self):
+        a = hash_unit(np.arange(1000), 1)
+        b = hash_unit(np.arange(1000), 2)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.1
+
+    def test_hash_int_bounds(self):
+        values = hash_int(np.arange(1000), 3, 7)
+        assert values.min() >= 0 and values.max() < 7
+
+    def test_hash_int_rejects_bad_upper(self):
+        with pytest.raises(ValueError):
+            hash_int(np.arange(3), 0, 0)
+
+
+class TestICMPScanner:
+    def test_scan_deterministic(self, world, scan_state):
+        probe = ProbeObservatory(world)
+        assert probe.icmp_scan(scan_state, 0) == probe.icmp_scan(scan_state, 0)
+
+    def test_scans_differ_but_union_converges(self, world, scan_state):
+        probe = ProbeObservatory(world)
+        one = probe.icmp_scan(scan_state, 0)
+        union4 = probe.icmp_union(scan_state, 4)
+        union8 = probe.icmp_union(scan_state, 8)
+        assert len(union4) >= len(one)
+        assert len(union8) >= len(union4)
+        # Diminishing returns: the second half adds less than the first.
+        assert len(union8) - len(union4) < len(union4) - len(one) + max(10, len(one) // 10)
+
+    def test_country_rates_visible(self, world, scan_state):
+        """China-like high response vs Japan-like low response."""
+        probe = ProbeObservatory(world)
+        union = probe.icmp_union(scan_state, 8)
+        rates = {}
+        for code in ("CN", "JP"):
+            assigned = []
+            for block in world.blocks:
+                kind, offsets = scan_state[block.index]
+                if block.country == code and kind is PolicyKind.STATIC and offsets.size:
+                    assigned.append((block.base + offsets).astype(np.int64))
+            if assigned:
+                ips = np.concatenate(assigned)
+                rates[code] = union.contains_many(ips).mean()
+        if "CN" in rates and "JP" in rates:
+            assert rates["CN"] > rates["JP"]
+
+    def test_infrastructure_highly_responsive(self, world, scan_state):
+        probe = ProbeObservatory(world)
+        union = probe.icmp_union(scan_state, 8)
+        router_ips = []
+        for block in world.blocks:
+            kind, offsets = scan_state[block.index]
+            if kind is PolicyKind.ROUTER and offsets.size:
+                router_ips.append((block.base + offsets).astype(np.int64))
+        if router_ips:
+            ips = np.concatenate(router_ips)
+            assert union.contains_many(ips).mean() > 0.85
+
+    def test_some_unused_space_answers(self, world, scan_state):
+        probe = ProbeObservatory(world)
+        union = probe.icmp_union(scan_state, 8)
+        unused_bases = {
+            block.base for block in world.blocks if scan_state[block.index][0] is PolicyKind.UNUSED
+        }
+        responding = union.addresses()
+        responding_unused = np.isin(blocks_of(responding, 24), list(unused_bases)).sum()
+        assert responding_unused > 0
+
+
+class TestPortScanAndArk:
+    def test_port_scan_hits_servers(self, world, scan_state):
+        probe = ProbeObservatory(world)
+        ports = probe.port_scan(scan_state)
+        assert len(ports) > 0
+        server_bases = {
+            block.base
+            for block in world.blocks
+            if scan_state[block.index][0] in (PolicyKind.SERVER, PolicyKind.ROUTER)
+        }
+        bases = set(blocks_of(ports.addresses(), 24).tolist())
+        assert bases <= server_bases
+
+    def test_ark_finds_only_routers(self, world, scan_state):
+        probe = ProbeObservatory(world)
+        ark = probe.ark_routers(scan_state)
+        router_bases = {
+            block.base
+            for block in world.blocks
+            if scan_state[block.index][0] is PolicyKind.ROUTER
+        }
+        bases = set(blocks_of(ark.addresses(), 24).tolist())
+        assert bases <= router_bases
+        assert len(ark) > 0
+
+
+class TestUserAgents:
+    def test_ua_string_rendering(self):
+        assert "App" not in ua_string(0)
+        assert ua_string(NUM_BROWSER_UAS).startswith("App")
+        with pytest.raises(ConfigError):
+            ua_string(-1)
+
+    def test_device_count_range(self):
+        counts = device_count(np.arange(10_000))
+        assert counts.min() >= 1 and counts.max() <= 4
+
+    def test_subscriber_ua_ids_stable_and_bounded(self):
+        a = subscriber_ua_ids(12345)
+        b = subscriber_ua_ids(12345)
+        assert np.array_equal(a, b)
+        assert a.size >= 1
+        assert a.max() < NUM_BROWSER_UAS + NUM_APP_UAS
+
+    def test_sampling_rate_controls_volume(self):
+        rng = np.random.default_rng(0)
+        sub_ids = np.arange(1000)
+        sub_hits = np.full(1000, 100)
+        dense = sample_uas(np.random.default_rng(0), sub_ids, sub_hits, 0.1)
+        sparse = sample_uas(np.random.default_rng(0), sub_ids, sub_hits, 0.001)
+        assert dense.size > 5 * sparse.size
+        assert dense.size == pytest.approx(10_000, rel=0.25)
+
+    def test_bot_profile_single_ua(self):
+        samples = sample_uas(
+            np.random.default_rng(1),
+            np.array([999]),
+            np.array([400_000]),
+            1 / 4000,
+            bot_profile=True,
+        )
+        assert samples.size > 10
+        assert np.unique(samples).size == 1
+
+    def test_normal_profile_diverse(self):
+        sub_ids = np.arange(5000)
+        samples = sample_uas(
+            np.random.default_rng(2), sub_ids, np.full(5000, 200), 1 / 1000
+        )
+        assert np.unique(samples).size > 50
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigError):
+            sample_uas(np.random.default_rng(0), np.array([1]), np.array([1]), 0.0)
+
+    def test_store_accumulates(self):
+        store = UASampleStore()
+        store.add(256, np.array([1, 2, 2]))
+        store.add(256, np.array([3]))
+        store.add(512, np.array([1]))
+        assert store.sample_count(256) == 4
+        assert store.unique_count(256) == 3
+        assert store.blocks() == [256, 512]
+        bases, counts, uniques = store.as_arrays()
+        assert bases.tolist() == [256, 512]
+        assert counts.tolist() == [4, 1]
+        assert uniques.tolist() == [3, 1]
+
+    def test_store_ignores_empty(self):
+        store = UASampleStore()
+        store.add(256, np.empty(0, dtype=np.int64))
+        assert store.blocks() == []
+
+
+class TestGrowthModel:
+    def test_deterministic(self):
+        a = synthesize_monthly_counts(np.random.default_rng(5))
+        b = synthesize_monthly_counts(np.random.default_rng(5))
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_shape_matches_figure1(self):
+        series = synthesize_monthly_counts(np.random.default_rng(6))
+        model = GrowthModel()
+        stagnation = series.month_index(model.stagnation)
+        pre = series.counts[:stagnation]
+        post = series.counts[stagnation:]
+        # Linear ramp: strong correlation with time before stagnation.
+        corr = np.corrcoef(np.arange(pre.size), pre)[0, 1]
+        assert corr > 0.99
+        # Plateau: post-stagnation growth collapses.
+        pre_slope = np.polyfit(np.arange(pre.size), pre, 1)[0]
+        post_slope = np.polyfit(np.arange(post.size), post, 1)[0]
+        assert post_slope < 0.2 * pre_slope
+
+    def test_slice_until(self):
+        series = synthesize_monthly_counts(np.random.default_rng(7))
+        sliced = series.slice_until(datetime.date(2014, 1, 1))
+        assert sliced.months[-1] == datetime.date(2013, 12, 1)
+        assert len(sliced) < len(series)
+
+    def test_custom_model_validation(self):
+        with pytest.raises(ConfigError):
+            GrowthModel(start=datetime.date(2015, 1, 1), end=datetime.date(2014, 1, 1)).validate()
+        with pytest.raises(ConfigError):
+            GrowthModel(stagnation=datetime.date(2020, 1, 1)).validate()
+        with pytest.raises(ConfigError):
+            GrowthModel(monthly_growth=-1).validate()
+
+    def test_month_index_errors_outside_range(self):
+        series = synthesize_monthly_counts(np.random.default_rng(8))
+        with pytest.raises(ConfigError):
+            series.month_index(datetime.date(2030, 1, 1))

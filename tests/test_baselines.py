@@ -1,0 +1,171 @@
+"""Tests for repro.baselines.udmap (the Xie et al. baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.udmap import (
+    classify_blocks_udmap,
+    estimate_lease_days,
+    udmap_scores,
+)
+from repro.errors import DatasetError
+
+BLOCK_STATIC = 10 << 8
+BLOCK_DAILY = 20 << 8
+BLOCK_SLOW = 30 << 8
+
+
+def synthetic_trace(num_days=30, users_per_block=6):
+    """Hand-built trace: static users keep an address, daily-lease
+    users switch every day, slow-lease users switch every 10 days."""
+    trace = []
+    for day in range(num_days):
+        ips, users = [], []
+        for user in range(users_per_block):
+            # static block
+            ips.append(BLOCK_STATIC + user)
+            users.append(1000 + user)
+            # daily-lease block: address rotates with the day
+            ips.append(BLOCK_DAILY + (user * 7 + day) % 256)
+            users.append(2000 + user)
+            # slow-lease block: address changes every 10 days
+            ips.append(BLOCK_SLOW + (user * 11 + day // 10) % 256)
+            users.append(3000 + user)
+        trace.append(
+            (np.array(ips, dtype=np.uint32), np.array(users, dtype=np.int64))
+        )
+    return trace
+
+
+class TestUDmapScores:
+    def test_scores_cover_all_blocks(self):
+        scores = udmap_scores(synthetic_trace())
+        assert set(scores) == {BLOCK_STATIC, BLOCK_DAILY, BLOCK_SLOW}
+
+    def test_switch_rates_ordered_by_lease(self):
+        scores = udmap_scores(synthetic_trace())
+        assert scores[BLOCK_STATIC].switch_rate == 0.0
+        assert scores[BLOCK_DAILY].switch_rate == pytest.approx(1.0)
+        assert 0.0 < scores[BLOCK_SLOW].switch_rate < 0.3
+
+    def test_addresses_per_user(self):
+        scores = udmap_scores(synthetic_trace())
+        assert scores[BLOCK_STATIC].mean_addresses_per_user == 1.0
+        assert scores[BLOCK_DAILY].mean_addresses_per_user > 10
+
+    def test_min_user_days_filter(self):
+        scores = udmap_scores(synthetic_trace(num_days=2), min_user_days=20)
+        assert scores == {}
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(DatasetError):
+            udmap_scores([])
+
+    def test_rejects_misaligned_day(self):
+        bad = [(np.array([1, 2], dtype=np.uint32), np.array([1], dtype=np.int64))]
+        with pytest.raises(DatasetError):
+            udmap_scores(bad)
+
+
+class TestClassification:
+    def test_classifies_by_threshold(self):
+        scores = udmap_scores(synthetic_trace())
+        verdicts = classify_blocks_udmap(scores)
+        assert verdicts[BLOCK_STATIC] is False
+        assert verdicts[BLOCK_DAILY] is True
+
+    def test_slow_lease_depends_on_threshold(self):
+        scores = udmap_scores(synthetic_trace())
+        strict = classify_blocks_udmap(scores, dynamic_threshold=0.5)
+        lax = classify_blocks_udmap(scores, dynamic_threshold=0.05)
+        assert strict[BLOCK_SLOW] is False
+        assert lax[BLOCK_SLOW] is True
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(DatasetError):
+            classify_blocks_udmap({}, dynamic_threshold=0.0)
+
+
+class TestLeaseEstimation:
+    def test_daily_lease(self):
+        lease = estimate_lease_days(synthetic_trace(), BLOCK_DAILY)
+        assert lease == pytest.approx(1.0)
+
+    def test_slow_lease(self):
+        lease = estimate_lease_days(synthetic_trace(num_days=40), BLOCK_SLOW)
+        assert 8 <= lease <= 12
+
+    def test_static_block_is_infinite(self):
+        assert estimate_lease_days(synthetic_trace(), BLOCK_STATIC) == float("inf")
+
+    def test_unobserved_block_rejected(self):
+        with pytest.raises(DatasetError):
+            estimate_lease_days(synthetic_trace(), 99 << 8)
+
+
+class TestAgainstSimulator:
+    """UDmap on real login traces recovers the true policies."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.sim import CDNObservatory, InternetPopulation, small_config
+
+        world = InternetPopulation.build(small_config(seed=77))
+        result = CDNObservatory(world).collect_daily(35, login_panel_rate=0.25)
+        return world, result
+
+    def test_trace_shape(self, run):
+        _, result = run
+        assert result.login_trace is not None
+        assert len(result.login_trace) == 35
+        for ips, users in result.login_trace:
+            assert ips.size == users.size
+
+    def test_panel_is_stable(self, run):
+        """The same users appear across days (a fixed panel)."""
+        _, result = run
+        day_users = [set(users.tolist()) for _, users in result.login_trace[:10]]
+        overlap = len(day_users[0] & day_users[1]) / max(1, len(day_users[0]))
+        assert overlap > 0.5
+
+    def test_recovers_true_policies(self, run):
+        from repro.sim.policies import DYNAMIC_KINDS, PolicyKind
+
+        world, result = run
+        scores = udmap_scores(result.login_trace, min_user_days=30)
+        verdicts = classify_blocks_udmap(scores)
+        correct = total = 0
+        for base, verdict in verdicts.items():
+            block = world.block_at(base)
+            if block is None:
+                continue
+            kind = result.final_kinds[block.index]
+            if kind in DYNAMIC_KINDS:
+                truth = True
+            elif kind is PolicyKind.STATIC:
+                truth = False
+            else:
+                continue  # gateways/crawlers out of scope for the baseline
+            total += 1
+            correct += verdict == truth
+        assert total > 20
+        assert correct / total > 0.8
+
+    def test_lease_ordering_matches_policies(self, run):
+        from repro.baselines.udmap import lease_runs_by_block
+        from repro.sim.policies import PolicyKind
+
+        world, result = run
+        runs_by_block = lease_runs_by_block(result.login_trace)
+        leases = {PolicyKind.DYNAMIC_SHORT: [], PolicyKind.DYNAMIC_LONG: []}
+        for block in world.blocks:
+            kind = result.final_kinds[block.index]
+            if kind not in leases:
+                continue
+            block_runs = runs_by_block.get(block.base)
+            if block_runs:
+                leases[kind].append(float(np.median(block_runs)))
+        if leases[PolicyKind.DYNAMIC_SHORT] and leases[PolicyKind.DYNAMIC_LONG]:
+            assert np.median(leases[PolicyKind.DYNAMIC_SHORT]) < np.median(
+                leases[PolicyKind.DYNAMIC_LONG]
+            )

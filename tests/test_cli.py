@@ -1,0 +1,93 @@
+"""Tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def stored_world(tmp_path):
+    out = tmp_path / "world"
+    code = main(
+        [
+            "simulate",
+            "--seed", "4",
+            "--ases", "20",
+            "--blocks-per-as", "4",
+            "--days", "14",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestSimulate:
+    def test_writes_both_artifacts(self, stored_world, capsys):
+        assert (stored_world.parent / "world.npz").exists()
+        assert (stored_world.parent / "world.rib.txt").exists()
+
+    def test_weekly_requires_multiple_of_seven(self, tmp_path, capsys):
+        code = main(
+            ["simulate", "--days", "10", "--weekly", "--out", str(tmp_path / "x")]
+        )
+        assert code == 2
+
+    def test_weekly_mode(self, tmp_path, capsys):
+        out = tmp_path / "weekly"
+        code = main(
+            [
+                "simulate",
+                "--seed", "4",
+                "--ases", "15",
+                "--blocks-per-as", "3",
+                "--days", "14",
+                "--weekly",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "2 x 7d snapshots" in captured
+
+
+class TestAnalyze:
+    @pytest.mark.parametrize("analysis", ["churn", "metrics", "change", "traffic"])
+    def test_analyses_run(self, stored_world, analysis, capsys):
+        code = main(
+            ["analyze", analysis, str(stored_world) + ".npz", "--month-days", "7"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert output.strip()
+
+    def test_churn_output_shape(self, stored_world, capsys):
+        main(["analyze", "churn", str(stored_world) + ".npz"])
+        output = capsys.readouterr().out
+        assert "up events" in output
+        assert "%" in output
+
+    def test_unknown_analysis_rejected(self, stored_world):
+        with pytest.raises(SystemExit):
+            main(["analyze", "nonsense", str(stored_world) + ".npz"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestExtendedAnalyses:
+    @pytest.mark.parametrize("analysis", ["potential", "weekday"])
+    def test_extended_analyses_run(self, stored_world, analysis, capsys):
+        code = main(["analyze", analysis, str(stored_world) + ".npz"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert output.strip()
+
+    def test_weekday_output_has_dip(self, stored_world, capsys):
+        main(["analyze", "weekday", str(stored_world) + ".npz"])
+        assert "weekend dip" in capsys.readouterr().out
+
+    def test_potential_output_mentions_pools(self, stored_world, capsys):
+        main(["analyze", "potential", str(stored_world) + ".npz"])
+        assert "pools" in capsys.readouterr().out

@@ -1,0 +1,74 @@
+"""Documentation consistency: DESIGN.md's experiment index stays honest."""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+DESIGN = (ROOT / "DESIGN.md").read_text()
+README = (ROOT / "README.md").read_text()
+
+
+class TestDesignIndex:
+    def test_every_referenced_bench_file_exists(self):
+        referenced = set(re.findall(r"bench_[a-z0-9_]+\.py", DESIGN))
+        assert referenced, "DESIGN.md lists no bench targets?"
+        for name in referenced:
+            assert (ROOT / "benchmarks" / name).exists(), name
+
+    def test_every_bench_file_is_referenced(self):
+        on_disk = {
+            path.name
+            for path in (ROOT / "benchmarks").glob("bench_*.py")
+        }
+        referenced = set(re.findall(r"bench_[a-z0-9_]+\.py", DESIGN))
+        missing = on_disk - referenced
+        assert not missing, f"bench files not documented in DESIGN.md: {missing}"
+
+    def test_every_figure_and_table_indexed(self):
+        # The paper has Figs. 1-12 and Tables 1-2; each must appear in
+        # the experiment index table.
+        for figure in range(1, 13):
+            assert re.search(rf"Fig\.? ?{figure}(?![0-9])", DESIGN), f"Fig. {figure} missing"
+        for table in (1, 2):
+            assert f"Table {table}" in DESIGN
+
+    def test_referenced_modules_exist(self):
+        for dotted in re.findall(r"`repro\.([a-z_.]+)`", DESIGN):
+            parts = dotted.split(".")
+            base = ROOT / "src" / "repro"
+            candidates = [
+                base.joinpath(*parts).with_suffix(".py"),
+                base.joinpath(*parts) / "__init__.py",
+            ]
+            # Attribute references like repro.sim.scanner.ProbeObservatory
+            # resolve at the module level.
+            module_candidates = [
+                base.joinpath(*parts[:depth]).with_suffix(".py")
+                for depth in range(len(parts), 0, -1)
+            ]
+            assert any(c.exists() for c in candidates + module_candidates), dotted
+
+
+class TestReadme:
+    def test_every_listed_example_exists(self):
+        for name in re.findall(r"`([a-z_]+\.py)`", README):
+            if name in ("conftest.py",):
+                continue
+            assert (ROOT / "examples" / name).exists() or (
+                ROOT / "tools" / name
+            ).exists(), name
+
+    def test_examples_directory_fully_documented(self):
+        on_disk = {path.name for path in (ROOT / "examples").glob("*.py")}
+        documented = set(re.findall(r"`([a-z_]+\.py)`", README))
+        missing = on_disk - documented
+        assert not missing, f"examples not documented in README: {missing}"
+
+    def test_quickstart_code_runs(self):
+        blocks = re.findall(r"```python\n(.*?)```", README, flags=re.DOTALL)
+        assert blocks, "README has no python quickstart block"
+        # Compile only: executing would rebuild a world (covered by
+        # examples); a syntax-valid snippet is the documentation claim.
+        compile(blocks[0], "<README quickstart>", "exec")

@@ -1,0 +1,18 @@
+"""Run the doctest examples embedded in API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.net.ipv4
+import repro.net.prefix
+import repro.net.trie
+
+MODULES = [repro.net.ipv4, repro.net.prefix, repro.net.trie]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, tested = doctest.testmod(module)
+    assert failures == 0
+    assert tested > 0, f"{module.__name__} has no doctest examples"

@@ -1,0 +1,182 @@
+"""End-to-end integration: the full paper pipeline on one small world.
+
+Exercises every stage on shared artifacts: population → CDN logs →
+scans → routing → analyses.  These tests are about the *interfaces*
+composing correctly; the benchmark harness covers the quantitative
+shapes at scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    addressing,
+    asview,
+    bgpcorr,
+    change,
+    churn,
+    demographics,
+    estimation,
+    eventsize,
+    hosts,
+    longterm,
+    metrics,
+    potential,
+    traffic,
+    visibility,
+)
+from repro.net.sets import IPSet
+from repro.rdns.classify import classify_zone
+from repro.rdns.ptr import synthesize_block_ptrs
+from repro.sim import (
+    CDNObservatory,
+    InternetPopulation,
+    ProbeObservatory,
+    small_config,
+)
+
+NUM_DAYS = 56
+SCAN_DAY = 40
+
+
+@pytest.fixture(scope="module")
+def world():
+    return InternetPopulation.build(small_config(seed=99))
+
+
+@pytest.fixture(scope="module")
+def run(world):
+    return CDNObservatory(world).collect_daily(
+        NUM_DAYS, ua_window=(28, 55), scan_days=(SCAN_DAY,)
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset(run):
+    return run.dataset
+
+
+@pytest.fixture(scope="module")
+def block_metrics(dataset):
+    return metrics.compute_block_metrics(dataset)
+
+
+class TestPipelineConsistency:
+    def test_dataset_covers_run(self, dataset):
+        assert len(dataset) == NUM_DAYS
+        assert dataset.total_unique() > 1000
+
+    def test_churn_pipeline(self, dataset):
+        summaries = churn.churn_by_window_size(dataset, [1, 7, 14])
+        assert 0 < summaries[1].up_median < 0.5
+        assert summaries[14].up_median > 0.0
+
+    def test_event_sizes_both_directions(self, dataset):
+        ups = eventsize.event_size_distribution(dataset, 7, "up")
+        downs = eventsize.event_size_distribution(dataset, 7, "down")
+        assert ups.num_events > 0 and downs.num_events > 0
+
+    def test_as_churn_with_real_origins(self, dataset, run):
+        origins = run.routing.majority_origin_many(
+            dataset.all_ips(), 0, NUM_DAYS - 1
+        )
+        result = asview.per_as_churn(dataset, origins, 7, min_active_ips=50)
+        assert result.num_ases > 3
+        assert (result.median_up >= 0).all()
+
+    def test_bgp_correlation_orders(self, dataset, run):
+        weekly = bgpcorr.bgp_event_correlation(dataset, run.routing, 7)
+        assert 0 <= weekly.up_fraction < 0.2
+        assert weekly.steady_fraction <= weekly.up_fraction + 0.05
+
+    def test_change_detection_matches_schedule(self, world, run, dataset):
+        detection = change.detect_change(dataset, month_days=28)
+        event_bases = {
+            world.blocks[index].base
+            for event in run.schedule.events
+            for index in event.block_indexes
+        }
+        flagged = set(int(b) for b in detection.major_bases)
+        # Most flagged blocks correspond to true events (high precision).
+        if flagged:
+            precision = len(flagged & event_bases) / len(flagged)
+            assert precision > 0.5
+
+    def test_rdns_addressing_dissection(self, world, block_metrics):
+        rng = np.random.default_rng(5)
+        records = []
+        for block in world.blocks:
+            records.extend(
+                synthesize_block_ptrs(block.base, block.naming, "isp", rng)
+            )
+        tags = classify_zone(records)
+        dissection = addressing.dissect_by_rdns(block_metrics, tags)
+        assert dissection.fd_static.size > 0
+        assert dissection.fd_dynamic.size > 0
+        report = potential.potential_utilization(block_metrics, tags)
+        assert report.total_blocks == block_metrics.num_blocks
+
+    def test_traffic_analyses(self, dataset):
+        stats = traffic.hits_by_days_active(dataset)
+        cumulative = traffic.cumulative_by_days_active(stats)
+        assert cumulative.ip_fractions[-1] == pytest.approx(1.0)
+        shares = traffic.top_share_series(dataset)
+        assert (shares > 0).all() and (shares <= 1).all()
+
+    def test_host_analysis(self, run):
+        scatter = hosts.ua_scatter(run.ua_store)
+        assert scatter.num_blocks > 10
+        regions = hosts.classify_regions(scatter)
+        assert len(regions) == scatter.num_blocks
+
+    def test_demographics_pipeline(self, world, run, dataset, block_metrics):
+        ips, _, hits = dataset.per_ip_stats()
+        from repro.net.ipv4 import blocks_of
+
+        traffic_map = {}
+        for base, hit in zip(blocks_of(ips, 24).tolist(), hits.tolist()):
+            traffic_map[base] = traffic_map.get(base, 0) + int(hit)
+        matrix = demographics.build_demographics(
+            block_metrics, traffic_map, hosts.relative_host_counts(run.ua_store)
+        )
+        assert matrix.counts.sum() == block_metrics.num_blocks
+        rir_map = {}
+        for base in matrix.bases:
+            record = world.delegations.lookup(int(base))
+            if record is not None:
+                rir_map[int(base)] = record.rir
+        panels = demographics.split_by_rir(matrix, rir_map)
+        assert sum(panel.num_blocks for panel in panels.values()) == len(rir_map)
+
+    def test_visibility_pipeline(self, world, run, dataset):
+        probe = ProbeObservatory(world)
+        state = run.scan_states[SCAN_DAY]
+        icmp = probe.icmp_union(state, 4)
+        month = dataset.union_snapshot(28, 55)
+        counts = visibility.visibility_at_granularities(
+            month.ips, icmp, run.routing.table_at(SCAN_DAY)
+        )
+        assert counts["ip"].cdn_only > 0
+        cls = visibility.classify_icmp_only(
+            month.ips, icmp, probe.port_scan(state), probe.ark_routers(state)
+        )
+        assert cls.total > 0
+
+    def test_longterm_and_estimation(self, world, run, dataset):
+        divergence = longterm.baseline_divergence(dataset.aggregate(7))
+        assert divergence.appear_counts[-1] >= 0
+        probe = ProbeObservatory(world)
+        state = run.scan_states[SCAN_DAY]
+        scan_a = probe.icmp_scan(state, 0)
+        scan_b = probe.icmp_scan(state, 1)
+        estimate = estimation.chapman_from_sets(scan_a, scan_b)
+        # Capture-recapture over two probe snapshots approximates the
+        # ICMP-responsive population (not the CDN population).
+        union_size = len(scan_a | scan_b)
+        assert estimate.estimate >= union_size * 0.9
+
+    def test_weekly_run_consistency(self, world):
+        weekly = CDNObservatory(world).collect_weekly(4)
+        assert weekly.dataset.window_days == 7
+        assert len(weekly.dataset) == 4
+        assert weekly.dataset.total_unique() > 1000

@@ -1,0 +1,166 @@
+"""Edge-case tests across modules: error hierarchy, empty inputs,
+boundary values, and minor API corners not covered elsewhere."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.core.dataset import ActivityDataset, Snapshot
+from repro.net.ipv4 import MAX_IPV4, parse_ip
+from repro.net.prefix import Prefix, coalesce
+from repro.net.sets import IPSet
+from repro.net.trie import PrefixTrie
+
+DAY0 = datetime.date(2015, 1, 1)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.AddressError,
+            errors.PrefixError,
+            errors.DatasetError,
+            errors.ConfigError,
+            errors.RegistryError,
+            errors.RoutingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_prefix_error_is_address_error(self):
+        assert issubclass(errors.PrefixError, errors.AddressError)
+
+    def test_value_error_compat(self):
+        # Callers using ValueError still catch parse failures.
+        assert issubclass(errors.AddressError, ValueError)
+        assert issubclass(errors.ConfigError, ValueError)
+
+
+class TestPrefixCorners:
+    def test_overlaps_symmetry(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.1.0.0/16")
+        other = Prefix.parse("11.0.0.0/8")
+        assert outer.overlaps(inner) and inner.overlaps(outer)
+        assert not outer.overlaps(other)
+
+    def test_full_space_prefix(self):
+        everything = Prefix(0, 0)
+        assert everything.num_addresses == 2**32
+        assert MAX_IPV4 in everything
+        assert everything.supernet(0) == everything
+
+    def test_host_prefix_subnets_empty_iteration(self):
+        host = Prefix(parse_ip("10.0.0.1"), 32)
+        assert list(host.subnets(32)) == [host]
+
+    def test_coalesce_empty(self):
+        assert coalesce([]) == []
+
+    def test_coalesce_idempotent(self):
+        prefixes = [Prefix.parse("10.0.0.0/25"), Prefix.parse("10.0.0.128/25")]
+        once = coalesce(prefixes)
+        assert coalesce(once) == once
+
+    def test_repr_is_informative(self):
+        assert repr(Prefix.parse("10.0.0.0/8")) == "Prefix('10.0.0.0/8')"
+
+
+class TestTrieCorners:
+    def test_empty_trie_iteration(self):
+        assert PrefixTrie().prefixes() == []
+
+    def test_contains_after_remove_keeps_siblings(self):
+        trie = PrefixTrie()
+        a = Prefix.parse("10.0.0.0/9")
+        b = Prefix.parse("10.128.0.0/9")
+        trie.insert(a, 1)
+        trie.insert(b, 2)
+        trie.remove(a)
+        assert a not in trie
+        assert trie.get(b) == 2
+        assert trie.lookup(parse_ip("10.200.0.1"))[1] == 2
+
+    def test_lookup_many_with_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix(0, 0), 0)
+        trie.insert(Prefix.parse("10.0.0.0/8"), 10)
+        ips = np.array([parse_ip("10.1.1.1"), parse_ip("200.0.0.1")], dtype=np.uint32)
+        assert trie.lookup_many_int(ips).tolist() == [10, 0]
+
+
+class TestIPSetCorners:
+    def test_hash_consistent_with_eq(self):
+        a = IPSet([(1, 5), (10, 20)])
+        b = IPSet([(1, 5)]) | IPSet([(10, 20)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_eq_against_other_types(self):
+        assert IPSet([(1, 2)]) != "a string"
+
+    def test_full_range_boundaries(self):
+        s = IPSet([(MAX_IPV4 - 1, MAX_IPV4)])
+        assert MAX_IPV4 in s
+        assert len(s) == 2
+
+    def test_prefixes_minimality(self):
+        # [0, 255] is exactly one /24.
+        s = IPSet([(0, 255)])
+        assert [str(p) for p in s.prefixes()] == ["0.0.0.0/24"]
+
+    def test_repr(self):
+        assert "2 ranges" in repr(IPSet([(1, 2), (9, 9)]))
+
+
+class TestSnapshotCorners:
+    def test_empty_snapshot(self):
+        empty = Snapshot(DAY0, 1, np.empty(0, dtype=np.uint32))
+        assert empty.num_active == 0
+        assert empty.total_hits == 0
+        assert 5 not in empty
+        assert empty.hits_of(5) == 0
+        assert empty.contains_many(np.array([1, 2])).tolist() == [False, False]
+
+    def test_merge_with_empty(self):
+        a = Snapshot(DAY0, 1, np.array([5], dtype=np.uint32))
+        b = Snapshot(DAY0 + datetime.timedelta(days=1), 1, np.empty(0, dtype=np.uint32))
+        merged = a.merge(b)
+        assert merged.ips.tolist() == [5]
+        assert merged.days == 2
+
+    def test_dataset_of_empty_snapshots(self):
+        snapshots = [
+            Snapshot(DAY0 + datetime.timedelta(days=i), 1, np.empty(0, dtype=np.uint32))
+            for i in range(3)
+        ]
+        ds = ActivityDataset(snapshots)
+        assert ds.total_unique() == 0
+        assert ds.active_counts().tolist() == [0, 0, 0]
+
+    def test_repr_mentions_window(self):
+        s = Snapshot(DAY0, 7, np.array([1], dtype=np.uint32))
+        assert "7d" in repr(s)
+        ds = ActivityDataset([s])
+        assert "7d" in repr(ds)
+
+
+class TestUserAgentCorners:
+    def test_every_ua_id_renders(self):
+        from repro.sim.useragents import NUM_APP_UAS, NUM_BROWSER_UAS, ua_string
+
+        seen = set()
+        for ua_id in range(0, NUM_BROWSER_UAS + NUM_APP_UAS, 97):
+            seen.add(ua_string(ua_id))
+        assert len(seen) > 40  # distinct ids render to distinct strings
+
+    def test_device_sets_differ_between_subscribers(self):
+        from repro.sim.useragents import subscriber_ua_ids
+
+        a = subscriber_ua_ids(1)
+        b = subscriber_ua_ids(2)
+        assert not np.array_equal(a, b)

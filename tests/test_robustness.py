@@ -1,0 +1,53 @@
+"""Seed-robustness of the headline shapes on small worlds.
+
+The benchmarks pin one seed per world; these tests verify the central
+qualitative claims are not artifacts of that choice.  Small worlds and
+short horizons keep this cheap; bounds are correspondingly loose.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import churn, metrics
+from repro.sim import CDNObservatory, InternetPopulation, small_config
+
+SEEDS = (101, 202, 303)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def run(request):
+    world = InternetPopulation.build(small_config(seed=request.param))
+    return world, CDNObservatory(world).collect_daily(21)
+
+
+class TestSeedRobustness:
+    def test_daily_churn_in_band(self, run):
+        _, result = run
+        summary = churn.daily_churn(result.dataset)
+        assert 0.02 < summary.up_median < 0.25
+        assert 0.02 < summary.down_median < 0.25
+
+    def test_fd_bimodality(self, run):
+        _, result = run
+        block_metrics = metrics.compute_block_metrics(result.dataset)
+        fd = block_metrics.filling_degree
+        full = (fd > 250).mean()
+        sparse = (fd < 64).mean()
+        assert full > 0.15
+        assert sparse > 0.10
+        # Middle ground is the minority: assignment practice splits
+        # the space into sparse-static and cycling-dynamic.
+        assert full + sparse > 0.5
+
+    def test_activity_is_stable_across_days(self, run):
+        _, result = run
+        counts = result.dataset.active_counts()
+        assert counts.min() > 0.7 * counts.max()
+
+    def test_heavy_hitters_concentrate_traffic(self, run):
+        _, result = run
+        snapshot = result.dataset[10]
+        top = max(1, snapshot.num_active // 10)
+        heavy = np.partition(snapshot.hits, snapshot.num_active - top)[-top:]
+        share = heavy.sum() / snapshot.total_hits
+        assert share > 0.35

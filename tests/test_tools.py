@@ -1,0 +1,66 @@
+"""Tests for tools/build_experiments_md.py (the EXPERIMENTS generator)."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+TOOL_PATH = pathlib.Path(__file__).resolve().parents[1] / "tools" / "build_experiments_md.py"
+
+spec = importlib.util.spec_from_file_location("build_experiments_md", TOOL_PATH)
+tool = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(tool)
+
+SAMPLE_LOG = """\
+some pytest noise
+Fig. 4a — daily active addresses and up/down events
+                  quantity              paper        measured
+--------------------------  -----------------  --------------
+  daily up events / active  ~8% (55M of 650M)            7.1%
+.
+unrelated line
+
+Table 1 — daily dataset (112 days)
+    quantity   paper  measured
+------------  ------  --------
+  unique IPs    975M     1.2M
+.
+5 passed in 123.45s
+"""
+
+
+class TestExtractBlocks:
+    def test_finds_both_blocks(self):
+        blocks = tool.extract_blocks(SAMPLE_LOG.splitlines())
+        assert len(blocks) == 2
+        assert blocks[0][0].startswith("Fig. 4a")
+        assert blocks[1][0].startswith("Table 1")
+
+    def test_blocks_include_rows(self):
+        blocks = tool.extract_blocks(SAMPLE_LOG.splitlines())
+        assert any("daily up events" in line for line in blocks[0])
+        assert any("unique IPs" in line for line in blocks[1])
+
+    def test_blocks_stop_at_blank_or_end(self):
+        blocks = tool.extract_blocks(SAMPLE_LOG.splitlines())
+        assert not any("unrelated" in line for block in blocks for line in block)
+
+    def test_no_blocks_in_plain_text(self):
+        assert tool.extract_blocks(["hello", "world"]) == []
+
+
+class TestMain:
+    def test_renders_markdown(self, tmp_path, capsys, monkeypatch):
+        log = tmp_path / "bench.log"
+        log.write_text(SAMPLE_LOG)
+        monkeypatch.setattr("sys.argv", ["tool", str(log)])
+        assert tool.main() == 0
+        output = capsys.readouterr().out
+        assert "## Fig. 4a" in output
+        assert "## Table 1" in output
+        assert "Run summary" in output
+        assert "5 passed" in output
+
+    def test_usage_error(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.argv", ["tool"])
+        assert tool.main() == 2

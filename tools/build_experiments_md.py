@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Build EXPERIMENTS.md from a benchmark run log.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only -s > bench.log 2>&1
+    python tools/build_experiments_md.py bench.log > EXPERIMENTS.md
+
+The benchmarks print paper-vs-measured comparison blocks (via
+``conftest.print_comparison``); this script collects those blocks,
+groups them under their experiment headings, and emits the markdown
+record of the run.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Record of one full benchmark run (`pytest benchmarks/ --benchmark-only -s`).
+Each block reproduces one of the paper's tables or figures on the
+synthetic world (~1/300 of Internet scale; see DESIGN.md for the
+substitution rationale).  "paper" quotes the quantity the paper
+reports; "measured" is this run's value.  Shape agreement — ordering,
+ratios, crossovers — is what the benchmarks assert; absolute counts
+scale with the simulated world.
+
+"""
+
+
+def extract_blocks(lines: list[str]) -> list[list[str]]:
+    """Comparison blocks start at a title line followed by the
+    three-column header produced by render_table."""
+    blocks: list[list[str]] = []
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        if (
+            index + 1 < len(lines)
+            and "quantity" in lines[index + 1]
+            and "paper" in lines[index + 1]
+            and "measured" in lines[index + 1]
+            and line.strip()
+        ):
+            block = [line.rstrip()]
+            cursor = index + 1
+            # Header + separator + data rows: all are multi-column
+            # lines (two-space gaps); stop at the first line that
+            # isn't, e.g. pytest's progress dots.
+            while (
+                cursor < len(lines)
+                and lines[cursor].strip()
+                and "  " in lines[cursor].strip()
+            ):
+                block.append(lines[cursor].rstrip())
+                cursor += 1
+            blocks.append(block)
+            index = cursor
+        else:
+            index += 1
+    return blocks
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8", errors="replace") as stream:
+        lines = stream.read().splitlines()
+    blocks = extract_blocks(lines)
+    out = [HEADER]
+    for block in blocks:
+        title = block[0].strip()
+        out.append(f"## {title}\n")
+        out.append("```")
+        out.extend(block[1:])
+        out.append("```\n")
+    # Append the benchmark timing table if present.
+    timing_start = next(
+        (i for i, line in enumerate(lines) if "benchmark:" in line and "----" in line),
+        None,
+    )
+    if timing_start is not None:
+        out.append("## Benchmark timings\n")
+        out.append("```")
+        cursor = timing_start
+        while cursor < len(lines) and lines[cursor].strip():
+            out.append(lines[cursor].rstrip())
+            cursor += 1
+        out.append("```\n")
+    summary = [line for line in lines if re.search(r"\d+ (passed|failed)", line)]
+    if summary:
+        out.append(f"Run summary: `{summary[-1].strip()}`\n")
+    print("\n".join(out))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
