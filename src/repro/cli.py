@@ -8,13 +8,17 @@ would run them:
   (``.rib.txt``) to disk;
 - ``repro analyze`` loads a stored dataset and prints one of the
   paper's analyses (churn, block metrics, change detection, traffic
-  concentration).
+  concentration) — or ``all`` of them in one pass.  Analyses share the
+  dataset's memoized :class:`~repro.core.index.DatasetIndex`, so the
+  expensive sorted-union/projection step is computed once per run, not
+  once per analysis.
 
 Example::
 
     python -m repro simulate --seed 7 --days 28 --out world
     python -m repro analyze churn world.npz
     python -m repro analyze change world.npz --month-days 14
+    python -m repro analyze all world.npz
 """
 
 from __future__ import annotations
@@ -55,7 +59,7 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze = commands.add_parser("analyze", help="run one analysis on a stored dataset")
     analyze.add_argument(
         "analysis",
-        choices=["churn", "metrics", "change", "traffic", "potential", "weekday"],
+        choices=["churn", "metrics", "change", "traffic", "potential", "weekday", "all"],
     )
     analyze.add_argument("dataset", help="path to a .npz dataset")
     analyze.add_argument("--month-days", type=int, default=28)
@@ -90,73 +94,102 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _analyze_churn(dataset, args: argparse.Namespace) -> None:
+    if dataset.window_days != 1:
+        summary = churn.ChurnSummary(
+            dataset.window_days, tuple(churn.transition_churn(dataset))
+        )
+    else:
+        summary = churn.daily_churn(dataset)
+    rows = [
+        ("window", f"{summary.window_days}d"),
+        ("up events (min/median/max)",
+         f"{format_percent(summary.up_min)} / {format_percent(summary.up_median)} / "
+         f"{format_percent(summary.up_max)}"),
+        ("down events (min/median/max)",
+         f"{format_percent(summary.down_min)} / {format_percent(summary.down_median)} / "
+         f"{format_percent(summary.down_max)}"),
+    ]
+    print(render_table(["quantity", "value"], rows, title="Churn"))
+
+
+def _analyze_metrics(dataset, args: argparse.Namespace) -> None:
+    block_metrics = metrics.compute_block_metrics(dataset)
+    fd = block_metrics.filling_degree
+    rows = [
+        ("active /24 blocks", str(block_metrics.num_blocks)),
+        ("median filling degree", str(int(np.median(fd)))),
+        ("blocks with FD > 250", format_percent(float((fd > 250).mean()))),
+        ("blocks with FD < 64", format_percent(float((fd < 64).mean()))),
+        ("median STU", f"{float(np.median(block_metrics.stu)):.3f}"),
+    ]
+    print(render_table(["quantity", "value"], rows, title="Block metrics"))
+
+
+def _analyze_change(dataset, args: argparse.Namespace) -> None:
+    detection = change.detect_change(dataset, month_days=args.month_days)
+    rows = [
+        ("blocks analysed", str(detection.bases.size)),
+        ("major change (|ΔSTU| > 0.25)", format_percent(detection.major_fraction)),
+    ]
+    print(render_table(["quantity", "value"], rows, title="Change detection"))
+
+
+def _analyze_potential(dataset, args: argparse.Namespace) -> None:
+    block_metrics = metrics.compute_block_metrics(dataset)
+    report = potential.potential_utilization(block_metrics)
+    rows = [
+        ("active /24 blocks", str(report.total_blocks)),
+        ("sparse blocks (FD<64)", format_percent(report.low_fd_fraction)),
+        ("dynamic pools", str(report.dynamic_pool_blocks)),
+        ("under-utilized pools", format_percent(report.underutilized_pool_fraction)),
+        ("reclaimable addresses", format_count(report.reclaimable_addresses)),
+    ]
+    print(render_table(["quantity", "value"], rows, title="Potential utilization"))
+
+
+def _analyze_weekday(dataset, args: argparse.Namespace) -> None:
+    profile = seasonal.weekday_profile(dataset)
+    rows = [
+        (name, format_count(profile.mean_active[day]))
+        for day, name in enumerate(seasonal.WEEKDAY_NAMES)
+        if profile.samples[day] > 0
+    ]
+    rows.append(("weekend dip", f"{profile.weekend_dip:.3f}x"))
+    print(render_table(["day", "mean active"], rows, title="Weekday profile"))
+
+
+def _analyze_traffic(dataset, args: argparse.Namespace) -> None:
+    shares = traffic.top_share_series(dataset, args.top_fraction)
+    trend = traffic.consolidation_trend(shares) if shares.size > 1 else 0.0
+    rows = [
+        ("windows", str(shares.size)),
+        (f"top-{format_percent(args.top_fraction, 0)} share (first/last)",
+         f"{format_percent(shares[0])} / {format_percent(shares[-1])}"),
+        ("trend per window", f"{100 * trend:+.3f} points"),
+    ]
+    print(render_table(["quantity", "value"], rows, title="Traffic concentration"))
+
+
+_ANALYSES = {
+    "churn": _analyze_churn,
+    "metrics": _analyze_metrics,
+    "change": _analyze_change,
+    "traffic": _analyze_traffic,
+    "potential": _analyze_potential,
+    "weekday": _analyze_weekday,
+}
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    # One dataset object for the whole run: every analysis below reuses
+    # its memoized DatasetIndex (union, projections, block scatter).
     dataset = load_dataset(args.dataset)
-    if args.analysis == "churn":
-        if dataset.window_days != 1:
-            summary = churn.ChurnSummary(
-                dataset.window_days, tuple(churn.transition_churn(dataset))
-            )
-        else:
-            summary = churn.daily_churn(dataset)
-        rows = [
-            ("window", f"{summary.window_days}d"),
-            ("up events (min/median/max)",
-             f"{format_percent(summary.up_min)} / {format_percent(summary.up_median)} / "
-             f"{format_percent(summary.up_max)}"),
-            ("down events (min/median/max)",
-             f"{format_percent(summary.down_min)} / {format_percent(summary.down_median)} / "
-             f"{format_percent(summary.down_max)}"),
-        ]
-        print(render_table(["quantity", "value"], rows, title="Churn"))
-    elif args.analysis == "metrics":
-        block_metrics = metrics.compute_block_metrics(dataset)
-        fd = block_metrics.filling_degree
-        rows = [
-            ("active /24 blocks", str(block_metrics.num_blocks)),
-            ("median filling degree", str(int(np.median(fd)))),
-            ("blocks with FD > 250", format_percent(float((fd > 250).mean()))),
-            ("blocks with FD < 64", format_percent(float((fd < 64).mean()))),
-            ("median STU", f"{float(np.median(block_metrics.stu)):.3f}"),
-        ]
-        print(render_table(["quantity", "value"], rows, title="Block metrics"))
-    elif args.analysis == "change":
-        detection = change.detect_change(dataset, month_days=args.month_days)
-        rows = [
-            ("blocks analysed", str(detection.bases.size)),
-            ("major change (|ΔSTU| > 0.25)", format_percent(detection.major_fraction)),
-        ]
-        print(render_table(["quantity", "value"], rows, title="Change detection"))
-    elif args.analysis == "potential":
-        block_metrics = metrics.compute_block_metrics(dataset)
-        report = potential.potential_utilization(block_metrics)
-        rows = [
-            ("active /24 blocks", str(report.total_blocks)),
-            ("sparse blocks (FD<64)", format_percent(report.low_fd_fraction)),
-            ("dynamic pools", str(report.dynamic_pool_blocks)),
-            ("under-utilized pools", format_percent(report.underutilized_pool_fraction)),
-            ("reclaimable addresses", format_count(report.reclaimable_addresses)),
-        ]
-        print(render_table(["quantity", "value"], rows, title="Potential utilization"))
-    elif args.analysis == "weekday":
-        profile = seasonal.weekday_profile(dataset)
-        rows = [
-            (name, format_count(profile.mean_active[day]))
-            for day, name in enumerate(seasonal.WEEKDAY_NAMES)
-            if profile.samples[day] > 0
-        ]
-        rows.append(("weekend dip", f"{profile.weekend_dip:.3f}x"))
-        print(render_table(["day", "mean active"], rows, title="Weekday profile"))
-    else:  # traffic
-        shares = traffic.top_share_series(dataset, args.top_fraction)
-        trend = traffic.consolidation_trend(shares) if shares.size > 1 else 0.0
-        rows = [
-            ("windows", str(shares.size)),
-            (f"top-{format_percent(args.top_fraction, 0)} share (first/last)",
-             f"{format_percent(shares[0])} / {format_percent(shares[-1])}"),
-            ("trend per window", f"{100 * trend:+.3f} points"),
-        ]
-        print(render_table(["quantity", "value"], rows, title="Traffic concentration"))
+    if args.analysis == "all":
+        for run in _ANALYSES.values():
+            run(dataset, args)
+    else:
+        _ANALYSES[args.analysis](dataset, args)
     return 0
 
 

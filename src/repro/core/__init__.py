@@ -17,6 +17,7 @@ from repro.core import (
     eventsize,
     growth,
     hosts,
+    index,
     io,
     longterm,
     markets,
@@ -28,9 +29,11 @@ from repro.core import (
     windows,
 )
 from repro.core.dataset import ActivityDataset, Snapshot, dataset_from_daily_logs
+from repro.core.index import DatasetIndex
 
 __all__ = [
     "ActivityDataset",
+    "DatasetIndex",
     "Snapshot",
     "addressing",
     "asview",
@@ -43,6 +46,7 @@ __all__ = [
     "eventsize",
     "growth",
     "hosts",
+    "index",
     "io",
     "longterm",
     "markets",

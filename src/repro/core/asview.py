@@ -57,18 +57,24 @@ def per_as_churn(
 
     ``origins`` maps each address of ``dataset.all_ips()`` (same order)
     to its origin AS (-1 for unrouted, which is dropped).  The dataset
-    must be daily; it is aggregated to *window_days* internally.
+    must be daily; days are grouped into consecutive *window_days*
+    windows (trailing partial windows dropped, as in ``aggregate``),
+    but only window *presence* is needed, so the masks come straight
+    from the cached per-day index positions — no merged snapshots.
     """
     if dataset.window_days != 1:
         raise DatasetError("per-AS churn expects a daily dataset")
-    all_ips = dataset.all_ips()
+    index = dataset.index
+    all_ips = index.all_ips
     origins = np.asarray(origins, dtype=np.int64)
     if origins.size != all_ips.size:
         raise DatasetError(
             f"origins ({origins.size}) must align with all_ips ({all_ips.size})"
         )
-    windowed = dataset.aggregate(window_days)
-    if len(windowed) < 2:
+    if window_days <= 0:
+        raise DatasetError(f"non-positive aggregation factor: {window_days}")
+    num_windows = len(dataset) // window_days
+    if num_windows < 2:
         raise DatasetError(f"window size {window_days} leaves fewer than two windows")
 
     routed = origins >= 0
@@ -80,11 +86,20 @@ def per_as_churn(
     # Per-AS distinct active addresses (for the >=1000-IP filter).
     active_per_as = np.bincount(codes[routed], minlength=num_as)
 
-    presence_prev = windowed[0].contains_many(all_ips)
-    up_fractions = np.zeros((len(windowed) - 1, num_as))
-    down_fractions = np.zeros((len(windowed) - 1, num_as))
-    for index in range(1, len(windowed)):
-        presence_now = windowed[index].contains_many(all_ips)
+    def presence_of(window: int) -> np.ndarray:
+        # Only presence matters here, never the merged hit counts, so
+        # there is no need to aggregate the dataset into windowed
+        # snapshots: OR the cached per-day union positions directly.
+        mask = np.zeros(all_ips.size, dtype=bool)
+        for day in range(window * window_days, (window + 1) * window_days):
+            mask[index.snapshot_positions(day)] = True
+        return mask
+
+    presence_prev = presence_of(0)
+    up_fractions = np.zeros((num_windows - 1, num_as))
+    down_fractions = np.zeros((num_windows - 1, num_as))
+    for window in range(1, num_windows):
+        presence_now = presence_of(window)
         ups = presence_now & ~presence_prev & routed
         downs = presence_prev & ~presence_now & routed
         active_now = presence_now & routed
@@ -94,10 +109,10 @@ def per_as_churn(
         now_counts = np.bincount(codes[active_now], minlength=num_as)
         prev_counts = np.bincount(codes[active_prev], minlength=num_as)
         with np.errstate(divide="ignore", invalid="ignore"):
-            up_fractions[index - 1] = np.where(
+            up_fractions[window - 1] = np.where(
                 now_counts > 0, up_counts / np.maximum(now_counts, 1), 0.0
             )
-            down_fractions[index - 1] = np.where(
+            down_fractions[window - 1] = np.where(
                 prev_counts > 0, down_counts / np.maximum(prev_counts, 1), 0.0
             )
         presence_prev = presence_now

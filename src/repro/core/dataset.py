@@ -22,6 +22,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.index import DatasetIndex, kway_union
 from repro.errors import DatasetError
 
 
@@ -156,6 +157,18 @@ class ActivityDataset:
                     f"snapshots not contiguous at {right.start.isoformat()}"
                 )
         self._snapshots = list(snapshots)
+        self._index: DatasetIndex | None = None
+
+    @property
+    def index(self) -> DatasetIndex:
+        """The memoized :class:`~repro.core.index.DatasetIndex`.
+
+        Computed lazily and shared by every analysis over this dataset;
+        safe because datasets are append-never after construction.
+        """
+        if self._index is None:
+            self._index = DatasetIndex(self)
+        return self._index
 
     # -- basics ----------------------------------------------------------
 
@@ -207,10 +220,12 @@ class ActivityDataset:
         return np.array([snapshot.total_hits for snapshot in self], dtype=np.int64)
 
     def all_ips(self) -> np.ndarray:
-        """Sorted union of addresses active in any snapshot (Table 1 totals)."""
-        if len(self) == 1:
-            return self._snapshots[0].ips.copy()
-        return np.unique(np.concatenate([snapshot.ips for snapshot in self]))
+        """Sorted union of addresses active in any snapshot (Table 1 totals).
+
+        Served from the memoized :attr:`index`; the returned array is
+        read-only and shared — copy before mutating.
+        """
+        return self.index.all_ips
 
     def total_unique(self) -> int:
         """Number of distinct addresses ever active."""
@@ -244,10 +259,12 @@ class ActivityDataset:
             group = self._snapshots[
                 group_index * num_windows : (group_index + 1) * num_windows
             ]
-            combined = group[0]
-            for part in group[1:]:
-                combined = combined.merge(part)
-            merged.append(combined)
+            # Snapshots in a dataset are contiguous by construction, so
+            # the whole group unions in one k-way pass (no pairwise fold).
+            ips, hits = kway_union(group)
+            merged.append(
+                Snapshot(group[0].start, num_windows * self.window_days, ips, hits)
+            )
         return ActivityDataset(merged)
 
     def slice(self, first: int, last: int) -> "ActivityDataset":
@@ -260,10 +277,13 @@ class ActivityDataset:
 
     def union_snapshot(self, first: int, last: int) -> Snapshot:
         """One merged snapshot over the index range ``[first, last]``."""
-        combined = self._snapshots[first]
-        for snapshot in self._snapshots[first + 1 : last + 1]:
-            combined = combined.merge(snapshot)
-        return combined
+        if not 0 <= first <= last < len(self):
+            raise DatasetError(
+                f"bad union range [{first}, {last}] for {len(self)} snapshots"
+            )
+        group = self._snapshots[first : last + 1]
+        ips, hits = kway_union(group)
+        return Snapshot(group[0].start, len(group) * self.window_days, ips, hits)
 
     # -- per-IP statistics -------------------------------------------------------
 
@@ -275,15 +295,11 @@ class ActivityDataset:
         counts the snapshots each address appeared in, and
         ``total_hits`` sums its requests.  This is the backbone of the
         activity-vs-traffic analysis (Fig. 9a/9b).
+
+        Served from the memoized :attr:`index`; the arrays are
+        read-only and shared — copy before mutating.
         """
-        ips = self.all_ips()
-        windows_active = np.zeros(ips.size, dtype=np.int32)
-        total_hits = np.zeros(ips.size, dtype=np.uint64)
-        for snapshot in self:
-            pos = np.searchsorted(ips, snapshot.ips)
-            windows_active[pos] += 1
-            total_hits[pos] += snapshot.hits
-        return ips, windows_active, total_hits
+        return self.index.per_ip_stats()
 
     #: Refuse to materialise dense matrices above this many cells.
     _MATRIX_CELL_LIMIT = 200_000_000
@@ -305,9 +321,12 @@ class ActivityDataset:
         matrices beyond ~200M cells.
         """
         if ips is None:
-            ips = self.all_ips()
-        else:
-            ips = np.asarray(ips, dtype=np.uint32)
+            self._check_matrix_size(self.index.all_ips.size)
+            matrix = np.zeros((self.index.all_ips.size, len(self)), dtype=bool)
+            for column in range(len(self)):
+                matrix[self.index.snapshot_positions(column), column] = True
+            return matrix
+        ips = np.asarray(ips, dtype=np.uint32)
         self._check_matrix_size(ips.size)
         matrix = np.zeros((ips.size, len(self)), dtype=bool)
         for column, snapshot in enumerate(self):
@@ -317,9 +336,12 @@ class ActivityDataset:
     def hits_matrix(self, ips: np.ndarray | None = None) -> np.ndarray:
         """Per-address, per-snapshot hit counts (0 where inactive)."""
         if ips is None:
-            ips = self.all_ips()
-        else:
-            ips = np.asarray(ips, dtype=np.uint32)
+            self._check_matrix_size(self.index.all_ips.size)
+            matrix = np.zeros((self.index.all_ips.size, len(self)), dtype=np.uint64)
+            for column, snapshot in enumerate(self):
+                matrix[self.index.snapshot_positions(column), column] = snapshot.hits
+            return matrix
+        ips = np.asarray(ips, dtype=np.uint32)
         self._check_matrix_size(ips.size)
         matrix = np.zeros((ips.size, len(self)), dtype=np.uint64)
         for column, snapshot in enumerate(self):

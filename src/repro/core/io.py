@@ -10,7 +10,10 @@ Formats:
 
 - datasets: a single ``.npz`` with per-snapshot IP/hit columns plus a
   small header (start date, window length) — compressed, loads back
-  bit-identically;
+  bit-identically.  The ``.npz`` suffix is appended when missing, so
+  ``save_dataset("data", ds)`` and ``load_dataset("data")`` round-trip;
+  writes are atomic (temp file + ``os.replace``), so a crash mid-write
+  cannot leave a truncated artifact behind;
 - routing tables/series: a line-oriented text format
   (``prefix|origin_asn``) with day separators, mirroring the shape of
   RIB dump exports.
@@ -21,6 +24,7 @@ from __future__ import annotations
 import datetime
 import io as _io
 import os
+import tempfile
 
 import numpy as np
 
@@ -33,8 +37,26 @@ from repro.routing.table import RoutingTable
 _FORMAT_VERSION = 1
 
 
+def _dataset_path(path: str | os.PathLike) -> str:
+    """Canonical on-disk path: append ``.npz`` when missing.
+
+    ``np.savez_compressed`` appends the suffix on its own; save and
+    load must apply the same rule or suffixless round-trips break.
+    """
+    text = os.fspath(path)
+    if not text.endswith(".npz"):
+        text += ".npz"
+    return text
+
+
 def save_dataset(path: str | os.PathLike, dataset: ActivityDataset) -> None:
-    """Write a dataset to ``path`` as compressed ``.npz``."""
+    """Write a dataset to ``path`` as compressed ``.npz``.
+
+    The write is atomic: data goes to a temporary file in the same
+    directory which is then renamed over *path*, so readers never see
+    a truncated dataset even if the process dies mid-write.
+    """
+    target = _dataset_path(path)
     arrays: dict[str, np.ndarray] = {
         "version": np.array([_FORMAT_VERSION]),
         "start": np.array([dataset.start.toordinal()]),
@@ -44,12 +66,35 @@ def save_dataset(path: str | os.PathLike, dataset: ActivityDataset) -> None:
     for index, snapshot in enumerate(dataset):
         arrays[f"ips_{index}"] = snapshot.ips
         arrays[f"hits_{index}"] = snapshot.hits
-    np.savez_compressed(path, **arrays)
+    directory = os.path.dirname(target) or "."
+    handle, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            np.savez_compressed(stream, **arrays)
+        os.replace(temp_path, target)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_dataset(path: str | os.PathLike) -> ActivityDataset:
-    """Load a dataset written by :func:`save_dataset`."""
-    with np.load(path) as bundle:
+    """Load a dataset written by :func:`save_dataset`.
+
+    Applies the same ``.npz`` suffix rule as :func:`save_dataset` and
+    raises :class:`~repro.errors.DatasetError` (never a bare
+    ``FileNotFoundError``) when no dataset exists at *path*.
+    """
+    target = _dataset_path(path)
+    try:
+        bundle = np.load(target)
+    except FileNotFoundError as exc:
+        raise DatasetError(f"no dataset file at: {target}") from exc
+    with bundle:
         try:
             version = int(bundle["version"][0])
             start = datetime.date.fromordinal(int(bundle["start"][0]))
@@ -126,6 +171,12 @@ def load_routing_series(path: str | os.PathLike) -> RoutingSeries:
         if pending_same:
             if not tables:
                 raise RoutingError("'same' marker before any table")
+            for line in current_lines:
+                stripped = line.strip()
+                if stripped and not stripped.startswith("#"):
+                    raise RoutingError(
+                        f"route data under a 'same' day marker: {line!r}"
+                    )
             tables.append(tables[-1])
         else:
             tables.append(parse_routing_table(current_lines))

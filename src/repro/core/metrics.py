@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.dataset import ActivityDataset
 from repro.errors import DatasetError
-from repro.net.ipv4 import block_of, blocks_of
+from repro.net.ipv4 import block_of
 
 BLOCK_SIZE = 256
 
@@ -76,19 +76,17 @@ def compute_block_metrics(dataset: ActivityDataset) -> BlockMetrics:
     coarser windows the denominator scales accordingly (an address
     active in a week contributes one unit out of the week's one).
     """
-    all_ips = dataset.all_ips()
-    if all_ips.size == 0:
+    index = dataset.index
+    if index.all_ips.size == 0:
         raise DatasetError("dataset has no active addresses")
-    bases = np.unique(blocks_of(all_ips, 24))
+    bases = index.block_bases
 
-    fd = np.bincount(
-        np.searchsorted(bases, blocks_of(all_ips, 24)), minlength=bases.size
-    )
+    fd = index.block_filling_degree
     activity = np.zeros(bases.size, dtype=np.int64)
-    for snapshot in dataset:
-        if snapshot.ips.size == 0:
+    for position in range(len(dataset)):
+        block_idx = index.snapshot_block_index(position)
+        if block_idx.size == 0:
             continue
-        block_idx = np.searchsorted(bases, blocks_of(snapshot.ips, 24))
         activity += np.bincount(block_idx, minlength=bases.size)
     stu = activity / (BLOCK_SIZE * len(dataset))
     return BlockMetrics(
@@ -141,14 +139,14 @@ def monthly_stu(
         raise DatasetError(
             f"dataset of {len(dataset)} days has no full {month_days}-day month"
         )
-    all_bases = np.unique(blocks_of(dataset.all_ips(), 24))
+    index = dataset.index
+    all_bases = index.block_bases
     stu_matrix = np.zeros((all_bases.size, num_months))
     for month in range(num_months):
-        chunk = dataset.slice(month * month_days, (month + 1) * month_days - 1)
-        for snapshot in chunk:
-            if snapshot.ips.size == 0:
+        for day in range(month * month_days, (month + 1) * month_days):
+            idx = index.snapshot_block_index(day)
+            if idx.size == 0:
                 continue
-            idx = np.searchsorted(all_bases, blocks_of(snapshot.ips, 24))
             stu_matrix[:, month] += np.bincount(idx, minlength=all_bases.size)
     stu_matrix /= BLOCK_SIZE * month_days
     return all_bases, stu_matrix

@@ -44,7 +44,7 @@ class HitsByActivity:
     num_windows: int
     histograms: np.ndarray       # (num_windows, _LOG_BINS); row d-1 = active d windows
     ip_counts: np.ndarray        # addresses per bin
-    hit_totals: np.ndarray       # total hits per bin
+    hit_totals: np.ndarray       # total hits per bin (exact uint64)
 
     def percentile(self, days_active: int, q: float) -> float:
         """Approximate percentile of daily hits within one bin.
@@ -97,24 +97,28 @@ def hits_by_days_active(dataset: ActivityDataset) -> HitsByActivity:
     conditions on days with at least one hit by construction: inactive
     days have no log line).
     """
-    ips, windows_active, total_hits = dataset.per_ip_stats()
+    index = dataset.index
+    ips, windows_active, total_hits = index.per_ip_stats()
     if ips.size == 0:
         raise DatasetError("dataset has no active addresses")
-    histograms = np.zeros((len(dataset), _LOG_BINS), dtype=np.int64)
-    for snapshot in dataset:
-        pos = np.searchsorted(ips, snapshot.ips)
-        bins_for_ip = windows_active[pos] - 1
-        log_bins = _log_bin(snapshot.hits)
-        np.add.at(histograms, (bins_for_ip, log_bins), 1)
+    # Flattened bincount beats a 2-D np.add.at scatter by an order of
+    # magnitude; the (num_windows * _LOG_BINS) count vector is tiny.
+    flat_counts = np.zeros(len(dataset) * _LOG_BINS, dtype=np.int64)
+    for position, snapshot in enumerate(dataset):
+        bins_for_ip = windows_active[index.snapshot_positions(position)] - 1
+        flat = bins_for_ip.astype(np.int64) * _LOG_BINS + _log_bin(snapshot.hits)
+        flat_counts += np.bincount(flat, minlength=flat_counts.size)
+    histograms = flat_counts.reshape(len(dataset), _LOG_BINS)
     ip_counts = np.bincount(windows_active - 1, minlength=len(dataset))
-    hit_totals = np.bincount(
-        windows_active - 1, weights=total_hits.astype(np.float64), minlength=len(dataset)
-    )
+    # Accumulate hit totals in integer arithmetic: bincount's float64
+    # weights silently round counts above 2**53.
+    hit_totals = np.zeros(len(dataset), dtype=np.uint64)
+    np.add.at(hit_totals, windows_active - 1, total_hits)
     return HitsByActivity(
         num_windows=len(dataset),
         histograms=histograms,
         ip_counts=ip_counts.astype(np.int64),
-        hit_totals=hit_totals.astype(np.int64),
+        hit_totals=hit_totals,
     )
 
 
@@ -141,7 +145,11 @@ class CumulativeActivityTraffic:
 
 
 def cumulative_by_days_active(stats: HitsByActivity) -> CumulativeActivityTraffic:
-    """Fig. 9b from the Fig. 9a binning."""
+    """Fig. 9b from the Fig. 9a binning.
+
+    The cumulative hit sums stay in integer arithmetic; only the final
+    fractions are floating point.
+    """
     total_ips = stats.ip_counts.sum()
     total_hits = stats.hit_totals.sum()
     if total_ips == 0 or total_hits == 0:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.dataset import ActivityDataset, Snapshot
 from repro.errors import DatasetError
 from repro.net.ipv4 import blocks_of
 from repro.net.sets import IPSet
@@ -71,6 +72,27 @@ class VisibilityCounts:
         return self.cdn_only / icmp_visible if icmp_visible else float("inf")
 
 
+def _cdn_address_union(cdn_ips) -> np.ndarray:
+    """Sorted unique CDN-active addresses from any of the usual shapes.
+
+    Accepts an :class:`ActivityDataset` (uses its memoized index — the
+    union is computed once per dataset, not once per visibility call),
+    a :class:`Snapshot` (its ips are sorted-unique by construction), or
+    a plain array.  Already-sorted-unique arrays are passed through
+    without the O(n log n) re-sort the eager ``np.unique`` cost here.
+    """
+    if isinstance(cdn_ips, ActivityDataset):
+        return cdn_ips.index.all_ips
+    if isinstance(cdn_ips, Snapshot):
+        return cdn_ips.ips
+    arr = np.asarray(cdn_ips, dtype=np.uint32)
+    if arr.ndim != 1:
+        raise DatasetError("cdn_ips must be one-dimensional")
+    if arr.size > 1 and not (arr[1:] > arr[:-1]).all():
+        return np.unique(arr)
+    return arr
+
+
 def _counts_from_sets(cdn: set, icmp: set) -> VisibilityCounts:
     return VisibilityCounts(
         cdn_only=len(cdn - icmp), both=len(cdn & icmp), icmp_only=len(icmp - cdn)
@@ -87,7 +109,7 @@ def visibility_at_granularities(
     A /24, prefix, or AS counts as visible to a method when at least
     one of its addresses is (the paper's footnote 4).
     """
-    cdn_ips = np.unique(np.asarray(cdn_ips, dtype=np.uint32))
+    cdn_ips = _cdn_address_union(cdn_ips)
     icmp_ips = icmp.addresses(limit=None)
 
     out: dict[str, VisibilityCounts] = {}
@@ -160,7 +182,7 @@ def classify_icmp_only(
     ``server_set`` comes from application-port scans, ``router_set``
     from traceroute-observed interfaces (Sec. 3.3).
     """
-    cdn_ips = np.unique(np.asarray(cdn_ips, dtype=np.uint32))
+    cdn_ips = _cdn_address_union(cdn_ips)
     icmp_only = icmp - IPSet.from_ips(cdn_ips)
     ips = icmp_only.addresses(limit=None).astype(np.int64)
     if ips.size == 0:
@@ -189,7 +211,7 @@ def classify_icmp_only_grouped(
     both categories when both, *unknown* otherwise.  The infrastructure
     share grows with aggregation, as in the paper.
     """
-    cdn_ips = np.unique(np.asarray(cdn_ips, dtype=np.uint32))
+    cdn_ips = _cdn_address_union(cdn_ips)
     icmp_only = icmp - IPSet.from_ips(cdn_ips)
     ips = icmp_only.addresses(limit=None)
     out: dict[str, ICMPOnlyClassification] = {
@@ -261,7 +283,7 @@ def visibility_by_country(
 
 
 def _visibility_by_key(cdn_ips, icmp, delegations, key):
-    cdn_ips = np.unique(np.asarray(cdn_ips, dtype=np.uint32))
+    cdn_ips = _cdn_address_union(cdn_ips)
     icmp_ips = icmp.addresses(limit=None)
     in_icmp = icmp.contains_many(cdn_ips.astype(np.int64))
     in_cdn = np.zeros(icmp_ips.size, dtype=bool)
@@ -326,7 +348,7 @@ def icmp_response_rate_by_country(
 
     Reproduces the Sec. 3.4 observation (CN ~80% vs. JP ~25%).
     """
-    cdn_ips = np.unique(np.asarray(cdn_ips, dtype=np.uint32))
+    cdn_ips = _cdn_address_union(cdn_ips)
     responding = icmp.contains_many(cdn_ips.astype(np.int64))
     countries = delegations.country_of_many(cdn_ips)
     totals: dict[str, int] = {}

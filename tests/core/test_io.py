@@ -56,6 +56,42 @@ class TestDatasetIO:
         save_dataset(path, weekly)
         assert load_dataset(path).window_days == 7
 
+    def test_suffixless_roundtrip(self, tmp_path):
+        """Regression: save_dataset("data") wrote data.npz (numpy appends
+        the suffix) but load_dataset("data") raised FileNotFoundError."""
+        prefix = tmp_path / "data"
+        original = make_dataset()
+        save_dataset(prefix, original)
+        assert (tmp_path / "data.npz").exists()
+        loaded = load_dataset(prefix)
+        assert len(loaded) == len(original)
+        assert loaded.hit_totals().tolist() == original.hit_totals().tolist()
+
+    def test_missing_file_raises_dataset_error(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path / "nonexistent")
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path / "nonexistent.npz")
+
+    def test_save_is_atomic_no_temp_leftovers(self, tmp_path):
+        path = tmp_path / "activity.npz"
+        save_dataset(path, make_dataset())
+        save_dataset(path, make_dataset())  # overwrite in place
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["activity.npz"]
+        assert len(load_dataset(path)) == 2
+
+    def test_failed_save_leaves_no_partial_file(self, tmp_path, monkeypatch):
+        """A crash mid-write must not leave a truncated artifact."""
+        import numpy as np_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(np_mod, "savez_compressed", boom)
+        with pytest.raises(RuntimeError):
+            save_dataset(tmp_path / "broken.npz", make_dataset())
+        assert list(tmp_path.iterdir()) == []
+
     def test_rejects_foreign_npz(self, tmp_path):
         path = tmp_path / "other.npz"
         np.savez(path, stuff=np.arange(3))
@@ -113,6 +149,23 @@ class TestRoutingIO:
         path = tmp_path / "rib.txt"
         save_routing_series(path, self.make_series())
         loaded = load_routing_series(path)
+        assert loaded.table_at(0) is loaded.table_at(1)
+
+    def test_rejects_route_data_under_same_marker(self, tmp_path):
+        """Regression: route lines after a '=== day N same' marker were
+        parsed and then silently thrown away."""
+        path = tmp_path / "rib.txt"
+        path.write_text(
+            "=== day 0\n10.0.0.0/8|100\n=== day 1 same\n192.0.2.0/24|200\n"
+        )
+        with pytest.raises(RoutingError):
+            load_routing_series(path)
+
+    def test_same_marker_tolerates_blank_and_comment_lines(self, tmp_path):
+        path = tmp_path / "rib.txt"
+        path.write_text("=== day 0\n10.0.0.0/8|100\n=== day 1 same\n\n# note\n")
+        loaded = load_routing_series(path)
+        assert len(loaded) == 2
         assert loaded.table_at(0) is loaded.table_at(1)
 
     def test_load_rejects_headerless_file(self, tmp_path):

@@ -75,6 +75,33 @@ class TestHitsByDaysActive:
         assert set(fan) == {5.0, 25.0, 50.0, 75.0, 95.0}
         assert all(values.size == 3 for values in fan.values())
 
+    def test_hit_totals_exact_above_float53(self):
+        """Regression: totals were accumulated through float64 bincount
+        weights, silently rounding counts above 2**53 (seven counts
+        lost summing seven values of 2**53 + 1)."""
+        big = 2**53 + 1
+        ds = make_dataset([{ip: big for ip in range(1, 8)}])
+        stats = hits_by_days_active(ds)
+        assert stats.hit_totals.dtype == np.uint64
+        assert int(stats.hit_totals[0]) == 7 * big
+
+    def test_cumulative_fractions_exact_above_float53(self):
+        """The integer hit totals must survive through Fig. 9b."""
+        big = 2**53 + 1
+        ds = make_dataset(
+            [
+                {1: big, 2: 1},
+                {1: big},
+            ]
+        )
+        stats = hits_by_days_active(ds)
+        assert int(stats.hit_totals.sum()) == 2 * big + 1
+        cumulative = cumulative_by_days_active(stats)
+        # IP 2 (active 1 day, 1 hit) vs IP 1 (2 days, 2*big hits).
+        expected = 1 / (2 * big + 1)
+        assert cumulative.traffic_fractions[0] == pytest.approx(expected)
+        assert cumulative.traffic_fractions[-1] == 1.0
+
     def test_correlation_emerges_from_coupled_data(self):
         """Heavier IPs that are active more days -> rising medians."""
         rng = np.random.default_rng(0)

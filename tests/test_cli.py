@@ -67,6 +67,22 @@ class TestAnalyze:
         assert "up events" in output
         assert "%" in output
 
+    def test_analyze_all_runs_every_analysis(self, stored_world, capsys):
+        code = main(
+            ["analyze", "all", str(stored_world) + ".npz", "--month-days", "7"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        for title in (
+            "Churn",
+            "Block metrics",
+            "Change detection",
+            "Traffic concentration",
+            "Potential utilization",
+            "Weekday profile",
+        ):
+            assert title in output
+
     def test_unknown_analysis_rejected(self, stored_world):
         with pytest.raises(SystemExit):
             main(["analyze", "nonsense", str(stored_world) + ".npz"])
