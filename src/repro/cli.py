@@ -54,6 +54,18 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--weekly", action="store_true", help="store weekly aggregates (days must be a multiple of 7)"
     )
+    simulate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sharded collection engine "
+        "(output is bit-identical for any worker count)",
+    )
+    simulate.add_argument(
+        "--no-compress",
+        action="store_true",
+        help="store the dataset uncompressed (larger file, much faster loads)",
+    )
     simulate.add_argument("--out", required=True, help="output path prefix")
 
     analyze = commands.add_parser("analyze", help="run one analysis on a stored dataset")
@@ -67,7 +79,23 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _format_perf(perf) -> str:
+    """Render the engine's per-phase wall-clock/throughput counters."""
+    return (
+        f"collection: {perf.total_seconds:.2f}s total "
+        f"(sim {perf.sim_seconds:.2f}s, merge {perf.merge_seconds:.2f}s, "
+        f"routing {perf.routing_seconds:.2f}s) "
+        f"with {perf.workers} worker{'s' if perf.workers != 1 else ''} "
+        f"({perf.shards} shard{'s' if perf.shards != 1 else ''})\n"
+        f"throughput: {format_count(round(perf.block_days_per_second))} block-days/s, "
+        f"{format_count(round(perf.addr_days_per_second))} addr-days/s"
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
     config = SimulationConfig(
         seed=args.seed, num_ases=args.ases, mean_blocks_per_as=args.blocks_per_as
     )
@@ -77,19 +105,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if args.days % 7:
             print("--weekly requires --days to be a multiple of 7", file=sys.stderr)
             return 2
-        result = observatory.collect_weekly(args.days // 7)
+        result = observatory.collect_weekly(args.days // 7, workers=args.workers)
     else:
-        result = observatory.collect_daily(args.days)
+        result = observatory.collect_daily(args.days, workers=args.workers)
     dataset_path = f"{args.out}.npz"
     routing_path = f"{args.out}.rib.txt"
-    save_dataset(dataset_path, result.dataset)
+    save_dataset(dataset_path, result.dataset, compress=not args.no_compress)
     save_routing_series(routing_path, result.routing)
     print(
         f"world: {len(world.ases)} ASes, {len(world.blocks)} /24 blocks\n"
         f"dataset: {dataset_path} ({len(result.dataset)} x "
         f"{result.dataset.window_days}d snapshots, "
         f"{format_count(result.dataset.total_unique())} unique addresses)\n"
-        f"routing: {routing_path} ({len(result.routing)} daily tables)"
+        f"routing: {routing_path} ({len(result.routing)} daily tables)\n"
+        + _format_perf(result.perf)
     )
     return 0
 

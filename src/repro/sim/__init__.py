@@ -26,6 +26,14 @@ from repro.sim.config import (
     bench_config,
     small_config,
 )
+from repro.sim.engine import (
+    PerfCounters,
+    ShardTask,
+    block_ua_rng,
+    plan_shards,
+    run_sharded_collection,
+    simulate_shard,
+)
 from repro.sim.growth import GrowthModel, MonthlySeries, synthesize_monthly_counts
 from repro.sim.policies import (
     CLIENT_KINDS,
@@ -71,23 +79,29 @@ __all__ = [
     "GrowthModel",
     "InternetPopulation",
     "MonthlySeries",
+    "PerfCounters",
     "PolicyKind",
     "ProbeObservatory",
     "RestructureEvent",
     "RestructureSchedule",
+    "ShardTask",
     "SimulationConfig",
     "UASampleStore",
     "activity_probability",
     "awake_probability",
     "bench_config",
     "best_scan_hour",
+    "block_ua_rng",
     "build_schedule",
     "daily_hits",
     "diurnal_factor",
     "draw_engagement",
     "local_hour",
     "make_policy",
+    "plan_shards",
+    "run_sharded_collection",
     "sample_uas",
+    "simulate_shard",
     "small_config",
     "subscriber_ua_ids",
     "synthesize_monthly_counts",

@@ -15,31 +15,40 @@ data-collection framework provides:
   User-Agent window,
 - per-day assignment state on requested scan days (consumed by the
   ICMP scanner, which probes the same world).
+
+The observatory is split into a coordinator (this module: schedule,
+BGP noise, routing-table evolution) and the sharded block-simulation
+engine (:mod:`repro.sim.engine`), which runs the per-/24 policy loops
+across worker processes.  ``collect_daily(..., workers=N)`` produces
+bit-identical output for every ``N`` — see the engine's docstring for
+the determinism contract.
 """
 
 from __future__ import annotations
 
-import datetime
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.dataset import ActivityDataset, Snapshot
+from repro.core.dataset import ActivityDataset
 from repro.errors import ConfigError
 from repro.routing.series import RoutingSeries
 from repro.routing.table import RoutingTable
-from repro.sim.policies import AddressPolicy, DayActivity, PolicyKind
+from repro.sim.engine import (
+    COLLECT_STREAM_SALT,
+    Directive,
+    PerfCounters,
+    run_sharded_collection,
+)
+from repro.sim.policies import PolicyKind
 from repro.sim.population import InternetPopulation
 from repro.sim.restructure import (
     RestructureEvent,
     RestructureSchedule,
     build_schedule,
 )
-from repro.sim.useragents import UASampleStore, sample_uas
-from repro.sim.util import hash_coin
-
-#: Salt selecting the fixed login-trace panel of subscribers.
-_LOGIN_PANEL_SALT = 0x106B4BE1
+from repro.sim.useragents import UASampleStore
 
 #: Offset added to an AS number to form its post-event sibling origin.
 _SIBLING_ASN_OFFSET = 30000
@@ -60,6 +69,8 @@ class CollectionResult:
     #: Per day, the (addresses, user ids) of panel subscribers seen
     #: that day; ``None`` unless a login panel was requested.
     login_trace: list[tuple[np.ndarray, np.ndarray]] | None = None
+    #: Wall-clock and throughput counters of the run.
+    perf: PerfCounters | None = None
 
     @property
     def num_days(self) -> int:
@@ -81,6 +92,7 @@ class CDNObservatory:
         ua_window: tuple[int, int] | None = None,
         scan_days: tuple[int, ...] = (),
         login_panel_rate: float = 0.0,
+        workers: int = 1,
     ) -> CollectionResult:
         """Run *num_days* days and return daily snapshots.
 
@@ -88,14 +100,20 @@ class CDNObservatory:
         per-day (address, user) sample for a fixed panel of subscribers
         — the input shape of UDmap-style dynamic-address inference
         (Xie et al., discussed in the paper's related work).
+
+        ``workers`` > 1 shards the block simulation across that many
+        processes; the output is bit-identical to ``workers=1``.
         """
-        return self._collect(num_days, 1, ua_window, scan_days, login_panel_rate)
+        return self._collect(
+            num_days, 1, ua_window, scan_days, login_panel_rate, workers
+        )
 
     def collect_weekly(
         self,
         num_weeks: int,
         ua_window: tuple[int, int] | None = None,
         scan_days: tuple[int, ...] = (),
+        workers: int = 1,
     ) -> CollectionResult:
         """Run ``7 * num_weeks`` days, aggregating each week on the fly.
 
@@ -104,7 +122,7 @@ class CDNObservatory:
         materialises per-day columns — the same shape as the paper's
         weekly dataset (Table 1).
         """
-        return self._collect(num_weeks * 7, 7, ua_window, scan_days, 0.0)
+        return self._collect(num_weeks * 7, 7, ua_window, scan_days, 0.0, workers)
 
     # -- internals -----------------------------------------------------------
 
@@ -115,6 +133,7 @@ class CDNObservatory:
         ua_window: tuple[int, int] | None,
         scan_days: tuple[int, ...],
         login_panel_rate: float = 0.0,
+        workers: int = 1,
     ) -> CollectionResult:
         if not 0.0 <= login_panel_rate <= 1.0:
             raise ConfigError(f"login_panel_rate must be a probability: {login_panel_rate}")
@@ -122,6 +141,8 @@ class CDNObservatory:
             raise ConfigError(
                 f"num_days={num_days} must be a positive multiple of window_days={window_days}"
             )
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1: {workers}")
         if ua_window is not None:
             first, last = ua_window
             if not 0 <= first <= last < num_days:
@@ -130,47 +151,76 @@ class CDNObservatory:
             if not 0 <= day < num_days:
                 raise ConfigError(f"scan day {day} outside run of {num_days} days")
 
+        total_start = time.perf_counter()
         population = self.population
         config = self.config
-        root = np.random.SeedSequence([config.seed, 0xC011EC7])
-        schedule_seed, noise_seed, ua_seed = root.spawn(3)
+        root = np.random.SeedSequence([config.seed, COLLECT_STREAM_SALT])
+        # Three children keep the schedule and noise streams identical
+        # to earlier single-threaded releases; the third seeded the
+        # retired shared UA stream (UA draws are now per block, keyed
+        # by block index — see engine.block_ua_rng).
+        schedule_seed, noise_seed, _retired_ua_seed = root.spawn(3)
         schedule = build_schedule(
             population, num_days, np.random.default_rng(schedule_seed)
         )
-        events_by_day = schedule.by_day()
         noise_rng = np.random.default_rng(noise_seed)
-        ua_rng = np.random.default_rng(ua_seed)
 
-        # Every block gets a policy (even UNUSED — an event may turn it on).
-        policies: dict[int, AddressPolicy] = {
-            block.index: block.make_policy(config) for block in population.blocks
-        }
-        current_kinds = {block.index: block.kind for block in population.blocks}
+        routing_start = time.perf_counter()
+        routing_tables = self._evolve_routing(schedule, noise_rng, num_days)
+        routing_seconds = time.perf_counter() - routing_start
 
-        routing_tables: list[RoutingTable] = []
-        current_table = population.baseline_routing()
-        self._preannounce_event_covers(schedule, current_table)
+        directives: list[Directive] = []
+        for event in schedule.events:
+            assert event.new_policy_kind is not None
+            for index in event.block_indexes:
+                directives.append(
+                    (event.day, index, event.new_policy_kind.value, event.salt)
+                )
 
-        ua_store = UASampleStore() if ua_window is not None else None
-        login_trace: list[tuple[np.ndarray, np.ndarray]] | None = (
-            [] if login_panel_rate > 0 else None
+        outcome = run_sharded_collection(
+            population,
+            num_days=num_days,
+            window_days=window_days,
+            ua_window=ua_window,
+            scan_days=scan_days,
+            login_panel_rate=login_panel_rate,
+            directives=tuple(directives),
+            workers=workers,
         )
-        scan_states: dict[int, dict[int, tuple[PolicyKind, np.ndarray]]] = {}
-        scan_day_set = set(scan_days)
+        perf = outcome.perf
+        perf.routing_seconds = routing_seconds
+        perf.total_seconds = time.perf_counter() - total_start
 
-        snapshots: list[Snapshot] = []
-        window_ips: list[np.ndarray] = []
-        window_hits: list[np.ndarray] = []
-        window_start = config.start_date
+        return CollectionResult(
+            dataset=ActivityDataset(outcome.snapshots),
+            routing=RoutingSeries(routing_tables),
+            schedule=schedule,
+            ua_store=outcome.ua_store,
+            scan_states=outcome.scan_states,
+            final_kinds=outcome.final_kinds,
+            login_trace=outcome.login_trace,
+            perf=perf,
+        )
 
+    def _evolve_routing(
+        self,
+        schedule: RestructureSchedule,
+        noise_rng: np.random.Generator,
+        num_days: int,
+    ) -> list[RoutingTable]:
+        """Day-by-day routing-table evolution (coordinator-only state).
+
+        Consumes the schedule's BGP-visible events and the background
+        noise stream; independent of the block simulation, so it runs
+        on the coordinator while workers simulate shards.
+        """
+        events_by_day = schedule.by_day()
+        routing_tables: list[RoutingTable] = []
+        current_table = self.population.baseline_routing()
+        self._preannounce_event_covers(schedule, current_table)
         for day in range(num_days):
-            date = config.start_date + datetime.timedelta(days=day)
-            day_of_week = date.weekday()
-            traffic_scale = config.traffic_weekly_growth ** (day / 7.0)
-
             table_changed = False
             for event in events_by_day.get(day, ()):
-                self._apply_event(event, policies, current_kinds)
                 if event.bgp_visible:
                     if not table_changed:
                         current_table = current_table.copy()
@@ -183,76 +233,7 @@ class CDNObservatory:
                 routing_tables.append(current_table)
             else:
                 routing_tables.append(routing_tables[-1])
-
-            day_ips: list[np.ndarray] = []
-            day_hits: list[np.ndarray] = []
-            trace_ips: list[np.ndarray] = []
-            trace_users: list[np.ndarray] = []
-            in_ua_window = ua_window is not None and ua_window[0] <= day <= ua_window[1]
-            for block in population.blocks:
-                policy = policies[block.index]
-                activity = policy.day_activity(day_of_week, traffic_scale)
-                if activity.offsets.size:
-                    day_ips.append(block.base + activity.offsets.astype(np.uint32))
-                    day_hits.append(activity.hits)
-                    if in_ua_window:
-                        self._sample_uas(block.base, current_kinds[block.index], activity, ua_rng, ua_store)
-                    if login_trace is not None and activity.sub_ids.size:
-                        panel = hash_coin(activity.sub_ids, _LOGIN_PANEL_SALT, login_panel_rate)
-                        if panel.any():
-                            trace_ips.append(
-                                (block.base + activity.sub_offsets[panel]).astype(np.uint32)
-                            )
-                            trace_users.append(activity.sub_ids[panel])
-            if login_trace is not None:
-                if trace_ips:
-                    login_trace.append(
-                        (np.concatenate(trace_ips), np.concatenate(trace_users))
-                    )
-                else:
-                    login_trace.append(
-                        (np.empty(0, dtype=np.uint32), np.empty(0, dtype=np.int64))
-                    )
-            if day in scan_day_set:
-                scan_states[day] = {
-                    block.index: (
-                        current_kinds[block.index],
-                        policies[block.index].assigned_offsets(),
-                    )
-                    for block in population.blocks
-                }
-
-            window_ips.extend(day_ips)
-            window_hits.extend(day_hits)
-            if (day + 1) % window_days == 0:
-                snapshots.append(
-                    _window_snapshot(window_start, window_days, window_ips, window_hits)
-                )
-                window_ips, window_hits = [], []
-                window_start = date + datetime.timedelta(days=1)
-
-        return CollectionResult(
-            dataset=ActivityDataset(snapshots),
-            routing=RoutingSeries(routing_tables),
-            schedule=schedule,
-            ua_store=ua_store,
-            scan_states=scan_states,
-            final_kinds=current_kinds,
-            login_trace=login_trace,
-        )
-
-    def _apply_event(
-        self,
-        event: RestructureEvent,
-        policies: dict[int, AddressPolicy],
-        current_kinds: dict[int, PolicyKind],
-    ) -> None:
-        for index in event.block_indexes:
-            block = self.population.blocks[index]
-            new_kind = event.new_policy_kind
-            assert new_kind is not None
-            policies[index] = block.make_policy(self.config, kind=new_kind, salt=event.salt)
-            current_kinds[index] = new_kind
+        return routing_tables
 
     def _apply_bgp_effect(
         self,
@@ -345,44 +326,3 @@ class CDNObservatory:
                 subnets = list(prefix.subnets(min(prefix.masklen + 1, 32)))
                 table.announce(subnets[0], origin)
         return table, True
-
-    def _sample_uas(
-        self,
-        block_base: int,
-        kind: PolicyKind,
-        activity: DayActivity,
-        rng: np.random.Generator,
-        store: UASampleStore | None,
-    ) -> None:
-        if store is None or activity.sub_ids.size == 0:
-            return
-        ua_ids = sample_uas(
-            rng,
-            activity.sub_ids,
-            activity.sub_hits,
-            self.config.ua_sample_rate,
-            bot_profile=(kind is PolicyKind.CRAWLER),
-        )
-        store.add(block_base, ua_ids)
-
-
-def _window_snapshot(
-    start: datetime.date,
-    days: int,
-    ips_parts: list[np.ndarray],
-    hits_parts: list[np.ndarray],
-) -> Snapshot:
-    """Merge day columns into one deduplicated, hit-summed snapshot."""
-    if not ips_parts:
-        return Snapshot(start, days, np.empty(0, dtype=np.uint32))
-    ips = np.concatenate(ips_parts)
-    hits = np.concatenate(hits_parts).astype(np.float64)
-    order = np.argsort(ips, kind="stable")
-    ips = ips[order]
-    hits = hits[order]
-    boundary = np.empty(ips.size, dtype=bool)
-    boundary[0] = True
-    boundary[1:] = ips[1:] != ips[:-1]
-    group = np.cumsum(boundary) - 1
-    summed = np.bincount(group, weights=hits)
-    return Snapshot(start, days, ips[boundary], summed.astype(np.uint64))

@@ -1,0 +1,451 @@
+"""Sharded parallel collection: the CDN observatory's execution engine.
+
+The paper's data-collection framework (Sec. 3.2) aggregates logs from
+thousands of CDN edge servers — an embarrassingly parallel workload,
+since every /24 block's day-by-day behaviour is independent of every
+other block's.  This module reproduces that shape: the population's
+blocks are partitioned into contiguous shards, each shard's policy
+simulation runs in a worker process, and the per-day (or per-week)
+shard columns are combined with the k-way merge machinery from
+:mod:`repro.core.index`.
+
+The non-negotiable contract is **bit-identical output regardless of
+worker count**.  Three properties make shard boundaries invisible:
+
+1. Every random stream a worker consumes is derived per block, keyed
+   by the block's index — the policy streams from ``Block.seed`` (as
+   before), the User-Agent sampling streams from
+   :func:`block_ua_rng`.  No worker draws from a stream another
+   worker could have advanced.
+2. Genuinely global state — the restructure schedule, BGP noise, the
+   routing-table evolution — stays on the coordinator
+   (:mod:`repro.sim.cdn`); workers only receive the schedule's
+   per-block outcomes as :data:`directives <ShardTask.directives>`.
+3. The merge is canonical: /24 blocks own disjoint address ranges, so
+   shard window columns never share an address and
+   :func:`~repro.core.index.kway_union` yields the same sorted union
+   whatever the shard count.  Hit counts are integers well below
+   2**53, so per-shard ``float64`` accumulation followed by cross-
+   shard ``uint64`` addition is exact.
+
+``workers=1`` runs the same shard code serially in-process (no
+executor, no pickling), so the parallel and serial paths cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+import datetime
+import time
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import Snapshot
+from repro.core.index import kway_union
+from repro.errors import ConfigError
+from repro.sim.config import SimulationConfig
+from repro.sim.policies import AddressPolicy, PolicyKind
+from repro.sim.population import Block, InternetPopulation
+from repro.sim.useragents import UASampleStore, sample_uas
+from repro.sim.util import hash_coin
+
+#: Root salt of every collection-run stream (shared with repro.sim.cdn).
+COLLECT_STREAM_SALT = 0xC011EC7
+
+#: Salt selecting the fixed login-trace panel of subscribers.
+LOGIN_PANEL_SALT = 0x106B4BE1
+
+#: Salt separating per-block UA sampling streams from policy streams.
+UA_STREAM_SALT = 0x0A11D00D
+
+#: One scheduled policy change: ``(day, block_index, kind_value, salt)``.
+Directive = tuple[int, int, str, int]
+
+
+def block_ua_rng(seed: int, block_index: int) -> np.random.Generator:
+    """The User-Agent sampling stream of one /24 block.
+
+    Keyed by the block's index (not by draw order), so the stream is
+    identical whether the block is simulated alone, in a shard of 10,
+    or in a single serial pass — the root of the determinism contract.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence([seed, COLLECT_STREAM_SALT, UA_STREAM_SALT, block_index])
+    )
+
+
+def plan_shards(num_blocks: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous, nearly equal ``[start, stop)`` slices of the block list.
+
+    One shard per worker, capped at one block per shard.  Contiguity
+    matters: concatenating shard outputs in shard order then equals
+    concatenating per-block outputs in block order, which keeps
+    order-sensitive artifacts (login traces) identical to a serial run.
+    """
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1: {workers}")
+    if num_blocks <= 0:
+        raise ConfigError(f"cannot shard an empty population: {num_blocks}")
+    shards = min(workers, num_blocks)
+    base, extra = divmod(num_blocks, shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for shard in range(shards):
+        stop = start + base + (1 if shard < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs: blocks, horizon, and directives.
+
+    ``directives`` carries the restructure schedule's outcomes for this
+    shard's blocks only — the worker never sees the schedule RNG, so it
+    cannot perturb coordinator streams.
+    """
+
+    shard_index: int
+    config: SimulationConfig
+    blocks: tuple[Block, ...]
+    num_days: int
+    window_days: int
+    ua_window: tuple[int, int] | None
+    scan_days: tuple[int, ...]
+    login_panel_rate: float
+    directives: tuple[Directive, ...]
+
+
+@dataclass
+class ShardResult:
+    """One worker's contribution, ready for the deterministic merge."""
+
+    shard_index: int
+    window_ips: list[np.ndarray]
+    window_hits: list[np.ndarray]
+    ua_samples: dict[int, Counter]
+    login_trace: list[tuple[np.ndarray, np.ndarray]] | None
+    scan_states: dict[int, dict[int, tuple[PolicyKind, np.ndarray]]]
+    final_kinds: dict[int, PolicyKind]
+    addr_days: int
+
+
+@dataclass
+class PerfCounters:
+    """Per-phase wall-clock and throughput of one collection run.
+
+    ``sim_seconds`` covers the sharded block simulation (including any
+    executor overhead), ``merge_seconds`` the k-way combination of
+    shard outputs, ``routing_seconds`` the coordinator's routing-table
+    evolution.  Throughputs are computed over the simulation phase,
+    the part sharding accelerates.
+    """
+
+    workers: int
+    shards: int
+    num_blocks: int
+    num_days: int
+    addr_days: int
+    sim_seconds: float
+    merge_seconds: float
+    routing_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def block_days(self) -> int:
+        """Block-day simulation steps performed."""
+        return self.num_blocks * self.num_days
+
+    @property
+    def block_days_per_second(self) -> float:
+        return self.block_days / max(self.sim_seconds, 1e-9)
+
+    @property
+    def addr_days_per_second(self) -> float:
+        """Active address-day observations produced per second."""
+        return self.addr_days / max(self.sim_seconds, 1e-9)
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (consumed by tools/bench_record.py)."""
+        return {
+            "workers": self.workers,
+            "shards": self.shards,
+            "num_blocks": self.num_blocks,
+            "num_days": self.num_days,
+            "addr_days": self.addr_days,
+            "sim_s": round(self.sim_seconds, 6),
+            "merge_s": round(self.merge_seconds, 6),
+            "routing_s": round(self.routing_seconds, 6),
+            "total_s": round(self.total_seconds, 6),
+            "block_days_per_s": round(self.block_days_per_second, 1),
+            "addr_days_per_s": round(self.addr_days_per_second, 1),
+        }
+
+
+@dataclass
+class ShardedOutcome:
+    """Merged result of all shards (the coordinator adds routing)."""
+
+    snapshots: list[Snapshot]
+    ua_store: UASampleStore | None
+    login_trace: list[tuple[np.ndarray, np.ndarray]] | None
+    scan_states: dict[int, dict[int, tuple[PolicyKind, np.ndarray]]]
+    final_kinds: dict[int, PolicyKind]
+    perf: PerfCounters
+
+
+def _partial_column(
+    ips_parts: list[np.ndarray], hits_parts: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deduplicated, hit-summed window column of one shard.
+
+    Same algorithm as the pre-shard window snapshot: stable sort, run
+    boundaries, ``bincount`` scatter-add.  Hits are integers far below
+    2**53, so the ``float64`` accumulation is exact.
+    """
+    if not ips_parts:
+        return np.empty(0, dtype=np.uint32), np.empty(0, dtype=np.uint64)
+    ips = np.concatenate(ips_parts)
+    hits = np.concatenate(hits_parts).astype(np.float64)
+    order = np.argsort(ips, kind="stable")
+    ips = ips[order]
+    hits = hits[order]
+    boundary = np.empty(ips.size, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = ips[1:] != ips[:-1]
+    group = np.cumsum(boundary) - 1
+    summed = np.bincount(group, weights=hits)
+    return ips[boundary], summed.astype(np.uint64)
+
+
+def simulate_shard(task: ShardTask) -> ShardResult:
+    """Run one shard's blocks day by day (the worker entry point).
+
+    Mirrors the serial per-day loop exactly; every stream consumed here
+    is keyed per block, so the result is independent of how blocks were
+    grouped into shards.
+    """
+    config = task.config
+    blocks = task.blocks
+    block_by_index = {block.index: block for block in blocks}
+    policies: dict[int, AddressPolicy] = {
+        block.index: block.make_policy(config) for block in blocks
+    }
+    current_kinds: dict[int, PolicyKind] = {block.index: block.kind for block in blocks}
+    directives_by_day: dict[int, list[tuple[int, str, int]]] = {}
+    for day, block_index, kind_value, salt in task.directives:
+        directives_by_day.setdefault(day, []).append((block_index, kind_value, salt))
+
+    ua_rngs: dict[int, np.random.Generator] = {}
+    ua_samples: dict[int, Counter] = {}
+    login_trace: list[tuple[np.ndarray, np.ndarray]] | None = (
+        [] if task.login_panel_rate > 0 else None
+    )
+    scan_day_set = set(task.scan_days)
+    scan_states: dict[int, dict[int, tuple[PolicyKind, np.ndarray]]] = {}
+
+    window_ips: list[np.ndarray] = []
+    window_hits: list[np.ndarray] = []
+    pending_ips: list[np.ndarray] = []
+    pending_hits: list[np.ndarray] = []
+    addr_days = 0
+
+    for day in range(task.num_days):
+        date = config.start_date + datetime.timedelta(days=day)
+        day_of_week = date.weekday()
+        traffic_scale = config.traffic_weekly_growth ** (day / 7.0)
+        for block_index, kind_value, salt in directives_by_day.get(day, ()):
+            block = block_by_index[block_index]
+            kind = PolicyKind(kind_value)
+            policies[block_index] = block.make_policy(config, kind=kind, salt=salt)
+            current_kinds[block_index] = kind
+
+        in_ua_window = (
+            task.ua_window is not None
+            and task.ua_window[0] <= day <= task.ua_window[1]
+        )
+        trace_ips: list[np.ndarray] = []
+        trace_users: list[np.ndarray] = []
+        for block in blocks:
+            activity = policies[block.index].day_activity(day_of_week, traffic_scale)
+            if not activity.offsets.size:
+                continue
+            pending_ips.append(block.base + activity.offsets.astype(np.uint32))
+            pending_hits.append(activity.hits)
+            addr_days += int(activity.offsets.size)
+            if in_ua_window and activity.sub_ids.size:
+                rng = ua_rngs.get(block.index)
+                if rng is None:
+                    rng = ua_rngs[block.index] = block_ua_rng(config.seed, block.index)
+                ua_ids = sample_uas(
+                    rng,
+                    activity.sub_ids,
+                    activity.sub_hits,
+                    config.ua_sample_rate,
+                    bot_profile=(current_kinds[block.index] is PolicyKind.CRAWLER),
+                )
+                if ua_ids.size:
+                    ua_samples.setdefault(block.base, Counter()).update(ua_ids.tolist())
+            if login_trace is not None and activity.sub_ids.size:
+                panel = hash_coin(activity.sub_ids, LOGIN_PANEL_SALT, task.login_panel_rate)
+                if panel.any():
+                    trace_ips.append(
+                        (block.base + activity.sub_offsets[panel]).astype(np.uint32)
+                    )
+                    trace_users.append(activity.sub_ids[panel])
+        if login_trace is not None:
+            if trace_ips:
+                login_trace.append(
+                    (np.concatenate(trace_ips), np.concatenate(trace_users))
+                )
+            else:
+                login_trace.append(
+                    (np.empty(0, dtype=np.uint32), np.empty(0, dtype=np.int64))
+                )
+        if day in scan_day_set:
+            scan_states[day] = {
+                block.index: (
+                    current_kinds[block.index],
+                    policies[block.index].assigned_offsets(),
+                )
+                for block in blocks
+            }
+        if (day + 1) % task.window_days == 0:
+            ips, hits = _partial_column(pending_ips, pending_hits)
+            window_ips.append(ips)
+            window_hits.append(hits)
+            pending_ips, pending_hits = [], []
+
+    return ShardResult(
+        shard_index=task.shard_index,
+        window_ips=window_ips,
+        window_hits=window_hits,
+        ua_samples=ua_samples,
+        login_trace=login_trace,
+        scan_states=scan_states,
+        final_kinds=current_kinds,
+        addr_days=addr_days,
+    )
+
+
+@dataclass(frozen=True)
+class _ShardColumn:
+    """Adapter giving a shard's window column the snapshot interface
+    :func:`~repro.core.index.kway_union` consumes."""
+
+    ips: np.ndarray
+    hits: np.ndarray
+
+
+def run_sharded_collection(
+    population: InternetPopulation,
+    num_days: int,
+    window_days: int,
+    ua_window: tuple[int, int] | None,
+    scan_days: tuple[int, ...],
+    login_panel_rate: float,
+    directives: tuple[Directive, ...],
+    workers: int,
+) -> ShardedOutcome:
+    """Simulate all blocks across *workers* processes and merge.
+
+    With ``workers=1`` the single shard runs in-process (serial
+    fallback: no executor, no pickling).  The merged outcome is
+    bit-identical for any worker count — see the module docstring for
+    why each artifact is shard-invariant.
+    """
+    config = population.config
+    blocks = population.blocks
+    bounds = plan_shards(len(blocks), workers)
+    tasks: list[ShardTask] = []
+    for shard_index, (start, stop) in enumerate(bounds):
+        shard_blocks = tuple(blocks[start:stop])
+        members = {block.index for block in shard_blocks}
+        tasks.append(
+            ShardTask(
+                shard_index=shard_index,
+                config=config,
+                blocks=shard_blocks,
+                num_days=num_days,
+                window_days=window_days,
+                ua_window=ua_window,
+                scan_days=scan_days,
+                login_panel_rate=login_panel_rate,
+                directives=tuple(d for d in directives if d[1] in members),
+            )
+        )
+
+    sim_start = time.perf_counter()
+    if workers == 1 or len(tasks) == 1:
+        results = [simulate_shard(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+            # pool.map preserves task order, i.e. block order.
+            results = list(pool.map(simulate_shard, tasks))
+    sim_seconds = time.perf_counter() - sim_start
+
+    merge_start = time.perf_counter()
+    num_windows = num_days // window_days
+    snapshots: list[Snapshot] = []
+    window_start = config.start_date
+    for window in range(num_windows):
+        columns = [
+            _ShardColumn(result.window_ips[window], result.window_hits[window])
+            for result in results
+        ]
+        ips, hits = kway_union(columns)
+        snapshots.append(Snapshot(window_start, window_days, ips, hits))
+        window_start += datetime.timedelta(days=window_days)
+
+    ua_store: UASampleStore | None = None
+    if ua_window is not None:
+        ua_store = UASampleStore()
+        for result in results:
+            for base, counter in result.ua_samples.items():
+                ua_store.samples.setdefault(base, Counter()).update(counter)
+
+    login_trace: list[tuple[np.ndarray, np.ndarray]] | None = None
+    if login_panel_rate > 0:
+        login_trace = []
+        for day in range(num_days):
+            pairs = [result.login_trace[day] for result in results]
+            day_ips = [ips for ips, _ in pairs if ips.size]
+            day_users = [users for _, users in pairs if users.size]
+            if day_ips:
+                login_trace.append(
+                    (np.concatenate(day_ips), np.concatenate(day_users))
+                )
+            else:
+                login_trace.append(
+                    (np.empty(0, dtype=np.uint32), np.empty(0, dtype=np.int64))
+                )
+
+    scan_states: dict[int, dict[int, tuple[PolicyKind, np.ndarray]]] = {}
+    final_kinds: dict[int, PolicyKind] = {}
+    for result in results:
+        for day, states in result.scan_states.items():
+            scan_states.setdefault(day, {}).update(states)
+        final_kinds.update(result.final_kinds)
+    merge_seconds = time.perf_counter() - merge_start
+
+    perf = PerfCounters(
+        workers=workers,
+        shards=len(tasks),
+        num_blocks=len(blocks),
+        num_days=num_days,
+        addr_days=sum(result.addr_days for result in results),
+        sim_seconds=sim_seconds,
+        merge_seconds=merge_seconds,
+    )
+    return ShardedOutcome(
+        snapshots=snapshots,
+        ua_store=ua_store,
+        login_trace=login_trace,
+        scan_states=scan_states,
+        final_kinds=final_kinds,
+        perf=perf,
+    )

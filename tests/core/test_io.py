@@ -98,6 +98,41 @@ class TestDatasetIO:
         with pytest.raises(DatasetError):
             load_dataset(path)
 
+    def test_foreign_npz_error_names_actual_file(self, tmp_path):
+        """Regression: a missing-key bundle opened via a suffixless path
+        reported the suffixless name, not the .npz file actually read."""
+        np.savez(tmp_path / "broken.npz", stuff=np.arange(3))
+        with pytest.raises(DatasetError, match=r"broken\.npz"):
+            load_dataset(tmp_path / "broken")
+
+    def test_uncompressed_roundtrip(self, tmp_path):
+        path = tmp_path / "fast.npz"
+        original = make_dataset()
+        save_dataset(path, original, compress=False)
+        loaded = load_dataset(path)  # load autodetects the storage mode
+        assert len(loaded) == len(original)
+        for snap_a, snap_b in zip(original, loaded):
+            assert np.array_equal(snap_a.ips, snap_b.ips)
+            assert np.array_equal(snap_a.hits, snap_b.hits)
+            assert snap_a.ips.dtype == snap_b.ips.dtype
+            assert snap_a.hits.dtype == snap_b.hits.dtype
+
+    def test_uncompressed_save_is_atomic(self, tmp_path):
+        path = tmp_path / "fast.npz"
+        save_dataset(path, make_dataset(), compress=False)
+        save_dataset(path, make_dataset(), compress=False)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["fast.npz"]
+
+    def test_compression_modes_load_identically(self, tmp_path):
+        original = make_dataset()
+        save_dataset(tmp_path / "small.npz", original, compress=True)
+        save_dataset(tmp_path / "fast.npz", original, compress=False)
+        small = load_dataset(tmp_path / "small.npz")
+        fast = load_dataset(tmp_path / "fast.npz")
+        for snap_a, snap_b in zip(small, fast):
+            assert np.array_equal(snap_a.ips, snap_b.ips)
+            assert np.array_equal(snap_a.hits, snap_b.hits)
+
     def test_roundtrip_simulated(self, tmp_path):
         from repro.sim import CDNObservatory, InternetPopulation, small_config
 

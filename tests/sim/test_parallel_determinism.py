@@ -1,0 +1,158 @@
+"""The engine's determinism contract: worker count never changes output.
+
+Same seed, same world, different ``workers`` — every artifact of a
+collection run (the stored ``.npz`` dataset, the routing series, the
+UA sample store, the login trace, scan states, final kinds) must be
+identical.  This is what makes the shard count an operational knob
+rather than part of the experiment definition.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.io import load_dataset, save_dataset
+from repro.sim import CDNObservatory, InternetPopulation, SimulationConfig
+
+NUM_DAYS = 10
+UA_WINDOW = (4, 9)
+SCAN_DAYS = (6,)
+LOGIN_RATE = 0.2
+
+
+@pytest.fixture(scope="module")
+def world():
+    # Small but non-trivial: a few dozen blocks spanning every policy
+    # kind, with restructure events inside the 10-day horizon.
+    config = SimulationConfig(seed=11, num_ases=15, mean_blocks_per_as=3.0)
+    return InternetPopulation.build(config)
+
+
+@pytest.fixture(scope="module")
+def serial(world):
+    return CDNObservatory(world).collect_daily(
+        NUM_DAYS,
+        ua_window=UA_WINDOW,
+        scan_days=SCAN_DAYS,
+        login_panel_rate=LOGIN_RATE,
+        workers=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def parallel(world):
+    return CDNObservatory(world).collect_daily(
+        NUM_DAYS,
+        ua_window=UA_WINDOW,
+        scan_days=SCAN_DAYS,
+        login_panel_rate=LOGIN_RATE,
+        workers=4,
+    )
+
+
+class TestDatasetIdentity:
+    def test_snapshots_bit_identical(self, serial, parallel):
+        assert len(serial.dataset) == len(parallel.dataset)
+        for snap_a, snap_b in zip(serial.dataset, parallel.dataset):
+            assert snap_a.start == snap_b.start
+            assert snap_a.days == snap_b.days
+            assert snap_a.ips.dtype == snap_b.ips.dtype
+            assert snap_a.hits.dtype == snap_b.hits.dtype
+            assert np.array_equal(snap_a.ips, snap_b.ips)
+            assert np.array_equal(snap_a.hits, snap_b.hits)
+
+    def test_stored_npz_content_identical(self, serial, parallel, tmp_path):
+        """The persisted artifacts carry byte-identical array payloads."""
+        save_dataset(tmp_path / "serial.npz", serial.dataset)
+        save_dataset(tmp_path / "parallel.npz", parallel.dataset)
+        with np.load(tmp_path / "serial.npz") as a, np.load(tmp_path / "parallel.npz") as b:
+            assert sorted(a.files) == sorted(b.files)
+            for key in a.files:
+                array_a, array_b = a[key], b[key]
+                assert array_a.dtype == array_b.dtype
+                assert array_a.tobytes() == array_b.tobytes()
+
+    def test_loaded_roundtrip_identical(self, serial, parallel, tmp_path):
+        save_dataset(tmp_path / "p", parallel.dataset, compress=False)
+        loaded = load_dataset(tmp_path / "p")
+        for snap_a, snap_b in zip(serial.dataset, loaded):
+            assert np.array_equal(snap_a.ips, snap_b.ips)
+            assert np.array_equal(snap_a.hits, snap_b.hits)
+
+
+class TestSideArtifactsIdentity:
+    def test_routing_series_identical(self, serial, parallel):
+        assert len(serial.routing) == len(parallel.routing)
+        for day in range(len(serial.routing)):
+            assert serial.routing.table_at(day) == parallel.routing.table_at(day)
+
+    def test_ua_store_identical(self, serial, parallel):
+        assert serial.ua_store is not None and parallel.ua_store is not None
+        assert serial.ua_store.samples == parallel.ua_store.samples
+
+    def test_login_trace_identical(self, serial, parallel):
+        assert serial.login_trace is not None and parallel.login_trace is not None
+        assert len(serial.login_trace) == len(parallel.login_trace)
+        for (ips_a, users_a), (ips_b, users_b) in zip(
+            serial.login_trace, parallel.login_trace
+        ):
+            assert np.array_equal(ips_a, ips_b)
+            assert np.array_equal(users_a, users_b)
+
+    def test_scan_states_identical(self, serial, parallel):
+        assert set(serial.scan_states) == set(parallel.scan_states)
+        for day in serial.scan_states:
+            states_a, states_b = serial.scan_states[day], parallel.scan_states[day]
+            assert set(states_a) == set(states_b)
+            for index in states_a:
+                kind_a, offsets_a = states_a[index]
+                kind_b, offsets_b = states_b[index]
+                assert kind_a is kind_b
+                assert np.array_equal(offsets_a, offsets_b)
+
+    def test_final_kinds_identical(self, serial, parallel):
+        assert serial.final_kinds == parallel.final_kinds
+
+    def test_schedules_identical(self, serial, parallel):
+        assert serial.schedule.events == parallel.schedule.events
+
+
+class TestShardCountInvariance:
+    def test_two_workers_match_four(self, world, parallel):
+        """Shard boundaries, not just worker count, are invisible."""
+        two = CDNObservatory(world).collect_daily(
+            NUM_DAYS,
+            ua_window=UA_WINDOW,
+            scan_days=SCAN_DAYS,
+            login_panel_rate=LOGIN_RATE,
+            workers=2,
+        )
+        for snap_a, snap_b in zip(two.dataset, parallel.dataset):
+            assert np.array_equal(snap_a.ips, snap_b.ips)
+            assert np.array_equal(snap_a.hits, snap_b.hits)
+        assert two.ua_store.samples == parallel.ua_store.samples
+
+    def test_weekly_parallel_matches_serial(self, world):
+        serial = CDNObservatory(world).collect_weekly(2, workers=1)
+        parallel = CDNObservatory(world).collect_weekly(2, workers=3)
+        assert len(serial.dataset) == len(parallel.dataset) == 2
+        for snap_a, snap_b in zip(serial.dataset, parallel.dataset):
+            assert np.array_equal(snap_a.ips, snap_b.ips)
+            assert np.array_equal(snap_a.hits, snap_b.hits)
+
+
+class TestPerfCounters:
+    def test_perf_counters_populated(self, serial, parallel, world):
+        for result, workers in ((serial, 1), (parallel, 4)):
+            perf = result.perf
+            assert perf is not None
+            assert perf.workers == workers
+            assert perf.num_blocks == len(world.blocks)
+            assert perf.num_days == NUM_DAYS
+            assert perf.addr_days > 0
+            assert perf.sim_seconds > 0
+            assert perf.total_seconds >= perf.sim_seconds
+            assert perf.block_days_per_second > 0
+            assert perf.addr_days_per_second > 0
+
+    def test_addr_days_match_across_worker_counts(self, serial, parallel):
+        assert serial.perf.addr_days == parallel.perf.addr_days

@@ -1,15 +1,22 @@
-"""Tests for tools/build_experiments_md.py (the EXPERIMENTS generator)."""
+"""Tests for the scripts under tools/ (EXPERIMENTS generator, perf recorder)."""
 
 import importlib.util
+import json
 import pathlib
 
 import pytest
 
-TOOL_PATH = pathlib.Path(__file__).resolve().parents[1] / "tools" / "build_experiments_md.py"
+TOOLS_DIR = pathlib.Path(__file__).resolve().parents[1] / "tools"
 
-spec = importlib.util.spec_from_file_location("build_experiments_md", TOOL_PATH)
-tool = importlib.util.module_from_spec(spec)
-spec.loader.exec_module(tool)
+
+def _load_tool(name: str):
+    spec = importlib.util.spec_from_file_location(name, TOOLS_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+tool = _load_tool("build_experiments_md")
 
 SAMPLE_LOG = """\
 some pytest noise
@@ -64,3 +71,35 @@ class TestMain:
     def test_usage_error(self, monkeypatch, capsys):
         monkeypatch.setattr("sys.argv", ["tool"])
         assert tool.main() == 2
+
+
+class TestBenchRecord:
+    """Smoke the perf-trajectory recorder (tools/bench_record.py)."""
+
+    @pytest.fixture(scope="class")
+    def bench_record(self):
+        return _load_tool("bench_record")
+
+    def test_parse_workers(self, bench_record):
+        assert bench_record._parse_workers("1,2,4") == [1, 2, 4]
+        with pytest.raises(Exception):
+            bench_record._parse_workers("0,2")
+        with pytest.raises(Exception):
+            bench_record._parse_workers("")
+
+    def test_smoke_run_writes_valid_record(self, bench_record, tmp_path, capsys):
+        out = tmp_path / "BENCH_collect.json"
+        code = bench_record.main(
+            ["--smoke", "--days", "5", "--out", str(out), "--seed", "9"]
+        )
+        assert code == 0
+        record = json.loads(out.read_text())
+        assert record["benchmark"] == "collect"
+        assert record["world"]["seed"] == 9
+        assert record["world"]["num_days"] == 5
+        assert [run["workers"] for run in record["runs"]] == [1, 2]
+        for run in record["runs"]:
+            assert run["total_s"] > 0
+            assert run["addr_days_per_s"] > 0
+        assert "2" in record["speedup_vs_serial"]
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Record the collection engine's perf trajectory as ``BENCH_collect.json``.
+
+Runs the sharded CDN collection at several worker counts on one world
+and writes a JSON record — world size, workers, wall-clock, and
+throughput (block-days/s, addr-days/s) — so perf regressions and
+scaling changes leave a comparable trace over time.
+
+Usage::
+
+    # the paper-scale benchmark world (bench_config, 112 days)
+    python tools/bench_record.py --out BENCH_collect.json
+
+    # a CI-sized smoke run (small world, two worker counts)
+    python tools/bench_record.py --smoke --out BENCH_collect.json
+
+The determinism contract is re-checked on every run: each worker
+count's dataset must be bit-identical to the serial one, and a record
+is only written when the check passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.sim import CDNObservatory, InternetPopulation, SimulationConfig, bench_config  # noqa: E402
+
+
+def _datasets_identical(reference, candidate) -> bool:
+    if len(reference) != len(candidate):
+        return False
+    for snap_a, snap_b in zip(reference, candidate):
+        if not (
+            np.array_equal(snap_a.ips, snap_b.ips)
+            and np.array_equal(snap_a.hits, snap_b.hits)
+        ):
+            return False
+    return True
+
+
+def measure(
+    config: SimulationConfig, num_days: int, workers_list: list[int]
+) -> dict:
+    """Collect *num_days* days at each worker count; return the record.
+
+    Raises ``RuntimeError`` if any parallel dataset deviates from the
+    serial one — a perf record of a broken engine is worse than none.
+    """
+    world = InternetPopulation.build(config)
+    observatory = CDNObservatory(world)
+    runs = []
+    reference = None
+    serial_wall = None
+    for workers in workers_list:
+        result = observatory.collect_daily(num_days, workers=workers)
+        if reference is None:
+            reference = result.dataset
+        elif not _datasets_identical(reference, result.dataset):
+            raise RuntimeError(
+                f"determinism violation: workers={workers} dataset deviates"
+            )
+        perf = result.perf
+        if workers == 1:
+            serial_wall = perf.total_seconds
+        runs.append(perf.as_dict())
+    speedups = {}
+    if serial_wall:
+        for run in runs:
+            if run["workers"] != 1:
+                speedups[str(run["workers"])] = round(serial_wall / run["total_s"], 3)
+    return {
+        "benchmark": "collect",
+        "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "world": {
+            "seed": config.seed,
+            "num_ases": config.num_ases,
+            "mean_blocks_per_as": config.mean_blocks_per_as,
+            "num_blocks": len(world.blocks),
+            "num_days": num_days,
+        },
+        "runs": runs,
+        "speedup_vs_serial": speedups,
+    }
+
+
+def write_record(path: str, record: dict) -> None:
+    with open(path, "w", encoding="ascii") as stream:
+        json.dump(record, stream, indent=2, sort_keys=False)
+        stream.write("\n")
+
+
+def _parse_workers(text: str) -> list[int]:
+    values = [int(part) for part in text.split(",") if part.strip()]
+    if not values or any(value < 1 for value in values):
+        raise argparse.ArgumentTypeError(f"bad workers list: {text!r}")
+    return values
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_collect.json")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--days", type=int, default=112)
+    parser.add_argument("--ases", type=int, default=None, help="override AS count")
+    parser.add_argument(
+        "--blocks-per-as", type=float, default=None, help="override mean /24s per AS"
+    )
+    parser.add_argument(
+        "--workers", type=_parse_workers, default=[1, 2, 4], metavar="N,N,...",
+        help="comma-separated worker counts (serial first for the baseline)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: tiny world, 14 days, workers 1 and 2",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        config = SimulationConfig(
+            seed=args.seed, num_ases=15, mean_blocks_per_as=3.0
+        )
+        num_days = min(args.days, 14)
+        workers_list = [1, 2]
+    else:
+        config = bench_config(seed=args.seed)
+        num_days = args.days
+        workers_list = args.workers
+    if args.ases is not None or args.blocks_per_as is not None:
+        config = SimulationConfig(
+            seed=args.seed,
+            num_ases=args.ases if args.ases is not None else config.num_ases,
+            mean_blocks_per_as=(
+                args.blocks_per_as
+                if args.blocks_per_as is not None
+                else config.mean_blocks_per_as
+            ),
+        )
+
+    record = measure(config, num_days, workers_list)
+    write_record(args.out, record)
+    best = max(record["speedup_vs_serial"].values(), default=None)
+    print(
+        f"wrote {args.out}: {record['world']['num_blocks']} blocks x "
+        f"{num_days} days, workers {workers_list}"
+        + (f", best speedup {best}x" if best is not None else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
