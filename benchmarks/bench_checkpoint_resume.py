@@ -1,0 +1,97 @@
+"""Crash-safety benchmark: checkpoint overhead and resume savings.
+
+The collection engine can checkpoint every finished shard so a killed
+run restarts from disk instead of from scratch (Sec. 3.2's year-long
+aggregation is the artifact this protects).  Robustness must not
+silently tax the happy path, so this benchmark measures:
+
+- **checkpoint overhead** — a checkpointing run vs. a plain run on the
+  same world (must stay a modest multiple; checkpoint writes are
+  fsynced, so some cost is inherent and worth paying);
+- **resume savings** — restarting with every shard checkpointed must
+  beat re-simulating from scratch, since it only loads ``.npz`` files
+  and merges;
+- **identity** — the resumed dataset is bit-identical to the original
+  (the determinism contract survives the crash-recovery path).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.sim import CDNObservatory, InternetPopulation, SimulationConfig
+
+NUM_DAYS = 28
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = SimulationConfig(seed=23, num_ases=40, mean_blocks_per_as=4.0)
+    return InternetPopulation.build(config)
+
+
+@pytest.fixture(scope="module")
+def timings(world, tmp_path_factory):
+    ckpt = tmp_path_factory.mktemp("ckpt")
+    observatory = CDNObservatory(world)
+
+    start = time.perf_counter()
+    plain = observatory.collect_daily(NUM_DAYS, workers=WORKERS)
+    plain_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    checkpointed = observatory.collect_daily(
+        NUM_DAYS, workers=WORKERS, checkpoint_dir=str(ckpt)
+    )
+    checkpoint_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    resumed = observatory.collect_daily(
+        NUM_DAYS, workers=WORKERS, checkpoint_dir=str(ckpt), resume=True
+    )
+    resume_seconds = time.perf_counter() - start
+
+    return {
+        "plain": (plain, plain_seconds),
+        "checkpointed": (checkpointed, checkpoint_seconds),
+        "resumed": (resumed, resume_seconds),
+    }
+
+
+def test_checkpoint_counters(timings):
+    checkpointed, _ = timings["checkpointed"]
+    resumed, _ = timings["resumed"]
+    assert checkpointed.perf.shards_checkpointed == WORKERS
+    assert resumed.perf.shards_resumed == WORKERS
+    assert resumed.perf.shards_checkpointed == 0
+
+
+def test_resume_is_bit_identical(timings):
+    plain, _ = timings["plain"]
+    for result, _ in (timings["checkpointed"], timings["resumed"]):
+        assert len(result.dataset) == len(plain.dataset)
+        for snap_a, snap_b in zip(plain.dataset, result.dataset):
+            assert np.array_equal(snap_a.ips, snap_b.ips)
+            assert np.array_equal(snap_a.hits, snap_b.hits)
+
+
+def test_checkpoint_overhead_bounded(timings):
+    """Fsynced shard checkpoints must not dominate the run."""
+    _, plain_seconds = timings["plain"]
+    _, checkpoint_seconds = timings["checkpointed"]
+    overhead = checkpoint_seconds / plain_seconds
+    print(f"\ncheckpoint overhead: {overhead:.2f}x plain collection")
+    assert overhead < 3.0
+
+
+def test_resume_beats_recollection(timings):
+    """A fully checkpointed resume skips the whole simulation phase."""
+    _, plain_seconds = timings["plain"]
+    resumed, resume_seconds = timings["resumed"]
+    print(f"\nresume: {resume_seconds:.2f}s vs fresh {plain_seconds:.2f}s")
+    assert resumed.perf.shards_resumed == WORKERS
+    assert resume_seconds < plain_seconds

@@ -13,9 +13,15 @@ would run them:
   expensive sorted-union/projection step is computed once per run, not
   once per analysis.
 
+Long ``simulate`` runs are crash-safe: ``--checkpoint-dir`` persists
+every finished shard atomically, and ``--resume`` restarts an
+interrupted run from those checkpoints with bit-identical output.
+
 Example::
 
     python -m repro simulate --seed 7 --days 28 --out world
+    python -m repro simulate --seed 7 --days 364 --workers 8 \
+        --checkpoint-dir ckpt --out world     # interrupted? add --resume
     python -m repro analyze churn world.npz
     python -m repro analyze change world.npz --month-days 14
     python -m repro analyze all world.npz
@@ -32,7 +38,12 @@ import numpy as np
 from repro.core import change, churn, metrics, potential, seasonal, traffic
 from repro.core.io import load_dataset, save_dataset, save_routing_series
 from repro.report import format_count, format_percent, render_table
-from repro.sim import CDNObservatory, InternetPopulation, SimulationConfig
+from repro.sim import (
+    CDNObservatory,
+    FaultInjection,
+    InternetPopulation,
+    SimulationConfig,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -66,6 +77,33 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="store the dataset uncompressed (larger file, much faster loads)",
     )
+    simulate.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for per-shard checkpoints; finished shards are "
+        "persisted atomically so an interrupted run can be resumed",
+    )
+    simulate.add_argument(
+        "--resume",
+        action="store_true",
+        help="load finished shard checkpoints from --checkpoint-dir and "
+        "simulate only the remainder (bit-identical to an uninterrupted run)",
+    )
+    simulate.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="worker retries per shard before degrading to in-process execution",
+    )
+    simulate.add_argument(
+        "--inject-fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="testing/CI hook: probability that a shard's worker fails once "
+        "with a deterministic, seed-keyed injected fault (retries recover it; "
+        "the output is unchanged)",
+    )
     simulate.add_argument("--out", required=True, help="output path prefix")
 
     analyze = commands.add_parser("analyze", help="run one analysis on a stored dataset")
@@ -81,7 +119,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _format_perf(perf) -> str:
     """Render the engine's per-phase wall-clock/throughput counters."""
-    return (
+    text = (
         f"collection: {perf.total_seconds:.2f}s total "
         f"(sim {perf.sim_seconds:.2f}s, merge {perf.merge_seconds:.2f}s, "
         f"routing {perf.routing_seconds:.2f}s) "
@@ -90,24 +128,57 @@ def _format_perf(perf) -> str:
         f"throughput: {format_count(round(perf.block_days_per_second))} block-days/s, "
         f"{format_count(round(perf.addr_days_per_second))} addr-days/s"
     )
+    if (
+        perf.shards_retried
+        or perf.shards_degraded
+        or perf.shards_resumed
+        or perf.shards_checkpointed
+    ):
+        text += (
+            f"\nresilience: {perf.shards_resumed} resumed, "
+            f"{perf.shards_checkpointed} checkpointed, "
+            f"{perf.shards_retried} retried, {perf.shards_degraded} degraded"
+        )
+    return text
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.max_retries < 0:
+        print("--max-retries must be >= 0", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.inject_fault_rate <= 1.0:
+        print("--inject-fault-rate must be a probability", file=sys.stderr)
+        return 2
+    fault = (
+        FaultInjection(rate=args.inject_fault_rate)
+        if args.inject_fault_rate > 0
+        else None
+    )
     config = SimulationConfig(
         seed=args.seed, num_ases=args.ases, mean_blocks_per_as=args.blocks_per_as
     )
     world = InternetPopulation.build(config)
     observatory = CDNObservatory(world)
+    collect_kwargs = dict(
+        workers=args.workers,
+        max_retries=args.max_retries,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        fault=fault,
+    )
     if args.weekly:
         if args.days % 7:
             print("--weekly requires --days to be a multiple of 7", file=sys.stderr)
             return 2
-        result = observatory.collect_weekly(args.days // 7, workers=args.workers)
+        result = observatory.collect_weekly(args.days // 7, **collect_kwargs)
     else:
-        result = observatory.collect_daily(args.days, workers=args.workers)
+        result = observatory.collect_daily(args.days, **collect_kwargs)
     dataset_path = f"{args.out}.npz"
     routing_path = f"{args.out}.rib.txt"
     save_dataset(dataset_path, result.dataset, compress=not args.no_compress)

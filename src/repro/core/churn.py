@@ -19,7 +19,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.dataset import ActivityDataset
-from repro.core.windows import aggregate_to_window, usable_window_sizes
+from repro.core.windows import (
+    PAPER_WINDOW_SIZES,
+    aggregate_to_window,
+    usable_window_sizes,
+)
 from repro.errors import DatasetError
 
 
@@ -45,12 +49,23 @@ class TransitionChurn:
 
 @dataclass(frozen=True)
 class ChurnSummary:
-    """Min/median/max of up/down fractions over all transitions."""
+    """Min/median/max of up/down fractions over all transitions.
+
+    The statistics require at least one transition; accessing any of
+    them on an empty summary raises a clear
+    :class:`~repro.errors.DatasetError` instead of numpy's cryptic
+    zero-size reduction error.
+    """
 
     window_days: int
     transitions: tuple[TransitionChurn, ...]
 
     def _fractions(self, which: str) -> np.ndarray:
+        if not self.transitions:
+            raise DatasetError(
+                f"churn summary for {self.window_days}d windows has no "
+                "transitions — need at least two windows to measure churn"
+            )
         return np.array([getattr(t, which) for t in self.transitions])
 
     @property
@@ -120,15 +135,33 @@ def churn_by_window_size(
     For every window size, the daily dataset is partitioned into
     non-overlapping unions and churn measured between consecutive
     windows; the caller typically plots min/median/max per size.
+
+    Window sizes that leave fewer than two windows (no transition to
+    measure) are filtered out, whether the sizes came from the default
+    :func:`~repro.core.windows.usable_window_sizes` sweep or were
+    passed explicitly — both paths apply the same rule.  If *no*
+    requested size is usable the sweep raises a clear
+    :class:`~repro.errors.DatasetError` rather than returning an empty
+    dict that downstream statistics would trip over.
     """
     if dataset.window_days != 1:
         raise DatasetError("the window-size sweep expects a daily dataset")
-    sizes = usable_window_sizes(dataset) if window_sizes is None else list(window_sizes)
+    if window_sizes is None:
+        candidates: Sequence[int] = PAPER_WINDOW_SIZES
+    else:
+        candidates = list(window_sizes)
+        for size in candidates:
+            if size < 1:
+                raise DatasetError(f"bad window size: {size}")
+    sizes = usable_window_sizes(dataset, candidates)
+    if not sizes:
+        raise DatasetError(
+            f"no usable window sizes in {list(candidates)}: every size leaves "
+            f"fewer than two windows over {len(dataset)} days"
+        )
     out: dict[int, ChurnSummary] = {}
     for size in sizes:
         windowed = aggregate_to_window(dataset, size)
-        if len(windowed) < 2:
-            raise DatasetError(f"window size {size} leaves fewer than two windows")
         out[size] = ChurnSummary(size, tuple(transition_churn(windowed)))
     return out
 

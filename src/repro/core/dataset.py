@@ -143,11 +143,21 @@ class Snapshot:
 
 
 class ActivityDataset:
-    """A regular sequence of equally sized, contiguous snapshots."""
+    """A regular sequence of equally sized, contiguous snapshots.
 
-    def __init__(self, snapshots: Sequence[Snapshot]) -> None:
+    ``dropped_days`` records how many trailing source days the
+    operation that built this dataset discarded (0 for datasets built
+    directly from snapshots) — see :meth:`aggregate` for the
+    truncation rule.
+    """
+
+    def __init__(
+        self, snapshots: Sequence[Snapshot], dropped_days: int = 0
+    ) -> None:
         if not snapshots:
             raise DatasetError("a dataset needs at least one snapshot")
+        if dropped_days < 0:
+            raise DatasetError(f"negative dropped-day count: {dropped_days}")
         days = snapshots[0].days
         for left, right in zip(snapshots, snapshots[1:]):
             if right.days != days:
@@ -158,6 +168,7 @@ class ActivityDataset:
                 )
         self._snapshots = list(snapshots)
         self._index: DatasetIndex | None = None
+        self.dropped_days = int(dropped_days)
 
     @property
     def index(self) -> DatasetIndex:
@@ -241,9 +252,15 @@ class ActivityDataset:
         """Merge every *num_windows* consecutive snapshots into one.
 
         Implements the window aggregation of Fig. 4b: the union of
-        active addresses within each larger window.  Trailing
-        snapshots that do not fill a whole window are dropped, matching
-        the paper's use of non-overlapping windows.
+        active addresses within each larger window.
+
+        Truncation rule: windows never overlap and never straddle the
+        end of the data, so the trailing ``len(self) % num_windows``
+        snapshots that do not fill a whole window are dropped — the
+        paper's non-overlapping-window convention.  The number of
+        source *days* discarded this way is exposed as
+        ``result.dropped_days`` so callers can account for (or refuse)
+        lossy aggregations instead of losing days silently.
         """
         if num_windows <= 0:
             raise DatasetError(f"non-positive aggregation factor: {num_windows}")
@@ -265,7 +282,8 @@ class ActivityDataset:
             merged.append(
                 Snapshot(group[0].start, num_windows * self.window_days, ips, hits)
             )
-        return ActivityDataset(merged)
+        dropped = (len(self) - full * num_windows) * self.window_days
+        return ActivityDataset(merged, dropped_days=dropped)
 
     def slice(self, first: int, last: int) -> "ActivityDataset":
         """Dataset restricted to snapshot indexes ``[first, last]``."""

@@ -29,6 +29,8 @@ import datetime
 import io as _io
 import os
 import tempfile
+import zipfile
+import zlib
 
 import numpy as np
 
@@ -53,6 +55,59 @@ def _dataset_path(path: str | os.PathLike) -> str:
     return text
 
 
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory entry to stable storage (best effort).
+
+    After ``os.replace`` the rename itself lives in the directory, so
+    durability needs the directory fsynced too.  Platforms that cannot
+    open directories (e.g. Windows) skip silently — the rename is still
+    atomic there, just not durable against power loss.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def atomic_write_npz(
+    path: str | os.PathLike, arrays: dict[str, np.ndarray], compress: bool = True
+) -> None:
+    """Durably and atomically write *arrays* as an ``.npz`` at *path*.
+
+    The data goes to a temporary file in the target's directory, is
+    fsynced, renamed over *path*, and the directory entry is fsynced —
+    so a crash (or power loss on a journaled filesystem) at any point
+    leaves either the old file or the complete new one, never a
+    truncated artifact.  Shared by :func:`save_dataset` and the
+    collection engine's shard checkpoints.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    handle, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        writer = np.savez_compressed if compress else np.savez
+        with os.fdopen(handle, "wb") as stream:
+            writer(stream, **arrays)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_path, target)
+        _fsync_directory(directory)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
 def save_dataset(
     path: str | os.PathLike, dataset: ActivityDataset, compress: bool = True
 ) -> None:
@@ -63,9 +118,10 @@ def save_dataset(
     trade-off for intermediate artifacts in a collect-then-analyze
     pipeline.  :func:`load_dataset` reads either flavour.
 
-    The write is atomic: data goes to a temporary file in the same
-    directory which is then renamed over *path*, so readers never see
-    a truncated dataset even if the process dies mid-write.
+    The write is atomic and durable: data goes to a temporary file in
+    the same directory which is fsynced and then renamed over *path*
+    (followed by a directory fsync), so readers never see a truncated
+    dataset even if the process — or the machine — dies mid-write.
     """
     target = _dataset_path(path)
     arrays: dict[str, np.ndarray] = {
@@ -77,56 +133,73 @@ def save_dataset(
     for index, snapshot in enumerate(dataset):
         arrays[f"ips_{index}"] = snapshot.ips
         arrays[f"hits_{index}"] = snapshot.hits
-    directory = os.path.dirname(target) or "."
-    handle, temp_path = tempfile.mkstemp(
-        prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
-    )
-    try:
-        writer = np.savez_compressed if compress else np.savez
-        with os.fdopen(handle, "wb") as stream:
-            writer(stream, **arrays)
-        os.replace(temp_path, target)
-    except BaseException:
-        try:
-            os.unlink(temp_path)
-        except OSError:
-            pass
-        raise
+    atomic_write_npz(target, arrays, compress=compress)
+
+
+#: Exceptions a corrupt or truncated ``.npz`` can leak from numpy's
+#: loader: a damaged zip directory (``BadZipFile``), a truncated or
+#: bit-flipped member (``zlib.error``, ``EOFError``, CRC ``BadZipFile``),
+#: garbage headers (``ValueError``/``OverflowError``), or plain I/O
+#: failure (``OSError``).  ``FileNotFoundError`` is handled separately.
+_CORRUPT_NPZ_ERRORS = (
+    zipfile.BadZipFile,
+    zlib.error,
+    EOFError,
+    ValueError,
+    OverflowError,
+    OSError,
+)
 
 
 def load_dataset(path: str | os.PathLike) -> ActivityDataset:
     """Load a dataset written by :func:`save_dataset`.
 
     Applies the same ``.npz`` suffix rule as :func:`save_dataset` and
-    raises :class:`~repro.errors.DatasetError` (never a bare
-    ``FileNotFoundError``) when no dataset exists at *path*.
+    raises :class:`~repro.errors.DatasetError` — never a bare
+    ``FileNotFoundError``, ``zipfile.BadZipFile``, ``zlib.error`` or
+    ``ValueError`` — when no dataset exists at *path* or the file is
+    corrupt/truncated.  The error message names the ``.npz`` path
+    actually read (which may differ from *path* by the appended
+    suffix).
     """
     target = _dataset_path(path)
     try:
         bundle = np.load(target)
     except FileNotFoundError as exc:
         raise DatasetError(f"no dataset file at: {target}") from exc
+    except _CORRUPT_NPZ_ERRORS as exc:
+        raise DatasetError(
+            f"corrupt or unreadable dataset file: {target} ({exc})"
+        ) from exc
     with bundle:
         try:
             version = int(bundle["version"][0])
             start = datetime.date.fromordinal(int(bundle["start"][0]))
             window_days = int(bundle["window_days"][0])
             count = int(bundle["num_snapshots"][0])
+            if version != _FORMAT_VERSION:
+                raise DatasetError(f"unsupported dataset format version: {version}")
+            snapshots = []
+            for index in range(count):
+                window_start = start + datetime.timedelta(days=index * window_days)
+                snapshots.append(
+                    Snapshot(
+                        window_start,
+                        window_days,
+                        bundle[f"ips_{index}"],
+                        bundle[f"hits_{index}"],
+                    )
+                )
         except KeyError as exc:
             raise DatasetError(f"not a dataset file: {target}") from exc
-        if version != _FORMAT_VERSION:
-            raise DatasetError(f"unsupported dataset format version: {version}")
-        snapshots = []
-        for index in range(count):
-            window_start = start + datetime.timedelta(days=index * window_days)
-            snapshots.append(
-                Snapshot(
-                    window_start,
-                    window_days,
-                    bundle[f"ips_{index}"],
-                    bundle[f"hits_{index}"],
-                )
-            )
+        except DatasetError:
+            raise
+        except _CORRUPT_NPZ_ERRORS as exc:
+            # Truncation inside a member surfaces only when the member
+            # is decompressed, i.e. mid-decode rather than at np.load.
+            raise DatasetError(
+                f"corrupt or truncated dataset file: {target} ({exc})"
+            ) from exc
     return ActivityDataset(snapshots)
 
 

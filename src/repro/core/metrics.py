@@ -122,15 +122,45 @@ def block_metrics_from_matrix(matrix: np.ndarray) -> tuple[int, float]:
     return fd, stu
 
 
-def monthly_stu(
-    dataset: ActivityDataset, month_days: int = 28
-) -> tuple[np.ndarray, np.ndarray]:
+class MonthlyStu(tuple):
+    """``(bases, stu_matrix)`` pair that also reports truncation.
+
+    Unpacks exactly like the 2-tuple :func:`monthly_stu` always
+    returned, and additionally carries :attr:`dropped_days` — the
+    trailing days that did not fill a whole month and were therefore
+    excluded from every column.
+    """
+
+    def __new__(
+        cls, bases: np.ndarray, stu_matrix: np.ndarray, dropped_days: int
+    ) -> "MonthlyStu":
+        self = super().__new__(cls, (bases, stu_matrix))
+        self.dropped_days = int(dropped_days)
+        return self
+
+    @property
+    def bases(self) -> np.ndarray:
+        return self[0]
+
+    @property
+    def stu_matrix(self) -> np.ndarray:
+        return self[1]
+
+
+def monthly_stu(dataset: ActivityDataset, month_days: int = 28) -> MonthlyStu:
     """Per-block STU for each month-sized chunk of a daily dataset.
 
-    Returns ``(bases, stu_matrix)`` with one row per active block and
-    one column per month.  Blocks are the union of blocks active in
-    any month; months without activity contribute STU 0.  This is the
-    input to the change detection of Sec. 5.2 (Fig. 8a).
+    Returns a :class:`MonthlyStu` — unpackable as ``(bases,
+    stu_matrix)`` — with one row per active block and one column per
+    month.  Blocks are the union of blocks active in any month; months
+    without activity contribute STU 0.  This is the input to the
+    change detection of Sec. 5.2 (Fig. 8a).
+
+    Truncation rule: months are non-overlapping ``month_days``-day
+    chunks from the start of the dataset; the trailing
+    ``len(dataset) % month_days`` days that do not fill a month are
+    excluded.  The excluded count is reported as
+    ``result.dropped_days`` rather than dropped silently.
     """
     if dataset.window_days != 1:
         raise DatasetError("monthly STU expects a daily dataset")
@@ -149,4 +179,4 @@ def monthly_stu(
                 continue
             stu_matrix[:, month] += np.bincount(idx, minlength=all_bases.size)
     stu_matrix /= BLOCK_SIZE * month_days
-    return all_bases, stu_matrix
+    return MonthlyStu(all_bases, stu_matrix, len(dataset) - num_months * month_days)

@@ -36,3 +36,16 @@ class RegistryError(ReproError):
 
 class RoutingError(ReproError):
     """A routing table or routing series is malformed or misused."""
+
+
+class CollectionError(ReproError):
+    """A collection run failed irrecoverably (a shard exhausted its worker
+    retries and could not be recovered in-process)."""
+
+
+class InjectedWorkerFault(CollectionError):
+    """A deterministic, seed-keyed fault injected into a shard worker.
+
+    Raised only when a :class:`~repro.sim.engine.FaultInjection` plan is
+    active — the testing/CI hook that exercises the retry, degradation,
+    and resume machinery of the collection engine."""

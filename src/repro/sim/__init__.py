@@ -27,6 +27,7 @@ from repro.sim.config import (
     small_config,
 )
 from repro.sim.engine import (
+    FaultInjection,
     PerfCounters,
     ShardTask,
     block_ua_rng,
@@ -76,6 +77,7 @@ __all__ = [
     "CollectionResult",
     "DayActivity",
     "EventKind",
+    "FaultInjection",
     "GrowthModel",
     "InternetPopulation",
     "MonthlySeries",

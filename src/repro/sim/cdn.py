@@ -38,6 +38,7 @@ from repro.routing.table import RoutingTable
 from repro.sim.engine import (
     COLLECT_STREAM_SALT,
     Directive,
+    FaultInjection,
     PerfCounters,
     run_sharded_collection,
 )
@@ -93,6 +94,11 @@ class CDNObservatory:
         scan_days: tuple[int, ...] = (),
         login_panel_rate: float = 0.0,
         workers: int = 1,
+        max_retries: int = 2,
+        retry_backoff: float = 0.1,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
+        fault: FaultInjection | None = None,
     ) -> CollectionResult:
         """Run *num_days* days and return daily snapshots.
 
@@ -103,9 +109,28 @@ class CDNObservatory:
 
         ``workers`` > 1 shards the block simulation across that many
         processes; the output is bit-identical to ``workers=1``.
+
+        Failed workers are retried up to ``max_retries`` times before
+        the shard degrades to in-process execution.  With
+        ``checkpoint_dir`` set, finished shards are checkpointed
+        atomically; ``resume=True`` loads matching checkpoints and
+        simulates only the remainder — the restarted run's output is
+        bit-identical to an uninterrupted one.  ``fault`` installs a
+        deterministic :class:`~repro.sim.engine.FaultInjection` plan
+        (tests/CI only).
         """
         return self._collect(
-            num_days, 1, ua_window, scan_days, login_panel_rate, workers
+            num_days,
+            1,
+            ua_window,
+            scan_days,
+            login_panel_rate,
+            workers,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            fault=fault,
         )
 
     def collect_weekly(
@@ -114,15 +139,33 @@ class CDNObservatory:
         ua_window: tuple[int, int] | None = None,
         scan_days: tuple[int, ...] = (),
         workers: int = 1,
+        max_retries: int = 2,
+        retry_backoff: float = 0.1,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
+        fault: FaultInjection | None = None,
     ) -> CollectionResult:
         """Run ``7 * num_weeks`` days, aggregating each week on the fly.
 
         Weekly aggregation happens during collection (the union of a
         week's active addresses, summed hits), so a year-long run never
         materialises per-day columns — the same shape as the paper's
-        weekly dataset (Table 1).
+        weekly dataset (Table 1).  Retry, checkpoint, and resume
+        behave exactly as in :meth:`collect_daily`.
         """
-        return self._collect(num_weeks * 7, 7, ua_window, scan_days, 0.0, workers)
+        return self._collect(
+            num_weeks * 7,
+            7,
+            ua_window,
+            scan_days,
+            0.0,
+            workers,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            fault=fault,
+        )
 
     # -- internals -----------------------------------------------------------
 
@@ -134,6 +177,11 @@ class CDNObservatory:
         scan_days: tuple[int, ...],
         login_panel_rate: float = 0.0,
         workers: int = 1,
+        max_retries: int = 2,
+        retry_backoff: float = 0.1,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
+        fault: FaultInjection | None = None,
     ) -> CollectionResult:
         if not 0.0 <= login_panel_rate <= 1.0:
             raise ConfigError(f"login_panel_rate must be a probability: {login_panel_rate}")
@@ -186,6 +234,11 @@ class CDNObservatory:
             login_panel_rate=login_panel_rate,
             directives=tuple(directives),
             workers=workers,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            fault=fault,
         )
         perf = outcome.perf
         perf.routing_seconds = routing_seconds

@@ -31,6 +31,17 @@ worker count**.  Three properties make shard boundaries invisible:
 ``workers=1`` runs the same shard code serially in-process (no
 executor, no pickling), so the parallel and serial paths cannot
 drift apart.
+
+Collection runs are additionally **fault-tolerant and resumable**: a
+failed worker is retried with capped exponential backoff, a shard that
+exhausts its retries degrades gracefully to in-process execution on
+the coordinator, and — when a checkpoint directory is configured —
+every finished shard is persisted through the fsynced atomic-write
+path of :mod:`repro.core.io`, so an interrupted run restarted with
+``resume=True`` loads the finished shards and simulates only the
+remainder.  None of this machinery touches any random stream, so a
+killed-and-resumed run is bit-identical to an uninterrupted one at any
+worker count.
 """
 
 from __future__ import annotations
@@ -38,14 +49,20 @@ from __future__ import annotations
 import datetime
 import time
 from collections import Counter
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core.dataset import Snapshot
 from repro.core.index import kway_union
-from repro.errors import ConfigError
+from repro.errors import CollectionError, ConfigError, InjectedWorkerFault
+from repro.sim.checkpoint import (
+    load_shard_checkpoint,
+    run_fingerprint,
+    save_shard_checkpoint,
+)
 from repro.sim.config import SimulationConfig
 from repro.sim.policies import AddressPolicy, PolicyKind
 from repro.sim.population import Block, InternetPopulation
@@ -61,8 +78,52 @@ LOGIN_PANEL_SALT = 0x106B4BE1
 #: Salt separating per-block UA sampling streams from policy streams.
 UA_STREAM_SALT = 0x0A11D00D
 
+#: Salt keying the deterministic fault-injection coin per shard.
+FAULT_SALT = 0xFA17
+
+#: Ceiling of the exponential retry backoff, in seconds.
+MAX_BACKOFF_SECONDS = 2.0
+
 #: One scheduled policy change: ``(day, block_index, kind_value, salt)``.
 Directive = tuple[int, int, str, int]
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """Deterministic, seed-keyed worker failures (the testing/CI hook).
+
+    A shard is *selected* by a coin keyed on ``(config seed,``
+    :data:`FAULT_SALT` ``, shard index)`` — independent of draw order,
+    worker count, and every simulation stream, so injecting faults
+    cannot perturb collected output.  A selected shard raises
+    :class:`~repro.errors.InjectedWorkerFault` at the start of each
+    worker attempt until it has failed ``max_failures_per_shard``
+    times, which lets tests dial in "fails once then succeeds on
+    retry" (the default) or "never succeeds" (retry-exhaustion paths).
+
+    ``fail_in_process=True`` extends the fault to the coordinator's
+    in-process fallback, turning a selected shard into an unrecoverable
+    failure — the deterministic stand-in for ``kill -9`` mid-run that
+    the resume tests and the CI smoke job build on.
+    """
+
+    rate: float
+    max_failures_per_shard: int = 1
+    salt: int = FAULT_SALT
+    fail_in_process: bool = False
+
+    def selected(self, seed: int, shard_index: int) -> bool:
+        """Whether this plan targets *shard_index* at all."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence([seed, self.salt, shard_index])
+        )
+        return bool(rng.random() < self.rate)
+
+    def should_fail(self, seed: int, shard_index: int, attempt: int) -> bool:
+        """Whether worker *attempt* (0-based) of a shard must fail."""
+        return attempt < self.max_failures_per_shard and self.selected(
+            seed, shard_index
+        )
 
 
 def block_ua_rng(seed: int, block_index: int) -> np.random.Generator:
@@ -118,6 +179,12 @@ class ShardTask:
     scan_days: tuple[int, ...]
     login_panel_rate: float
     directives: tuple[Directive, ...]
+    #: Optional injected-failure plan (testing/CI); ``None`` in
+    #: production runs.
+    fault: FaultInjection | None = None
+    #: 0-based worker attempt, bumped by the coordinator on retry.
+    #: Only the fault hook reads it — simulation streams never do.
+    attempt: int = 0
 
 
 @dataclass
@@ -154,6 +221,14 @@ class PerfCounters:
     merge_seconds: float
     routing_seconds: float = 0.0
     total_seconds: float = 0.0
+    #: Worker attempts that were retried after a failure.
+    shards_retried: int = 0
+    #: Shards that exhausted their retries and ran in-process instead.
+    shards_degraded: int = 0
+    #: Shards loaded from a checkpoint instead of being simulated.
+    shards_resumed: int = 0
+    #: Shard checkpoints written during this run.
+    shards_checkpointed: int = 0
 
     @property
     def block_days(self) -> int:
@@ -183,6 +258,10 @@ class PerfCounters:
             "total_s": round(self.total_seconds, 6),
             "block_days_per_s": round(self.block_days_per_second, 1),
             "addr_days_per_s": round(self.addr_days_per_second, 1),
+            "shards_retried": self.shards_retried,
+            "shards_degraded": self.shards_degraded,
+            "shards_resumed": self.shards_resumed,
+            "shards_checkpointed": self.shards_checkpointed,
         }
 
 
@@ -230,6 +309,12 @@ def simulate_shard(task: ShardTask) -> ShardResult:
     grouped into shards.
     """
     config = task.config
+    if task.fault is not None and task.fault.should_fail(
+        config.seed, task.shard_index, task.attempt
+    ):
+        raise InjectedWorkerFault(
+            f"injected fault: shard {task.shard_index} attempt {task.attempt}"
+        )
     blocks = task.blocks
     block_by_index = {block.index: block for block in blocks}
     policies: dict[int, AddressPolicy] = {
@@ -341,6 +426,110 @@ class _ShardColumn:
     hits: np.ndarray
 
 
+@dataclass
+class _ResilienceCounters:
+    """Mutable scratch for the retry/checkpoint/resume bookkeeping."""
+
+    retried: int = 0
+    degraded: int = 0
+    resumed: int = 0
+    checkpointed: int = 0
+
+
+def _backoff_seconds(attempt: int, base: float) -> float:
+    """Capped exponential backoff before retrying attempt+1."""
+    if base <= 0:
+        return 0.0
+    return min(base * (2**attempt), MAX_BACKOFF_SECONDS)
+
+
+def _degrade_in_process(
+    task: ShardTask, error: BaseException, max_retries: int,
+    counters: _ResilienceCounters,
+) -> ShardResult:
+    """Last resort for a shard that exhausted its worker retries.
+
+    The shard runs on the coordinator with fault injection stripped —
+    injected faults model *worker* crashes, and the coordinator
+    surviving is precisely what graceful degradation means.  A fault
+    plan with ``fail_in_process=True`` opts out of this rescue, which
+    is how tests and CI deterministically "kill" a run mid-way.
+    """
+    fault = task.fault
+    if (
+        fault is not None
+        and fault.fail_in_process
+        and fault.selected(task.config.seed, task.shard_index)
+    ):
+        raise CollectionError(
+            f"shard {task.shard_index} failed {max_retries + 1} worker attempts "
+            "and in-process recovery is disabled by the fault plan"
+        ) from error
+    counters.degraded += 1
+    try:
+        return simulate_shard(replace(task, fault=None, attempt=0))
+    except Exception as exc:
+        raise CollectionError(
+            f"shard {task.shard_index} failed {max_retries + 1} worker attempts "
+            "and the in-process fallback also failed"
+        ) from exc
+
+
+def _run_shards_parallel(
+    tasks: list[ShardTask],
+    todo: list[int],
+    workers: int,
+    max_retries: int,
+    retry_backoff: float,
+    counters: _ResilienceCounters,
+    on_complete,
+) -> tuple[dict[int, ShardResult], list[tuple[int, BaseException]]]:
+    """Execute *todo* shards across worker processes with retries.
+
+    Returns ``(results by shard position, irrecoverably failed)``.
+    Failures are retried with capped exponential backoff up to
+    *max_retries* times; a broken pool (worker killed by the OS rather
+    than raising) stops resubmission and routes every unfinished shard
+    to the caller's in-process degradation path.
+    """
+    results: dict[int, ShardResult] = {}
+    failed: list[tuple[int, BaseException]] = []
+    with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
+        inflight = {
+            pool.submit(simulate_shard, tasks[index]): (index, 0) for index in todo
+        }
+        broken = False
+        while inflight:
+            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, attempt = inflight.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool as exc:
+                    broken = True
+                    failed.append((index, exc))
+                    continue
+                except Exception as exc:
+                    if broken or attempt >= max_retries:
+                        failed.append((index, exc))
+                        continue
+                    counters.retried += 1
+                    time.sleep(_backoff_seconds(attempt, retry_backoff))
+                    retry = replace(tasks[index], attempt=attempt + 1)
+                    try:
+                        inflight[pool.submit(simulate_shard, retry)] = (
+                            index,
+                            attempt + 1,
+                        )
+                    except (BrokenProcessPool, RuntimeError):
+                        broken = True
+                        failed.append((index, exc))
+                    continue
+                results[index] = result
+                on_complete(index, result)
+    return results, failed
+
+
 def run_sharded_collection(
     population: InternetPopulation,
     num_days: int,
@@ -350,6 +539,11 @@ def run_sharded_collection(
     login_panel_rate: float,
     directives: tuple[Directive, ...],
     workers: int,
+    max_retries: int = 2,
+    retry_backoff: float = 0.1,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    fault: FaultInjection | None = None,
 ) -> ShardedOutcome:
     """Simulate all blocks across *workers* processes and merge.
 
@@ -357,9 +551,23 @@ def run_sharded_collection(
     fallback: no executor, no pickling).  The merged outcome is
     bit-identical for any worker count — see the module docstring for
     why each artifact is shard-invariant.
+
+    Fault tolerance: a failed worker attempt is retried up to
+    *max_retries* times (capped exponential backoff starting at
+    *retry_backoff* seconds); a shard that exhausts its retries runs
+    in-process on the coordinator.  With *checkpoint_dir* set, every
+    finished shard is persisted atomically; *resume* additionally
+    loads matching checkpoints first and simulates only the remainder.
+    *fault* installs a deterministic injected-failure plan (tests/CI).
     """
     config = population.config
     blocks = population.blocks
+    if max_retries < 0:
+        raise ConfigError(f"max_retries must be >= 0: {max_retries}")
+    if retry_backoff < 0:
+        raise ConfigError(f"retry_backoff must be >= 0: {retry_backoff}")
+    if resume and checkpoint_dir is None:
+        raise ConfigError("resume requires a checkpoint directory")
     bounds = plan_shards(len(blocks), workers)
     tasks: list[ShardTask] = []
     for shard_index, (start, stop) in enumerate(bounds):
@@ -376,16 +584,75 @@ def run_sharded_collection(
                 scan_days=scan_days,
                 login_panel_rate=login_panel_rate,
                 directives=tuple(d for d in directives if d[1] in members),
+                fault=fault,
             )
         )
 
+    fingerprint: str | None = None
+    if checkpoint_dir is not None:
+        fingerprint = run_fingerprint(
+            config,
+            num_days,
+            window_days,
+            ua_window,
+            scan_days,
+            login_panel_rate,
+            directives,
+        )
+    counters = _ResilienceCounters()
+    results_by_index: dict[int, ShardResult] = {}
+
+    def checkpoint(index: int, result: ShardResult) -> None:
+        if fingerprint is not None:
+            save_shard_checkpoint(checkpoint_dir, fingerprint, tasks[index], result)
+            counters.checkpointed += 1
+
     sim_start = time.perf_counter()
-    if workers == 1 or len(tasks) == 1:
-        results = [simulate_shard(task) for task in tasks]
-    else:
-        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
-            # pool.map preserves task order, i.e. block order.
-            results = list(pool.map(simulate_shard, tasks))
+    if fingerprint is not None and resume:
+        for index, task in enumerate(tasks):
+            loaded = load_shard_checkpoint(checkpoint_dir, fingerprint, task)
+            if loaded is not None:
+                results_by_index[index] = loaded
+                counters.resumed += 1
+
+    todo = [index for index in range(len(tasks)) if index not in results_by_index]
+    failed: list[tuple[int, BaseException]] = []
+    if todo:
+        if workers == 1 or len(todo) == 1:
+            for index in todo:
+                attempt = 0
+                while True:
+                    try:
+                        result = simulate_shard(
+                            replace(tasks[index], attempt=attempt)
+                        )
+                    except Exception as exc:
+                        if attempt < max_retries:
+                            counters.retried += 1
+                            time.sleep(_backoff_seconds(attempt, retry_backoff))
+                            attempt += 1
+                            continue
+                        failed.append((index, exc))
+                        break
+                    results_by_index[index] = result
+                    checkpoint(index, result)
+                    break
+        else:
+            parallel_results, failed = _run_shards_parallel(
+                tasks, todo, workers, max_retries, retry_backoff, counters, checkpoint
+            )
+            results_by_index.update(parallel_results)
+
+    # Degradation pass after the pool drained: every healthy shard has
+    # already finished (and checkpointed), so even if a degraded shard
+    # turns out fatal, the maximum of completed work survives on disk
+    # for a --resume restart.
+    for index, error in failed:
+        result = _degrade_in_process(tasks[index], error, max_retries, counters)
+        results_by_index[index] = result
+        checkpoint(index, result)
+
+    results = [results_by_index[index] for index in range(len(tasks))]
     sim_seconds = time.perf_counter() - sim_start
 
     merge_start = time.perf_counter()
@@ -440,6 +707,10 @@ def run_sharded_collection(
         addr_days=sum(result.addr_days for result in results),
         sim_seconds=sim_seconds,
         merge_seconds=merge_seconds,
+        shards_retried=counters.retried,
+        shards_degraded=counters.degraded,
+        shards_resumed=counters.resumed,
+        shards_checkpointed=counters.checkpointed,
     )
     return ShardedOutcome(
         snapshots=snapshots,

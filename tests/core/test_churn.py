@@ -129,6 +129,44 @@ class TestWindowSweep:
         with pytest.raises(DatasetError):
             churn_by_window_size(ds, [6])
 
+    def test_explicit_sizes_filtered_like_default(self):
+        """Regression: the default sweep skipped window sizes too large
+        for the dataset, but explicitly passed sizes crashed instead of
+        being filtered the same way."""
+        ds = make_dataset([{1, 2}, {2, 3}, {3, 4}, {4, 5}])  # 4 days
+        summaries = churn_by_window_size(ds, [1, 2, 4])
+        # 4d gives a single window -> no transitions -> filtered out,
+        # exactly as the default PAPER_WINDOW_SIZES path would do.
+        assert set(summaries) == {1, 2}
+
+    def test_default_and_explicit_sweeps_agree(self):
+        ds = make_dataset([{i, i + 1} for i in range(28)])
+        from repro.core.windows import PAPER_WINDOW_SIZES
+
+        implicit = churn_by_window_size(ds)
+        explicit = churn_by_window_size(ds, list(PAPER_WINDOW_SIZES))
+        assert set(implicit) == set(explicit)
+        for size in implicit:
+            assert implicit[size].up_median == explicit[size].up_median
+
+    def test_all_sizes_unusable_raises(self):
+        ds = make_dataset([{1}] * 3)
+        with pytest.raises(DatasetError, match="no usable window sizes"):
+            churn_by_window_size(ds, [3, 4])
+
+    def test_rejects_non_positive_size(self):
+        ds = make_dataset([{1}] * 6)
+        with pytest.raises(DatasetError, match="bad window size"):
+            churn_by_window_size(ds, [0, 2])
+
+    def test_empty_summary_statistics_raise_clearly(self):
+        """Regression: an empty transition tuple produced a numpy
+        'zero-size array to reduction' crash deep in np.min."""
+        summary = ChurnSummary(7, ())
+        for stat in ("up_min", "up_median", "up_max", "down_min"):
+            with pytest.raises(DatasetError, match="no transitions"):
+                getattr(summary, stat)
+
     def test_plateau_helper(self):
         ds = make_dataset([{i % 5, 10} for i in range(28)])
         summaries = churn_by_window_size(ds, [1, 7, 14])

@@ -149,6 +149,23 @@ class TestActivityDataset:
         assert len(agg) == 1
         assert agg[0].days == 3
 
+    def test_aggregate_exposes_dropped_days(self):
+        """Regression: the truncated tail was silently discarded with no
+        way for a caller to notice missing coverage."""
+        ds = self.make()  # 4 daily snapshots
+        assert ds.dropped_days == 0
+        assert ds.aggregate(3).dropped_days == 1
+        assert ds.aggregate(2).dropped_days == 0
+        assert ds.aggregate(1).dropped_days == 0
+
+    def test_aggregate_dropped_days_counts_days_not_windows(self):
+        # 5 weekly snapshots aggregated into 2-week windows: one whole
+        # 7-day snapshot is dropped, which is 7 days of coverage.
+        weekly = ActivityDataset([snap(7 * i, [1], days=7) for i in range(5)])
+        agg = weekly.aggregate(2)
+        assert len(agg) == 2
+        assert agg.dropped_days == 7
+
     def test_aggregate_identity(self):
         ds = self.make()
         assert ds.aggregate(1).active_counts().tolist() == ds.active_counts().tolist()

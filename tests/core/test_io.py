@@ -133,6 +133,58 @@ class TestDatasetIO:
             assert np.array_equal(snap_a.ips, snap_b.ips)
             assert np.array_equal(snap_a.hits, snap_b.hits)
 
+    def test_truncated_npz_names_actual_file(self, tmp_path):
+        """Regression: a file cut short mid-write surfaced as a raw
+        zipfile.BadZipFile with no path, not a DatasetError."""
+        path = tmp_path / "cut.npz"
+        save_dataset(path, make_dataset())
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(DatasetError, match=r"cut\.npz"):
+            load_dataset(path)
+
+    def test_garbage_bytes_name_actual_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(DatasetError, match=r"garbage\.npz"):
+            load_dataset(path)
+
+    def test_corrupt_member_names_actual_file(self, tmp_path):
+        """Valid zip container, rotten payload: the CRC/zlib error must
+        still come back as a DatasetError naming the file."""
+        import zipfile
+
+        path = tmp_path / "rotten.npz"
+        save_dataset(path, make_dataset())
+        data = bytearray(path.read_bytes())
+        # Flip bytes inside the first member's payload (past the ~60-byte
+        # local header + filename) so decompression or the CRC check fails.
+        for offset in range(80, 120):
+            data[offset] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises((DatasetError, zipfile.BadZipFile)) as excinfo:
+            load_dataset(path)
+        assert excinfo.type is DatasetError
+        assert "rotten.npz" in str(excinfo.value)
+
+    def test_save_fsyncs_file_and_directory(self, tmp_path, monkeypatch):
+        """Durability regression: os.replace alone does not survive a
+        power loss — the temp file and its directory must be fsynced."""
+        import os
+        import stat
+
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        save_dataset(tmp_path / "durable.npz", make_dataset())
+        assert True in synced  # the containing directory
+        assert False in synced  # the temp data file
+
     def test_roundtrip_simulated(self, tmp_path):
         from repro.sim import CDNObservatory, InternetPopulation, small_config
 

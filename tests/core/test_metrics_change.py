@@ -148,6 +148,24 @@ class TestMonthlySTU:
         with pytest.raises(DatasetError):
             monthly_stu(ds, month_days=1)
 
+    def test_exposes_dropped_trailing_days(self):
+        """Regression: the trailing partial month was silently dropped;
+        callers could not tell 9 days analysed as 2 "months" apart
+        from 8."""
+        result = monthly_stu(make_dataset([{BLOCK_A}] * 9), month_days=4)
+        assert result.dropped_days == 1
+        assert result.stu_matrix.shape[1] == 2
+        exact = monthly_stu(make_dataset([{BLOCK_A}] * 8), month_days=4)
+        assert exact.dropped_days == 0
+
+    def test_result_still_unpacks_as_pair(self):
+        """The historical ``bases, stu = monthly_stu(...)`` contract."""
+        result = monthly_stu(make_dataset([{BLOCK_A}] * 8), month_days=4)
+        bases, stu = result
+        assert bases is result.bases
+        assert stu is result.stu_matrix
+        assert isinstance(result, tuple) and len(result) == 2
+
 
 class TestChangeDetection:
     def make_changing_dataset(self):

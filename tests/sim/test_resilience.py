@@ -1,0 +1,353 @@
+"""Crash safety of the collection engine: retry, degrade, checkpoint, resume.
+
+The contract under test: worker faults, retries, in-process
+degradation, and a kill-and-resume cycle are all *invisible* in the
+collected artifacts — a run that survived any of them is bit-identical
+to an undisturbed run at any worker count.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import CollectionError, ConfigError, InjectedWorkerFault
+from repro.sim import (
+    CDNObservatory,
+    FaultInjection,
+    InternetPopulation,
+    SimulationConfig,
+)
+from repro.sim.checkpoint import (
+    load_shard_checkpoint,
+    run_fingerprint,
+    save_shard_checkpoint,
+)
+from repro.sim.engine import plan_shards
+
+NUM_DAYS = 10
+UA_WINDOW = (4, 9)
+SCAN_DAYS = (6,)
+LOGIN_RATE = 0.2
+
+#: Artifact-heavy collection arguments (UA store, scan states, login
+#: trace) so every checkpoint-serialized field is exercised.
+COLLECT_KWARGS = dict(
+    ua_window=UA_WINDOW, scan_days=SCAN_DAYS, login_panel_rate=LOGIN_RATE
+)
+
+#: Fails every shard's first worker attempt; retries recover.
+FAIL_ONCE = FaultInjection(rate=1.0)
+
+#: Fails every worker attempt; only in-process degradation recovers.
+FAIL_ALWAYS = FaultInjection(rate=1.0, max_failures_per_shard=10**6)
+
+#: Fails *selected* shards everywhere, including the in-process
+#: fallback: the deterministic stand-in for killing the run mid-way.
+KILL_SOME = FaultInjection(
+    rate=0.5, max_failures_per_shard=10**6, fail_in_process=True
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = SimulationConfig(seed=11, num_ases=15, mean_blocks_per_as=3.0)
+    return InternetPopulation.build(config)
+
+
+@pytest.fixture(scope="module")
+def clean(world):
+    """The undisturbed reference run every scenario must reproduce."""
+    return CDNObservatory(world).collect_daily(
+        NUM_DAYS, workers=2, **COLLECT_KWARGS
+    )
+
+
+def assert_identical_artifacts(reference, candidate):
+    """Every collection artifact matches, array for array."""
+    assert len(reference.dataset) == len(candidate.dataset)
+    for snap_a, snap_b in zip(reference.dataset, candidate.dataset):
+        assert np.array_equal(snap_a.ips, snap_b.ips)
+        assert np.array_equal(snap_a.hits, snap_b.hits)
+        assert snap_a.ips.dtype == snap_b.ips.dtype
+        assert snap_a.hits.dtype == snap_b.hits.dtype
+    for day in range(len(reference.routing)):
+        assert reference.routing.table_at(day) == candidate.routing.table_at(day)
+    assert reference.ua_store.samples == candidate.ua_store.samples
+    assert len(reference.login_trace) == len(candidate.login_trace)
+    for (ips_a, users_a), (ips_b, users_b) in zip(
+        reference.login_trace, candidate.login_trace
+    ):
+        assert np.array_equal(ips_a, ips_b)
+        assert np.array_equal(users_a, users_b)
+    assert set(reference.scan_states) == set(candidate.scan_states)
+    for day in reference.scan_states:
+        states_a, states_b = reference.scan_states[day], candidate.scan_states[day]
+        assert set(states_a) == set(states_b)
+        for index in states_a:
+            kind_a, offsets_a = states_a[index]
+            kind_b, offsets_b = states_b[index]
+            assert kind_a is kind_b
+            assert np.array_equal(offsets_a, offsets_b)
+            assert offsets_a.dtype == offsets_b.dtype
+    assert reference.final_kinds == candidate.final_kinds
+
+
+class TestFaultInjection:
+    def test_deterministic_and_seed_keyed(self):
+        plan = FaultInjection(rate=0.5)
+        picks = [plan.selected(7, shard) for shard in range(64)]
+        assert picks == [plan.selected(7, shard) for shard in range(64)]
+        assert picks != [plan.selected(8, shard) for shard in range(64)]
+        assert any(picks) and not all(picks)
+
+    def test_failure_budget_caps_attempts(self):
+        plan = FaultInjection(rate=1.0, max_failures_per_shard=2)
+        assert plan.should_fail(1, 0, 0)
+        assert plan.should_fail(1, 0, 1)
+        assert not plan.should_fail(1, 0, 2)
+
+    def test_injected_fault_raised_in_worker(self, world):
+        from dataclasses import replace
+
+        from repro.sim.engine import ShardTask, simulate_shard
+
+        task = ShardTask(
+            shard_index=0,
+            config=world.config,
+            blocks=tuple(world.blocks[:1]),
+            num_days=1,
+            window_days=1,
+            ua_window=None,
+            scan_days=(),
+            login_panel_rate=0.0,
+            directives=(),
+            fault=FAIL_ONCE,
+        )
+        with pytest.raises(InjectedWorkerFault):
+            simulate_shard(task)
+        # Attempt 1 is past the failure budget and must succeed.
+        assert simulate_shard(replace(task, attempt=1)).addr_days >= 0
+
+
+class TestRetry:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_retried_faults_do_not_change_output(self, world, clean, workers):
+        result = CDNObservatory(world).collect_daily(
+            NUM_DAYS,
+            workers=workers,
+            retry_backoff=0.0,
+            fault=FAIL_ONCE,
+            **COLLECT_KWARGS,
+        )
+        assert_identical_artifacts(clean, result)
+        assert result.perf.shards_retried == result.perf.shards
+        assert result.perf.shards_degraded == 0
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_exhausted_retries_degrade_in_process(self, world, clean, workers):
+        result = CDNObservatory(world).collect_daily(
+            NUM_DAYS,
+            workers=workers,
+            max_retries=1,
+            retry_backoff=0.0,
+            fault=FAIL_ALWAYS,
+            **COLLECT_KWARGS,
+        )
+        assert_identical_artifacts(clean, result)
+        assert result.perf.shards_degraded == result.perf.shards
+        # Every shard burned its full retry budget first.
+        assert result.perf.shards_retried == result.perf.shards
+
+    def test_rejects_negative_max_retries(self, world):
+        with pytest.raises(ConfigError, match="max_retries"):
+            CDNObservatory(world).collect_daily(2, workers=1, max_retries=-1)
+
+    def test_resume_without_checkpoint_dir_rejected(self, world):
+        with pytest.raises(ConfigError, match="resume"):
+            CDNObservatory(world).collect_daily(2, workers=1, resume=True)
+
+
+class TestCheckpointing:
+    def test_every_shard_checkpointed(self, world, clean, tmp_path):
+        result = CDNObservatory(world).collect_daily(
+            NUM_DAYS, workers=2, checkpoint_dir=str(tmp_path), **COLLECT_KWARGS
+        )
+        assert_identical_artifacts(clean, result)
+        assert result.perf.shards_checkpointed == 2
+        files = glob.glob(str(tmp_path / "run_*" / "shard_*.npz"))
+        assert len(files) == 2
+
+    def test_checkpoint_roundtrip_is_exact(self, world, tmp_path):
+        """One shard, serialized and loaded: every field survives."""
+        from repro.sim.engine import ShardTask, simulate_shard
+
+        task = ShardTask(
+            shard_index=0,
+            config=world.config,
+            blocks=tuple(world.blocks),
+            num_days=NUM_DAYS,
+            window_days=1,
+            ua_window=UA_WINDOW,
+            scan_days=SCAN_DAYS,
+            login_panel_rate=LOGIN_RATE,
+            directives=(),
+        )
+        fingerprint = run_fingerprint(
+            world.config, NUM_DAYS, 1, UA_WINDOW, SCAN_DAYS, LOGIN_RATE, ()
+        )
+        original = simulate_shard(task)
+        save_shard_checkpoint(tmp_path, fingerprint, task, original)
+        loaded = load_shard_checkpoint(tmp_path, fingerprint, task)
+        assert loaded is not None
+        assert loaded.addr_days == original.addr_days
+        for ips_a, ips_b in zip(original.window_ips, loaded.window_ips):
+            assert np.array_equal(ips_a, ips_b) and ips_a.dtype == ips_b.dtype
+        for hits_a, hits_b in zip(original.window_hits, loaded.window_hits):
+            assert np.array_equal(hits_a, hits_b) and hits_a.dtype == hits_b.dtype
+        assert loaded.ua_samples == original.ua_samples
+        assert len(loaded.login_trace) == len(original.login_trace)
+        for (ips_a, users_a), (ips_b, users_b) in zip(
+            original.login_trace, loaded.login_trace
+        ):
+            assert np.array_equal(ips_a, ips_b) and ips_a.dtype == ips_b.dtype
+            assert np.array_equal(users_a, users_b) and users_a.dtype == users_b.dtype
+        assert set(loaded.scan_states) == set(original.scan_states)
+        for day in original.scan_states:
+            for index in original.scan_states[day]:
+                kind_a, offsets_a = original.scan_states[day][index]
+                kind_b, offsets_b = loaded.scan_states[day][index]
+                assert kind_a is kind_b
+                assert np.array_equal(offsets_a, offsets_b)
+                assert offsets_a.dtype == offsets_b.dtype
+        assert loaded.final_kinds == original.final_kinds
+
+    def test_mismatched_fingerprint_not_loaded(self, world, tmp_path):
+        observatory = CDNObservatory(world)
+        observatory.collect_daily(
+            NUM_DAYS, workers=2, checkpoint_dir=str(tmp_path), **COLLECT_KWARGS
+        )
+        # Different horizon -> different fingerprint -> nothing resumes.
+        other = observatory.collect_daily(
+            8,
+            workers=2,
+            checkpoint_dir=str(tmp_path),
+            resume=True,
+            ua_window=(4, 7),
+            scan_days=SCAN_DAYS,
+            login_panel_rate=LOGIN_RATE,
+        )
+        assert other.perf.shards_resumed == 0
+        # And both run directories now coexist under the root.
+        assert len(glob.glob(str(tmp_path / "run_*"))) == 2
+
+    def test_corrupt_checkpoint_ignored_and_recomputed(
+        self, world, clean, tmp_path
+    ):
+        observatory = CDNObservatory(world)
+        observatory.collect_daily(
+            NUM_DAYS, workers=2, checkpoint_dir=str(tmp_path), **COLLECT_KWARGS
+        )
+        files = sorted(glob.glob(str(tmp_path / "run_*" / "shard_*.npz")))
+        # Truncate one checkpoint and scribble garbage over another.
+        with open(files[0], "r+b") as stream:
+            stream.truncate(os.path.getsize(files[0]) // 2)
+        with open(files[1], "wb") as stream:
+            stream.write(b"not an npz at all")
+        resumed = observatory.collect_daily(
+            NUM_DAYS,
+            workers=2,
+            checkpoint_dir=str(tmp_path),
+            resume=True,
+            **COLLECT_KWARGS,
+        )
+        assert resumed.perf.shards_resumed == 0
+        assert resumed.perf.shards_checkpointed == 2  # repaired on the way
+        assert_identical_artifacts(clean, resumed)
+
+
+class TestKillAndResume:
+    """ISSUE acceptance: kill mid-run, restart with resume, identical."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_killed_run_resumes_bit_identical(
+        self, world, clean, tmp_path, workers
+    ):
+        observatory = CDNObservatory(world)
+        reference = (
+            clean
+            if workers != 1
+            else observatory.collect_daily(NUM_DAYS, workers=1, **COLLECT_KWARGS)
+        )
+        ckpt = tmp_path / f"ckpt_{workers}"
+        with pytest.raises(CollectionError):
+            observatory.collect_daily(
+                NUM_DAYS,
+                workers=workers,
+                max_retries=1,
+                retry_backoff=0.0,
+                checkpoint_dir=str(ckpt),
+                fault=KILL_SOME,
+                **COLLECT_KWARGS,
+            )
+        surviving = glob.glob(str(ckpt / "run_*" / "shard_*.npz"))
+        num_shards = len(plan_shards(len(world.blocks), workers))
+        assert len(surviving) < num_shards  # the run really was cut short
+        resumed = observatory.collect_daily(
+            NUM_DAYS,
+            workers=workers,
+            checkpoint_dir=str(ckpt),
+            resume=True,
+            **COLLECT_KWARGS,
+        )
+        assert resumed.perf.shards_resumed == len(surviving)
+        assert (
+            resumed.perf.shards_resumed + resumed.perf.shards_checkpointed
+            == num_shards
+        )
+        assert_identical_artifacts(reference, resumed)
+
+    def test_partial_checkpoints_plus_different_worker_count(
+        self, world, clean, tmp_path
+    ):
+        """Resuming at another --workers count stays correct: shard
+        boundaries no longer match the stored block ranges, so the
+        engine re-simulates everything rather than loading a wrong
+        slice."""
+        observatory = CDNObservatory(world)
+        with pytest.raises(CollectionError):
+            observatory.collect_daily(
+                NUM_DAYS,
+                workers=4,
+                max_retries=0,
+                retry_backoff=0.0,
+                checkpoint_dir=str(tmp_path),
+                fault=KILL_SOME,
+                **COLLECT_KWARGS,
+            )
+        resumed = observatory.collect_daily(
+            NUM_DAYS,
+            workers=3,
+            checkpoint_dir=str(tmp_path),
+            resume=True,
+            **COLLECT_KWARGS,
+        )
+        assert resumed.perf.shards_resumed == 0
+        assert_identical_artifacts(clean, resumed)
+
+
+class TestPerfCountersSurface:
+    def test_resilience_counters_in_record(self, world, tmp_path):
+        result = CDNObservatory(world).collect_daily(
+            NUM_DAYS,
+            workers=2,
+            retry_backoff=0.0,
+            checkpoint_dir=str(tmp_path),
+            fault=FAIL_ONCE,
+        )
+        record = result.perf.as_dict()
+        assert record["shards_retried"] == 2
+        assert record["shards_checkpointed"] == 2
+        assert record["shards_resumed"] == 0
+        assert record["shards_degraded"] == 0

@@ -118,6 +118,55 @@ class TestParallelSimulate:
         assert code == 0
         assert "Churn" in capsys.readouterr().out
 
+    def test_resume_requires_checkpoint_dir(self, tmp_path, capsys):
+        code = main(["simulate", "--resume", "--out", str(tmp_path / "x")])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_rejects_negative_max_retries(self, tmp_path, capsys):
+        code = main(
+            ["simulate", "--max-retries", "-1", "--out", str(tmp_path / "x")]
+        )
+        assert code == 2
+        assert "--max-retries" in capsys.readouterr().err
+
+    def test_rejects_fault_rate_outside_unit_interval(self, tmp_path, capsys):
+        code = main(
+            ["simulate", "--inject-fault-rate", "1.5", "--out", str(tmp_path / "x")]
+        )
+        assert code == 2
+        assert "--inject-fault-rate" in capsys.readouterr().err
+
+    def test_faulty_checkpointed_run_matches_clean_run(self, tmp_path, capsys):
+        """The CI smoke scenario end-to-end: a run with every shard's
+        first worker attempt failing, checkpointing as it goes, writes
+        the same artifact as an undisturbed run — then --resume
+        rebuilds it again purely from checkpoints."""
+        from repro.core.io import load_dataset
+
+        import numpy as np
+
+        args = ["simulate", "--seed", "4", "--ases", "15", "--blocks-per-as", "3",
+                "--days", "14", "--workers", "2"]
+        assert main(args + ["--out", str(tmp_path / "clean")]) == 0
+        faulty = args + [
+            "--inject-fault-rate", "1.0",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+        ]
+        assert main(faulty + ["--out", str(tmp_path / "faulty")]) == 0
+        output = capsys.readouterr().out
+        assert "resilience:" in output
+        assert "2 retried" in output
+        assert main(faulty + ["--resume", "--out", str(tmp_path / "again")]) == 0
+        assert "2 resumed" in capsys.readouterr().out
+        clean = load_dataset(tmp_path / "clean")
+        for other in ("faulty", "again"):
+            loaded = load_dataset(tmp_path / other)
+            assert len(loaded) == len(clean)
+            for snap_a, snap_b in zip(clean, loaded):
+                assert np.array_equal(snap_a.ips, snap_b.ips)
+                assert np.array_equal(snap_a.hits, snap_b.hits)
+
     def test_no_compress_artifact_loads(self, tmp_path, capsys):
         from repro.core.io import load_dataset
 

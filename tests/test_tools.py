@@ -73,6 +73,70 @@ class TestMain:
         assert tool.main() == 2
 
 
+class TestCheckpointsTool:
+    """tools/checkpoints.py: operator view of checkpoint directories."""
+
+    @pytest.fixture(scope="class")
+    def checkpoints(self):
+        return _load_tool("checkpoints")
+
+    @pytest.fixture()
+    def populated_root(self, tmp_path):
+        from repro.sim import CDNObservatory, InternetPopulation, small_config
+
+        world = InternetPopulation.build(small_config(seed=3))
+        CDNObservatory(world).collect_daily(
+            4, workers=2, checkpoint_dir=str(tmp_path)
+        )
+        return tmp_path
+
+    def test_list_empty_root(self, checkpoints, tmp_path, capsys):
+        assert checkpoints.main(["list", str(tmp_path)]) == 0
+        assert "no checkpoint runs" in capsys.readouterr().out
+
+    def test_list_reports_runs_and_shards(self, checkpoints, populated_root, capsys):
+        assert checkpoints.main(["list", "-v", str(populated_root)]) == 0
+        output = capsys.readouterr().out
+        assert "run " in output
+        assert "2 shard checkpoints" in output
+        assert output.count("shard_") == 2  # -v: one line per file
+
+    def test_list_flags_invalid_checkpoints(self, checkpoints, populated_root, capsys):
+        shard = next(populated_root.glob("run_*/shard_*.npz"))
+        shard.write_bytes(b"garbage")
+        checkpoints.main(["list", str(populated_root)])
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_gc_refuses_without_yes(self, checkpoints, populated_root, capsys):
+        assert checkpoints.main(["gc", str(populated_root)]) == 1
+        assert "--yes" in capsys.readouterr().err
+        assert len(list(populated_root.glob("run_*/shard_*.npz"))) == 2
+
+    def test_gc_dry_run_deletes_nothing(self, checkpoints, populated_root, capsys):
+        assert checkpoints.main(["gc", "--dry-run", str(populated_root)]) == 0
+        assert "would remove 2" in capsys.readouterr().out
+        assert len(list(populated_root.glob("run_*/shard_*.npz"))) == 2
+
+    def test_gc_removes_run_directory(self, checkpoints, populated_root, capsys):
+        assert checkpoints.main(["gc", "--yes", str(populated_root)]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert list(populated_root.glob("run_*")) == []
+
+    def test_gc_unknown_fingerprint_errors(self, checkpoints, populated_root, capsys):
+        code = checkpoints.main(
+            ["gc", "--yes", "--run", "0" * 16, str(populated_root)]
+        )
+        assert code == 1
+        assert "no checkpoint run" in capsys.readouterr().err
+
+    def test_gc_leaves_foreign_files_alone(self, checkpoints, populated_root):
+        run_dir = next(populated_root.glob("run_*"))
+        foreign = run_dir / "notes.txt"
+        foreign.write_text("keep me")
+        assert checkpoints.main(["gc", "--yes", str(populated_root)]) == 0
+        assert foreign.exists()  # only engine-written files are deleted
+
+
 class TestBenchRecord:
     """Smoke the perf-trajectory recorder (tools/bench_record.py)."""
 

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Inspect or garbage-collect collection-engine checkpoint directories.
+
+The sharded collection engine (``repro simulate --checkpoint-dir``)
+persists one ``.npz`` per finished shard under
+``<root>/run_<fingerprint>/``.  Checkpoints are crash-recovery state:
+once a run has produced its dataset they are dead weight, and a
+long-lived pipeline host accumulates one run directory per distinct
+configuration.  This tool is the operator's view of that state.
+
+Usage::
+
+    # what is in this checkpoint root?
+    python tools/checkpoints.py list ckpt/
+
+    # drop one run's checkpoints (or everything) — asks unless --yes
+    python tools/checkpoints.py gc ckpt/ --run 3f2a9c0d1b2e4f56
+    python tools/checkpoints.py gc ckpt/ --dry-run
+    python tools/checkpoints.py gc ckpt/ --yes
+
+``gc`` only deletes files the engine wrote (recognised shard
+checkpoint names); anything else in the directory is left untouched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sim.checkpoint import gc_run, list_runs  # noqa: E402
+
+
+def _format_bytes(count: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return f"{count:.1f} {unit}" if unit != "B" else f"{count} B"
+        count /= 1024
+    return f"{count} B"
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    runs = list_runs(args.root)
+    if not runs:
+        print(f"no checkpoint runs under {args.root}")
+        return 0
+    for run in runs:
+        shards = run["shards"]
+        blocks = sorted(
+            shard["blocks"] for shard in shards if shard.get("blocks") is not None
+        )
+        coverage = (
+            f", blocks {blocks[0][0]}..{blocks[-1][1]}" if blocks else ""
+        )
+        invalid = f", {run['invalid']} INVALID" if run["invalid"] else ""
+        print(
+            f"run {run['fingerprint']}: {len(shards)} shard "
+            f"checkpoint{'s' if len(shards) != 1 else ''} "
+            f"({_format_bytes(run['total_bytes'])}{coverage}{invalid})"
+        )
+        if args.verbose:
+            for shard in shards:
+                state = "ok" if shard["valid"] else "INVALID"
+                print(f"  {os.path.basename(shard['path'])}: "
+                      f"{_format_bytes(shard['bytes'])} [{state}]")
+    return 0
+
+
+def cmd_gc(args: argparse.Namespace) -> int:
+    runs = list_runs(args.root)
+    if args.run is not None:
+        runs = [run for run in runs if run["fingerprint"] == args.run]
+        if not runs:
+            print(f"no checkpoint run {args.run} under {args.root}", file=sys.stderr)
+            return 1
+    if not runs:
+        print(f"no checkpoint runs under {args.root}")
+        return 0
+    if not (args.yes or args.dry_run):
+        print(
+            "refusing to delete without --yes (use --dry-run to preview)",
+            file=sys.stderr,
+        )
+        return 1
+    total = 0
+    for run in runs:
+        removed = gc_run(run["directory"], dry_run=args.dry_run)
+        total += removed
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"{verb} {removed} checkpoint(s) from run {run['fingerprint']}")
+    print(f"{'would remove' if args.dry_run else 'removed'} {total} file(s) total")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser("list", help="summarise checkpoint runs")
+    list_parser.add_argument("root", help="checkpoint root directory")
+    list_parser.add_argument(
+        "-v", "--verbose", action="store_true", help="one line per shard file"
+    )
+
+    gc_parser = commands.add_parser("gc", help="delete checkpoint runs")
+    gc_parser.add_argument("root", help="checkpoint root directory")
+    gc_parser.add_argument(
+        "--run", default=None, metavar="FINGERPRINT",
+        help="only this run (default: every run under the root)",
+    )
+    gc_parser.add_argument(
+        "--dry-run", action="store_true", help="report what would be deleted"
+    )
+    gc_parser.add_argument(
+        "--yes", action="store_true", help="actually delete (required unless --dry-run)"
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list(args)
+    return cmd_gc(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
