@@ -16,6 +16,8 @@ The package is organised in layers:
   (filling degree, spatio-temporal utilization), change detection,
   traffic correlation, host-count estimation, demographics.
 - :mod:`repro.report` — plain-text rendering of tables and figures.
+- :mod:`repro.obs` — observability: timing spans, counters, run
+  manifests, and exporters for the collection/analysis pipeline.
 
 Quick start::
 
@@ -28,11 +30,12 @@ Quick start::
     print(stats.median_up_fraction)
 """
 
-from repro import baselines, core, net, rdns, registry, report, routing, sim
+from repro import baselines, core, net, obs, rdns, registry, report, routing, sim
 from repro.errors import (
     AddressError,
     ConfigError,
     DatasetError,
+    ObservabilityError,
     PrefixError,
     RegistryError,
     ReproError,
@@ -45,6 +48,7 @@ __all__ = [
     "AddressError",
     "ConfigError",
     "DatasetError",
+    "ObservabilityError",
     "PrefixError",
     "RegistryError",
     "ReproError",
@@ -53,6 +57,7 @@ __all__ = [
     "baselines",
     "core",
     "net",
+    "obs",
     "rdns",
     "registry",
     "report",

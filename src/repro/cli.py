@@ -31,12 +31,22 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.core import change, churn, metrics, potential, seasonal, traffic
-from repro.core.io import load_dataset, save_dataset, save_routing_series
+from repro.core.io import atomic_write_text, load_dataset, save_dataset, save_routing_series
+from repro.obs import (
+    ObsContext,
+    build_manifest,
+    manifest_path_for,
+    to_prometheus,
+    to_trace_json,
+    write_manifest,
+)
+from repro.obs import context as obs_api
 from repro.report import format_count, format_percent, render_table
 from repro.sim import (
     CDNObservatory,
@@ -105,6 +115,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "the output is unchanged)",
     )
     simulate.add_argument("--out", required=True, help="output path prefix")
+    _add_obs_flags(simulate)
 
     analyze = commands.add_parser("analyze", help="run one analysis on a stored dataset")
     analyze.add_argument(
@@ -114,7 +125,68 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("dataset", help="path to a .npz dataset")
     analyze.add_argument("--month-days", type=int, default=28)
     analyze.add_argument("--top-fraction", type=float, default=0.10)
+    _add_obs_flags(analyze)
     return parser
+
+
+def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's span tree, counters, and events as JSON "
+        "(never affects the computed output)",
+    )
+    subparser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's counters, gauges, and span timings in "
+        "Prometheus text exposition format",
+    )
+    subparser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a heartbeat line to stderr after every finished shard "
+        "(done/total, retries, ETA)",
+    )
+
+
+class _ProgressPrinter:
+    """Per-shard heartbeat on stderr with a naive linear ETA."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def __call__(self, update) -> None:
+        elapsed = time.perf_counter() - self._start
+        eta = elapsed / update.done * (update.total - update.done)
+        extras = [
+            f"{count} {label}"
+            for count, label in (
+                (update.resumed, "resumed"),
+                (update.retried, "retried"),
+                (update.degraded, "degraded"),
+            )
+            if count
+        ]
+        detail = f" ({', '.join(extras)})" if extras else ""
+        print(
+            f"progress: {update.done}/{update.total} shards{detail} "
+            f"elapsed {elapsed:.1f}s eta {eta:.1f}s",
+            file=sys.stderr,
+            flush=True,
+        )
+
+
+def _export_obs(ctx: ObsContext, args: argparse.Namespace) -> None:
+    """Write --trace-out / --metrics-out artifacts, if requested."""
+    if args.trace_out:
+        atomic_write_text(args.trace_out, to_trace_json(ctx))
+        print(f"trace: {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        atomic_write_text(args.metrics_out, to_prometheus(ctx))
+        print(f"metrics: {args.metrics_out}", file=sys.stderr)
 
 
 def _format_perf(perf) -> str:
@@ -165,12 +237,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     world = InternetPopulation.build(config)
     observatory = CDNObservatory(world)
+    # Every simulate run carries an observation context: the manifest
+    # written next to the dataset is the run's provenance record, and
+    # recording it never perturbs collected output (tested).
+    ctx = ObsContext()
     collect_kwargs = dict(
         workers=args.workers,
         max_retries=args.max_retries,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         fault=fault,
+        obs=ctx,
+        progress=_ProgressPrinter() if args.progress else None,
     )
     if args.weekly:
         if args.days % 7:
@@ -181,14 +259,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         result = observatory.collect_daily(args.days, **collect_kwargs)
     dataset_path = f"{args.out}.npz"
     routing_path = f"{args.out}.rib.txt"
-    save_dataset(dataset_path, result.dataset, compress=not args.no_compress)
-    save_routing_series(routing_path, result.routing)
+    with obs_api.activate(ctx):
+        save_dataset(dataset_path, result.dataset, compress=not args.no_compress)
+        save_routing_series(routing_path, result.routing)
+    manifest = build_manifest(ctx, dataset=result.dataset, dataset_path=dataset_path)
+    manifest_path = manifest_path_for(dataset_path)
+    write_manifest(manifest_path, manifest)
+    _export_obs(ctx, args)
     print(
         f"world: {len(world.ases)} ASes, {len(world.blocks)} /24 blocks\n"
         f"dataset: {dataset_path} ({len(result.dataset)} x "
         f"{result.dataset.window_days}d snapshots, "
         f"{format_count(result.dataset.total_unique())} unique addresses)\n"
         f"routing: {routing_path} ({len(result.routing)} daily tables)\n"
+        f"manifest: {manifest_path}\n"
         + _format_perf(result.perf)
     )
     return 0
@@ -284,12 +368,15 @@ _ANALYSES = {
 def _cmd_analyze(args: argparse.Namespace) -> int:
     # One dataset object for the whole run: every analysis below reuses
     # its memoized DatasetIndex (union, projections, block scatter).
-    dataset = load_dataset(args.dataset)
-    if args.analysis == "all":
-        for run in _ANALYSES.values():
-            run(dataset, args)
-    else:
-        _ANALYSES[args.analysis](dataset, args)
+    ctx = ObsContext()
+    with obs_api.activate(ctx):
+        dataset = load_dataset(args.dataset)
+        if args.analysis == "all":
+            for run in _ANALYSES.values():
+                run(dataset, args)
+        else:
+            _ANALYSES[args.analysis](dataset, args)
+    _export_obs(ctx, args)
     return 0
 
 

@@ -25,6 +25,7 @@ from repro.core.windows import (
     usable_window_sizes,
 )
 from repro.errors import DatasetError
+from repro.obs import context as obs
 
 
 @dataclass(frozen=True)
@@ -98,17 +99,19 @@ def transition_churn(dataset: ActivityDataset) -> list[TransitionChurn]:
     if len(dataset) < 2:
         raise DatasetError("need at least two windows to measure churn")
     out = []
-    for before, after in zip(dataset.snapshots, dataset.snapshots[1:]):
-        ups = after.up_from(before)
-        downs = before.down_to(after)
-        out.append(
-            TransitionChurn(
-                up_count=int(ups.size),
-                down_count=int(downs.size),
-                active_before=before.num_active,
-                active_after=after.num_active,
+    with obs.span("analyze/churn/transitions"):
+        for before, after in zip(dataset.snapshots, dataset.snapshots[1:]):
+            ups = after.up_from(before)
+            downs = before.down_to(after)
+            out.append(
+                TransitionChurn(
+                    up_count=int(ups.size),
+                    down_count=int(downs.size),
+                    active_before=before.num_active,
+                    active_after=after.num_active,
+                )
             )
-        )
+        obs.add("analyze_churn_transitions_total", len(out))
     return out
 
 

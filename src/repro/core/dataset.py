@@ -265,7 +265,9 @@ class ActivityDataset:
         if num_windows <= 0:
             raise DatasetError(f"non-positive aggregation factor: {num_windows}")
         if num_windows == 1:
-            return ActivityDataset(self._snapshots)
+            # Identity aggregation must not erase the provenance of a
+            # prior lossy aggregation.
+            return ActivityDataset(self._snapshots, dropped_days=self.dropped_days)
         full = len(self) // num_windows
         if full == 0:
             raise DatasetError(

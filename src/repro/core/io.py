@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.dataset import ActivityDataset, Snapshot
 from repro.errors import DatasetError, RoutingError
 from repro.net.prefix import Prefix
+from repro.obs import context as obs
 from repro.routing.series import RoutingSeries
 from repro.routing.table import RoutingTable
 
@@ -108,6 +109,36 @@ def atomic_write_npz(
         raise
 
 
+def atomic_write_text(
+    path: str | os.PathLike, text: str, encoding: str = "utf-8"
+) -> None:
+    """Durably and atomically write *text* at *path*.
+
+    The same temp-file + fsync + rename + directory-fsync discipline as
+    :func:`atomic_write_npz`, for small text artifacts (run manifests,
+    exported metrics) that must never exist half-written next to a
+    complete dataset.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    handle, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(handle, "w", encoding=encoding) as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_path, target)
+        _fsync_directory(directory)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
 def save_dataset(
     path: str | os.PathLike, dataset: ActivityDataset, compress: bool = True
 ) -> None:
@@ -124,16 +155,18 @@ def save_dataset(
     dataset even if the process — or the machine — dies mid-write.
     """
     target = _dataset_path(path)
-    arrays: dict[str, np.ndarray] = {
-        "version": np.array([_FORMAT_VERSION]),
-        "start": np.array([dataset.start.toordinal()]),
-        "window_days": np.array([dataset.window_days]),
-        "num_snapshots": np.array([len(dataset)]),
-    }
-    for index, snapshot in enumerate(dataset):
-        arrays[f"ips_{index}"] = snapshot.ips
-        arrays[f"hits_{index}"] = snapshot.hits
-    atomic_write_npz(target, arrays, compress=compress)
+    with obs.span("io/save_dataset"):
+        arrays: dict[str, np.ndarray] = {
+            "version": np.array([_FORMAT_VERSION]),
+            "start": np.array([dataset.start.toordinal()]),
+            "window_days": np.array([dataset.window_days]),
+            "num_snapshots": np.array([len(dataset)]),
+        }
+        for index, snapshot in enumerate(dataset):
+            arrays[f"ips_{index}"] = snapshot.ips
+            arrays[f"hits_{index}"] = snapshot.hits
+        atomic_write_npz(target, arrays, compress=compress)
+        obs.add("datasets_saved_total")
 
 
 #: Exceptions a corrupt or truncated ``.npz`` can leak from numpy's
@@ -163,6 +196,11 @@ def load_dataset(path: str | os.PathLike) -> ActivityDataset:
     suffix).
     """
     target = _dataset_path(path)
+    with obs.span("io/load_dataset"):
+        return _load_dataset(target)
+
+
+def _load_dataset(target: str) -> ActivityDataset:
     try:
         bundle = np.load(target)
     except FileNotFoundError as exc:
@@ -200,6 +238,7 @@ def load_dataset(path: str | os.PathLike) -> ActivityDataset:
             raise DatasetError(
                 f"corrupt or truncated dataset file: {target} ({exc})"
             ) from exc
+    obs.add("datasets_loaded_total")
     return ActivityDataset(snapshots)
 
 

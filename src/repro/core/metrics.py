@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.dataset import ActivityDataset
 from repro.errors import DatasetError
 from repro.net.ipv4 import block_of
+from repro.obs import context as obs
 
 BLOCK_SIZE = 256
 
@@ -76,25 +77,27 @@ def compute_block_metrics(dataset: ActivityDataset) -> BlockMetrics:
     coarser windows the denominator scales accordingly (an address
     active in a week contributes one unit out of the week's one).
     """
-    index = dataset.index
-    if index.all_ips.size == 0:
-        raise DatasetError("dataset has no active addresses")
-    bases = index.block_bases
+    with obs.span("analyze/block_metrics"):
+        index = dataset.index
+        if index.all_ips.size == 0:
+            raise DatasetError("dataset has no active addresses")
+        bases = index.block_bases
 
-    fd = index.block_filling_degree
-    activity = np.zeros(bases.size, dtype=np.int64)
-    for position in range(len(dataset)):
-        block_idx = index.snapshot_block_index(position)
-        if block_idx.size == 0:
-            continue
-        activity += np.bincount(block_idx, minlength=bases.size)
-    stu = activity / (BLOCK_SIZE * len(dataset))
-    return BlockMetrics(
-        bases=bases,
-        filling_degree=fd.astype(np.int64),
-        stu=stu,
-        window_days=dataset.total_days,
-    )
+        fd = index.block_filling_degree
+        activity = np.zeros(bases.size, dtype=np.int64)
+        for position in range(len(dataset)):
+            block_idx = index.snapshot_block_index(position)
+            if block_idx.size == 0:
+                continue
+            activity += np.bincount(block_idx, minlength=bases.size)
+        stu = activity / (BLOCK_SIZE * len(dataset))
+        obs.add("analyze_blocks_total", int(bases.size))
+        return BlockMetrics(
+            bases=bases,
+            filling_degree=fd.astype(np.int64),
+            stu=stu,
+            window_days=dataset.total_days,
+        )
 
 
 def activity_matrix(dataset: ActivityDataset, block_base: int) -> np.ndarray:
@@ -169,14 +172,17 @@ def monthly_stu(dataset: ActivityDataset, month_days: int = 28) -> MonthlyStu:
         raise DatasetError(
             f"dataset of {len(dataset)} days has no full {month_days}-day month"
         )
-    index = dataset.index
-    all_bases = index.block_bases
-    stu_matrix = np.zeros((all_bases.size, num_months))
-    for month in range(num_months):
-        for day in range(month * month_days, (month + 1) * month_days):
-            idx = index.snapshot_block_index(day)
-            if idx.size == 0:
-                continue
-            stu_matrix[:, month] += np.bincount(idx, minlength=all_bases.size)
-    stu_matrix /= BLOCK_SIZE * month_days
-    return MonthlyStu(all_bases, stu_matrix, len(dataset) - num_months * month_days)
+    with obs.span("analyze/monthly_stu"):
+        index = dataset.index
+        all_bases = index.block_bases
+        stu_matrix = np.zeros((all_bases.size, num_months))
+        for month in range(num_months):
+            for day in range(month * month_days, (month + 1) * month_days):
+                idx = index.snapshot_block_index(day)
+                if idx.size == 0:
+                    continue
+                stu_matrix[:, month] += np.bincount(idx, minlength=all_bases.size)
+        stu_matrix /= BLOCK_SIZE * month_days
+        return MonthlyStu(
+            all_bases, stu_matrix, len(dataset) - num_months * month_days
+        )

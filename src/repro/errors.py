@@ -38,6 +38,11 @@ class RoutingError(ReproError):
     """A routing table or routing series is malformed or misused."""
 
 
+class ObservabilityError(ReproError):
+    """An observability artifact is malformed or misused (bad span or
+    metric name, decreasing counter, corrupt or missing manifest)."""
+
+
 class CollectionError(ReproError):
     """A collection run failed irrecoverably (a shard exhausted its worker
     retries and could not be recovered in-process)."""

@@ -1,0 +1,178 @@
+"""The observation context: one object that crosses the worker boundary.
+
+An :class:`ObsContext` bundles everything the observability layer
+records about a run — the span tree, the counter/gauge set, an ordered
+event log, and a small ``info`` mapping of run identity (seed, worker
+count, shard map, fingerprint).  It is:
+
+- **picklable**: :meth:`ObsContext.to_payload` flattens it to plain
+  dicts and lists, which is what a worker ships back inside its
+  :class:`~repro.sim.engine.ShardResult`;
+- **mergeable**: :meth:`ObsContext.merge` folds another context (or a
+  payload) in with the per-kind semantics of its parts — spans and
+  counters sum, gauges max, events concatenate, info unions.
+
+The module also provides the *ambient* context used by instrumented
+library code (:func:`span`, :func:`add`, :func:`gauge`,
+:func:`event`): a process-global slot installed with
+:func:`activate`.  When no context is active every helper is a no-op,
+so instrumentation in hot paths costs one attribute check when
+observability is off.  The slot is per process — worker processes never
+inherit the coordinator's context; they build their own and ship it
+back explicitly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+
+from repro.obs.counters import MetricSet
+from repro.obs.spans import SpanRecorder
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One discrete occurrence in a run (a retry, a checkpoint, ...).
+
+    ``kind`` is a short identifier (``retry``, ``degrade``, ``resume``,
+    ``checkpoint_save``, ``checkpoint_skip``); ``fields`` carries
+    JSON-safe detail such as the shard index or attempt number.
+    """
+
+    kind: str
+    fields: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, **self.fields}
+
+
+class ObsContext:
+    """Spans + metrics + events + run identity for one collection/analysis."""
+
+    def __init__(self) -> None:
+        self.spans = SpanRecorder()
+        self.metrics = MetricSet()
+        self.events: list[RunEvent] = []
+        #: Run identity recorded by the engine (seed, workers, shard
+        #: map, fingerprint, ...) and consumed by the manifest.
+        self.info: dict = {}
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str):
+        """Context manager timing *name* (see :class:`SpanRecorder`)."""
+        return self.spans.span(name)
+
+    def add(self, name: str, amount: int | float = 1) -> None:
+        self.metrics.add(name, amount)
+
+    def set_gauge(self, name: str, value: int | float) -> None:
+        self.metrics.set_gauge(name, value)
+
+    def event(self, kind: str, **fields) -> None:
+        """Append an event and bump its ``event_<kind>_total`` counter.
+
+        The automatic counter gives every event kind a mergeable total,
+        which is how the engine's resilience bookkeeping
+        (retried/degraded/resumed/checkpointed) stays reconcilable with
+        the returned :class:`~repro.sim.engine.PerfCounters`.
+        """
+        self.events.append(RunEvent(kind, dict(fields)))
+        self.metrics.add(f"event_{kind}_total")
+
+    def events_of(self, kind: str) -> list[RunEvent]:
+        """Recorded events of one kind, in record order."""
+        return [e for e in self.events if e.kind == kind]
+
+    # -- merge / serialization (the worker boundary) -------------------
+
+    def merge(self, other: "ObsContext") -> None:
+        """Fold *other* in: spans/counters sum, gauges max, events append."""
+        self.spans.merge(other.spans)
+        self.metrics.merge(other.metrics)
+        self.events.extend(other.events)
+        self.info.update(other.info)
+
+    def merge_payload(self, payload: dict) -> None:
+        """Fold a :meth:`to_payload` dict in (the cross-process path)."""
+        self.merge(ObsContext.from_payload(payload))
+
+    def to_payload(self) -> dict:
+        """Flatten to plain dicts/lists — picklable and JSON-ready."""
+        return {
+            "spans": self.spans.as_dict(),
+            "metrics": self.metrics.as_dict(),
+            "events": [event.as_dict() for event in self.events],
+            "info": dict(self.info),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ObsContext":
+        ctx = cls()
+        ctx.spans = SpanRecorder.from_dict(payload.get("spans", {}))
+        ctx.metrics = MetricSet.from_dict(payload.get("metrics", {}))
+        for entry in payload.get("events", ()):
+            fields = {key: value for key, value in entry.items() if key != "kind"}
+            ctx.events.append(RunEvent(entry["kind"], fields))
+        ctx.info = dict(payload.get("info", {}))
+        return ctx
+
+    def absorb_perf_counters(self, perf) -> None:
+        """Mirror the engine's per-run summary into ``collect_*`` gauges."""
+        self.metrics.absorb_perf_counters(perf)
+
+
+# -- the ambient context (module-level instrumentation API) ------------
+
+_ACTIVE: ObsContext | None = None
+
+
+def active() -> ObsContext | None:
+    """The context instrumented library code currently records into."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(ctx: ObsContext):
+    """Install *ctx* as the ambient context for the enclosed block.
+
+    Re-entrant: the previous context (possibly the same one) is
+    restored on exit, so nested activations compose.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = ctx
+    try:
+        yield ctx
+    finally:
+        _ACTIVE = previous
+
+
+def maybe_activate(ctx: ObsContext | None):
+    """``activate(ctx)`` when *ctx* is set, else a no-op context manager."""
+    return activate(ctx) if ctx is not None else nullcontext()
+
+
+def span(name: str):
+    """Time *name* on the ambient context; no-op when none is active."""
+    ctx = _ACTIVE
+    return ctx.spans.span(name) if ctx is not None else nullcontext()
+
+
+def add(name: str, amount: int | float = 1) -> None:
+    """Bump a counter on the ambient context; no-op when none is active."""
+    if _ACTIVE is not None:
+        _ACTIVE.add(name, amount)
+
+
+def gauge(name: str, value: int | float) -> None:
+    """Set a gauge on the ambient context; no-op when none is active."""
+    if _ACTIVE is not None:
+        _ACTIVE.set_gauge(name, value)
+
+
+def event(kind: str, **fields) -> None:
+    """Record an event on the ambient context; no-op when none is active."""
+    if _ACTIVE is not None:
+        _ACTIVE.event(kind, **fields)

@@ -1,0 +1,85 @@
+"""Exporters: one observation context, two wire formats.
+
+- :func:`to_trace_json` renders the span tree, counters, gauges,
+  events, and run info as indented JSON — the ``--trace-out`` artifact
+  a human (or a diffing script) reads after a run.
+- :func:`to_prometheus` renders the same context in the Prometheus
+  text exposition format, so a scraping stack ingests a run's metrics
+  without any repro-specific glue.  Counters are suffixed ``_total``
+  (the Prometheus convention), gauges keep their names, and span
+  aggregates are exported as labelled families
+  (``repro_span_wall_seconds{span="collect/shard/simulate"}``).
+
+Both exporters are pure functions of the context — they can run
+mid-collection (the ``--progress`` heartbeat path) or after the fact on
+a merged context.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.context import ObsContext
+
+
+def to_trace_json(ctx: ObsContext) -> str:
+    """The ``--trace-out`` artifact: spans + metrics + events as JSON."""
+    payload = {
+        "info": dict(ctx.info),
+        "spans": ctx.spans.tree(),
+        "counters": ctx.metrics.counters,
+        "gauges": ctx.metrics.gauges,
+        "events": [event.as_dict() for event in ctx.events],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a Prometheus label value (backslash, quote, newline)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: int | float) -> str:
+    """Prometheus sample values: integers stay integral."""
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def to_prometheus(ctx: ObsContext, prefix: str = "repro") -> str:
+    """The ``--metrics-out`` artifact: Prometheus text exposition format."""
+    lines: list[str] = []
+
+    for name in sorted(ctx.metrics.counters):
+        value = ctx.metrics.counters[name]
+        full = f"{prefix}_{name}"
+        if not full.endswith("_total"):
+            full += "_total"
+        lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full} {_format_value(value)}")
+
+    for name in sorted(ctx.metrics.gauges):
+        full = f"{prefix}_{name}"
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full} {_format_value(ctx.metrics.gauges[name])}")
+
+    span_payload = ctx.spans.as_dict()
+    if span_payload:
+        families = (
+            ("span_wall_seconds", "gauge", "wall_seconds"),
+            ("span_cpu_seconds", "gauge", "cpu_seconds"),
+            ("span_peak_rss_bytes", "gauge", "peak_rss_bytes"),
+            ("span_calls_total", "counter", "count"),
+        )
+        for family, kind, key in families:
+            full = f"{prefix}_{family}"
+            lines.append(f"# TYPE {full} gauge" if kind == "gauge" else
+                         f"# TYPE {full} counter")
+            for path in sorted(span_payload):
+                label = _escape_label_value(path)
+                lines.append(
+                    f'{full}{{span="{label}"}} '
+                    f"{_format_value(span_payload[path][key])}"
+                )
+
+    return "\n".join(lines) + "\n"

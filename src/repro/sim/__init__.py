@@ -29,6 +29,7 @@ from repro.sim.config import (
 from repro.sim.engine import (
     FaultInjection,
     PerfCounters,
+    ShardProgress,
     ShardTask,
     block_ua_rng,
     plan_shards,
@@ -82,6 +83,7 @@ __all__ = [
     "InternetPopulation",
     "MonthlySeries",
     "PerfCounters",
+    "ShardProgress",
     "PolicyKind",
     "ProbeObservatory",
     "RestructureEvent",

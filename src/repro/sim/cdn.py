@@ -33,6 +33,8 @@ import numpy as np
 
 from repro.core.dataset import ActivityDataset
 from repro.errors import ConfigError
+from repro.obs import context as obs_api
+from repro.obs.context import ObsContext
 from repro.routing.series import RoutingSeries
 from repro.routing.table import RoutingTable
 from repro.sim.engine import (
@@ -99,6 +101,8 @@ class CDNObservatory:
         checkpoint_dir: str | None = None,
         resume: bool = False,
         fault: FaultInjection | None = None,
+        obs: ObsContext | None = None,
+        progress=None,
     ) -> CollectionResult:
         """Run *num_days* days and return daily snapshots.
 
@@ -118,6 +122,12 @@ class CDNObservatory:
         bit-identical to an uninterrupted one.  ``fault`` installs a
         deterministic :class:`~repro.sim.engine.FaultInjection` plan
         (tests/CI only).
+
+        ``obs`` (an :class:`~repro.obs.context.ObsContext`) records the
+        run's spans, counters, and events — see
+        :func:`~repro.sim.engine.run_sharded_collection`; ``progress``
+        is called with one :class:`~repro.sim.engine.ShardProgress` per
+        finished shard.  Neither affects the collected output.
         """
         return self._collect(
             num_days,
@@ -131,6 +141,8 @@ class CDNObservatory:
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             fault=fault,
+            obs=obs,
+            progress=progress,
         )
 
     def collect_weekly(
@@ -144,6 +156,8 @@ class CDNObservatory:
         checkpoint_dir: str | None = None,
         resume: bool = False,
         fault: FaultInjection | None = None,
+        obs: ObsContext | None = None,
+        progress=None,
     ) -> CollectionResult:
         """Run ``7 * num_weeks`` days, aggregating each week on the fly.
 
@@ -165,6 +179,8 @@ class CDNObservatory:
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             fault=fault,
+            obs=obs,
+            progress=progress,
         )
 
     # -- internals -----------------------------------------------------------
@@ -182,6 +198,8 @@ class CDNObservatory:
         checkpoint_dir: str | None = None,
         resume: bool = False,
         fault: FaultInjection | None = None,
+        obs: ObsContext | None = None,
+        progress=None,
     ) -> CollectionResult:
         if not 0.0 <= login_panel_rate <= 1.0:
             raise ConfigError(f"login_panel_rate must be a probability: {login_panel_rate}")
@@ -214,7 +232,8 @@ class CDNObservatory:
         noise_rng = np.random.default_rng(noise_seed)
 
         routing_start = time.perf_counter()
-        routing_tables = self._evolve_routing(schedule, noise_rng, num_days)
+        with obs_api.maybe_activate(obs), obs_api.span("collect/routing"):
+            routing_tables = self._evolve_routing(schedule, noise_rng, num_days)
         routing_seconds = time.perf_counter() - routing_start
 
         directives: list[Directive] = []
@@ -239,10 +258,14 @@ class CDNObservatory:
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             fault=fault,
+            obs=obs,
+            progress=progress,
         )
         perf = outcome.perf
         perf.routing_seconds = routing_seconds
         perf.total_seconds = time.perf_counter() - total_start
+        if obs is not None:
+            obs.absorb_perf_counters(perf)
 
         return CollectionResult(
             dataset=ActivityDataset(outcome.snapshots),

@@ -45,6 +45,7 @@ from collections import Counter
 import numpy as np
 
 from repro.core.io import _CORRUPT_NPZ_ERRORS, atomic_write_npz
+from repro.obs import context as obs_api
 from repro.sim.policies import PolicyKind
 
 #: Bump when the checkpoint payload layout changes; old files are then
@@ -194,9 +195,13 @@ def save_shard_checkpoint(
     """
     start, stop = _shard_bounds(task)
     path = shard_checkpoint_path(root, fingerprint, start, stop)
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    arrays = serialize_shard_result(result, fingerprint, start, stop)
-    atomic_write_npz(path, arrays, compress=False)
+    with obs_api.span("checkpoint/save"):
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        arrays = serialize_shard_result(result, fingerprint, start, stop)
+        atomic_write_npz(path, arrays, compress=False)
+    obs_api.event(
+        "checkpoint_save", shard=result.shard_index, blocks=[start, stop]
+    )
     return path
 
 
@@ -206,7 +211,11 @@ def load_shard_checkpoint(root: str | os.PathLike, fingerprint: str, task):
     Returns ``None`` when the file is missing, corrupt, truncated, of
     another format version, or written for a different fingerprint or
     block range — every such case simply re-simulates the shard, so a
-    damaged checkpoint can never poison a resumed run.
+    damaged checkpoint can never poison a resumed run.  A present but
+    unusable file is reported as a ``checkpoint_skip`` event (with the
+    rejection reason) on the ambient observation context; a clean miss
+    (no file) records nothing, since that is the normal state of a
+    fresh run.
     """
     # Imported here: engine imports this module at import time and the
     # ShardResult container lives on the engine side.
@@ -214,15 +223,25 @@ def load_shard_checkpoint(root: str | os.PathLike, fingerprint: str, task):
 
     start, stop = _shard_bounds(task)
     path = shard_checkpoint_path(root, fingerprint, start, stop)
+
+    def skip(reason: str):
+        obs_api.event(
+            "checkpoint_skip",
+            shard=task.shard_index,
+            blocks=[start, stop],
+            reason=reason,
+        )
+        return None
+
     try:
-        with np.load(path) as bundle:
+        with np.load(path) as bundle, obs_api.span("checkpoint/load"):
             if int(bundle["version"][0]) != CHECKPOINT_VERSION:
-                return None
+                return skip("version")
             stored_fp = bytes(bundle["fingerprint"]).hex()
             if stored_fp != fingerprint:
-                return None
+                return skip("fingerprint")
             if bundle["block_range"].tolist() != [start, stop]:
-                return None
+                return skip("block_range")
             num_windows = int(bundle["num_windows"][0])
             window_ips = [bundle[f"wips_{i}"] for i in range(num_windows)]
             window_hits = [bundle[f"whits_{i}"] for i in range(num_windows)]
@@ -257,6 +276,9 @@ def load_shard_checkpoint(root: str | os.PathLike, fingerprint: str, task):
                     bundle["final_kinds"].tolist(),
                 )
             }
+            obs_api.event(
+                "checkpoint_load", shard=task.shard_index, blocks=[start, stop]
+            )
             return ShardResult(
                 shard_index=task.shard_index,
                 window_ips=window_ips,
@@ -270,7 +292,7 @@ def load_shard_checkpoint(root: str | os.PathLike, fingerprint: str, task):
     except FileNotFoundError:
         return None
     except (KeyError, *_CORRUPT_NPZ_ERRORS):
-        return None
+        return skip("corrupt")
 
 
 # -- inspection / garbage collection (consumed by tools/checkpoints.py) --

@@ -58,6 +58,8 @@ import numpy as np
 from repro.core.dataset import Snapshot
 from repro.core.index import kway_union
 from repro.errors import CollectionError, ConfigError, InjectedWorkerFault
+from repro.obs import context as obs_api
+from repro.obs.context import ObsContext
 from repro.sim.checkpoint import (
     load_shard_checkpoint,
     run_fingerprint,
@@ -185,6 +187,11 @@ class ShardTask:
     #: 0-based worker attempt, bumped by the coordinator on retry.
     #: Only the fault hook reads it — simulation streams never do.
     attempt: int = 0
+    #: When True, the worker records spans/counters into a shard-local
+    #: :class:`~repro.obs.context.ObsContext` and ships the payload
+    #: back in :attr:`ShardResult.obs`.  Never touches any simulation
+    #: stream, so observed and unobserved runs are bit-identical.
+    observe: bool = False
 
 
 @dataclass
@@ -199,6 +206,10 @@ class ShardResult:
     scan_states: dict[int, dict[int, tuple[PolicyKind, np.ndarray]]]
     final_kinds: dict[int, PolicyKind]
     addr_days: int
+    #: Shard-local observability payload (plain dicts, picklable);
+    #: ``None`` unless the task requested observation.  Checkpoints do
+    #: not persist it — a resumed shard performed no simulation.
+    obs: dict | None = None
 
 
 @dataclass
@@ -307,14 +318,33 @@ def simulate_shard(task: ShardTask) -> ShardResult:
     Mirrors the serial per-day loop exactly; every stream consumed here
     is keyed per block, so the result is independent of how blocks were
     grouped into shards.
+
+    With ``task.observe`` set, the shard additionally records a
+    ``collect/shard/simulate`` span and its layout-invariant counters
+    (``shard_addr_days``, ``shard_blocks``) into a shard-local context
+    whose payload rides back on :attr:`ShardResult.obs`; summing those
+    payloads across any shard layout reproduces the serial totals.
     """
-    config = task.config
     if task.fault is not None and task.fault.should_fail(
-        config.seed, task.shard_index, task.attempt
+        task.config.seed, task.shard_index, task.attempt
     ):
         raise InjectedWorkerFault(
             f"injected fault: shard {task.shard_index} attempt {task.attempt}"
         )
+    if not task.observe:
+        return _simulate_shard_blocks(task)
+    ctx = ObsContext()
+    with ctx.spans.span("collect/shard/simulate"):
+        result = _simulate_shard_blocks(task)
+    ctx.add("shard_addr_days", result.addr_days)
+    ctx.add("shard_blocks", len(task.blocks))
+    result.obs = ctx.to_payload()
+    return result
+
+
+def _simulate_shard_blocks(task: ShardTask) -> ShardResult:
+    """The per-day simulation loop shared by both observe modes."""
+    config = task.config
     blocks = task.blocks
     block_by_index = {block.index: block for block in blocks}
     policies: dict[int, AddressPolicy] = {
@@ -436,6 +466,23 @@ class _ResilienceCounters:
     checkpointed: int = 0
 
 
+@dataclass(frozen=True)
+class ShardProgress:
+    """One heartbeat of a running collection (the ``--progress`` feed).
+
+    Emitted to the caller's progress callback every time a shard
+    finishes — whether simulated, loaded from a checkpoint, or rescued
+    in-process — together with a snapshot of the resilience counters.
+    """
+
+    done: int
+    total: int
+    retried: int = 0
+    degraded: int = 0
+    resumed: int = 0
+    checkpointed: int = 0
+
+
 def _backoff_seconds(attempt: int, base: float) -> float:
     """Capped exponential backoff before retrying attempt+1."""
     if base <= 0:
@@ -466,6 +513,7 @@ def _degrade_in_process(
             "and in-process recovery is disabled by the fault plan"
         ) from error
     counters.degraded += 1
+    obs_api.event("degrade", shard=task.shard_index, error=type(error).__name__)
     try:
         return simulate_shard(replace(task, fault=None, attempt=0))
     except Exception as exc:
@@ -514,6 +562,10 @@ def _run_shards_parallel(
                         failed.append((index, exc))
                         continue
                     counters.retried += 1
+                    obs_api.event(
+                        "retry", shard=index, attempt=attempt + 1,
+                        error=type(exc).__name__,
+                    )
                     time.sleep(_backoff_seconds(attempt, retry_backoff))
                     retry = replace(tasks[index], attempt=attempt + 1)
                     try:
@@ -544,6 +596,8 @@ def run_sharded_collection(
     checkpoint_dir: str | None = None,
     resume: bool = False,
     fault: FaultInjection | None = None,
+    obs: ObsContext | None = None,
+    progress=None,
 ) -> ShardedOutcome:
     """Simulate all blocks across *workers* processes and merge.
 
@@ -559,6 +613,15 @@ def run_sharded_collection(
     finished shard is persisted atomically; *resume* additionally
     loads matching checkpoints first and simulates only the remainder.
     *fault* installs a deterministic injected-failure plan (tests/CI).
+
+    Observability: with *obs* set, the run records coordinator spans
+    (``collect/simulate``, ``collect/merge``), run identity in
+    ``obs.info``, retry/degrade/resume events, and — merged in shard
+    order, so the result is deterministic — every worker's shard-local
+    payload.  *progress* (a callable taking one :class:`ShardProgress`)
+    is invoked each time a shard finishes, however it finished.  None
+    of this touches any random stream: an observed run's dataset is
+    bit-identical to an unobserved one.
     """
     config = population.config
     blocks = population.blocks
@@ -585,11 +648,14 @@ def run_sharded_collection(
                 login_panel_rate=login_panel_rate,
                 directives=tuple(d for d in directives if d[1] in members),
                 fault=fault,
+                observe=obs is not None,
             )
         )
 
+    # The fingerprint keys checkpoints *and* identifies the run in its
+    # manifest, so compute it whenever either consumer is present.
     fingerprint: str | None = None
-    if checkpoint_dir is not None:
+    if checkpoint_dir is not None or obs is not None:
         fingerprint = run_fingerprint(
             config,
             num_days,
@@ -599,104 +665,166 @@ def run_sharded_collection(
             login_panel_rate,
             directives,
         )
+    if obs is not None:
+        obs.info.update(
+            seed=config.seed,
+            workers=workers,
+            num_days=num_days,
+            window_days=window_days,
+            num_blocks=len(blocks),
+            shard_map=[[start, stop] for start, stop in bounds],
+            fingerprint=fingerprint,
+        )
     counters = _ResilienceCounters()
     results_by_index: dict[int, ShardResult] = {}
 
     def checkpoint(index: int, result: ShardResult) -> None:
-        if fingerprint is not None:
+        if checkpoint_dir is not None:
             save_shard_checkpoint(checkpoint_dir, fingerprint, tasks[index], result)
             counters.checkpointed += 1
 
-    sim_start = time.perf_counter()
-    if fingerprint is not None and resume:
-        for index, task in enumerate(tasks):
-            loaded = load_shard_checkpoint(checkpoint_dir, fingerprint, task)
-            if loaded is not None:
-                results_by_index[index] = loaded
-                counters.resumed += 1
+    done_cell = [0]
 
-    todo = [index for index in range(len(tasks)) if index not in results_by_index]
-    failed: list[tuple[int, BaseException]] = []
-    if todo:
-        if workers == 1 or len(todo) == 1:
-            for index in todo:
-                attempt = 0
-                while True:
-                    try:
-                        result = simulate_shard(
-                            replace(tasks[index], attempt=attempt)
-                        )
-                    except Exception as exc:
-                        if attempt < max_retries:
-                            counters.retried += 1
-                            time.sleep(_backoff_seconds(attempt, retry_backoff))
-                            attempt += 1
-                            continue
-                        failed.append((index, exc))
-                        break
-                    results_by_index[index] = result
-                    checkpoint(index, result)
-                    break
-        else:
-            parallel_results, failed = _run_shards_parallel(
-                tasks, todo, workers, max_retries, retry_backoff, counters, checkpoint
+    def heartbeat() -> None:
+        # Called exactly once per finished shard (simulated, resumed,
+        # or degraded), including from the parallel completion loop
+        # where results have not landed in results_by_index yet.
+        done_cell[0] += 1
+        if progress is not None:
+            progress(
+                ShardProgress(
+                    done=done_cell[0],
+                    total=len(tasks),
+                    retried=counters.retried,
+                    degraded=counters.degraded,
+                    resumed=counters.resumed,
+                    checkpointed=counters.checkpointed,
+                )
             )
-            results_by_index.update(parallel_results)
 
-    # Degradation pass after the pool drained: every healthy shard has
-    # already finished (and checkpointed), so even if a degraded shard
-    # turns out fatal, the maximum of completed work survives on disk
-    # for a --resume restart.
-    for index, error in failed:
-        result = _degrade_in_process(tasks[index], error, max_retries, counters)
-        results_by_index[index] = result
-        checkpoint(index, result)
+    with obs_api.maybe_activate(obs):
+        sim_start = time.perf_counter()
+        with obs_api.span("collect/simulate"):
+            if checkpoint_dir is not None and resume:
+                for index, task in enumerate(tasks):
+                    loaded = load_shard_checkpoint(checkpoint_dir, fingerprint, task)
+                    if loaded is not None:
+                        results_by_index[index] = loaded
+                        counters.resumed += 1
+                        if obs is not None:
+                            # A resumed shard ships no worker payload
+                            # (nothing was simulated), so the
+                            # coordinator contributes its layout-
+                            # invariant counters to keep run totals
+                            # reconcilable with PerfCounters.
+                            obs.event("resume", shard=index)
+                            obs.add("shard_addr_days", loaded.addr_days)
+                            obs.add("shard_blocks", len(task.blocks))
+                        heartbeat()
 
-    results = [results_by_index[index] for index in range(len(tasks))]
-    sim_seconds = time.perf_counter() - sim_start
+            todo = [
+                index for index in range(len(tasks)) if index not in results_by_index
+            ]
+            failed: list[tuple[int, BaseException]] = []
+            if todo:
+                if workers == 1 or len(todo) == 1:
+                    for index in todo:
+                        attempt = 0
+                        while True:
+                            try:
+                                result = simulate_shard(
+                                    replace(tasks[index], attempt=attempt)
+                                )
+                            except Exception as exc:
+                                if attempt < max_retries:
+                                    counters.retried += 1
+                                    obs_api.event(
+                                        "retry", shard=index, attempt=attempt + 1,
+                                        error=type(exc).__name__,
+                                    )
+                                    time.sleep(_backoff_seconds(attempt, retry_backoff))
+                                    attempt += 1
+                                    continue
+                                failed.append((index, exc))
+                                break
+                            results_by_index[index] = result
+                            checkpoint(index, result)
+                            heartbeat()
+                            break
+                else:
+                    def on_complete(index: int, result: ShardResult) -> None:
+                        checkpoint(index, result)
+                        heartbeat()
+
+                    parallel_results, failed = _run_shards_parallel(
+                        tasks, todo, workers, max_retries, retry_backoff, counters,
+                        on_complete,
+                    )
+                    results_by_index.update(parallel_results)
+
+            # Degradation pass after the pool drained: every healthy
+            # shard has already finished (and checkpointed), so even if
+            # a degraded shard turns out fatal, the maximum of
+            # completed work survives on disk for a --resume restart.
+            for index, error in failed:
+                result = _degrade_in_process(tasks[index], error, max_retries, counters)
+                results_by_index[index] = result
+                checkpoint(index, result)
+                heartbeat()
+
+            results = [results_by_index[index] for index in range(len(tasks))]
+        sim_seconds = time.perf_counter() - sim_start
+
+    # Fold worker payloads in shard order — not completion order — so
+    # the merged context is deterministic for a given shard layout.
+    if obs is not None:
+        for result in results:
+            if result.obs is not None:
+                obs.merge_payload(result.obs)
 
     merge_start = time.perf_counter()
-    num_windows = num_days // window_days
-    snapshots: list[Snapshot] = []
-    window_start = config.start_date
-    for window in range(num_windows):
-        columns = [
-            _ShardColumn(result.window_ips[window], result.window_hits[window])
-            for result in results
-        ]
-        ips, hits = kway_union(columns)
-        snapshots.append(Snapshot(window_start, window_days, ips, hits))
-        window_start += datetime.timedelta(days=window_days)
+    with obs_api.maybe_activate(obs), obs_api.span("collect/merge"):
+        num_windows = num_days // window_days
+        snapshots: list[Snapshot] = []
+        window_start = config.start_date
+        for window in range(num_windows):
+            columns = [
+                _ShardColumn(result.window_ips[window], result.window_hits[window])
+                for result in results
+            ]
+            ips, hits = kway_union(columns)
+            snapshots.append(Snapshot(window_start, window_days, ips, hits))
+            window_start += datetime.timedelta(days=window_days)
 
-    ua_store: UASampleStore | None = None
-    if ua_window is not None:
-        ua_store = UASampleStore()
+        ua_store: UASampleStore | None = None
+        if ua_window is not None:
+            ua_store = UASampleStore()
+            for result in results:
+                for base, counter in result.ua_samples.items():
+                    ua_store.samples.setdefault(base, Counter()).update(counter)
+
+        login_trace: list[tuple[np.ndarray, np.ndarray]] | None = None
+        if login_panel_rate > 0:
+            login_trace = []
+            for day in range(num_days):
+                pairs = [result.login_trace[day] for result in results]
+                day_ips = [ips for ips, _ in pairs if ips.size]
+                day_users = [users for _, users in pairs if users.size]
+                if day_ips:
+                    login_trace.append(
+                        (np.concatenate(day_ips), np.concatenate(day_users))
+                    )
+                else:
+                    login_trace.append(
+                        (np.empty(0, dtype=np.uint32), np.empty(0, dtype=np.int64))
+                    )
+
+        scan_states: dict[int, dict[int, tuple[PolicyKind, np.ndarray]]] = {}
+        final_kinds: dict[int, PolicyKind] = {}
         for result in results:
-            for base, counter in result.ua_samples.items():
-                ua_store.samples.setdefault(base, Counter()).update(counter)
-
-    login_trace: list[tuple[np.ndarray, np.ndarray]] | None = None
-    if login_panel_rate > 0:
-        login_trace = []
-        for day in range(num_days):
-            pairs = [result.login_trace[day] for result in results]
-            day_ips = [ips for ips, _ in pairs if ips.size]
-            day_users = [users for _, users in pairs if users.size]
-            if day_ips:
-                login_trace.append(
-                    (np.concatenate(day_ips), np.concatenate(day_users))
-                )
-            else:
-                login_trace.append(
-                    (np.empty(0, dtype=np.uint32), np.empty(0, dtype=np.int64))
-                )
-
-    scan_states: dict[int, dict[int, tuple[PolicyKind, np.ndarray]]] = {}
-    final_kinds: dict[int, PolicyKind] = {}
-    for result in results:
-        for day, states in result.scan_states.items():
-            scan_states.setdefault(day, {}).update(states)
-        final_kinds.update(result.final_kinds)
+            for day, states in result.scan_states.items():
+                scan_states.setdefault(day, {}).update(states)
+            final_kinds.update(result.final_kinds)
     merge_seconds = time.perf_counter() - merge_start
 
     perf = PerfCounters(

@@ -129,6 +129,27 @@ class TestWindowSweep:
         with pytest.raises(DatasetError):
             churn_by_window_size(ds, [6])
 
+    def test_window_equal_to_length_boundaries(self):
+        """Boundary pin: size == len leaves one window (no transition)
+        and size > len leaves zero — both are unusable alone, and both
+        are filtered identically when mixed with a usable size."""
+        ds = make_dataset([{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}])
+        for size in (6, 7):
+            with pytest.raises(DatasetError, match="no usable window sizes"):
+                churn_by_window_size(ds, [size])
+        mixed = churn_by_window_size(ds, [3, 6, 7])
+        assert set(mixed) == {3}
+
+    def test_window_at_half_length_is_the_last_usable(self):
+        # len // size >= 2 holds exactly down to size == len // 2: a
+        # 6-day dataset supports size 3 (two windows, one transition)
+        # but not size 4 (one window plus a dropped tail).
+        ds = make_dataset([{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}])
+        summaries = churn_by_window_size(ds, [3, 4])
+        assert set(summaries) == {3}
+        assert summaries[3].window_days == 3
+        assert len(summaries[3].transitions) == 1
+
     def test_explicit_sizes_filtered_like_default(self):
         """Regression: the default sweep skipped window sizes too large
         for the dataset, but explicitly passed sizes crashed instead of

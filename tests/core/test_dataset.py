@@ -170,7 +170,23 @@ class TestActivityDataset:
         ds = self.make()
         assert ds.aggregate(1).active_counts().tolist() == ds.active_counts().tolist()
 
+    def test_aggregate_identity_preserves_dropped_days(self):
+        """Regression: ``aggregate(1)`` returned a fresh dataset with
+        ``dropped_days`` reset to 0, erasing the record that the input
+        came from a lossy aggregation."""
+        lossy = self.make().aggregate(3)  # 4 days -> 1 window, 1 dropped
+        assert lossy.dropped_days == 1
+        assert lossy.aggregate(1).dropped_days == 1
+
+    def test_aggregate_at_exact_length_boundary(self):
+        # num_windows == len(dataset): one full window, nothing dropped.
+        agg = self.make().aggregate(4)
+        assert len(agg) == 1
+        assert agg[0].days == 4
+        assert agg.dropped_days == 0
+
     def test_aggregate_rejects_too_large(self):
+        # num_windows == len(dataset) + 1 is the first invalid value.
         with pytest.raises(DatasetError):
             self.make().aggregate(5)
 

@@ -128,6 +128,31 @@ class TestMetricsInvariants:
         metrics = compute_block_metrics(ds)
         assert int(metrics.filling_degree.sum()) == ds.total_unique()
 
+    @settings(max_examples=30)
+    @given(datasets_with_hits())
+    def test_invariants_hold_at_every_window_size(self, ds):
+        """FD in [1,256], STU in (0,1], and STU <= FD/256 must survive
+        aggregation to any window size the dataset supports."""
+        for size in range(1, len(ds) + 1):
+            windowed = ds.aggregate(size)
+            metrics = compute_block_metrics(windowed)
+            assert (metrics.filling_degree >= 1).all()
+            assert (metrics.filling_degree <= 256).all()
+            assert (metrics.stu > 0).all()
+            assert (metrics.stu <= 1.0 + 1e-12).all()
+            assert (metrics.stu <= metrics.filling_degree / 256 + 1e-12).all()
+
+    @settings(max_examples=30)
+    @given(datasets_with_hits())
+    def test_widening_the_window_never_decreases_fd(self, ds):
+        """A block's filling degree over the whole run bounds its FD in
+        the first day alone (a union can only add addresses)."""
+        whole = compute_block_metrics(ds)
+        first = compute_block_metrics(ds.slice(0, 0))
+        lookup = dict(zip(whole.bases.tolist(), whole.filling_degree.tolist()))
+        for base, fd in zip(first.bases.tolist(), first.filling_degree.tolist()):
+            assert lookup[base] >= fd
+
 
 class TestTrafficInvariants:
     @settings(max_examples=50)

@@ -172,3 +172,36 @@ class TestAlgebra:
         if len(a) == 0:
             return
         assert IPSet.from_ips(a.addresses()) == a
+
+
+class TestRoundTripInvariants:
+    @settings(max_examples=60)
+    @given(small_ipsets())
+    def test_iterate_contains_roundtrip(self, a):
+        """Every address the set yields is a member, and the membership
+        count agrees with len()."""
+        members = a.addresses()
+        assert members.size == len(a)
+        if members.size:
+            assert a.contains_many(members).all()
+        # Ranges are maximal after normalisation, so the address just
+        # past each range's end is never a member.
+        for _, last in a.ranges():
+            assert last + 1 not in a
+
+    @settings(max_examples=60)
+    @given(small_ipsets())
+    def test_prefix_decomposition_roundtrip(self, a):
+        """prefixes() decomposes the set exactly: rebuilding from the
+        prefixes gives the same set, and each prefix is fully inside."""
+        prefixes = a.prefixes()
+        assert IPSet.from_prefixes(prefixes) == a
+        for prefix in prefixes:
+            assert prefix.first in a
+            assert prefix.last in a
+
+    @settings(max_examples=60)
+    @given(small_ipsets())
+    def test_prefixes_are_disjoint(self, a):
+        total = sum(p.num_addresses for p in a.prefixes())
+        assert total == len(a)

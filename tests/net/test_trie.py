@@ -130,6 +130,58 @@ class TestLongestPrefixMatch:
                 assert got[0].masklen == want[0].masklen
 
 
+class TestRoundTripInvariants:
+    @settings(max_examples=50)
+    @given(prefix_value_maps())
+    def test_insert_iterate_roundtrip(self, mapping):
+        """items() yields exactly the inserted (prefix, value) pairs."""
+        trie = PrefixTrie()
+        for prefix, value in mapping.items():
+            trie.insert(prefix, value)
+        assert dict(trie.items()) == mapping
+        assert len(trie) == len(mapping)
+
+    @settings(max_examples=50)
+    @given(prefix_value_maps())
+    def test_insert_lookup_roundtrip(self, mapping):
+        """Every inserted prefix is found again by exact get, and a
+        lookup of its network address lands in a containing prefix."""
+        trie = PrefixTrie()
+        for prefix, value in mapping.items():
+            trie.insert(prefix, value)
+        for prefix, value in mapping.items():
+            assert trie.get(prefix) == value
+            matched, _ = trie.lookup(prefix.network)
+            assert prefix.network in matched
+            assert matched.masklen >= prefix.masklen
+
+    @settings(max_examples=50)
+    @given(prefix_value_maps(), st.lists(ip_ints, min_size=1, max_size=30))
+    def test_lookup_result_contains_the_address(self, mapping, ips):
+        """Prefix containment: any match covers the queried address."""
+        trie = PrefixTrie()
+        for prefix, value in mapping.items():
+            trie.insert(prefix, value)
+        for ip in ips:
+            got = trie.lookup(ip)
+            if got is not None:
+                matched, value = got
+                assert ip in matched
+                assert mapping[matched] == value
+
+    @settings(max_examples=30)
+    @given(prefix_value_maps())
+    def test_serialization_via_items_roundtrip(self, mapping):
+        """Rebuilding a trie from its own iteration is an identity."""
+        trie = PrefixTrie()
+        for prefix, value in mapping.items():
+            trie.insert(prefix, value)
+        rebuilt = PrefixTrie()
+        for prefix, value in trie.items():
+            rebuilt.insert(prefix, value)
+        assert dict(rebuilt.items()) == dict(trie.items())
+
+
 class TestBulkLookup:
     def test_lookup_many_matches_pointwise(self):
         trie = PrefixTrie()

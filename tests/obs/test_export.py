@@ -1,0 +1,74 @@
+"""Unit tests for repro.obs.export: the JSON and Prometheus exporters."""
+
+import json
+
+from repro.obs.context import ObsContext
+from repro.obs.export import to_prometheus, to_trace_json
+
+
+def make_context():
+    ctx = ObsContext()
+    with ctx.span("collect"):
+        with ctx.span("shard"):
+            pass
+    ctx.add("addr_days", 42)
+    ctx.set_gauge("workers", 4)
+    ctx.event("retry", shard=1)
+    ctx.info["seed"] = 7
+    return ctx
+
+
+class TestTraceJson:
+    def test_parses_and_carries_every_section(self):
+        payload = json.loads(to_trace_json(make_context()))
+        assert payload["info"]["seed"] == 7
+        assert payload["counters"]["addr_days"] == 42
+        assert payload["counters"]["event_retry_total"] == 1
+        assert payload["gauges"]["workers"] == 4.0
+        assert payload["events"] == [{"kind": "retry", "shard": 1}]
+        assert payload["spans"]["children"]["collect"]["children"]["shard"]["count"] == 1
+
+    def test_empty_context(self):
+        payload = json.loads(to_trace_json(ObsContext()))
+        assert payload["counters"] == {}
+        assert payload["events"] == []
+
+
+class TestPrometheus:
+    def test_counter_lines_and_total_suffix(self):
+        text = to_prometheus(make_context())
+        assert "# TYPE repro_addr_days_total counter" in text
+        assert "\nrepro_addr_days_total 42\n" in text
+        # Already-suffixed counters are not doubled.
+        assert "repro_event_retry_total 1" in text
+        assert "total_total" not in text
+
+    def test_gauge_lines(self):
+        text = to_prometheus(make_context())
+        assert "# TYPE repro_workers gauge" in text
+        assert "repro_workers 4.0" in text
+
+    def test_span_families_are_labelled(self):
+        text = to_prometheus(make_context())
+        assert 'repro_span_calls_total{span="collect/shard"} 1' in text
+        assert '{span="collect"}' in text
+        assert "# TYPE repro_span_wall_seconds gauge" in text
+
+    def test_custom_prefix(self):
+        text = to_prometheus(make_context(), prefix="x")
+        assert "x_addr_days_total 42" in text
+        assert "repro_" not in text
+
+    def test_label_escaping(self):
+        # Span names cannot carry quotes/backslashes, but the escaper
+        # is exercised directly to pin the format down.
+        from repro.obs.export import _escape_label_value
+
+        assert _escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_empty_context_is_just_a_newline(self):
+        assert to_prometheus(ObsContext()) == "\n"
+
+    def test_parseable_line_shape(self):
+        for line in to_prometheus(make_context()).strip().splitlines():
+            assert line.startswith("#") or len(line.rsplit(" ", 1)) == 2

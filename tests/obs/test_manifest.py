@@ -1,0 +1,121 @@
+"""Unit tests for repro.obs.manifest: digests and the run manifest."""
+
+import datetime
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import ActivityDataset, Snapshot
+from repro.errors import ObservabilityError
+from repro.obs.context import ObsContext
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    dataset_digest,
+    load_manifest,
+    manifest_path_for,
+    write_manifest,
+)
+
+DAY0 = datetime.date(2015, 1, 1)
+
+
+def make_dataset(hit_bump=0):
+    snapshots = []
+    for day in range(3):
+        ips = np.array([10, 20, 30 + day], dtype=np.uint32)
+        hits = np.array([1, 2 + hit_bump, 3], dtype=np.uint64)
+        snapshots.append(Snapshot(DAY0 + datetime.timedelta(days=day), 1, ips, hits))
+    return ActivityDataset(snapshots)
+
+
+class TestDatasetDigest:
+    def test_deterministic(self):
+        assert dataset_digest(make_dataset()) == dataset_digest(make_dataset())
+
+    def test_sensitive_to_hits(self):
+        assert dataset_digest(make_dataset()) != dataset_digest(make_dataset(hit_bump=1))
+
+    def test_sensitive_to_length(self):
+        longer = ActivityDataset(list(make_dataset().snapshots)[:2])
+        assert dataset_digest(make_dataset()) != dataset_digest(longer)
+
+    def test_is_hex_sha256(self):
+        digest = dataset_digest(make_dataset())
+        assert len(digest) == 64
+        int(digest, 16)
+
+
+class TestManifestPath:
+    def test_strips_npz_suffix(self):
+        assert manifest_path_for("runs/world.npz") == "runs/world.manifest.json"
+
+    def test_plain_prefix(self):
+        assert manifest_path_for("runs/world") == "runs/world.manifest.json"
+
+
+class TestBuildWriteLoad:
+    def make_context(self):
+        ctx = ObsContext()
+        ctx.info.update(
+            seed=7,
+            workers=4,
+            num_days=8,
+            window_days=1,
+            num_blocks=100,
+            shard_map=[[0, 50], [50, 100]],
+            fingerprint="abc123",
+        )
+        with ctx.span("collect/simulate"):
+            pass
+        ctx.add("shard_addr_days", 999)
+        ctx.event("retry", shard=1, attempt=1)
+        return ctx
+
+    def test_build_reads_info_and_dataset(self):
+        dataset = make_dataset()
+        manifest = build_manifest(
+            self.make_context(), dataset=dataset, dataset_path="world.npz"
+        )
+        assert manifest.schema == MANIFEST_SCHEMA_VERSION
+        assert manifest.seed == 7
+        assert manifest.workers == 4
+        assert manifest.fingerprint == "abc123"
+        assert manifest.shard_map == [[0, 50], [50, 100]]
+        assert manifest.dataset_sha256 == dataset_digest(dataset)
+        assert manifest.counters["shard_addr_days"] == 999
+        assert manifest.events == [{"kind": "retry", "shard": 1, "attempt": 1}]
+        assert manifest.repro_version
+        assert manifest.python_version
+        assert manifest.numpy_version
+
+    def test_write_load_roundtrip(self, tmp_path):
+        manifest = build_manifest(self.make_context(), dataset=make_dataset())
+        path = tmp_path / "world.manifest.json"
+        write_manifest(path, manifest)
+        loaded = load_manifest(path)
+        assert loaded == manifest.as_dict()
+        assert loaded["run"]["seed"] == 7
+        assert loaded["spans"]["children"]["collect"]["children"]["simulate"]["count"] == 1
+
+    def test_to_json_is_valid_json(self):
+        manifest = build_manifest(self.make_context())
+        payload = json.loads(manifest.to_json())
+        assert payload["dataset"]["sha256"] is None
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="no manifest"):
+            load_manifest(tmp_path / "absent.manifest.json")
+
+    def test_load_corrupt_raises(self, tmp_path):
+        path = tmp_path / "bad.manifest.json"
+        path.write_text("{truncated")
+        with pytest.raises(ObservabilityError, match="corrupt"):
+            load_manifest(path)
+
+    def test_load_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "old.manifest.json"
+        path.write_text(json.dumps({"schema": 999}))
+        with pytest.raises(ObservabilityError, match="schema"):
+            load_manifest(path)

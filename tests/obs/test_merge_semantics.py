@@ -1,0 +1,136 @@
+"""Cross-process observability merge semantics and the acceptance run.
+
+Pins the layer's central contracts:
+
+- spans/counters merged from parallel worker payloads equal a serial
+  run's (layout-invariant totals), including under an injected fault;
+- the merged counters reconcile exactly with the engine's returned
+  :class:`~repro.sim.engine.PerfCounters`;
+- recording observability never perturbs collected output: the dataset
+  digest with obs at ``workers=4`` is bit-identical to the same run
+  without obs.
+"""
+
+import pytest
+
+from repro.obs import ObsContext, build_manifest, dataset_digest
+from repro.sim import CDNObservatory, InternetPopulation, SimulationConfig
+from repro.sim.engine import FaultInjection
+
+NUM_DAYS = 8
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = SimulationConfig(
+        seed=11, num_slash8=5, num_ases=16, mean_blocks_per_as=4.0
+    )
+    return InternetPopulation.build(config)
+
+
+@pytest.fixture(scope="module")
+def serial(world):
+    ctx = ObsContext()
+    run = CDNObservatory(world).collect_daily(NUM_DAYS, workers=1, obs=ctx)
+    return ctx, run
+
+
+@pytest.fixture(scope="module")
+def parallel(world):
+    ctx = ObsContext()
+    run = CDNObservatory(world).collect_daily(NUM_DAYS, workers=4, obs=ctx)
+    return ctx, run
+
+
+class TestMergedCountersEqualSerial:
+    def test_counters_identical(self, serial, parallel):
+        ctx1, _ = serial
+        ctx4, _ = parallel
+        assert ctx4.metrics.counters == ctx1.metrics.counters
+
+    def test_worker_span_totals_fold(self, serial, parallel):
+        ctx1, _ = serial
+        ctx4, _ = parallel
+        path = "collect/shard/simulate"
+        # One aggregate per shard folds into one entry whose count is
+        # the shard count, serial and parallel alike.
+        assert ctx4.spans.stats(path).count == 4
+        assert ctx1.spans.stats(path).count == 1
+        assert ctx4.spans.stats(path).wall_seconds > 0
+
+    def test_coordinator_spans_present(self, parallel):
+        ctx4, _ = parallel
+        for path in ("collect/simulate", "collect/merge", "collect/routing"):
+            assert ctx4.spans.stats(path).count == 1
+
+    def test_counters_reconcile_with_perf(self, parallel):
+        ctx4, run = parallel
+        perf = run.perf
+        counters = ctx4.metrics.counters
+        assert counters["shard_addr_days"] == perf.addr_days
+        assert counters["shard_blocks"] == perf.num_blocks
+        assert counters.get("event_retry_total", 0) == perf.shards_retried
+        assert counters.get("event_degrade_total", 0) == perf.shards_degraded
+
+    def test_perf_gauges_absorbed(self, parallel):
+        ctx4, run = parallel
+        assert ctx4.metrics.gauge("collect_workers") == 4.0
+        assert ctx4.metrics.gauge("collect_addr_days") == float(run.perf.addr_days)
+
+
+class TestUnderInjectedFault:
+    def test_merge_identical_despite_retries(self, world, serial):
+        ctx1, run1 = serial
+        ctx = ObsContext()
+        run = CDNObservatory(world).collect_daily(
+            NUM_DAYS,
+            workers=4,
+            obs=ctx,
+            fault=FaultInjection(rate=1.0),
+            retry_backoff=0.0,
+        )
+        assert run.perf.shards_retried == 4
+        assert ctx.metrics.counter("event_retry_total") == 4
+        assert len(ctx.events_of("retry")) == 4
+        # Retries are bookkeeping, not data: the data-carrying counters
+        # still equal the serial run's.
+        assert ctx.metrics.counter("shard_addr_days") == ctx1.metrics.counter(
+            "shard_addr_days"
+        )
+        assert ctx.metrics.counter("shard_blocks") == ctx1.metrics.counter(
+            "shard_blocks"
+        )
+        assert dataset_digest(run.dataset) == dataset_digest(run1.dataset)
+
+    def test_retry_events_carry_shard_and_attempt(self, world):
+        ctx = ObsContext()
+        CDNObservatory(world).collect_daily(
+            NUM_DAYS,
+            workers=2,
+            obs=ctx,
+            fault=FaultInjection(rate=1.0),
+            retry_backoff=0.0,
+        )
+        events = ctx.events_of("retry")
+        assert {e.fields["shard"] for e in events} == {0, 1}
+        assert all(e.fields["attempt"] == 1 for e in events)
+        assert all(e.fields["error"] == "InjectedWorkerFault" for e in events)
+
+
+class TestObservabilityNeverPerturbsOutput:
+    def test_digest_identical_with_and_without_obs(self, world, parallel):
+        """The acceptance criterion: obs on/off, bit-identical data."""
+        ctx4, observed = parallel
+        plain = CDNObservatory(world).collect_daily(NUM_DAYS, workers=4)
+        assert dataset_digest(observed.dataset) == dataset_digest(plain.dataset)
+
+    def test_manifest_matches_run(self, parallel):
+        ctx4, run = parallel
+        manifest = build_manifest(ctx4, dataset=run.dataset)
+        assert manifest.workers == 4
+        assert manifest.num_days == NUM_DAYS
+        assert manifest.seed == 11
+        assert manifest.fingerprint
+        assert len(manifest.shard_map) == 4
+        assert manifest.dataset_sha256 == dataset_digest(run.dataset)
+        assert manifest.counters == ctx4.metrics.counters

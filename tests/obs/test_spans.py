@@ -1,0 +1,146 @@
+"""Unit tests for repro.obs.spans."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.spans import SpanRecorder, SpanStats, peak_rss_bytes, validate_span_name
+
+
+class TestValidation:
+    def test_accepts_hierarchical_names(self):
+        validate_span_name("collect/shard/simulate")
+        validate_span_name("io/save_dataset")
+        validate_span_name("a.b:c-d_e")
+
+    @pytest.mark.parametrize("name", ["", "/", "a//b", "a/", "/a", "a b", "a\nb"])
+    def test_rejects_malformed_names(self, name):
+        with pytest.raises(ObservabilityError):
+            validate_span_name(name)
+
+
+class TestPeakRss:
+    def test_positive_on_posix(self):
+        assert peak_rss_bytes() > 0
+
+    def test_monotone(self):
+        assert peak_rss_bytes() <= peak_rss_bytes()
+
+
+class TestRecording:
+    def test_nesting_builds_paths(self):
+        rec = SpanRecorder()
+        with rec.span("collect"):
+            with rec.span("shard"):
+                pass
+            with rec.span("merge"):
+                pass
+        assert rec.paths() == ["collect", "collect/merge", "collect/shard"]
+
+    def test_slash_name_records_full_path(self):
+        rec = SpanRecorder()
+        with rec.span("collect/shard/simulate"):
+            pass
+        assert rec.paths() == ["collect/shard/simulate"]
+
+    def test_nested_slash_names_compose(self):
+        rec = SpanRecorder()
+        with rec.span("collect/shard"):
+            with rec.span("io/save"):
+                pass
+        assert rec.paths() == ["collect/shard", "collect/shard/io/save"]
+
+    def test_repeats_aggregate_not_trace(self):
+        rec = SpanRecorder()
+        for _ in range(3):
+            with rec.span("work"):
+                pass
+        stats = rec.stats("work")
+        assert stats.count == 3
+        assert len(rec) == 1
+
+    def test_times_and_rss_recorded(self):
+        rec = SpanRecorder()
+        with rec.span("work"):
+            sum(range(10_000))
+        stats = rec.stats("work")
+        assert stats.wall_seconds >= 0
+        assert stats.cpu_seconds >= 0
+        assert stats.peak_rss_bytes > 0
+
+    def test_span_recorded_even_on_exception(self):
+        rec = SpanRecorder()
+        with pytest.raises(ValueError):
+            with rec.span("fails"):
+                raise ValueError("boom")
+        assert rec.stats("fails").count == 1
+        # The stack unwound: a later span is not nested under "fails".
+        with rec.span("later"):
+            pass
+        assert "later" in rec.paths()
+
+    def test_bad_name_raises_before_recording(self):
+        rec = SpanRecorder()
+        with pytest.raises(ObservabilityError):
+            with rec.span("bad name"):
+                pass
+        assert len(rec) == 0
+
+    def test_stats_unknown_path_raises(self):
+        with pytest.raises(ObservabilityError):
+            SpanRecorder().stats("nope")
+
+
+class TestMergeAndSerialization:
+    def test_stats_merge_sums_times_maxes_rss(self):
+        a = SpanStats(count=2, wall_seconds=1.0, cpu_seconds=0.5, peak_rss_bytes=100)
+        b = SpanStats(count=1, wall_seconds=0.25, cpu_seconds=0.25, peak_rss_bytes=300)
+        a.merge(b)
+        assert a.count == 3
+        assert a.wall_seconds == 1.25
+        assert a.cpu_seconds == 0.75
+        assert a.peak_rss_bytes == 300
+
+    def test_recorder_merge_folds_disjoint_and_shared_paths(self):
+        a, b = SpanRecorder(), SpanRecorder()
+        with a.span("shared"):
+            pass
+        with b.span("shared"):
+            pass
+        with b.span("only_b"):
+            pass
+        a.merge(b)
+        assert a.stats("shared").count == 2
+        assert a.stats("only_b").count == 1
+
+    def test_dict_roundtrip(self):
+        rec = SpanRecorder()
+        with rec.span("collect"):
+            with rec.span("shard"):
+                pass
+        restored = SpanRecorder.from_dict(rec.as_dict())
+        assert restored.as_dict() == rec.as_dict()
+
+    def test_from_dict_validates_paths(self):
+        with pytest.raises(ObservabilityError):
+            SpanRecorder.from_dict(
+                {"bad name": {"count": 1, "wall_seconds": 0, "cpu_seconds": 0,
+                              "peak_rss_bytes": 0}}
+            )
+
+    def test_tree_shape(self):
+        rec = SpanRecorder()
+        with rec.span("collect"):
+            with rec.span("shard"):
+                pass
+        tree = rec.tree()
+        collect = tree["children"]["collect"]
+        assert collect["count"] == 1
+        assert collect["children"]["shard"]["count"] == 1
+
+    def test_tree_zero_fills_unopened_interior_paths(self):
+        rec = SpanRecorder()
+        with rec.span("a/b/c"):
+            pass
+        interior = rec.tree()["children"]["a"]
+        assert interior["count"] == 0
+        assert interior["children"]["b"]["children"]["c"]["count"] == 1

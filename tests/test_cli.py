@@ -179,6 +179,70 @@ class TestParallelSimulate:
         assert load_dataset(out).total_unique() > 0
 
 
+class TestObservabilityFlags:
+    def test_manifest_written_next_to_dataset(self, stored_world):
+        from repro.core.io import load_dataset
+        from repro.obs import dataset_digest, load_manifest
+
+        manifest = load_manifest(stored_world.parent / "world.manifest.json")
+        assert manifest["run"]["seed"] == 4
+        assert manifest["run"]["workers"] == 1
+        assert manifest["run"]["fingerprint"]
+        assert manifest["dataset"]["sha256"] == dataset_digest(
+            load_dataset(stored_world)
+        )
+        # The dataset save itself was observed.
+        assert manifest["counters"]["datasets_saved_total"] == 1
+        assert "collect" in manifest["spans"]["children"]
+        assert "io" in manifest["spans"]["children"]
+
+    def test_trace_and_metrics_out(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        prom = tmp_path / "metrics.prom"
+        code = main(
+            ["simulate", "--seed", "4", "--ases", "15", "--blocks-per-as", "3",
+             "--days", "7", "--workers", "2", "--out", str(tmp_path / "w"),
+             "--trace-out", str(trace), "--metrics-out", str(prom)]
+        )
+        assert code == 0
+        payload = json.loads(trace.read_text())
+        assert payload["info"]["workers"] == 2
+        assert payload["counters"]["shard_blocks"] > 0
+        simulate = payload["spans"]["children"]["collect"]["children"]["simulate"]
+        assert simulate["count"] == 1
+        text = prom.read_text()
+        assert "repro_shard_addr_days_total" in text
+        assert 'repro_span_calls_total{span="collect/shard/simulate"} 2' in text
+
+    def test_progress_heartbeat_on_stderr(self, tmp_path, capsys):
+        code = main(
+            ["simulate", "--seed", "4", "--ases", "15", "--blocks-per-as", "3",
+             "--days", "7", "--workers", "2", "--progress",
+             "--out", str(tmp_path / "w")]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "progress: 1/2 shards" in err
+        assert "progress: 2/2 shards" in err
+        assert "eta" in err
+
+    def test_analyze_trace_out(self, stored_world, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "analyze.json"
+        code = main(
+            ["analyze", "churn", str(stored_world) + ".npz",
+             "--trace-out", str(trace)]
+        )
+        assert code == 0
+        payload = json.loads(trace.read_text())
+        assert payload["counters"]["datasets_loaded_total"] == 1
+        children = payload["spans"]["children"]
+        assert "analyze" in children and "io" in children
+
+
 class TestAnalyze:
     @pytest.mark.parametrize("analysis", ["churn", "metrics", "change", "traffic"])
     def test_analyses_run(self, stored_world, analysis, capsys):
