@@ -9,7 +9,6 @@ changepoint blindly, and check the exhaustion timeline ordering.
 
 import datetime
 
-import numpy as np
 import pytest
 
 from conftest import print_comparison

@@ -9,7 +9,6 @@ also maxes out STU and traffic (gateways) yet carries a large share of
 total traffic.
 """
 
-import numpy as np
 
 from conftest import print_comparison
 from benchmarks_util_demo import demographics_inputs

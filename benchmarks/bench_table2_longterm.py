@@ -10,7 +10,6 @@ additionally finds the top contributor ASes overlap heavily between
 the two classes (AS-internal recycling).
 """
 
-import numpy as np
 
 from conftest import print_comparison
 from repro.core.asview import top_contributors

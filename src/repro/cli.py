@@ -37,14 +37,14 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core import change, churn, metrics, potential, seasonal, traffic
-from repro.core.io import atomic_write_text, load_dataset, save_dataset, save_routing_series
+from repro.core.io import load_dataset, save_dataset, save_routing_series
 from repro.obs import (
     ObsContext,
     build_manifest,
     manifest_path_for,
-    to_prometheus,
-    to_trace_json,
     write_manifest,
+    write_prometheus,
+    write_trace_json,
 )
 from repro.obs import context as obs_api
 from repro.report import format_count, format_percent, render_table
@@ -126,6 +126,20 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--month-days", type=int, default=28)
     analyze.add_argument("--top-fraction", type=float, default=0.10)
     _add_obs_flags(analyze)
+
+    lint = commands.add_parser(
+        "lint",
+        help="check the tree against the static contracts (reprolint)",
+        description="Run the repository's AST-based contract checker "
+        "(tools/reprolint). Available from a repository checkout; every "
+        "argument after 'lint' is passed through to reprolint.",
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to reprolint (paths, --format, "
+        "--list-rules, ...)",
+    )
     return parser
 
 
@@ -182,10 +196,10 @@ class _ProgressPrinter:
 def _export_obs(ctx: ObsContext, args: argparse.Namespace) -> None:
     """Write --trace-out / --metrics-out artifacts, if requested."""
     if args.trace_out:
-        atomic_write_text(args.trace_out, to_trace_json(ctx))
+        write_trace_json(args.trace_out, ctx)
         print(f"trace: {args.trace_out}", file=sys.stderr)
     if args.metrics_out:
-        atomic_write_text(args.metrics_out, to_prometheus(ctx))
+        write_prometheus(args.metrics_out, ctx)
         print(f"metrics: {args.metrics_out}", file=sys.stderr)
 
 
@@ -365,6 +379,37 @@ _ANALYSES = {
 }
 
 
+def _run_lint(lint_args: Sequence[str]) -> int:
+    """Run reprolint (``tools/reprolint``) from a repository checkout.
+
+    The linter is repository tooling, not part of the installed
+    package: it lives next to the sources it audits so it can run on a
+    tree too broken to import.  When ``repro`` is executed from a
+    checkout (the development setting where linting matters), the
+    repository root is two levels above this file; otherwise fall back
+    to the current working directory looking like a checkout.
+    """
+    import os
+
+    candidates = [
+        os.path.normpath(os.path.join(os.path.dirname(__file__), "..", "..")),
+        os.getcwd(),
+    ]
+    for root in candidates:
+        if os.path.isdir(os.path.join(root, "tools", "reprolint")):
+            if root not in sys.path:
+                sys.path.insert(0, root)
+            from tools.reprolint.cli import main as lint_main
+
+            return lint_main(list(lint_args))
+    print(
+        "repro lint: tools/reprolint not found — run from a repository "
+        "checkout (the linter is repo tooling, not an installed module)",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     # One dataset object for the whole run: every analysis below reuses
     # its memoized DatasetIndex (union, projections, block scatter).
@@ -382,7 +427,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw[:1] == ["lint"]:
+        # Forward everything after "lint" verbatim: argparse.REMAINDER
+        # refuses leading flags (e.g. "repro lint --list-rules"), and
+        # reprolint owns its own argument parsing anyway.
+        return _run_lint(raw[1:])
+    args = _build_parser().parse_args(raw)
     if args.command == "simulate":
         return _cmd_simulate(args)
     return _cmd_analyze(args)

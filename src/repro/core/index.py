@@ -145,7 +145,10 @@ class DatasetIndex:
         if self._windows_active is not None:
             return
         self._ensure_union()
-        windows_active = np.zeros(self._ips.size, dtype=np.int32)
+        # int32 counts *windows* an IP was active in — bounded by the
+        # snapshot count (hundreds), nowhere near overflow — and halves
+        # the per-address footprint of paper-scale unions.
+        windows_active = np.zeros(self._ips.size, dtype=np.int32)  # bounded by len(dataset)
         total_hits = np.zeros(self._ips.size, dtype=np.uint64)
         for position, snapshot in zip(self._positions, self._dataset):
             # Positions within one snapshot are unique (its addresses

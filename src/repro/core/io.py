@@ -31,8 +31,11 @@ import os
 import tempfile
 import zipfile
 import zlib
+from collections.abc import Iterable
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.core.dataset import ActivityDataset, Snapshot
 from repro.errors import DatasetError, RoutingError
@@ -44,7 +47,7 @@ from repro.routing.table import RoutingTable
 _FORMAT_VERSION = 1
 
 
-def _dataset_path(path: str | os.PathLike) -> str:
+def _dataset_path(path: str | os.PathLike[str]) -> str:
     """Canonical on-disk path: append ``.npz`` when missing.
 
     ``np.savez_compressed`` appends the suffix on its own; save and
@@ -77,7 +80,9 @@ def _fsync_directory(directory: str) -> None:
 
 
 def atomic_write_npz(
-    path: str | os.PathLike, arrays: dict[str, np.ndarray], compress: bool = True
+    path: str | os.PathLike[str],
+    arrays: dict[str, NDArray[Any]],
+    compress: bool = True,
 ) -> None:
     """Durably and atomically write *arrays* as an ``.npz`` at *path*.
 
@@ -94,9 +99,11 @@ def atomic_write_npz(
         prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
     )
     try:
-        writer = np.savez_compressed if compress else np.savez
         with os.fdopen(handle, "wb") as stream:
-            writer(stream, **arrays)
+            if compress:
+                np.savez_compressed(stream, **arrays)
+            else:
+                np.savez(stream, **arrays)
             stream.flush()
             os.fsync(stream.fileno())
         os.replace(temp_path, target)
@@ -110,7 +117,7 @@ def atomic_write_npz(
 
 
 def atomic_write_text(
-    path: str | os.PathLike, text: str, encoding: str = "utf-8"
+    path: str | os.PathLike[str], text: str, encoding: str = "utf-8"
 ) -> None:
     """Durably and atomically write *text* at *path*.
 
@@ -140,7 +147,7 @@ def atomic_write_text(
 
 
 def save_dataset(
-    path: str | os.PathLike, dataset: ActivityDataset, compress: bool = True
+    path: str | os.PathLike[str], dataset: ActivityDataset, compress: bool = True
 ) -> None:
     """Write a dataset to ``path`` as ``.npz``.
 
@@ -156,7 +163,7 @@ def save_dataset(
     """
     target = _dataset_path(path)
     with obs.span("io/save_dataset"):
-        arrays: dict[str, np.ndarray] = {
+        arrays: dict[str, NDArray[Any]] = {
             "version": np.array([_FORMAT_VERSION]),
             "start": np.array([dataset.start.toordinal()]),
             "window_days": np.array([dataset.window_days]),
@@ -184,7 +191,7 @@ _CORRUPT_NPZ_ERRORS = (
 )
 
 
-def load_dataset(path: str | os.PathLike) -> ActivityDataset:
+def load_dataset(path: str | os.PathLike[str]) -> ActivityDataset:
     """Load a dataset written by :func:`save_dataset`.
 
     Applies the same ``.npz`` suffix rule as :func:`save_dataset` and
@@ -248,7 +255,7 @@ def dump_routing_table(table: RoutingTable, stream: _io.TextIOBase) -> None:
         stream.write(f"{prefix}|{origin}\n")
 
 
-def parse_routing_table(lines) -> RoutingTable:
+def parse_routing_table(lines: Iterable[str]) -> RoutingTable:
     """Parse ``prefix|origin`` lines into a table."""
     table = RoutingTable()
     for line in lines:
@@ -266,25 +273,29 @@ def parse_routing_table(lines) -> RoutingTable:
     return table
 
 
-def save_routing_series(path: str | os.PathLike, series: RoutingSeries) -> None:
+def save_routing_series(path: str | os.PathLike[str], series: RoutingSeries) -> None:
     """Write a daily series as a text file with ``=== day N`` separators.
 
     Consecutive identical tables are stored once with a reference line
-    (``=== day N same``), keeping year-long series compact.
+    (``=== day N same``), keeping year-long series compact.  The series
+    is rendered in memory and written through the fsynced atomic path,
+    so the ``.rib.txt`` artifact obeys the same crash-safety contract
+    as the dataset it accompanies.
     """
-    with open(path, "w", encoding="ascii") as stream:
-        previous = None
-        for day in range(len(series)):
-            table = series.table_at(day)
-            if previous is not None and table is previous:
-                stream.write(f"=== day {day} same\n")
-                continue
-            stream.write(f"=== day {day}\n")
-            dump_routing_table(table, stream)
-            previous = table
+    buffer = _io.StringIO()
+    previous: RoutingTable | None = None
+    for day in range(len(series)):
+        table = series.table_at(day)
+        if previous is not None and table is previous:
+            buffer.write(f"=== day {day} same\n")
+            continue
+        buffer.write(f"=== day {day}\n")
+        dump_routing_table(table, buffer)
+        previous = table
+    atomic_write_text(path, buffer.getvalue(), encoding="ascii")
 
 
-def load_routing_series(path: str | os.PathLike) -> RoutingSeries:
+def load_routing_series(path: str | os.PathLike[str]) -> RoutingSeries:
     """Load a series written by :func:`save_routing_series`."""
     tables: list[RoutingTable] = []
     current_lines: list[str] = []

@@ -30,6 +30,12 @@ class ConfigError(ReproError, ValueError):
     """A simulation or analysis configuration value is invalid."""
 
 
+class ReportError(ReproError, ValueError):
+    """A report/rendering input is malformed (misaligned rows, negative
+    histogram values, wrong matrix rank).  Derives from ``ValueError``
+    so callers validating inputs the builtin way keep working."""
+
+
 class RegistryError(ReproError):
     """A delegation/registry lookup failed or the table is malformed."""
 

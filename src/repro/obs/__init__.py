@@ -39,7 +39,12 @@ from repro.obs.context import (
     span,
 )
 from repro.obs.counters import MetricSet, validate_metric_name
-from repro.obs.export import to_prometheus, to_trace_json
+from repro.obs.export import (
+    to_prometheus,
+    to_trace_json,
+    write_prometheus,
+    write_trace_json,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
     RunManifest,
@@ -75,4 +80,6 @@ __all__ = [
     "to_trace_json",
     "validate_metric_name",
     "write_manifest",
+    "write_prometheus",
+    "write_trace_json",
 ]

@@ -24,10 +24,12 @@ back explicitly.
 
 from __future__ import annotations
 
-from contextlib import contextmanager, nullcontext
+from collections.abc import Iterator
+from contextlib import AbstractContextManager, contextmanager, nullcontext
 from dataclasses import dataclass, field
+from typing import Any
 
-from repro.obs.counters import MetricSet
+from repro.obs.counters import MetricSet, SupportsAsDict
 from repro.obs.spans import SpanRecorder
 
 
@@ -41,9 +43,9 @@ class RunEvent:
     """
 
     kind: str
-    fields: dict = field(default_factory=dict)
+    fields: dict[str, Any] = field(default_factory=dict)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {"kind": self.kind, **self.fields}
 
 
@@ -56,11 +58,11 @@ class ObsContext:
         self.events: list[RunEvent] = []
         #: Run identity recorded by the engine (seed, workers, shard
         #: map, fingerprint, ...) and consumed by the manifest.
-        self.info: dict = {}
+        self.info: dict[str, Any] = {}
 
     # -- recording -----------------------------------------------------
 
-    def span(self, name: str):
+    def span(self, name: str) -> AbstractContextManager[SpanRecorder]:
         """Context manager timing *name* (see :class:`SpanRecorder`)."""
         return self.spans.span(name)
 
@@ -70,7 +72,7 @@ class ObsContext:
     def set_gauge(self, name: str, value: int | float) -> None:
         self.metrics.set_gauge(name, value)
 
-    def event(self, kind: str, **fields) -> None:
+    def event(self, kind: str, **fields: Any) -> None:
         """Append an event and bump its ``event_<kind>_total`` counter.
 
         The automatic counter gives every event kind a mergeable total,
@@ -94,11 +96,11 @@ class ObsContext:
         self.events.extend(other.events)
         self.info.update(other.info)
 
-    def merge_payload(self, payload: dict) -> None:
+    def merge_payload(self, payload: dict[str, Any]) -> None:
         """Fold a :meth:`to_payload` dict in (the cross-process path)."""
         self.merge(ObsContext.from_payload(payload))
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, Any]:
         """Flatten to plain dicts/lists — picklable and JSON-ready."""
         return {
             "spans": self.spans.as_dict(),
@@ -108,7 +110,7 @@ class ObsContext:
         }
 
     @classmethod
-    def from_payload(cls, payload: dict) -> "ObsContext":
+    def from_payload(cls, payload: dict[str, Any]) -> "ObsContext":
         ctx = cls()
         ctx.spans = SpanRecorder.from_dict(payload.get("spans", {}))
         ctx.metrics = MetricSet.from_dict(payload.get("metrics", {}))
@@ -118,7 +120,7 @@ class ObsContext:
         ctx.info = dict(payload.get("info", {}))
         return ctx
 
-    def absorb_perf_counters(self, perf) -> None:
+    def absorb_perf_counters(self, perf: SupportsAsDict) -> None:
         """Mirror the engine's per-run summary into ``collect_*`` gauges."""
         self.metrics.absorb_perf_counters(perf)
 
@@ -134,7 +136,7 @@ def active() -> ObsContext | None:
 
 
 @contextmanager
-def activate(ctx: ObsContext):
+def activate(ctx: ObsContext) -> Iterator[ObsContext]:
     """Install *ctx* as the ambient context for the enclosed block.
 
     Re-entrant: the previous context (possibly the same one) is
@@ -149,12 +151,14 @@ def activate(ctx: ObsContext):
         _ACTIVE = previous
 
 
-def maybe_activate(ctx: ObsContext | None):
+def maybe_activate(
+    ctx: ObsContext | None,
+) -> AbstractContextManager[ObsContext | None]:
     """``activate(ctx)`` when *ctx* is set, else a no-op context manager."""
     return activate(ctx) if ctx is not None else nullcontext()
 
 
-def span(name: str):
+def span(name: str) -> AbstractContextManager[SpanRecorder | None]:
     """Time *name* on the ambient context; no-op when none is active."""
     ctx = _ACTIVE
     return ctx.spans.span(name) if ctx is not None else nullcontext()
@@ -172,7 +176,7 @@ def gauge(name: str, value: int | float) -> None:
         _ACTIVE.set_gauge(name, value)
 
 
-def event(kind: str, **fields) -> None:
+def event(kind: str, **fields: Any) -> None:
     """Record an event on the ambient context; no-op when none is active."""
     if _ACTIVE is not None:
         _ACTIVE.event(kind, **fields)

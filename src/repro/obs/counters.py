@@ -23,10 +23,21 @@ exportable to Prometheus text format unmodified.
 from __future__ import annotations
 
 import re
+from typing import Any, Protocol
 
 from repro.errors import ObservabilityError
 
 _METRIC_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class SupportsAsDict(Protocol):
+    """Anything exposing a flat name-to-number view of itself.
+
+    Structural stand-in for the engine's ``PerfCounters`` (importing it
+    here would invert the layering: the engine depends on obs, not the
+    other way around)."""
+
+    def as_dict(self) -> dict[str, int | float]: ...
 
 
 def validate_metric_name(name: str) -> None:
@@ -90,11 +101,11 @@ class MetricSet:
             current = self._gauges.get(name)
             self._gauges[name] = value if current is None else max(current, value)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {"counters": dict(self._counters), "gauges": dict(self._gauges)}
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "MetricSet":
+    def from_dict(cls, payload: dict[str, Any]) -> "MetricSet":
         metrics = cls()
         for name, value in payload.get("counters", {}).items():
             validate_metric_name(name)
@@ -106,7 +117,7 @@ class MetricSet:
 
     # -- PerfCounters absorption ---------------------------------------
 
-    def absorb_perf_counters(self, perf) -> None:
+    def absorb_perf_counters(self, perf: SupportsAsDict) -> None:
         """Mirror a :class:`~repro.sim.engine.PerfCounters` into gauges.
 
         Every field of the engine's per-run summary becomes a

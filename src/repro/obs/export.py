@@ -12,12 +12,16 @@
 
 Both exporters are pure functions of the context — they can run
 mid-collection (the ``--progress`` heartbeat path) or after the fact on
-a merged context.
+a merged context.  The :func:`write_trace_json` / :func:`write_prometheus`
+companions put the rendered text on disk through the fsynced
+atomic-write path of :mod:`repro.core.io`, so an exported trace obeys
+the same crash-safety contract as the dataset it describes.
 """
 
 from __future__ import annotations
 
 import json
+import os
 
 from repro.obs.context import ObsContext
 
@@ -83,3 +87,25 @@ def to_prometheus(ctx: ObsContext, prefix: str = "repro") -> str:
                 )
 
     return "\n".join(lines) + "\n"
+
+
+def write_trace_json(path: str | os.PathLike[str], ctx: ObsContext) -> str:
+    """Atomically write the JSON trace artifact; returns the path."""
+    # Imported lazily: repro.core.io imports the obs package for its
+    # span instrumentation, so a module-level import would be circular.
+    from repro.core.io import atomic_write_text
+
+    target = os.fspath(path)
+    atomic_write_text(target, to_trace_json(ctx))
+    return target
+
+
+def write_prometheus(
+    path: str | os.PathLike[str], ctx: ObsContext, prefix: str = "repro"
+) -> str:
+    """Atomically write the Prometheus text artifact; returns the path."""
+    from repro.core.io import atomic_write_text
+
+    target = os.fspath(path)
+    atomic_write_text(target, to_prometheus(ctx, prefix=prefix))
+    return target

@@ -27,17 +27,21 @@ import json
 import os
 import platform
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.errors import ObservabilityError
 from repro.obs.context import ObsContext
 
+if TYPE_CHECKING:  # runtime import would be circular (core.io uses obs)
+    from repro.core.dataset import ActivityDataset
+
 #: Bump when the manifest layout changes incompatibly.
 MANIFEST_SCHEMA_VERSION = 1
 
 
-def dataset_digest(dataset) -> str:
+def dataset_digest(dataset: "ActivityDataset") -> str:
     """SHA-256 of a dataset's header and every snapshot column.
 
     Covers the start date, window length, snapshot count, and each
@@ -74,12 +78,12 @@ class RunManifest:
     shard_map: list[list[int]] | None = None
     dataset_path: str | None = None
     dataset_sha256: str | None = None
-    events: list[dict] = field(default_factory=list)
-    counters: dict = field(default_factory=dict)
-    gauges: dict = field(default_factory=dict)
-    spans: dict = field(default_factory=dict)
+    events: list[dict[str, Any]] = field(default_factory=list)
+    counters: dict[str, int | float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    spans: dict[str, Any] = field(default_factory=dict)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "schema": self.schema,
             "versions": {
@@ -112,8 +116,8 @@ class RunManifest:
 
 def build_manifest(
     ctx: ObsContext,
-    dataset=None,
-    dataset_path: str | os.PathLike | None = None,
+    dataset: "ActivityDataset | None" = None,
+    dataset_path: str | os.PathLike[str] | None = None,
 ) -> RunManifest:
     """Assemble a manifest from a run's observation context.
 
@@ -144,7 +148,7 @@ def build_manifest(
     )
 
 
-def manifest_path_for(dataset_path: str | os.PathLike) -> str:
+def manifest_path_for(dataset_path: str | os.PathLike[str]) -> str:
     """Canonical manifest location next to a dataset file."""
     text = os.fspath(dataset_path)
     if text.endswith(".npz"):
@@ -152,7 +156,7 @@ def manifest_path_for(dataset_path: str | os.PathLike) -> str:
     return text + ".manifest.json"
 
 
-def write_manifest(path: str | os.PathLike, manifest: RunManifest) -> str:
+def write_manifest(path: str | os.PathLike[str], manifest: RunManifest) -> str:
     """Atomically write *manifest* as JSON; returns the path written."""
     # Imported lazily: repro.core.io imports the obs package for its
     # span instrumentation, so a module-level import would be circular.
@@ -163,12 +167,12 @@ def write_manifest(path: str | os.PathLike, manifest: RunManifest) -> str:
     return target
 
 
-def load_manifest(path: str | os.PathLike) -> dict:
+def load_manifest(path: str | os.PathLike[str]) -> dict[str, Any]:
     """Read a manifest back as a plain dict; validates the schema."""
     target = os.fspath(path)
     try:
         with open(target, encoding="utf-8") as stream:
-            payload = json.load(stream)
+            payload: dict[str, Any] = json.load(stream)
     except FileNotFoundError as exc:
         raise ObservabilityError(f"no manifest file at: {target}") from exc
     except json.JSONDecodeError as exc:

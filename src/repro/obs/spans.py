@@ -25,8 +25,10 @@ from __future__ import annotations
 import re
 import sys
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import ObservabilityError
 
@@ -79,7 +81,7 @@ class SpanStats:
         self.cpu_seconds += other.cpu_seconds
         self.peak_rss_bytes = max(self.peak_rss_bytes, other.peak_rss_bytes)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "count": self.count,
             "wall_seconds": self.wall_seconds,
@@ -88,7 +90,7 @@ class SpanStats:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "SpanStats":
+    def from_dict(cls, payload: dict[str, Any]) -> "SpanStats":
         return cls(
             count=int(payload["count"]),
             wall_seconds=float(payload["wall_seconds"]),
@@ -127,7 +129,7 @@ class SpanRecorder:
             raise ObservabilityError(f"no span recorded at {path!r}") from None
 
     @contextmanager
-    def span(self, name: str):
+    def span(self, name: str) -> Iterator["SpanRecorder"]:
         """Time a region under *name*, nested below any open span.
 
         *name* may itself be a slash path (``collect/shard/simulate``),
@@ -164,27 +166,27 @@ class SpanRecorder:
         for path, stats in other._stats.items():
             self._record(path, SpanStats(**stats.as_dict()))
 
-    def as_dict(self) -> dict[str, dict]:
+    def as_dict(self) -> dict[str, dict[str, Any]]:
         """Flat ``{path: stats}`` payload — picklable, JSON-ready."""
         return {path: self._stats[path].as_dict() for path in self.paths()}
 
     @classmethod
-    def from_dict(cls, payload: dict[str, dict]) -> "SpanRecorder":
+    def from_dict(cls, payload: dict[str, dict[str, Any]]) -> "SpanRecorder":
         recorder = cls()
         for path, stats in payload.items():
             validate_span_name(path)
             recorder._stats[path] = SpanStats.from_dict(stats)
         return recorder
 
-    def tree(self) -> dict:
+    def tree(self) -> dict[str, Any]:
         """The span hierarchy as nested dicts (the ``--trace-out`` shape).
 
         Every node carries its own aggregated stats plus a ``children``
         mapping keyed by path segment.  Interior paths that were never
         themselves opened as spans appear with zeroed stats.
         """
-        root: dict = {"count": 0, "wall_seconds": 0.0, "cpu_seconds": 0.0,
-                      "peak_rss_bytes": 0, "children": {}}
+        root: dict[str, Any] = {"count": 0, "wall_seconds": 0.0, "cpu_seconds": 0.0,
+                                "peak_rss_bytes": 0, "children": {}}
         for path in self.paths():
             node = root
             for segment in path.split("/"):

@@ -11,6 +11,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.errors import ReportError
+
 
 def format_count(value: float | int) -> str:
     """Human-scale counts: 12345678 -> '12.3M'."""
@@ -36,7 +38,7 @@ def render_table(
     widths = [len(header) for header in headers]
     for row in text_rows:
         if len(row) != len(headers):
-            raise ValueError(
+            raise ReportError(
                 f"row has {len(row)} cells, header has {len(headers)}"
             )
         for column, cell in enumerate(row):
@@ -60,7 +62,7 @@ def render_histogram(
     """Horizontal bar chart of non-negative values."""
     values = [float(v) for v in values]
     if any(v < 0 for v in values):
-        raise ValueError("histogram values must be non-negative")
+        raise ReportError("histogram values must be non-negative")
     peak = max(values) if values else 0.0
     label_width = max((len(label) for label in labels), default=0)
     lines = [title] if title else []
@@ -81,7 +83,7 @@ def render_cdf(
     x = np.asarray(x, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64)
     if x.size != y.size or x.size == 0:
-        raise ValueError("x and y must be non-empty and aligned")
+        raise ReportError("x and y must be non-empty and aligned")
     lines = [title] if title else []
     for point in points:
         index = int(np.searchsorted(y, point))
@@ -97,7 +99,7 @@ def render_activity_matrix(matrix: np.ndarray, max_rows: int = 64) -> str:
     the group on that day.
     """
     if matrix.ndim != 2:
-        raise ValueError(f"expected a 2-d matrix, got shape {matrix.shape}")
+        raise ReportError(f"expected a 2-d matrix, got shape {matrix.shape}")
     rows, days = matrix.shape
     group = max(1, rows // max_rows)
     lines = []
@@ -112,7 +114,7 @@ def render_activity_matrix(matrix: np.ndarray, max_rows: int = 64) -> str:
 def render_matrix_heatmap(counts: np.ndarray, title: str | None = None) -> str:
     """Render a small 2-d count matrix with density glyphs (Fig. 12)."""
     if counts.ndim != 2:
-        raise ValueError("heatmap expects a 2-d matrix")
+        raise ReportError("heatmap expects a 2-d matrix")
     glyphs = " .:-=+*#%@"
     peak = counts.max()
     lines = [title] if title else []

@@ -13,6 +13,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.errors import RoutingError
 from repro.net.prefix import Prefix
 
 
@@ -39,15 +40,15 @@ class BGPChange:
 
     def __post_init__(self) -> None:
         if self.kind is ChangeKind.ANNOUNCE and self.old_origin is not None:
-            raise ValueError("announce must have old_origin=None")
+            raise RoutingError("announce must have old_origin=None")
         if self.kind is ChangeKind.WITHDRAW and self.new_origin is not None:
-            raise ValueError("withdraw must have new_origin=None")
+            raise RoutingError("withdraw must have new_origin=None")
         if self.kind is ChangeKind.ORIGIN_CHANGE and (
             self.old_origin is None
             or self.new_origin is None
             or self.old_origin == self.new_origin
         ):
-            raise ValueError("origin change must have two distinct origins")
+            raise RoutingError("origin change must have two distinct origins")
 
     def __str__(self) -> str:
         if self.kind is ChangeKind.ANNOUNCE:

@@ -138,7 +138,7 @@ def serialize_shard_result(result, fingerprint: str, start: int, stop: int) -> d
     """Flatten a :class:`~repro.sim.engine.ShardResult` to plain arrays."""
     arrays: dict[str, np.ndarray] = {
         "version": np.array([CHECKPOINT_VERSION], dtype=np.int64),
-        "fingerprint": np.frombuffer(
+        "fingerprint": np.frombuffer(  # uint8 = raw digest bytes, not an accumulator
             bytes.fromhex(fingerprint), dtype=np.uint8
         ),
         "block_range": np.array([start, stop], dtype=np.int64),

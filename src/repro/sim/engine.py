@@ -86,6 +86,15 @@ FAULT_SALT = 0xFA17
 #: Ceiling of the exponential retry backoff, in seconds.
 MAX_BACKOFF_SECONDS = 2.0
 
+#: Worker failures the coordinator may retry or degrade around:
+#: collection-domain errors (including injected faults — they model
+#: worker crashes), I/O failures of the worker boundary (``OSError``
+#: covers broken pipes and truncated pickles in transit), and memory
+#: exhaustion inside one shard.  Anything else is a bug in the
+#: simulation itself — retrying it cannot help, so it is recorded
+#: through the obs layer and re-raised unchanged (contract E303).
+RETRYABLE_WORKER_ERRORS = (CollectionError, OSError, MemoryError)
+
 #: One scheduled policy change: ``(day, block_index, kind_value, salt)``.
 Directive = tuple[int, int, str, int]
 
@@ -516,11 +525,18 @@ def _degrade_in_process(
     obs_api.event("degrade", shard=task.shard_index, error=type(error).__name__)
     try:
         return simulate_shard(replace(task, fault=None, attempt=0))
-    except Exception as exc:
+    except RETRYABLE_WORKER_ERRORS as exc:
         raise CollectionError(
             f"shard {task.shard_index} failed {max_retries + 1} worker attempts "
             "and the in-process fallback also failed"
         ) from exc
+    except Exception as exc:
+        # Not a worker-boundary failure: a simulation bug must surface
+        # as itself, recorded for the run's audit trail (rule E303).
+        obs_api.event(
+            "degrade_failed", shard=task.shard_index, error=type(exc).__name__
+        )
+        raise
 
 
 def _run_shards_parallel(
@@ -557,7 +573,7 @@ def _run_shards_parallel(
                     broken = True
                     failed.append((index, exc))
                     continue
-                except Exception as exc:
+                except RETRYABLE_WORKER_ERRORS as exc:
                     if broken or attempt >= max_retries:
                         failed.append((index, exc))
                         continue
@@ -577,6 +593,14 @@ def _run_shards_parallel(
                         broken = True
                         failed.append((index, exc))
                     continue
+                except Exception as exc:
+                    # A non-retryable worker error is a simulation bug:
+                    # record it for the audit trail and fail the run
+                    # with the original exception (rule E303).
+                    obs_api.event(
+                        "worker_error", shard=index, error=type(exc).__name__
+                    )
+                    raise
                 results[index] = result
                 on_complete(index, result)
     return results, failed
@@ -735,7 +759,7 @@ def run_sharded_collection(
                                 result = simulate_shard(
                                     replace(tasks[index], attempt=attempt)
                                 )
-                            except Exception as exc:
+                            except RETRYABLE_WORKER_ERRORS as exc:
                                 if attempt < max_retries:
                                     counters.retried += 1
                                     obs_api.event(
@@ -747,6 +771,15 @@ def run_sharded_collection(
                                     continue
                                 failed.append((index, exc))
                                 break
+                            except Exception as exc:
+                                # Same contract as the parallel path: a
+                                # non-retryable error is recorded, then
+                                # fails the run as itself (rule E303).
+                                obs_api.event(
+                                    "worker_error", shard=index,
+                                    error=type(exc).__name__,
+                                )
+                                raise
                             results_by_index[index] = result
                             checkpoint(index, result)
                             heartbeat()

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigError
+
 _GAMMA = np.uint64(0x9E3779B97F4A7C15)
 
 
@@ -43,5 +45,5 @@ def hash_coin(ids: np.ndarray | int, salt: int, probability: float) -> np.ndarra
 def hash_int(ids: np.ndarray | int, salt: int, upper: int) -> np.ndarray:
     """Deterministic integers in [0, upper)."""
     if upper <= 0:
-        raise ValueError(f"upper bound must be positive: {upper}")
+        raise ConfigError(f"upper bound must be positive: {upper}")
     return (hash_unit(ids, salt) * upper).astype(np.int64)

@@ -308,7 +308,6 @@ class TestMatrixGuards:
                 for i in range(2)
             ]
         )
-        huge_ips = np.zeros(1, dtype=np.uint32)
         # Simulate the guard directly: a row count that would exceed
         # the cell limit must be rejected.
         with pytest.raises(DatasetError):

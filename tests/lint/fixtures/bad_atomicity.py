@@ -1,0 +1,27 @@
+"""Deliberately broken: every A-family rule must fire here."""
+from pathlib import Path
+
+import numpy as np
+
+
+def bare_write(payload):
+    with open("world.manifest.json", "w") as stream:  # line 8: A201
+        stream.write(payload)
+
+
+def appending(payload, mode):
+    with open("trace.json", "a") as stream:  # line 13: A201
+        stream.write(payload)
+    with open("metrics.prom", mode) as stream:  # line 15: A201 (non-literal)
+        stream.write(payload)
+
+
+def direct_npz(arrays):
+    np.savez("checkpoint.npz", **arrays)  # line 20: A202
+    np.savez_compressed("dataset.npz", **arrays)  # line 21: A202
+    np.save("column.npy", arrays["ips"])  # line 22: A202
+
+
+def path_write(payload):
+    Path("BENCH_collect.json").write_text(payload)  # line 26: A203
+    Path("digest.bin").write_bytes(payload)  # line 27: A203

@@ -1,0 +1,32 @@
+"""Deliberately broken: every D-family rule must fire here."""
+import random
+import time
+import datetime
+
+import numpy as np
+
+
+def unseeded():
+    return np.random.default_rng()  # line 10: D101
+
+
+def unauditable(block_index):
+    return np.random.default_rng(block_index)  # line 14: D102
+
+
+def wall_clock():
+    stamp = time.time()  # line 18: D103
+    today = datetime.datetime.now()  # line 19: D103
+    return stamp, today
+
+
+def set_order(blocks):
+    out = []
+    for block in {1, 2, 3}:  # line 25: D104
+        out.append(block)
+    return out, [b for b in set(blocks)]  # line 27: D104
+
+
+def global_state(n):
+    random.seed(n)  # line 31: D105
+    return np.random.randint(0, n)  # line 32: D105

@@ -1,0 +1,19 @@
+"""Deliberately broken: every N-family rule must fire here.
+
+No comments on the flagged lines — a trailing comment is the
+intent-comment escape and would shield the finding.
+"""
+import numpy as np
+
+
+def narrow_accumulators(n):
+    hits = np.zeros(n, dtype=np.float32)
+    counts = np.zeros(n, dtype="int16")
+    scalar = np.int32(7)
+    return hits, counts, scalar
+
+
+def narrow_casts(values):
+    small = values.astype(np.float32)
+    tiny = values.astype("int8")
+    return small, tiny

@@ -1,0 +1,14 @@
+"""Suppression-hygiene fixture: X001 and X002 must fire here."""
+
+
+def unjustified(value):
+    if value < 0:
+        raise ValueError(value)  # reprolint: disable=E302
+
+
+def nothing_to_waive(value):
+    return value + 1  # reprolint: disable=D101 -- fixture: nothing fires here, so this is unused
+
+
+def unknown_rule(value):
+    return value - 1  # reprolint: disable=Z999 -- fixture: no such rule

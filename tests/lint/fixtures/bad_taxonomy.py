@@ -1,0 +1,22 @@
+"""Deliberately broken: every E-family rule must fire here."""
+
+
+def swallow_everything(work):
+    try:
+        work()
+    except:  # line 7: E301
+        pass
+
+
+def bare_builtin(value):
+    if value < 0:
+        raise ValueError(f"bad value: {value}")  # line 13: E302
+    if value > 100:
+        raise RuntimeError("too big")  # line 15: E302
+
+
+def silent_broad(work):
+    try:
+        work()
+    except Exception:  # line 21: E303
+        return None

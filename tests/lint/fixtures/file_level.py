@@ -1,0 +1,10 @@
+"""File-level suppression fixture: every E302 here is waived at once."""
+# reprolint: disable-file=E302 -- fixture: proves file-scope waivers cover all occurrences
+
+
+def first(value):
+    raise ValueError(value)
+
+
+def second(value):
+    raise RuntimeError(value)

@@ -1,0 +1,23 @@
+"""Clean artifact handling: no A-family findings."""
+
+
+def reads_are_fine(path):
+    with open(path) as stream:
+        first = stream.read()
+    with open(path, "r", encoding="utf-8") as stream:
+        second = stream.read()
+    with open(path, "rb") as stream:
+        third = stream.read()
+    return first, second, third
+
+
+def sanctioned_write(path, text):
+    from repro.core.io import atomic_write_text
+
+    atomic_write_text(path, text)
+
+
+def sanctioned_npz(path, arrays):
+    from repro.core.io import atomic_write_npz
+
+    atomic_write_npz(path, arrays)

@@ -1,0 +1,33 @@
+"""Clean determinism patterns: no D-family findings."""
+import time
+
+import numpy as np
+
+
+def keyed_stream(seed, block_index):
+    return np.random.default_rng(
+        np.random.SeedSequence([seed, 0xBEEF, block_index])
+    )
+
+
+def seed_named(block_seed):
+    return np.random.default_rng(block_seed)
+
+
+def timing_is_fine():
+    start = time.perf_counter()
+    time.sleep(0)
+    return time.perf_counter() - start
+
+
+def sorted_set_is_fine(blocks):
+    return [b for b in sorted(set(blocks))]
+
+
+def membership_is_fine(blocks, candidates):
+    members = set(blocks)
+    return [c for c in candidates if c in members]
+
+
+def generator_draws_are_fine(rng):
+    return rng.random(3)

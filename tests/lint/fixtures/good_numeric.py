@@ -1,0 +1,19 @@
+"""Clean numeric hygiene: no N-family findings."""
+import numpy as np
+
+
+def wide_accumulators(n):
+    hits = np.zeros(n, dtype=np.float64)
+    totals = np.zeros(n, dtype=np.uint64)
+    addresses = np.arange(n, dtype=np.uint32)
+    return hits, totals, addresses
+
+
+def stated_intent(values, n):
+    flags = np.zeros(n, dtype=np.uint8)  # bit flags, one byte each is the point
+    pixels = values.astype(np.float32)  # rendering only; never accumulated
+    return flags, pixels
+
+
+def widening_cast(values):
+    return values.astype(np.float64)

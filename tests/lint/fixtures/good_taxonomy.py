@@ -1,0 +1,30 @@
+"""Clean error handling: no E-family findings."""
+from repro.errors import ConfigError, DatasetError
+from repro.obs import context as obs_api
+
+
+def typed_raise(value):
+    if value < 0:
+        raise ConfigError(f"bad value: {value}")
+
+
+def narrow_catch(path, loader):
+    try:
+        return loader(path)
+    except (OSError, EOFError) as exc:
+        raise DatasetError(f"unreadable: {path}") from exc
+
+
+def broad_but_reraises(work):
+    try:
+        work()
+    except Exception:
+        raise
+
+
+def broad_but_records(work):
+    try:
+        return work()
+    except Exception as exc:
+        obs_api.event("work_failed", error=type(exc).__name__)
+        return None

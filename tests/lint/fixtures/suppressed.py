@@ -1,0 +1,24 @@
+"""Suppression fixture: one waived finding, one live finding.
+
+The first bare-builtin raise is waived with a justified directive; the
+second must still be reported — proving a suppression waives precisely
+one finding, not the rule.
+"""
+
+
+def waived(value):
+    if value < 0:
+        raise ValueError(value)  # reprolint: disable=E302 -- fixture: proves justified same-line waivers work
+
+
+def still_flagged(value):
+    if value > 9:
+        raise ValueError(value)  # line 16: E302 must survive
+
+
+def waived_on_next_line(work):
+    try:
+        return work()
+    # reprolint: disable-next=E301 -- fixture: proves disable-next waivers work
+    except:
+        return None

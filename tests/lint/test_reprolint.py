@@ -1,0 +1,228 @@
+"""Self-tests for reprolint: every rule fires, suppresses, and scopes.
+
+The fixtures under ``tests/lint/fixtures/`` are deliberately broken
+snippets (excluded from default lint walks); each test pins the exact
+rule IDs and line numbers a fixture must produce, so a rule that stops
+firing — or starts over-firing — fails CI just like a regression in
+the runtime contracts the rules guard.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint import all_rules, check_file, known_rule_ids, run  # noqa: E402
+from tools.reprolint.cli import main as lint_main  # noqa: E402
+
+
+def findings_for(name: str, all_rules_flag: bool = True):
+    return check_file(str(FIXTURES / name), all_rules_everywhere=all_rules_flag)
+
+
+def triples(findings):
+    return [(f.rule, f.line) for f in findings]
+
+
+class TestRuleRegistry:
+    def test_all_families_registered(self):
+        ids = {rule.rule_id for rule in all_rules()}
+        assert ids == {
+            "D101", "D102", "D103", "D104", "D105",
+            "A201", "A202", "A203",
+            "E301", "E302", "E303",
+            "N401", "N402",
+        }
+
+    def test_known_ids_include_engine_findings(self):
+        assert {"P001", "X001", "X002"} <= known_rule_ids()
+
+    def test_every_rule_has_summary(self):
+        for rule in all_rules():
+            assert rule.summary, rule.rule_id
+
+
+class TestDeterminismRules:
+    def test_bad_fixture_exact_findings(self):
+        assert triples(findings_for("bad_determinism.py")) == [
+            ("D101", 10),
+            ("D102", 14),
+            ("D103", 18),
+            ("D103", 19),
+            ("D104", 25),
+            ("D104", 27),
+            ("D105", 31),
+            ("D105", 32),
+        ]
+
+    def test_good_fixture_clean(self):
+        assert findings_for("good_determinism.py") == []
+
+
+class TestAtomicityRules:
+    def test_bad_fixture_exact_findings(self):
+        assert triples(findings_for("bad_atomicity.py")) == [
+            ("A201", 8),
+            ("A201", 13),
+            ("A201", 15),
+            ("A202", 20),
+            ("A202", 21),
+            ("A202", 22),
+            ("A203", 26),
+            ("A203", 27),
+        ]
+
+    def test_good_fixture_clean(self):
+        assert findings_for("good_atomicity.py") == []
+
+
+class TestTaxonomyRules:
+    def test_bad_fixture_exact_findings(self):
+        assert triples(findings_for("bad_taxonomy.py")) == [
+            ("E301", 7),
+            ("E302", 13),
+            ("E302", 15),
+            ("E303", 21),
+        ]
+
+    def test_good_fixture_clean(self):
+        assert findings_for("good_taxonomy.py") == []
+
+
+class TestNumericRules:
+    def test_bad_fixture_exact_findings(self):
+        assert triples(findings_for("bad_numeric.py")) == [
+            ("N401", 10),
+            ("N401", 11),
+            ("N401", 12),
+            ("N402", 17),
+            ("N402", 18),
+        ]
+
+    def test_good_fixture_clean(self):
+        assert findings_for("good_numeric.py") == []
+
+
+class TestSuppressions:
+    def test_waives_precisely_one_finding(self):
+        findings = findings_for("suppressed.py")
+        # The justified directive waived line 11's E302 and the
+        # disable-next waived the bare except; line 16 must survive.
+        assert triples(findings) == [("E302", 16)]
+
+    def test_file_level_waives_all_occurrences(self):
+        assert findings_for("file_level.py") == []
+
+    def test_unjustified_and_unused_directives_flagged(self):
+        findings = findings_for("bad_suppression.py")
+        assert triples(findings) == [
+            ("X001", 6),
+            ("X002", 10),
+            ("X002", 14),
+        ]
+        messages = {f.rule: f.message for f in findings}
+        assert "justification" in messages["X001"]
+
+    def test_suppression_scoped_to_its_line_only(self):
+        # The directive on line 11 must not leak to line 16's finding.
+        survivors = [f for f in findings_for("suppressed.py") if f.rule == "E302"]
+        assert [f.line for f in survivors] == [16]
+
+
+class TestParseErrors:
+    def test_syntax_error_is_a_finding(self):
+        findings = check_file(str(FIXTURES / "bad_syntax.py.txt"))
+        assert [f.rule for f in findings] == ["P001"]
+        assert findings[0].line == 1
+
+
+class TestScoping:
+    def test_scoped_rules_skip_out_of_scope_files(self):
+        # Without --all-rules the fixture lives outside src/repro/sim,
+        # so the D/A/N families must not fire; E301 (everywhere) still
+        # applies but the fixture has no bare except.
+        findings = findings_for("bad_determinism.py", all_rules_flag=False)
+        assert findings == []
+
+    def test_default_excludes_skip_fixtures(self):
+        result = run([str(Path(__file__).parent)], all_rules_everywhere=True)
+        paths = {f.path for f in result.findings}
+        assert not any("fixtures" in path for path in paths)
+
+    def test_explicit_file_argument_beats_excludes(self):
+        result = run(
+            [str(FIXTURES / "bad_taxonomy.py")], all_rules_everywhere=True
+        )
+        assert result.findings
+
+
+class TestCliContract:
+    def test_exit_zero_on_clean_file(self, capsys):
+        code = lint_main([str(FIXTURES / "good_taxonomy.py"), "--all-rules"])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, capsys):
+        code = lint_main([str(FIXTURES / "bad_taxonomy.py"), "--all-rules"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "E301" in out and "E302" in out and "E303" in out
+
+    def test_exit_two_on_missing_path(self, capsys):
+        assert lint_main(["no/such/path"]) == 2
+
+    def test_json_report_shape(self, capsys, tmp_path):
+        out_path = tmp_path / "report.json"
+        code = lint_main(
+            [str(FIXTURES / "bad_numeric.py"), "--all-rules",
+             "--format", "json", "--out", str(out_path)]
+        )
+        assert code == 1
+        stdout_report = json.loads(capsys.readouterr().out)
+        file_report = json.loads(out_path.read_text())
+        assert stdout_report == file_report
+        assert file_report["schema"] == 1
+        assert file_report["summary"]["total"] == 5
+        assert file_report["summary"]["by_rule"] == {"N401": 3, "N402": 2}
+        first = file_report["findings"][0]
+        assert set(first) == {"rule", "path", "line", "col", "message"}
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in sorted(known_rule_ids()):
+            assert rule_id in out
+
+    def test_module_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint",
+             str(FIXTURES / "bad_atomicity.py"), "--all-rules"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "A201" in proc.stdout
+
+
+class TestRepoIsClean:
+    """The acceptance gate, as a regression test: the tree lints clean."""
+
+    def test_src_and_tests_have_no_findings(self):
+        result = run([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")])
+        rendered = "\n".join(f.render() for f in result.findings)
+        assert result.findings == [], rendered
+        assert result.files_checked > 100
+
+    def test_repro_cli_lint_subcommand(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "src", "tests"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

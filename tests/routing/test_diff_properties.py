@@ -1,7 +1,6 @@
 """Property-based tests for routing-table diffs."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -9,7 +9,7 @@ from repro.errors import ConfigError
 from repro.net.ipv4 import blocks_of
 from repro.sim.cdn import CDNObservatory
 from repro.sim.config import small_config
-from repro.sim.policies import CLIENT_KINDS, PolicyKind
+from repro.sim.policies import PolicyKind
 from repro.sim.population import InternetPopulation
 
 

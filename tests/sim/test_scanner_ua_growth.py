@@ -160,7 +160,6 @@ class TestUserAgents:
         assert a.max() < NUM_BROWSER_UAS + NUM_APP_UAS
 
     def test_sampling_rate_controls_volume(self):
-        rng = np.random.default_rng(0)
         sub_ids = np.arange(1000)
         sub_hits = np.full(1000, 100)
         dense = sample_uas(np.random.default_rng(0), sub_ids, sub_hits, 0.1)

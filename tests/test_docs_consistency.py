@@ -3,8 +3,6 @@
 import pathlib
 import re
 
-import pytest
-
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 DESIGN = (ROOT / "DESIGN.md").read_text()
 README = (ROOT / "README.md").read_text()

@@ -25,7 +25,6 @@ from repro.core import (
     traffic,
     visibility,
 )
-from repro.net.sets import IPSet
 from repro.rdns.classify import classify_zone
 from repro.rdns.ptr import synthesize_block_ptrs
 from repro.sim import (

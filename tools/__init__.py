@@ -1,0 +1,5 @@
+"""Maintenance and CI tooling for the repository.
+
+Declared as a package so ``python -m tools.reprolint`` works from the
+repository root without any installation step.
+"""

@@ -100,9 +100,13 @@ def measure(
 
 
 def write_record(path: str, record: dict) -> None:
-    with open(path, "w", encoding="ascii") as stream:
-        json.dump(record, stream, indent=2, sort_keys=False)
-        stream.write("\n")
+    """Atomically write the bench record (rule A201: no bare open-for-write)."""
+    from repro.core.io import atomic_write_text
+
+    atomic_write_text(
+        path, json.dumps(record, indent=2, sort_keys=False) + "\n",
+        encoding="ascii",
+    )
 
 
 def _parse_workers(text: str) -> list[int]:

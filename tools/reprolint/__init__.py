@@ -1,0 +1,27 @@
+"""reprolint: static enforcement of the repository's runtime contracts.
+
+A dependency-free ``ast``-based checker that turns the contracts the
+test suite verifies empirically — deterministic seeded randomness,
+atomic artifact writes, the typed error taxonomy, numeric hygiene —
+into findings a CI gate can block on.  See ``DESIGN.md`` ("Static
+contracts") for the mapping from each rule family to the runtime
+contract it guards, and ``CONTRIBUTING.md`` for the suppression
+policy.
+
+Run it as ``python -m tools.reprolint [paths...]`` from the repository
+root, or via the ``repro lint`` subcommand.
+"""
+
+from tools.reprolint.engine import LintResult, check_file, run
+from tools.reprolint.findings import Finding
+from tools.reprolint.registry import Rule, all_rules, known_rule_ids
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "check_file",
+    "known_rule_ids",
+    "run",
+]

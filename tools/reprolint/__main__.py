@@ -1,0 +1,6 @@
+"""``python -m tools.reprolint`` entry point."""
+
+from tools.reprolint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

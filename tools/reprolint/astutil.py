@@ -1,0 +1,80 @@
+"""Small AST helpers shared by the rule families."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else.
+
+    Subscripts, calls, and other expressions inside the chain make the
+    whole chain unresolvable (return ``None``) — rules only match
+    plain dotted references.
+    """
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The dotted name of a call's callee, if it is a plain reference."""
+    return dotted_name(node.func)
+
+
+def walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def string_constant(node: ast.expr | None) -> str | None:
+    """The value of a string literal expression, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def call_arg(node: ast.Call, position: int, keyword: str) -> ast.expr | None:
+    """Argument *position* (0-based) or keyword *keyword* of a call."""
+    if len(node.args) > position:
+        return node.args[position]
+    for kw in node.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    return None
+
+
+def contains_identifier(node: ast.expr, fragment: str) -> bool:
+    """Whether any identifier in *node* contains *fragment* (case-folded)."""
+    fragment = fragment.lower()
+    for child in ast.walk(node):
+        name: str | None = None
+        if isinstance(child, ast.Name):
+            name = child.id
+        elif isinstance(child, ast.Attribute):
+            name = child.attr
+        elif isinstance(child, ast.arg):
+            name = child.arg
+        if name is not None and fragment in name.lower():
+            return True
+    return False
+
+
+def contains_call_to(node: ast.expr, suffix: str) -> bool:
+    """Whether *node* contains a call whose dotted callee ends in *suffix*."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            name = call_name(child)
+            if name is not None and (
+                name == suffix or name.endswith("." + suffix)
+            ):
+                return True
+    return False

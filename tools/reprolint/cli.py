@@ -1,0 +1,99 @@
+"""The reprolint command line.
+
+Exit-code contract (stable; CI and the ``repro lint`` subcommand rely
+on it):
+
+- ``0`` — every checked file is clean;
+- ``1`` — at least one finding (including suppression-hygiene and
+  parse-error findings);
+- ``2`` — usage or environment error (unknown path, bad flags); no
+  lint verdict was produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from tools.reprolint.engine import run
+from tools.reprolint.registry import all_rules
+from tools.reprolint.reporters import render_json, render_text, write_report
+
+DEFAULT_TARGETS = ("src", "tests")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based checker of the repository's determinism, "
+            "atomicity, error-taxonomy, and numeric-hygiene contracts"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_TARGETS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_TARGETS)})",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="additionally write the report to PATH (atomic write)",
+    )
+    parser.add_argument(
+        "--all-rules", action="store_true",
+        help="apply every rule to every file, ignoring path scopes "
+        "(used by the fixture self-tests)",
+    )
+    parser.add_argument(
+        "--no-default-excludes", action="store_true",
+        help="also walk into the deliberately-broken lint fixtures",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        scope = "everywhere" if rule.scope is None else ", ".join(rule.scope)
+        lines.append(f"{rule.rule_id}  {rule.summary}  [{scope}]")
+    lines.append("P001  file cannot be parsed  [everywhere]")
+    lines.append("X001  suppression without justification  [everywhere]")
+    lines.append("X002  unused or unknown suppression  [everywhere]")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        sys.stdout.write(_list_rules())
+        return 0
+    try:
+        result = run(
+            args.paths,
+            all_rules_everywhere=args.all_rules,
+            use_default_excludes=not args.no_default_excludes,
+        )
+    except FileNotFoundError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+    rendered = (
+        render_json(result) if args.format == "json" else render_text(result)
+    )
+    sys.stdout.write(rendered)
+    if args.out:
+        # The artifact is always JSON — it is the machine-readable record
+        # CI uploads regardless of what was printed to the console.
+        write_report(args.out, render_json(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

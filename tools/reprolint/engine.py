@@ -1,0 +1,183 @@
+"""The reprolint engine: walk files, run rules, apply suppressions.
+
+The engine is deliberately dependency-free (stdlib ``ast`` +
+``tokenize`` only) so it runs anywhere the repository checks out —
+no install step, no third-party linter frameworks.  One
+:class:`ModuleSource` is built per file (parsed tree, raw lines, the
+set of comment-bearing lines, suppression directives); every registered
+rule whose scope covers the file walks that shared tree.
+
+Scoping: rule scopes are repository-relative posix path prefixes
+(``src/repro/sim``), matched against each checked file's path relative
+to the working directory.  ``all_rules=True`` disables scope matching —
+the hook the fixture self-tests use to exercise scoped rules on files
+that live under ``tests/lint/fixtures/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.registry import all_rules, known_rule_ids
+from tools.reprolint.suppressions import SuppressionSet
+
+# Rule modules self-register on import.
+import tools.reprolint.rules  # noqa: F401
+
+#: Directories never walked into (fixtures are linted only when named
+#: explicitly as file arguments — they are deliberately broken).
+DEFAULT_EXCLUDED_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+DEFAULT_EXCLUDED_PREFIXES = ("tests/lint/fixtures",)
+
+
+@dataclass
+class ModuleSource:
+    """Everything the rules need to know about one file."""
+
+    path: str  # normalized, posix-style, relative when possible
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    #: 1-based numbers of lines that carry a comment (intent-comment
+    #: escapes for the numeric-hygiene rules).
+    comment_lines: set[int]
+    suppressions: SuppressionSet
+
+    def has_comment(self, line: int) -> bool:
+        return line in self.comment_lines
+
+
+def normalize_path(path: str | os.PathLike[str]) -> str:
+    """Repo-relative posix path when under the cwd, else as given."""
+    resolved = Path(path)
+    try:
+        resolved = resolved.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return resolved.as_posix()
+
+
+def iter_target_files(
+    roots: Iterable[str], use_default_excludes: bool = True
+) -> Iterator[str]:
+    """Expand the CLI's path arguments into a sorted list of .py files.
+
+    Directories are walked recursively; explicitly named files are
+    always included, even when a default exclude would skip them (that
+    is how the self-test lints its deliberately broken fixtures).
+    """
+    seen: set[str] = set()
+    collected: list[str] = []
+    for root in roots:
+        path = Path(root)
+        if path.is_file():
+            normalized = normalize_path(path)
+            if normalized not in seen:
+                seen.add(normalized)
+                collected.append(normalized)
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in DEFAULT_EXCLUDED_DIRS for part in candidate.parts):
+                continue
+            normalized = normalize_path(candidate)
+            if use_default_excludes and any(
+                normalized.startswith(prefix)
+                for prefix in DEFAULT_EXCLUDED_PREFIXES
+            ):
+                continue
+            if normalized not in seen:
+                seen.add(normalized)
+                collected.append(normalized)
+    yield from sorted(collected)
+
+
+def _comment_lines(suppressions_source: str) -> set[int]:
+    import io
+    import tokenize
+
+    lines: set[int] = set()
+    try:
+        for token in tokenize.generate_tokens(
+            io.StringIO(suppressions_source).readline
+        ):
+            if token.type == tokenize.COMMENT:
+                lines.add(token.start[0])
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        pass
+    return lines
+
+
+def check_file(path: str, all_rules_everywhere: bool = False) -> list[Finding]:
+    """Lint one file: parse, run in-scope rules, apply suppressions."""
+    normalized = normalize_path(path)
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        return [Finding("P001", normalized, 1, 0, f"cannot read file: {exc}")]
+    try:
+        tree = ast.parse(source, filename=normalized)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "P001", normalized, exc.lineno or 1, (exc.offset or 1) - 1,
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    module = ModuleSource(
+        path=normalized,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        comment_lines=_comment_lines(source),
+        suppressions=SuppressionSet.parse(source),
+    )
+    raw: list[Finding] = []
+    for rule in all_rules():
+        if all_rules_everywhere or rule.applies_to(normalized):
+            raw.extend(rule.check(module))
+    kept = [
+        finding
+        for finding in raw
+        if not module.suppressions.suppresses(finding.rule, finding.line)
+    ]
+    kept.extend(
+        module.suppressions.hygiene_findings(normalized, known_rule_ids())
+    )
+    return sorted(kept, key=Finding.sort_key)
+
+
+@dataclass
+class LintResult:
+    """One run over a set of paths."""
+
+    files_checked: int
+    findings: list[Finding]
+
+    @property
+    def exit_code(self) -> int:
+        """The exit-code contract: 0 clean, 1 findings (2 = usage error,
+        raised before a result exists)."""
+        return 1 if self.findings else 0
+
+
+def run(
+    roots: Iterable[str],
+    all_rules_everywhere: bool = False,
+    use_default_excludes: bool = True,
+) -> LintResult:
+    """Lint every target file under *roots*; findings sorted and stable."""
+    findings: list[Finding] = []
+    count = 0
+    for path in iter_target_files(roots, use_default_excludes):
+        count += 1
+        findings.extend(check_file(path, all_rules_everywhere))
+    return LintResult(files_checked=count, findings=sorted(
+        findings, key=Finding.sort_key
+    ))

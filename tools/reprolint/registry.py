@@ -1,0 +1,77 @@
+"""Rule model and registry.
+
+A rule is a small object with an identifier (``D101``), a one-line
+summary, an optional path *scope* (tuple of repository-relative
+prefixes it applies to; ``None`` means every checked file), and a
+``check`` method that walks one parsed module and yields findings.
+
+Rules self-register at import time via the :func:`rule` decorator;
+:func:`all_rules` returns them sorted by identifier.  The registry is
+the single source of truth for ``--list-rules`` and for the fixture
+self-tests that prove each rule both fires and suppresses.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Iterator
+
+from tools.reprolint.findings import Finding
+
+if TYPE_CHECKING:
+    from tools.reprolint.engine import ModuleSource
+
+_RULE_ID_RE = re.compile(r"^[A-Z]\d{3}$")
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement check."""
+
+    #: Unique identifier, one capital letter (the family) + 3 digits.
+    rule_id: str = ""
+    #: One-line human summary shown by ``--list-rules``.
+    summary: str = ""
+    #: Path prefixes (posix, repo-relative) the rule applies to, or
+    #: ``None`` for every file.  Matching is prefix-based, so
+    #: ``"src/repro/sim"`` covers the whole subpackage.
+    scope: tuple[str, ...] | None = None
+
+    def applies_to(self, path: str) -> bool:
+        if self.scope is None:
+            return True
+        return any(path.startswith(prefix) for prefix in self.scope)
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: "ModuleSource", line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(self.rule_id, module.path, line, col, message)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: validate and register one rule instance."""
+    instance = cls()
+    if not _RULE_ID_RE.match(instance.rule_id):
+        raise ValueError(f"bad rule id: {instance.rule_id!r}")
+    if instance.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id: {instance.rule_id}")
+    _REGISTRY[instance.rule_id] = instance
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by identifier."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def known_rule_ids() -> set[str]:
+    """Identifiers of registered rules plus the engine's own findings."""
+    # P001 (parse error) and X001/X002 (suppression hygiene) are emitted
+    # by the engine rather than by a registered rule, but they are valid
+    # targets for disable= comments all the same.
+    return set(_REGISTRY) | {"P001", "X001", "X002"}

@@ -1,0 +1,65 @@
+"""Text and JSON rendering of a lint run.
+
+The JSON report is the machine-readable artifact CI uploads; when
+written to a file it goes through the same temp-file + ``os.replace``
+discipline the linter itself enforces (rule A201), without importing
+:mod:`repro` — the linter must run on a tree too broken to import.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+from tools.reprolint.engine import LintResult
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    lines = [finding.render() for finding in result.findings]
+    touched = len({finding.path for finding in result.findings})
+    lines.append(
+        f"reprolint: {len(result.findings)} finding(s) in {touched} file(s) "
+        f"({result.files_checked} checked)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def as_report(result: LintResult) -> dict[str, Any]:
+    by_rule: dict[str, int] = {}
+    for finding in result.findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    return {
+        "schema": REPORT_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "findings": [finding.as_dict() for finding in result.findings],
+        "summary": {
+            "total": len(result.findings),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(as_report(result), indent=2, sort_keys=True) + "\n"
+
+
+def write_report(path: str, text: str) -> None:
+    """Atomically write a rendered report (temp file + rename)."""
+    directory = os.path.dirname(path) or "."
+    handle, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise

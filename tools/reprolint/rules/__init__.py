@@ -1,0 +1,14 @@
+"""Rule families; importing this package registers every rule.
+
+- ``determinism`` (D1xx) — seeded, stream-keyed randomness only.
+- ``atomicity`` (A2xx) — artifacts go through the atomic-write helpers.
+- ``taxonomy`` (E3xx) — the typed error taxonomy of ``repro.errors``.
+- ``numeric`` (N4xx) — no silent narrow-dtype accumulators.
+
+The engine itself additionally emits P001 (parse failure) and
+X001/X002 (suppression hygiene).
+"""
+
+from tools.reprolint.rules import atomicity, determinism, numeric, taxonomy
+
+__all__ = ["atomicity", "determinism", "numeric", "taxonomy"]

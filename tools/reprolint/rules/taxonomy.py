@@ -1,0 +1,125 @@
+"""Family E: the typed error taxonomy.
+
+Library errors derive from ``repro.errors.ReproError`` (CONTRIBUTING.md
+"Conventions"), so callers can catch one base class and tests can
+assert the precise failure domain.  These rules keep that auditable:
+
+- E301 — ``except:`` swallows ``KeyboardInterrupt``/``SystemExit`` and
+  every bug; always name the exceptions you can actually handle.
+- E302 — ``raise ValueError(...)`` (or any bare builtin) inside
+  ``src/repro``: raise the narrowest ``repro.errors`` subclass instead
+  (several of them also derive from the matching builtin, so callers
+  that catch ``ValueError`` keep working).
+- E303 — ``except Exception`` must either re-raise or record the
+  failure through the observability layer; silently absorbing an
+  unexpected exception is how data loss goes unnoticed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.astutil import dotted_name
+from tools.reprolint.findings import Finding
+from tools.reprolint.registry import Rule, rule
+
+_LIBRARY_SCOPE = ("src/repro",)
+
+#: Builtins that must not be raised directly by library code.  Control
+#: flow exceptions (StopIteration inside generators is implicit,
+#: SystemExit belongs to CLI entry points) are deliberately absent.
+_BANNED_RAISES = {
+    "Exception", "BaseException", "ValueError", "TypeError",
+    "RuntimeError", "KeyError", "IndexError", "OSError", "IOError",
+    "ArithmeticError", "ZeroDivisionError", "LookupError",
+    "AttributeError", "AssertionError",
+}
+
+#: Call names that count as "recorded through the obs layer".
+_OBS_RECORDERS = {"event", "add", "gauge", "set_gauge"}
+
+
+@rule
+class BareExcept(Rule):
+    rule_id = "E301"
+    summary = "bare except: swallows everything, including interrupts"
+    scope = None  # everywhere, tests included
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    "bare except: name the exception types this handler "
+                    "can actually recover from",
+                )
+
+
+@rule
+class RaiseOutsideTaxonomy(Rule):
+    rule_id = "E302"
+    summary = "library code raises a bare builtin instead of repro.errors"
+    scope = _LIBRARY_SCOPE
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            callee = exc.func if isinstance(exc, ast.Call) else exc
+            name = dotted_name(callee)
+            if name in _BANNED_RAISES:
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"raise {name}: raise the narrowest repro.errors "
+                    "subclass instead (add one deriving from "
+                    f"(ReproError, {name}) if none fits)",
+                )
+
+
+def _handler_catches_broad(node: ast.ExceptHandler) -> bool:
+    types = node.type
+    if types is None:
+        return False  # E301 owns bare except
+    candidates = types.elts if isinstance(types, ast.Tuple) else [types]
+    for candidate in candidates:
+        if dotted_name(candidate) in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+def _body_reraises_or_records(node: ast.ExceptHandler) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Raise):
+            return True
+        if isinstance(child, ast.Call):
+            func = child.func
+            if isinstance(func, ast.Attribute) and func.attr in _OBS_RECORDERS:
+                return True
+            if isinstance(func, ast.Name) and func.id in _OBS_RECORDERS:
+                return True
+    return False
+
+
+@rule
+class BroadExceptUnhandled(Rule):
+    rule_id = "E303"
+    summary = "except Exception must re-raise or record through obs"
+    scope = _LIBRARY_SCOPE
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _handler_catches_broad(node):
+                continue
+            if _body_reraises_or_records(node):
+                continue
+            yield self.finding(
+                module, node.lineno, node.col_offset,
+                "except Exception that neither re-raises nor records "
+                "through the obs layer: narrow it to the recoverable "
+                "types, or record the failure (obs event/counter) so it "
+                "is auditable",
+            )

@@ -1,0 +1,131 @@
+"""Suppression comments: scoped waivers with mandatory justification.
+
+Three directive forms, all parsed from real ``tokenize`` comments (so
+strings that merely look like directives are ignored):
+
+- ``# reprolint: disable=D101 -- why this is safe`` waives the named
+  rule(s) on the directive's own line;
+- ``# reprolint: disable-next=D101 -- why`` waives them on the next
+  line (for statements whose flagged node sits on a long wrapped line);
+- ``# reprolint: disable-file=D101 -- why`` waives them for the whole
+  file (use sparingly; one per rule per file).
+
+Every directive must carry a justification after ``--`` — a suppression
+nobody can audit is itself a finding (``X001``), and so is one that no
+longer suppresses anything (``X002``).  Several rules may be listed,
+comma-separated.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from tools.reprolint.findings import Finding
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-next|-file)?)\s*=\s*"
+    r"(?P<rules>[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)"
+    r"(?:\s*--\s*(?P<why>.*\S))?"
+)
+
+
+@dataclass
+class Directive:
+    """One parsed suppression comment."""
+
+    kind: str  # "disable" | "disable-next" | "disable-file"
+    rules: tuple[str, ...]
+    line: int  # line the comment appears on (1-based)
+    justification: str | None
+    used: set[str] = field(default_factory=set)
+
+    @property
+    def effective_line(self) -> int | None:
+        """Line the waiver applies to (``None`` = whole file)."""
+        if self.kind == "disable":
+            return self.line
+        if self.kind == "disable-next":
+            return self.line + 1
+        return None
+
+
+class SuppressionSet:
+    """All directives of one file, with bookkeeping for X001/X002."""
+
+    def __init__(self, directives: list[Directive]) -> None:
+        self.directives = directives
+
+    @classmethod
+    def parse(cls, source: str) -> "SuppressionSet":
+        directives: list[Directive] = []
+        reader = io.StringIO(source).readline
+        try:
+            tokens = list(tokenize.generate_tokens(reader))
+        except (tokenize.TokenizeError, IndentationError, SyntaxError):
+            # The engine only parses suppressions for files that already
+            # passed ast.parse, so this is unreachable in practice; an
+            # unparseable file simply has no suppressions.
+            return cls([])
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE_RE.search(token.string)
+            if match is None:
+                continue
+            rules = tuple(
+                part.strip() for part in match.group("rules").split(",")
+            )
+            directives.append(
+                Directive(
+                    kind=match.group("kind"),
+                    rules=rules,
+                    line=token.start[0],
+                    justification=match.group("why"),
+                )
+            )
+        return cls(directives)
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        """Whether a directive waives *rule_id* at *line* (marks it used)."""
+        hit = False
+        for directive in self.directives:
+            if rule_id not in directive.rules:
+                continue
+            effective = directive.effective_line
+            if effective is None or effective == line:
+                directive.used.add(rule_id)
+                hit = True
+        return hit
+
+    def hygiene_findings(self, path: str, known_rules: set[str]) -> list[Finding]:
+        """X001 (no justification) and X002 (unused/unknown) findings."""
+        findings: list[Finding] = []
+        for directive in self.directives:
+            if not directive.justification:
+                findings.append(
+                    Finding(
+                        "X001", path, directive.line, 0,
+                        "suppression without a justification: append "
+                        "'-- <why this is safe>' to the directive",
+                    )
+                )
+            for rule_id in directive.rules:
+                if rule_id not in known_rules:
+                    findings.append(
+                        Finding(
+                            "X002", path, directive.line, 0,
+                            f"suppression names unknown rule {rule_id}",
+                        )
+                    )
+                elif rule_id not in directive.used:
+                    findings.append(
+                        Finding(
+                            "X002", path, directive.line, 0,
+                            f"unused suppression of {rule_id}: nothing to "
+                            "waive here, remove the directive",
+                        )
+                    )
+        return findings
