@@ -31,6 +31,11 @@ WORK_TYPES = frozenset({"university", "enterprise"})
 #: Fraction of subscribers that are casual (sporadically online).
 CASUAL_FRACTION = 0.10
 
+#: Daily-hits model parameters (see :func:`daily_hits`).
+BASE_HITS = 18.0
+ENGAGEMENT_BOOST = 3.2
+HITS_SIGMA = 0.9
+
 
 def draw_engagement(rng: np.random.Generator, size: int) -> np.ndarray:
     """Per-subscriber engagement scores in (0, 1).
@@ -47,10 +52,12 @@ def draw_engagement(rng: np.random.Generator, size: int) -> np.ndarray:
     """
     scores = rng.beta(14.0, 1.15, size=size)
     casual = rng.random(size) < CASUAL_FRACTION
-    num_casual = int(casual.sum())
+    num_casual = int(np.count_nonzero(casual))
     if num_casual:
         scores[casual] = rng.beta(1.6, 3.2, size=num_casual)
-    return np.clip(scores, 0.02, 0.97)
+    # minimum(maximum(...)) is np.clip's element-wise operation without
+    # its dispatch overhead — bit-identical values.
+    return np.minimum(np.maximum(scores, 0.02), 0.97)
 
 
 def weekday_factor(
@@ -69,6 +76,20 @@ def weekday_factor(
     return weekend_residential_factor
 
 
+def scaled_activity_probability(
+    engagement: np.ndarray, factor: float
+) -> np.ndarray:
+    """Per-subscriber activity probability for a known weekday factor.
+
+    Split out of :func:`activity_probability` so callers that resolve
+    the factor once per day (the batched policy kernels) share the
+    exact clip/multiply with the scalar path.  ``minimum(maximum(x))``
+    is the element-wise operation ``np.clip`` performs, without the
+    dispatch overhead — bit-identical values.
+    """
+    return np.minimum(np.maximum(np.asarray(engagement) * factor, 0.0), 0.99)
+
+
 def activity_probability(
     engagement: np.ndarray,
     day_of_week: int,
@@ -80,15 +101,67 @@ def activity_probability(
     factor = weekday_factor(
         day_of_week, network_type, weekend_residential_factor, weekend_work_factor
     )
-    return np.clip(np.asarray(engagement) * factor, 0.0, 0.99)
+    return scaled_activity_probability(engagement, factor)
+
+
+def hit_medians(
+    engagement: np.ndarray,
+    base_hits: float = BASE_HITS,
+    engagement_boost: float = ENGAGEMENT_BOOST,
+) -> np.ndarray:
+    """Per-subscriber median daily hits: ``base * exp(boost * eng)``.
+
+    Element-wise, so a pool may maintain the medians incrementally
+    (recomputing only churned subscribers) and still match a full
+    recompute bit for bit.
+    """
+    return base_hits * np.exp(engagement_boost * np.asarray(engagement))
+
+
+def hits_from_medians(
+    medians: np.ndarray,
+    normals: np.ndarray,
+    sigma: float = HITS_SIGMA,
+) -> np.ndarray:
+    """Turn standard-normal draws into daily hit counts (element-wise).
+
+    The deterministic half of :func:`daily_hits`, split out so the
+    batched ``days_activity`` path can draw the normals day by day (the
+    RNG-consumption-order contract) yet evaluate the log-normal math
+    once over a whole horizon's concatenated rows.  Element-wise, so
+    any grouping of rows yields bit-identical values.
+
+    ``normals`` is consumed as scratch space (overwritten in place) —
+    every caller passes a freshly drawn or freshly concatenated array.
+    """
+    normals = np.asarray(normals, dtype=np.float64)
+    np.multiply(normals, sigma, out=normals)
+    np.exp(normals, out=normals)
+    np.multiply(normals, medians, out=normals)
+    draws = normals.astype(np.int64)
+    np.maximum(draws, 1, out=draws)
+    return draws
+
+
+def hits_from_normals(
+    engagement: np.ndarray,
+    normals: np.ndarray,
+    base_hits: float = BASE_HITS,
+    engagement_boost: float = ENGAGEMENT_BOOST,
+    sigma: float = HITS_SIGMA,
+) -> np.ndarray:
+    """Daily hit counts from engagement scores and normal draws."""
+    return hits_from_medians(
+        hit_medians(engagement, base_hits, engagement_boost), normals, sigma
+    )
 
 
 def daily_hits(
     engagement: np.ndarray,
     rng: np.random.Generator,
-    base_hits: float = 18.0,
-    engagement_boost: float = 3.2,
-    sigma: float = 0.9,
+    base_hits: float = BASE_HITS,
+    engagement_boost: float = ENGAGEMENT_BOOST,
+    sigma: float = HITS_SIGMA,
 ) -> np.ndarray:
     """Requests issued by each active subscriber on one day.
 
@@ -100,8 +173,14 @@ def daily_hits(
     user (engagement 0.9) several hundreds — matching the paper's
     observation that addresses active almost every day also issue far
     more requests (Fig. 9a).  Returns integers >= 1.
+
+    The log-normal is drawn as ``exp(sigma * standard_normal())`` —
+    the same bitstream consumption as ``rng.lognormal`` — so the
+    scalar and batched kernels share :func:`hits_from_normals` exactly.
     """
     engagement = np.asarray(engagement)
-    median = base_hits * np.exp(engagement_boost * engagement)
-    draws = median * rng.lognormal(mean=0.0, sigma=sigma, size=engagement.shape)
-    return np.maximum(1, draws.astype(np.int64))
+    normals = rng.standard_normal(size=engagement.shape)
+    return hits_from_normals(
+        engagement, normals, base_hits=base_hits,
+        engagement_boost=engagement_boost, sigma=sigma,
+    )

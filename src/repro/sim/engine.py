@@ -66,7 +66,7 @@ from repro.sim.checkpoint import (
     save_shard_checkpoint,
 )
 from repro.sim.config import SimulationConfig
-from repro.sim.policies import AddressPolicy, PolicyKind
+from repro.sim.policies import BLOCK_SIZE, AddressPolicy, PolicyKind
 from repro.sim.population import Block, InternetPopulation
 from repro.sim.useragents import UASampleStore, sample_uas
 from repro.sim.util import hash_coin
@@ -351,9 +351,269 @@ def simulate_shard(task: ShardTask) -> ShardResult:
     return result
 
 
+def _validate_windowing(num_days: int, window_days: int) -> None:
+    """Reject horizons whose tail would fall outside the last window.
+
+    Activity accumulated after the last full ``window_days`` boundary
+    used to be silently dropped when ``num_days % window_days != 0``;
+    the engine now refuses such configurations outright, and it does so
+    identically for serial, parallel, and resumed runs (the check runs
+    before any shard is planned, loaded from a checkpoint, or
+    simulated).
+    """
+    if window_days < 1:
+        raise ConfigError(f"window_days must be >= 1: {window_days}")
+    if num_days < 1:
+        raise ConfigError(f"num_days must be >= 1: {num_days}")
+    if num_days % window_days != 0:
+        raise ConfigError(
+            f"num_days ({num_days}) is not a multiple of window_days "
+            f"({window_days}): the trailing {num_days % window_days} day(s) "
+            "would never be flushed into a window column"
+        )
+
+
+def _day_tables(config: SimulationConfig, num_days: int) -> tuple[list[int], list[float]]:
+    """Per-day weekday and traffic-scale tables for one horizon.
+
+    Computed with the exact scalar expressions of the historical
+    per-day loop (python-float power, not ``np.power``), so every
+    downstream float operation sees bit-identical inputs.
+    """
+    day_of_weeks: list[int] = []
+    traffic_scales: list[float] = []
+    for day in range(num_days):
+        date = config.start_date + datetime.timedelta(days=day)
+        day_of_weeks.append(date.weekday())
+        traffic_scales.append(config.traffic_weekly_growth ** (day / 7.0))
+    return day_of_weeks, traffic_scales
+
+
 def _simulate_shard_blocks(task: ShardTask) -> ShardResult:
-    """The per-day simulation loop shared by both observe modes."""
+    """The vectorized block-major kernel shared by both observe modes.
+
+    Every random stream is private to one block (policy streams from
+    ``Block.seed``, UA streams from :func:`block_ua_rng`), so the
+    historical day-major loop can be transposed into a block-major one
+    without touching any stream: each block's horizon is split into
+    segments at its policy-change directives, each segment runs through
+    the policy's batched :meth:`~repro.sim.policies.AddressPolicy.
+    days_activity` (which draws day by day in the scalar call order but
+    defers all deterministic math to columnar array ops), and the
+    engine reduces the returned subscriber rows with ``bincount``
+    scatter-adds instead of per-day python branches:
+
+    - window columns: one ``(day, offset)`` keyed bincount per block
+      segment, summed per window — hit counts are integers far below
+      2**53, so the float64 accumulation is exact and grouping-order
+      independent;
+    - ``addr_days``: nonzero cells of the same bincount;
+    - login-panel rows: one batched :func:`hash_coin` over all rows
+      (the coin is stateless), sliced back per day;
+    - UA sampling: untouched per-day calls into :func:`sample_uas`
+      with the day's row slice, preserving that stream's draw order.
+
+    :func:`_simulate_shard_blocks_reference` keeps the historical
+    day-major loop as the executable specification; the equivalence
+    tests hold the two paths bit-identical.
+    """
     config = task.config
+    num_days = task.num_days
+    _validate_windowing(num_days, task.window_days)
+    blocks = task.blocks
+    num_windows = num_days // task.window_days
+    day_of_weeks, traffic_scales = _day_tables(config, num_days)
+
+    # Last directive per (block, day) wins, exactly as the scalar loop
+    # applied same-day directives in order.  Intermediate and initial
+    # policies a directive immediately replaces are never constructed:
+    # construction only draws from the policy's private stream, so
+    # skipping it is invisible to every other stream.
+    directives_by_block: dict[int, dict[int, tuple[str, int]]] = {}
+    for day, block_index, kind_value, salt in task.directives:
+        if 0 <= day < num_days:
+            directives_by_block.setdefault(block_index, {})[day] = (kind_value, salt)
+
+    scan_days = sorted({day for day in task.scan_days if 0 <= day < num_days})
+    ua_window = task.ua_window
+
+    ua_rngs: dict[int, np.random.Generator] = {}
+    ua_samples: dict[int, Counter] = {}
+    login_parts: list[list[tuple[np.ndarray, np.ndarray]]] | None = (
+        [[] for _ in range(num_days)] if task.login_panel_rate > 0 else None
+    )
+    scan_by_day: dict[int, dict[int, tuple[PolicyKind, np.ndarray]]] = {}
+    window_ips_parts: list[list[np.ndarray]] = [[] for _ in range(num_windows)]
+    window_hits_parts: list[list[np.ndarray]] = [[] for _ in range(num_windows)]
+    final_kinds: dict[int, PolicyKind] = {}
+    addr_days = 0
+
+    for block in blocks:
+        changes = directives_by_block.get(block.index, {})
+        cuts = [0] + [day for day in sorted(changes) if day > 0] + [num_days]
+        policy: AddressPolicy | None = None
+        kind = block.kind
+        for seg_start, seg_end in zip(cuts, cuts[1:]):
+            if seg_start in changes:
+                kind_value, salt = changes[seg_start]
+                kind = PolicyKind(kind_value)
+                policy = block.make_policy(config, kind=kind, salt=salt)
+            elif policy is None:
+                policy = block.make_policy(config)
+            rel_scans = [
+                day - seg_start for day in scan_days if seg_start <= day < seg_end
+            ]
+            activity = policy.days_activity(
+                day_of_weeks[seg_start:seg_end],
+                traffic_scales[seg_start:seg_end],
+                snapshot_days=rel_scans,
+            )
+            for rel in rel_scans:
+                scan_by_day.setdefault(seg_start + rel, {})[block.index] = (
+                    kind,
+                    activity.snapshots[rel].copy(),
+                )
+            rows = int(activity.sub_ids.size)
+            if rows:
+                num_seg_days = seg_end - seg_start
+                day_rel = np.repeat(
+                    np.arange(num_seg_days), np.diff(activity.day_starts)
+                )
+                cells = np.bincount(
+                    day_rel * BLOCK_SIZE + activity.sub_offsets,
+                    weights=activity.sub_hits,
+                    minlength=num_seg_days * BLOCK_SIZE,
+                ).reshape(num_seg_days, BLOCK_SIZE)
+                addr_days += int(np.count_nonzero(cells))
+                first_window = seg_start // task.window_days
+                last_window = (seg_end - 1) // task.window_days
+                if task.window_days == 1:
+                    window_cells = cells
+                else:
+                    # Window boundaries clipped to the segment.  The
+                    # cells hold exact integers, so the sequential
+                    # reduceat sum matches the per-window slice sums
+                    # bit for bit.
+                    bounds = np.array(
+                        [
+                            max(window * task.window_days, seg_start) - seg_start
+                            for window in range(first_window, last_window + 1)
+                        ]
+                    )
+                    window_cells = np.add.reduceat(cells, bounds, axis=0)
+                win_rows, win_offsets = window_cells.nonzero()
+                if win_rows.size:
+                    hits_rows = window_cells[win_rows, win_offsets]
+                    ips_rows = (block.base + win_offsets).astype(np.uint32)
+                    starts = np.searchsorted(
+                        win_rows, np.arange(window_cells.shape[0] + 1)
+                    )
+                    for rel_win in range(window_cells.shape[0]):
+                        lo_r, hi_r = int(starts[rel_win]), int(starts[rel_win + 1])
+                        if lo_r < hi_r:
+                            window_ips_parts[first_window + rel_win].append(
+                                ips_rows[lo_r:hi_r]
+                            )
+                            window_hits_parts[first_window + rel_win].append(
+                                hits_rows[lo_r:hi_r]
+                            )
+            if ua_window is not None:
+                for day in range(
+                    max(ua_window[0], seg_start), min(ua_window[1], seg_end - 1) + 1
+                ):
+                    day_rows = activity.day_slice(day - seg_start)
+                    if day_rows.start == day_rows.stop:
+                        continue
+                    rng = ua_rngs.get(block.index)
+                    if rng is None:
+                        rng = ua_rngs[block.index] = block_ua_rng(
+                            config.seed, block.index
+                        )
+                    ua_ids = sample_uas(
+                        rng,
+                        activity.sub_ids[day_rows],
+                        activity.sub_hits[day_rows],
+                        config.ua_sample_rate,
+                        bot_profile=(kind is PolicyKind.CRAWLER),
+                    )
+                    if ua_ids.size:
+                        ua_samples.setdefault(block.base, Counter()).update(
+                            ua_ids.tolist()
+                        )
+            if login_parts is not None and rows:
+                panel = hash_coin(
+                    activity.sub_ids, LOGIN_PANEL_SALT, task.login_panel_rate
+                )
+                if panel.any():
+                    for rel in range(seg_end - seg_start):
+                        day_rows = activity.day_slice(rel)
+                        if day_rows.start == day_rows.stop:
+                            continue
+                        mask = panel[day_rows]
+                        if mask.any():
+                            login_parts[seg_start + rel].append(
+                                (
+                                    (
+                                        block.base
+                                        + activity.sub_offsets[day_rows][mask]
+                                    ).astype(np.uint32),
+                                    activity.sub_ids[day_rows][mask],
+                                )
+                            )
+        final_kinds[block.index] = kind
+
+    window_ips: list[np.ndarray] = []
+    window_hits: list[np.ndarray] = []
+    for window in range(num_windows):
+        ips, hits = _partial_column(
+            window_ips_parts[window], window_hits_parts[window]
+        )
+        window_ips.append(ips)
+        window_hits.append(hits)
+
+    login_trace: list[tuple[np.ndarray, np.ndarray]] | None = None
+    if login_parts is not None:
+        login_trace = []
+        for day in range(num_days):
+            parts = login_parts[day]
+            if parts:
+                login_trace.append(
+                    (
+                        np.concatenate([ips for ips, _ in parts]),
+                        np.concatenate([users for _, users in parts]),
+                    )
+                )
+            else:
+                login_trace.append(
+                    (np.empty(0, dtype=np.uint32), np.empty(0, dtype=np.int64))
+                )
+
+    # Chronological day order, blocks in block order within a day —
+    # the insertion order the day-major loop produced.
+    scan_states = {day: scan_by_day[day] for day in sorted(scan_by_day)}
+
+    return ShardResult(
+        shard_index=task.shard_index,
+        window_ips=window_ips,
+        window_hits=window_hits,
+        ua_samples=ua_samples,
+        login_trace=login_trace,
+        scan_states=scan_states,
+        final_kinds=final_kinds,
+        addr_days=addr_days,
+    )
+
+
+def _simulate_shard_blocks_reference(task: ShardTask) -> ShardResult:
+    """The historical day-major scalar loop, kept as executable spec.
+
+    The vectorized kernel (:func:`_simulate_shard_blocks`) must produce
+    bit-identical :class:`ShardResult` payloads to this loop for every
+    configuration — the property tests drive both and compare.  Slow;
+    never called in production paths.
+    """
+    config = task.config
+    _validate_windowing(task.num_days, task.window_days)
     blocks = task.blocks
     block_by_index = {block.index: block for block in blocks}
     policies: dict[int, AddressPolicy] = {
@@ -434,7 +694,7 @@ def _simulate_shard_blocks(task: ShardTask) -> ShardResult:
             scan_states[day] = {
                 block.index: (
                     current_kinds[block.index],
-                    policies[block.index].assigned_offsets(),
+                    policies[block.index].assigned_offsets().copy(),
                 )
                 for block in blocks
             }
@@ -649,6 +909,7 @@ def run_sharded_collection(
     """
     config = population.config
     blocks = population.blocks
+    _validate_windowing(num_days, window_days)
     if max_retries < 0:
         raise ConfigError(f"max_retries must be >= 0: {max_retries}")
     if retry_backoff < 0:

@@ -31,17 +31,33 @@ from __future__ import annotations
 
 import abc
 import enum
-from dataclasses import dataclass
-from typing import ClassVar
+from dataclasses import dataclass, field
+from typing import ClassVar, Iterable, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.sim.behavior import activity_probability, daily_hits, draw_engagement
+from repro.sim.behavior import (
+    daily_hits,
+    draw_engagement,
+    hit_medians,
+    hits_from_medians,
+    scaled_activity_probability,
+    weekday_factor,
+)
 from repro.sim.config import SimulationConfig
 from repro.sim.util import hash_int
 
 BLOCK_SIZE = 256
+
+#: Log-normal width of a crawler's day-to-day traffic volume.
+_CRAWLER_SIGMA = 0.4
+
+#: Memoized weekday-factor tables, keyed by (day-of-weeks, network
+#: type, weekend factors) — a pure function of the key, shared by
+#: every block simulating the same horizon.  Bounded; cleared when it
+#: would outgrow any plausible working set.
+_FACTOR_TABLES: dict[tuple, list[float]] = {}
 
 
 class PolicyKind(enum.Enum):
@@ -120,6 +136,63 @@ class DayActivity:
         )
 
 
+@dataclass
+class DaysActivity:
+    """A whole horizon of block activity in columnar (CSR) layout.
+
+    The batched counterpart of a sequence of :class:`DayActivity`
+    values: day ``d``'s subscriber rows live at
+    ``[day_starts[d], day_starts[d + 1])`` of the three row arrays, in
+    exactly the order the scalar :meth:`AddressPolicy.day_activity`
+    would have produced them — that row-order contract is what lets
+    downstream per-day consumers (User-Agent sampling) draw identical
+    streams from either path.
+
+    ``snapshots`` maps a relative day index to a private copy of
+    :meth:`AddressPolicy.assigned_offsets` as of the *end* of that day
+    (after any lease churn), matching a scalar caller that snapshots
+    between two ``day_activity`` calls.
+    """
+
+    day_starts: np.ndarray
+    sub_ids: np.ndarray
+    sub_hits: np.ndarray
+    sub_offsets: np.ndarray
+    snapshots: dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def num_days(self) -> int:
+        return int(self.day_starts.size - 1)
+
+    def day_slice(self, day: int) -> slice:
+        """Row range of one relative day."""
+        return slice(int(self.day_starts[day]), int(self.day_starts[day + 1]))
+
+
+def _day_starts(counts: Sequence[int]) -> np.ndarray:
+    starts = np.zeros(len(counts) + 1, dtype=np.int64)
+    if counts:
+        np.cumsum(np.asarray(counts, dtype=np.int64), out=starts[1:])
+    return starts
+
+
+def _concat_rows(parts: Sequence[np.ndarray], dtype: type = np.int64) -> np.ndarray:
+    if not parts:
+        return np.empty(0, dtype=dtype)
+    return np.concatenate(parts)
+
+
+def _silent_days(num_days: int, snapshots: dict[int, np.ndarray]) -> DaysActivity:
+    """A horizon with no CDN-visible activity (infrastructure blocks)."""
+    return DaysActivity(
+        day_starts=np.zeros(num_days + 1, dtype=np.int64),
+        sub_ids=np.empty(0, dtype=np.int64),
+        sub_hits=np.empty(0, dtype=np.int64),
+        sub_offsets=np.empty(0, dtype=np.int64),
+        snapshots=snapshots,
+    )
+
+
 class AddressPolicy(abc.ABC):
     """Base class: a stateful per-/24 activity generator."""
 
@@ -137,6 +210,92 @@ class AddressPolicy(abc.ABC):
     @abc.abstractmethod
     def assigned_offsets(self) -> np.ndarray:
         """Offsets currently holding an assignment (probe-relevant)."""
+
+    def days_activity(
+        self,
+        day_of_weeks: Sequence[int],
+        traffic_scales: Sequence[float],
+        snapshot_days: Iterable[int] = (),
+    ) -> DaysActivity:
+        """Advance ``len(day_of_weeks)`` days in one batched call.
+
+        The contract: for the same starting state, the returned rows
+        for day ``d`` are element-wise identical to what ``d + 1``
+        scalar :meth:`day_activity` calls would have produced on day
+        ``d``, the policy's internal RNG finishes in the identical
+        state, and ``snapshots[d]`` equals an
+        :meth:`assigned_offsets` call made right after day ``d``.
+
+        This base implementation simply loops the scalar path — always
+        correct, never fast.  The built-in policies override it with
+        kernels that make bit-identical RNG calls day by day but defer
+        every deterministic computation (hit medians, log-normal
+        ``exp``, traffic scaling, aggregation) to single array ops
+        over the whole horizon.
+        """
+        _, wanted = self._prepare_days(day_of_weeks, traffic_scales, snapshot_days)
+        counts: list[int] = []
+        ids: list[np.ndarray] = []
+        hits: list[np.ndarray] = []
+        offs: list[np.ndarray] = []
+        snapshots: dict[int, np.ndarray] = {}
+        for day, day_of_week in enumerate(day_of_weeks):
+            activity = self.day_activity(int(day_of_week), float(traffic_scales[day]))
+            counts.append(int(activity.sub_ids.size))
+            ids.append(activity.sub_ids)
+            hits.append(activity.sub_hits)
+            offs.append(activity.sub_offsets)
+            if day in wanted:
+                snapshots[day] = self.assigned_offsets().copy()
+        return DaysActivity(
+            day_starts=_day_starts(counts),
+            sub_ids=_concat_rows(ids),
+            sub_hits=_concat_rows(hits),
+            sub_offsets=_concat_rows(offs),
+            snapshots=snapshots,
+        )
+
+    def _prepare_days(
+        self,
+        day_of_weeks: Sequence[int],
+        traffic_scales: Sequence[float],
+        snapshot_days: Iterable[int],
+    ) -> tuple[list[float], set[int]]:
+        """Validate a horizon: per-day weekday factors + snapshot days."""
+        num_days = len(day_of_weeks)
+        if num_days != len(traffic_scales):
+            raise ConfigError(
+                "day_of_weeks and traffic_scales must have equal length: "
+                f"{num_days} != {len(traffic_scales)}"
+            )
+        config = self._config
+        key = (
+            tuple(day_of_weeks),
+            self.network_type,
+            config.weekend_residential_factor,
+            config.weekend_work_factor,
+        )
+        factors = _FACTOR_TABLES.get(key)
+        if factors is None:
+            factors = [
+                weekday_factor(
+                    int(day_of_week),
+                    self.network_type,
+                    config.weekend_residential_factor,
+                    config.weekend_work_factor,
+                )
+                for day_of_week in day_of_weeks
+            ]
+            if len(_FACTOR_TABLES) > 256:
+                _FACTOR_TABLES.clear()
+            _FACTOR_TABLES[key] = factors
+        wanted = {int(day) for day in snapshot_days}
+        for day in wanted:
+            if not 0 <= day < num_days:
+                raise ConfigError(
+                    f"snapshot day {day} outside horizon [0, {num_days})"
+                )
+        return factors, wanted
 
     @property
     def subscriber_count(self) -> int:
@@ -165,12 +324,25 @@ class _SubscriberPool:
             raise ConfigError(f"subscriber count must be positive: {count}")
         self._rng = rng
         self.engagement = draw_engagement(rng, count)
+        # Median daily hits are a pure element-wise function of
+        # engagement, so the cache is maintained incrementally at churn
+        # (bit-identical to a full recompute) and the hot path never
+        # evaluates exp() for stable subscribers.
+        self.median_hits = hit_medians(self.engagement)
         self.sub_ids = sub_base + np.arange(count, dtype=np.int64)
+        self._count = count  # fixed for the pool's lifetime
         self._next_id = sub_base + count
         self._turnover_daily = turnover_daily
+        # Per-weekday-factor activity probabilities, refreshed lazily:
+        # churn only records the dirty indexes, and the next access
+        # recomputes those entries from the then-current engagement —
+        # an element-wise function, so the batched refresh matches
+        # eager per-churn updates bit for bit.
+        self._probs: dict[float, np.ndarray] = {}
+        self._dirty: dict[float, list[np.ndarray]] = {}
 
     def __len__(self) -> int:
-        return int(self.sub_ids.size)
+        return self._count
 
     def turn_over(self) -> np.ndarray:
         """Replace a random sliver of subscribers (new tenants).
@@ -179,23 +351,47 @@ class _SubscriberPool:
         whether the address mapping follows the line (static) or the
         pool (dynamic).
         """
-        churned = np.flatnonzero(self._rng.random(len(self)) < self._turnover_daily)
-        if churned.size:
-            self.engagement[churned] = draw_engagement(self._rng, churned.size)
-            self.sub_ids[churned] = self._next_id + np.arange(churned.size)
-            self._next_id += churned.size
+        churned = (self._rng.random(self._count) < self._turnover_daily).nonzero()[0]
+        if churned.size == 0:
+            return churned
+        fresh = draw_engagement(self._rng, churned.size)
+        self.engagement[churned] = fresh
+        self.median_hits[churned] = hit_medians(fresh)
+        self.sub_ids[churned] = self._next_id + np.arange(churned.size)
+        self._next_id += churned.size
+        for dirty in self._dirty.values():
+            dirty.append(churned)
         return churned
+
+    def _probabilities(self, factor: float) -> np.ndarray:
+        probs = self._probs.get(factor)
+        if probs is None:
+            probs = scaled_activity_probability(self.engagement, factor)
+            self._probs[factor] = probs
+            self._dirty[factor] = []
+            return probs
+        dirty = self._dirty[factor]
+        if dirty:
+            idx = dirty[0] if len(dirty) == 1 else np.concatenate(dirty)
+            # Duplicate indexes are fine: every entry resolves to the
+            # same element-wise function of the current engagement.
+            probs[idx] = scaled_activity_probability(self.engagement[idx], factor)
+            dirty.clear()
+        return probs
+
+    def active_for(self, factor: float) -> np.ndarray:
+        """Indexes of subscribers active under a known weekday factor."""
+        return (self._rng.random(self._count) < self._probabilities(factor)).nonzero()[0]
 
     def active_today(self, day_of_week: int, network_type: str, config: SimulationConfig) -> np.ndarray:
         """Indexes of subscribers active today."""
-        probabilities = activity_probability(
-            self.engagement,
+        factor = weekday_factor(
             day_of_week,
             network_type,
             config.weekend_residential_factor,
             config.weekend_work_factor,
         )
-        return np.flatnonzero(self._rng.random(len(self)) < probabilities)
+        return self.active_for(factor)
 
     def hits_for(self, indexes: np.ndarray) -> np.ndarray:
         return daily_hits(self.engagement[indexes], self._rng)
@@ -230,6 +426,43 @@ class StaticPolicy(AddressPolicy):
             self._pool.sub_ids[active],
             self._pool.hits_for(active),
             self._offsets[active],
+        )
+
+    def days_activity(
+        self,
+        day_of_weeks: Sequence[int],
+        traffic_scales: Sequence[float],
+        snapshot_days: Iterable[int] = (),
+    ) -> DaysActivity:
+        factors, wanted = self._prepare_days(day_of_weeks, traffic_scales, snapshot_days)
+        pool = self._pool
+        counts: list[int] = []
+        ids: list[np.ndarray] = []
+        med: list[np.ndarray] = []
+        offs: list[np.ndarray] = []
+        normals: list[np.ndarray] = []
+        snapshots: dict[int, np.ndarray] = {}
+        for day, factor in enumerate(factors):
+            # RNG order per day, as in day_activity: turnover coins,
+            # activity coins, one normal per active subscriber.
+            pool.turn_over()
+            active = pool.active_for(factor)
+            normals.append(self._rng.standard_normal(active.size))
+            counts.append(int(active.size))
+            ids.append(pool.sub_ids[active])
+            med.append(pool.median_hits[active])
+            offs.append(self._offsets[active])
+            if day in wanted:
+                snapshots[day] = self._offsets.copy()
+        sub_hits = hits_from_medians(
+            _concat_rows(med, np.float64), _concat_rows(normals, np.float64)
+        )
+        return DaysActivity(
+            day_starts=_day_starts(counts),
+            sub_ids=_concat_rows(ids),
+            sub_hits=sub_hits,
+            sub_offsets=_concat_rows(offs),
+            snapshots=snapshots,
         )
 
 
@@ -267,6 +500,49 @@ class DynamicShortLeasePolicy(AddressPolicy):
             self._pool.sub_ids[active], self._pool.hits_for(active), offsets
         )
 
+    def days_activity(
+        self,
+        day_of_weeks: Sequence[int],
+        traffic_scales: Sequence[float],
+        snapshot_days: Iterable[int] = (),
+    ) -> DaysActivity:
+        factors, wanted = self._prepare_days(day_of_weeks, traffic_scales, snapshot_days)
+        pool = self._pool
+        counts: list[int] = []
+        ids: list[np.ndarray] = []
+        med: list[np.ndarray] = []
+        offs: list[np.ndarray] = []
+        normals: list[np.ndarray] = []
+        snapshots: dict[int, np.ndarray] = {}
+        last_offsets = self._last_offsets
+        for day, factor in enumerate(factors):
+            pool.turn_over()
+            active = pool.active_for(factor)
+            if active.size > BLOCK_SIZE:
+                active = self._rng.choice(active, size=BLOCK_SIZE, replace=False)
+            offsets = self._rng.permutation(BLOCK_SIZE)[: active.size]
+            normals.append(self._rng.standard_normal(active.size))
+            counts.append(int(active.size))
+            ids.append(pool.sub_ids[active])
+            med.append(pool.median_hits[active])
+            offs.append(offsets)
+            last_offsets = offsets  # sorting deferred to snapshot/exit
+            if day in wanted:
+                snapshots[day] = np.sort(last_offsets)
+        # Restore the scalar invariant before returning: assigned
+        # offsets reflect the last simulated day.
+        self._last_offsets = np.sort(last_offsets)
+        sub_hits = hits_from_medians(
+            _concat_rows(med, np.float64), _concat_rows(normals, np.float64)
+        )
+        return DaysActivity(
+            day_starts=_day_starts(counts),
+            sub_ids=_concat_rows(ids),
+            sub_hits=sub_hits,
+            sub_offsets=_concat_rows(offs),
+            snapshots=snapshots,
+        )
+
 
 class DynamicLongLeasePolicy(AddressPolicy):
     """DHCP with a long lease (Fig. 6c).
@@ -293,31 +569,83 @@ class DynamicLongLeasePolicy(AddressPolicy):
     def assigned_offsets(self) -> np.ndarray:
         return np.sort(self._sub_offsets)
 
+    def _free_offsets(self) -> np.ndarray:
+        """Unassigned offsets, ascending — a fast ``setdiff1d``.
+
+        ``flatnonzero`` over an occupancy mask returns the same sorted
+        unique complement ``np.setdiff1d(np.arange(BLOCK_SIZE), ...)``
+        would, without the sort of a 256-element range every day.
+        """
+        taken = np.zeros(BLOCK_SIZE, dtype=bool)
+        taken[self._sub_offsets] = True
+        return np.flatnonzero(~taken)
+
     def _reassign_leases(self) -> None:
         moving = np.flatnonzero(self._rng.random(len(self._pool)) < self._lease_churn_daily)
         if moving.size == 0:
             return
-        free = np.setdiff1d(np.arange(BLOCK_SIZE), self._sub_offsets, assume_unique=False)
+        free = self._free_offsets()
         if free.size == 0:
             return
         self._rng.shuffle(free)
         takeable = min(moving.size, free.size)
         self._sub_offsets[moving[:takeable]] = free[:takeable]
 
+    def _churn_tenants(self, churned: np.ndarray) -> None:
+        """A new tenant gets a fresh lease, i.e. a new address."""
+        free = self._free_offsets()
+        self._rng.shuffle(free)
+        takeable = min(churned.size, free.size)
+        self._sub_offsets[churned[:takeable]] = free[:takeable]
+
     def day_activity(self, day_of_week: int, traffic_scale: float = 1.0) -> DayActivity:
         churned = self._pool.turn_over()
         if churned.size:
-            # A new tenant gets a fresh lease, i.e. a new address.
-            free = np.setdiff1d(np.arange(BLOCK_SIZE), self._sub_offsets)
-            self._rng.shuffle(free)
-            takeable = min(churned.size, free.size)
-            self._sub_offsets[churned[:takeable]] = free[:takeable]
+            self._churn_tenants(churned)
         self._reassign_leases()
         active = self._pool.active_today(day_of_week, self.network_type, self._config)
         return DayActivity.from_subscribers(
             self._pool.sub_ids[active],
             self._pool.hits_for(active),
             self._sub_offsets[active],
+        )
+
+    def days_activity(
+        self,
+        day_of_weeks: Sequence[int],
+        traffic_scales: Sequence[float],
+        snapshot_days: Iterable[int] = (),
+    ) -> DaysActivity:
+        factors, wanted = self._prepare_days(day_of_weeks, traffic_scales, snapshot_days)
+        pool = self._pool
+        counts: list[int] = []
+        ids: list[np.ndarray] = []
+        med: list[np.ndarray] = []
+        offs: list[np.ndarray] = []
+        normals: list[np.ndarray] = []
+        snapshots: dict[int, np.ndarray] = {}
+        for day, factor in enumerate(factors):
+            churned = pool.turn_over()
+            if churned.size:
+                self._churn_tenants(churned)
+            self._reassign_leases()
+            active = pool.active_for(factor)
+            normals.append(self._rng.standard_normal(active.size))
+            counts.append(int(active.size))
+            ids.append(pool.sub_ids[active])
+            med.append(pool.median_hits[active])
+            offs.append(self._sub_offsets[active])
+            if day in wanted:
+                snapshots[day] = np.sort(self._sub_offsets)
+        sub_hits = hits_from_medians(
+            _concat_rows(med, np.float64), _concat_rows(normals, np.float64)
+        )
+        return DaysActivity(
+            day_starts=_day_starts(counts),
+            sub_ids=_concat_rows(ids),
+            sub_hits=sub_hits,
+            sub_offsets=_concat_rows(offs),
+            snapshots=snapshots,
         )
 
 
@@ -357,6 +685,46 @@ class RoundRobinPolicy(AddressPolicy):
             self._pool.sub_ids[active], self._pool.hits_for(active), offsets
         )
 
+    def days_activity(
+        self,
+        day_of_weeks: Sequence[int],
+        traffic_scales: Sequence[float],
+        snapshot_days: Iterable[int] = (),
+    ) -> DaysActivity:
+        factors, wanted = self._prepare_days(day_of_weeks, traffic_scales, snapshot_days)
+        pool = self._pool
+        counts: list[int] = []
+        ids: list[np.ndarray] = []
+        med: list[np.ndarray] = []
+        offs: list[np.ndarray] = []
+        normals: list[np.ndarray] = []
+        snapshots: dict[int, np.ndarray] = {}
+        last_offsets = self._last_offsets
+        for day, factor in enumerate(factors):
+            pool.turn_over()
+            active = pool.active_for(factor)
+            offsets = (self._pointer + np.arange(active.size)) % BLOCK_SIZE
+            self._pointer = (self._pointer + self._advance) % BLOCK_SIZE
+            normals.append(self._rng.standard_normal(active.size))
+            counts.append(int(active.size))
+            ids.append(pool.sub_ids[active])
+            med.append(pool.median_hits[active])
+            offs.append(offsets)
+            last_offsets = offsets  # dedup/sort deferred to snapshot/exit
+            if day in wanted:
+                snapshots[day] = np.sort(np.unique(last_offsets))
+        self._last_offsets = np.sort(np.unique(last_offsets))
+        sub_hits = hits_from_medians(
+            _concat_rows(med, np.float64), _concat_rows(normals, np.float64)
+        )
+        return DaysActivity(
+            day_starts=_day_starts(counts),
+            sub_ids=_concat_rows(ids),
+            sub_hits=sub_hits,
+            sub_offsets=_concat_rows(offs),
+            snapshots=snapshots,
+        )
+
 
 class GatewayPolicy(AddressPolicy):
     """CGN / proxy gateways: few addresses, thousands of users (Sec. 6).
@@ -378,6 +746,17 @@ class GatewayPolicy(AddressPolicy):
         count = int(rng.integers(2000, 12000))
         self._pool = _SubscriberPool(rng, count, sub_base, config.subscriber_turnover_daily)
         self._salt = int(rng.integers(0, 2**31))
+        # Per-subscriber egress offset — a pure element-wise hash of
+        # the subscriber id, so the cache is rehashed only at churn
+        # (bit-identical to hashing every row every day).
+        self._sub_gw_offsets = self._gw_offsets[
+            hash_int(self._pool.sub_ids, self._salt, self._num_gateways)
+        ]
+
+    def _rehash(self, churned: np.ndarray) -> None:
+        self._sub_gw_offsets[churned] = self._gw_offsets[
+            hash_int(self._pool.sub_ids[churned], self._salt, self._num_gateways)
+        ]
 
     @property
     def subscriber_count(self) -> int:
@@ -387,13 +766,55 @@ class GatewayPolicy(AddressPolicy):
         return self._gw_offsets.copy()
 
     def day_activity(self, day_of_week: int, traffic_scale: float = 1.0) -> DayActivity:
-        self._pool.turn_over()
+        churned = self._pool.turn_over()
+        if churned.size:
+            self._rehash(churned)
         active = self._pool.active_today(day_of_week, self.network_type, self._config)
         hits = self._pool.hits_for(active)
         hits = np.maximum(1, (hits * traffic_scale).astype(np.int64))
-        gateway_index = hash_int(self._pool.sub_ids[active], self._salt, self._num_gateways)
         return DayActivity.from_subscribers(
-            self._pool.sub_ids[active], hits, self._gw_offsets[gateway_index]
+            self._pool.sub_ids[active], hits, self._sub_gw_offsets[active]
+        )
+
+    def days_activity(
+        self,
+        day_of_weeks: Sequence[int],
+        traffic_scales: Sequence[float],
+        snapshot_days: Iterable[int] = (),
+    ) -> DaysActivity:
+        factors, wanted = self._prepare_days(day_of_weeks, traffic_scales, snapshot_days)
+        pool = self._pool
+        counts: list[int] = []
+        ids: list[np.ndarray] = []
+        med: list[np.ndarray] = []
+        offs: list[np.ndarray] = []
+        normals: list[np.ndarray] = []
+        snapshots: dict[int, np.ndarray] = {}
+        for day, factor in enumerate(factors):
+            churned = pool.turn_over()
+            if churned.size:
+                self._rehash(churned)
+            active = pool.active_for(factor)
+            normals.append(self._rng.standard_normal(active.size))
+            counts.append(int(active.size))
+            ids.append(pool.sub_ids[active])
+            med.append(pool.median_hits[active])
+            offs.append(self._sub_gw_offsets[active])
+            if day in wanted:
+                snapshots[day] = self._gw_offsets.copy()
+        hits = hits_from_medians(
+            _concat_rows(med, np.float64), _concat_rows(normals, np.float64)
+        )
+        # Per-row traffic scale: int64 * float64 is the same element-wise
+        # multiply the scalar path performs with a python-float scale.
+        scale_rows = np.repeat(np.asarray(traffic_scales, dtype=np.float64), counts)
+        sub_hits = np.maximum(1, (hits * scale_rows).astype(np.int64))
+        return DaysActivity(
+            day_starts=_day_starts(counts),
+            sub_ids=_concat_rows(ids),
+            sub_hits=sub_hits,
+            sub_offsets=_concat_rows(offs),
+            snapshots=snapshots,
         )
 
 
@@ -422,10 +843,48 @@ class CrawlerPolicy(AddressPolicy):
 
     def day_activity(self, day_of_week: int, traffic_scale: float = 1.0) -> DayActivity:
         active = np.flatnonzero(self._rng.random(self._bot_ids.size) < 0.985)
-        hits = self._median_hits[active] * self._rng.lognormal(0.0, 0.4, size=active.size)
+        # exp(0.4 * N(0,1)) consumes the same bitstream as lognormal(0, 0.4)
+        # and is the shared math of the batched days_activity path.
+        normals = self._rng.standard_normal(active.size)
+        hits = self._median_hits[active] * np.exp(_CRAWLER_SIGMA * normals)
         hits = np.maximum(1, (hits * traffic_scale).astype(np.int64))
         return DayActivity.from_subscribers(
             self._bot_ids[active], hits, self._offsets[active]
+        )
+
+    def days_activity(
+        self,
+        day_of_weeks: Sequence[int],
+        traffic_scales: Sequence[float],
+        snapshot_days: Iterable[int] = (),
+    ) -> DaysActivity:
+        factors, wanted = self._prepare_days(day_of_weeks, traffic_scales, snapshot_days)
+        counts: list[int] = []
+        ids: list[np.ndarray] = []
+        medians: list[np.ndarray] = []
+        offs: list[np.ndarray] = []
+        normals: list[np.ndarray] = []
+        snapshots: dict[int, np.ndarray] = {}
+        for day in range(len(factors)):
+            active = (self._rng.random(self._bot_ids.size) < 0.985).nonzero()[0]
+            normals.append(self._rng.standard_normal(active.size))
+            counts.append(int(active.size))
+            ids.append(self._bot_ids[active])
+            medians.append(self._median_hits[active])
+            offs.append(self._offsets[active])
+            if day in wanted:
+                snapshots[day] = self._offsets.copy()
+        hits = _concat_rows(medians, np.float64) * np.exp(
+            _CRAWLER_SIGMA * _concat_rows(normals, np.float64)
+        )
+        scale_rows = np.repeat(np.asarray(traffic_scales, dtype=np.float64), counts)
+        sub_hits = np.maximum(1, (hits * scale_rows).astype(np.int64))
+        return DaysActivity(
+            day_starts=_day_starts(counts),
+            sub_ids=_concat_rows(ids),
+            sub_hits=sub_hits,
+            sub_offsets=_concat_rows(offs),
+            snapshots=snapshots,
         )
 
 
@@ -463,6 +922,39 @@ class ServerPolicy(AddressPolicy):
             self._ids[active], hits, self._offsets[active]
         )
 
+    def days_activity(
+        self,
+        day_of_weeks: Sequence[int],
+        traffic_scales: Sequence[float],
+        snapshot_days: Iterable[int] = (),
+    ) -> DaysActivity:
+        factors, wanted = self._prepare_days(day_of_weeks, traffic_scales, snapshot_days)
+        num_days = len(factors)
+        snapshots = {day: self._offsets.copy() for day in wanted}
+        if not self._fetches_updates:
+            # The scalar path consumes no RNG for these blocks either.
+            return _silent_days(num_days, snapshots)
+        counts: list[int] = []
+        ids: list[np.ndarray] = []
+        hits: list[np.ndarray] = []
+        offs: list[np.ndarray] = []
+        for _ in range(num_days):
+            active = (self._rng.random(self._offsets.size) < 0.03).nonzero()[0]
+            counts.append(int(active.size))
+            if active.size == 0:
+                # Scalar path returns empty *before* drawing hit counts.
+                continue
+            hits.append(self._rng.integers(1, 20, size=active.size).astype(np.int64))
+            ids.append(self._ids[active])
+            offs.append(self._offsets[active])
+        return DaysActivity(
+            day_starts=_day_starts(counts),
+            sub_ids=_concat_rows(ids),
+            sub_hits=_concat_rows(hits),
+            sub_offsets=_concat_rows(offs),
+            snapshots=snapshots,
+        )
+
 
 class RouterPolicy(AddressPolicy):
     """Router interface addresses: visible to traceroute/ICMP only."""
@@ -484,6 +976,17 @@ class RouterPolicy(AddressPolicy):
     def day_activity(self, day_of_week: int, traffic_scale: float = 1.0) -> DayActivity:
         return DayActivity.empty()
 
+    def days_activity(
+        self,
+        day_of_weeks: Sequence[int],
+        traffic_scales: Sequence[float],
+        snapshot_days: Iterable[int] = (),
+    ) -> DaysActivity:
+        _, wanted = self._prepare_days(day_of_weeks, traffic_scales, snapshot_days)
+        return _silent_days(
+            len(day_of_weeks), {day: self._offsets.copy() for day in wanted}
+        )
+
 
 class UnusedPolicy(AddressPolicy):
     """Routed but idle space: no clients, no probe responses."""
@@ -498,6 +1001,18 @@ class UnusedPolicy(AddressPolicy):
 
     def day_activity(self, day_of_week: int, traffic_scale: float = 1.0) -> DayActivity:
         return DayActivity.empty()
+
+    def days_activity(
+        self,
+        day_of_weeks: Sequence[int],
+        traffic_scales: Sequence[float],
+        snapshot_days: Iterable[int] = (),
+    ) -> DaysActivity:
+        _, wanted = self._prepare_days(day_of_weeks, traffic_scales, snapshot_days)
+        return _silent_days(
+            len(day_of_weeks),
+            {day: np.empty(0, dtype=np.int64) for day in wanted},
+        )
 
 
 _POLICY_CLASSES: dict[PolicyKind, type[AddressPolicy]] = {

@@ -30,3 +30,13 @@ def set_order(blocks):
 def global_state(n):
     random.seed(n)  # line 31: D105
     return np.random.randint(0, n)  # line 32: D105
+
+
+def scalar_loop_draws(rng, n):
+    out = []
+    for _ in range(n):
+        out.append(rng.random())  # line 38: D106
+    while out and out[-1] > 0.5:
+        out.pop()
+        out.append(rng.standard_normal())  # line 41: D106
+    return out

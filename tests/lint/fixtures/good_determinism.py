@@ -31,3 +31,8 @@ def membership_is_fine(blocks, candidates):
 
 def generator_draws_are_fine(rng):
     return rng.random(3)
+
+
+def batched_draw_outside_loop_is_fine(rng, items):
+    draws = rng.random(len(items))
+    return [item for item, draw in zip(items, draws) if draw < 0.5]

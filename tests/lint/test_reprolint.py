@@ -35,7 +35,7 @@ class TestRuleRegistry:
     def test_all_families_registered(self):
         ids = {rule.rule_id for rule in all_rules()}
         assert ids == {
-            "D101", "D102", "D103", "D104", "D105",
+            "D101", "D102", "D103", "D104", "D105", "D106",
             "A201", "A202", "A203",
             "E301", "E302", "E303",
             "N401", "N402",
@@ -60,6 +60,8 @@ class TestDeterminismRules:
             ("D104", 27),
             ("D105", 31),
             ("D105", 32),
+            ("D106", 38),
+            ("D106", 41),
         ]
 
     def test_good_fixture_clean(self):

@@ -161,9 +161,109 @@ class TestBenchRecord:
         assert record["benchmark"] == "collect"
         assert record["world"]["seed"] == 9
         assert record["world"]["num_days"] == 5
+        assert record["repeats"] == 1
         assert [run["workers"] for run in record["runs"]] == [1, 2]
         for run in record["runs"]:
             assert run["total_s"] > 0
             assert run["addr_days_per_s"] > 0
         assert "2" in record["speedup_vs_serial"]
         assert "wrote" in capsys.readouterr().out
+
+    def test_oversubscription_is_warned_and_recorded(
+        self, bench_record, monkeypatch, capsys
+    ):
+        # Pretend this is a 1-CPU box: the workers=2 run then measures
+        # oversubscription and must say so in the record, not just on
+        # stderr.
+        monkeypatch.setattr(bench_record.os, "cpu_count", lambda: 1)
+        config = bench_record.SimulationConfig(
+            seed=3, num_ases=10, mean_blocks_per_as=1.5
+        )
+        record = bench_record.measure(config, num_days=4, workers_list=[1, 2])
+        assert "exceeds cpu_count=1" in capsys.readouterr().err
+        assert len(record["warnings"]) == 1
+        assert "oversubscription" in record["warnings"][0]
+        by_workers = {run["workers"]: run for run in record["runs"]}
+        assert by_workers[2]["oversubscribed"] is True
+        assert "oversubscribed" not in by_workers[1]
+
+    def test_no_warning_when_cpus_suffice(self, bench_record, monkeypatch, capsys):
+        monkeypatch.setattr(bench_record.os, "cpu_count", lambda: 8)
+        config = bench_record.SimulationConfig(
+            seed=3, num_ases=10, mean_blocks_per_as=1.5
+        )
+        record = bench_record.measure(config, num_days=4, workers_list=[1])
+        assert record["warnings"] == []
+        assert capsys.readouterr().err == ""
+
+    def test_repeats_recorded_and_rejects_nonpositive(self, bench_record):
+        config = bench_record.SimulationConfig(
+            seed=3, num_ases=10, mean_blocks_per_as=1.5
+        )
+        record = bench_record.measure(
+            config, num_days=4, workers_list=[1], repeats=2
+        )
+        assert record["repeats"] == 2
+        with pytest.raises(ValueError, match="repeats"):
+            bench_record.measure(config, num_days=4, workers_list=[1], repeats=0)
+
+    @pytest.fixture()
+    def gate_record(self):
+        return {
+            "world": {
+                "seed": 9, "num_ases": 15, "mean_blocks_per_as": 3.0,
+                "num_blocks": 38, "num_days": 5,
+            },
+            "runs": [{"workers": 1, "addr_days_per_s": 1000.0}],
+        }
+
+    def test_gate_passes_within_tolerance(self, bench_record, gate_record):
+        slower = json.loads(json.dumps(gate_record))
+        slower["runs"][0]["addr_days_per_s"] = 800.0
+        passed, message = bench_record.gate_against(gate_record, slower, 0.30)
+        assert passed and "gate passed" in message
+
+    def test_gate_fails_past_tolerance(self, bench_record, gate_record):
+        slower = json.loads(json.dumps(gate_record))
+        slower["runs"][0]["addr_days_per_s"] = 600.0
+        passed, message = bench_record.gate_against(gate_record, slower, 0.30)
+        assert not passed and "gate FAILED" in message
+
+    def test_gate_skips_on_world_shape_mismatch(self, bench_record, gate_record):
+        other = json.loads(json.dumps(gate_record))
+        other["world"]["num_blocks"] = 999
+        other["runs"][0]["addr_days_per_s"] = 1.0  # would fail if compared
+        passed, message = bench_record.gate_against(gate_record, other, 0.30)
+        assert passed and "gate skipped" in message and "num_blocks" in message
+
+    def test_main_self_gates_against_previous_record(
+        self, bench_record, tmp_path, capsys
+    ):
+        out = tmp_path / "BENCH_collect.json"
+        args = ["--smoke", "--days", "5", "--out", str(out), "--seed", "9"]
+        assert bench_record.main(args) == 0
+        capsys.readouterr()
+        # Same world, gated against the record just written: passes and
+        # the record is refreshed (the baseline was read before the
+        # overwrite, so --out may equal --gate-against).
+        assert bench_record.main(args + ["--gate-against", str(out)]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_main_exits_nonzero_on_regression(
+        self, bench_record, tmp_path, capsys
+    ):
+        out = tmp_path / "BENCH_collect.json"
+        args = ["--smoke", "--days", "5", "--out", str(out), "--seed", "9"]
+        assert bench_record.main(args) == 0
+        record = json.loads(out.read_text())
+        for run in record["runs"]:
+            if run["workers"] == 1:
+                run["addr_days_per_s"] *= 100.0  # impossible baseline
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(record))
+        capsys.readouterr()
+        code = bench_record.main(args + ["--gate-against", str(baseline)])
+        assert code == 1
+        assert "gate FAILED" in capsys.readouterr().out
+        # The record is still written for forensics even when gating fails.
+        assert json.loads(out.read_text())["benchmark"] == "collect"

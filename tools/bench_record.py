@@ -48,30 +48,56 @@ def _datasets_identical(reference, candidate) -> bool:
 
 
 def measure(
-    config: SimulationConfig, num_days: int, workers_list: list[int]
+    config: SimulationConfig,
+    num_days: int,
+    workers_list: list[int],
+    repeats: int = 1,
 ) -> dict:
     """Collect *num_days* days at each worker count; return the record.
+
+    Each worker count runs ``repeats`` times and the fastest wall-clock
+    attempt is recorded (machine noise otherwise dominates small
+    worlds).  Worker counts above the machine's CPU count are measured
+    anyway but flagged — an "oversubscribed" run times context
+    switching, not scaling, and the record must say so rather than
+    report a misleading sub-1.0 "speedup".
 
     Raises ``RuntimeError`` if any parallel dataset deviates from the
     serial one — a perf record of a broken engine is worse than none.
     """
+    if repeats < 1:
+        raise ValueError(f"repeats must be positive: {repeats}")
+    cpu_count = os.cpu_count() or 1
     world = InternetPopulation.build(config)
     observatory = CDNObservatory(world)
     runs = []
+    warnings: list[str] = []
     reference = None
     serial_wall = None
     for workers in workers_list:
-        result = observatory.collect_daily(num_days, workers=workers)
-        if reference is None:
-            reference = result.dataset
-        elif not _datasets_identical(reference, result.dataset):
-            raise RuntimeError(
-                f"determinism violation: workers={workers} dataset deviates"
+        best = None
+        for _ in range(repeats):
+            result = observatory.collect_daily(num_days, workers=workers)
+            if reference is None:
+                reference = result.dataset
+            elif not _datasets_identical(reference, result.dataset):
+                raise RuntimeError(
+                    f"determinism violation: workers={workers} dataset deviates"
+                )
+            run = result.perf.as_dict()
+            if best is None or run["total_s"] < best["total_s"]:
+                best = run
+        if workers > cpu_count:
+            best["oversubscribed"] = True
+            message = (
+                f"workers={workers} exceeds cpu_count={cpu_count}: this run "
+                "measures oversubscription, not parallel scaling"
             )
-        perf = result.perf
+            warnings.append(message)
+            print(f"bench_record: warning: {message}", file=sys.stderr)
         if workers == 1:
-            serial_wall = perf.total_seconds
-        runs.append(perf.as_dict())
+            serial_wall = best["total_s"]
+        runs.append(best)
     speedups = {}
     if serial_wall:
         for run in runs:
@@ -83,7 +109,7 @@ def measure(
             timespec="seconds"
         ),
         "machine": {
-            "cpu_count": os.cpu_count(),
+            "cpu_count": cpu_count,
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
@@ -94,6 +120,8 @@ def measure(
             "num_blocks": len(world.blocks),
             "num_days": num_days,
         },
+        "repeats": repeats,
+        "warnings": warnings,
         "runs": runs,
         "speedup_vs_serial": speedups,
     }
@@ -107,6 +135,50 @@ def write_record(path: str, record: dict) -> None:
         path, json.dumps(record, indent=2, sort_keys=False) + "\n",
         encoding="ascii",
     )
+
+
+def _serial_addr_days_per_s(record: dict) -> float | None:
+    for run in record.get("runs", []):
+        if run.get("workers") == 1:
+            rate = run.get("addr_days_per_s")
+            return float(rate) if rate is not None else None
+    return None
+
+
+def gate_against(baseline: dict, record: dict, tolerance: float) -> tuple[bool, str]:
+    """Compare serial throughput against a baseline record.
+
+    Returns ``(passed, message)``.  The gate only fires when both
+    records benchmarked the same world shape — a baseline from a
+    different world says nothing about this run, so a mismatch skips
+    the gate (with a message) rather than failing it.
+    """
+    shape_keys = ("seed", "num_ases", "mean_blocks_per_as", "num_blocks", "num_days")
+    old_world = baseline.get("world", {})
+    new_world = record.get("world", {})
+    mismatched = [
+        key for key in shape_keys if old_world.get(key) != new_world.get(key)
+    ]
+    if mismatched:
+        return True, (
+            "gate skipped: baseline world differs on "
+            + ", ".join(
+                f"{key} ({old_world.get(key)!r} -> {new_world.get(key)!r})"
+                for key in mismatched
+            )
+        )
+    old_rate = _serial_addr_days_per_s(baseline)
+    new_rate = _serial_addr_days_per_s(record)
+    if old_rate is None or new_rate is None:
+        return True, "gate skipped: no serial (workers=1) run to compare"
+    floor = old_rate * (1.0 - tolerance)
+    verdict = (
+        f"serial addr_days_per_s {new_rate:,.1f} vs baseline {old_rate:,.1f} "
+        f"(floor {floor:,.1f} at tolerance {tolerance:.0%})"
+    )
+    if new_rate < floor:
+        return False, f"gate FAILED: {verdict}"
+    return True, f"gate passed: {verdict}"
 
 
 def _parse_workers(text: str) -> list[int]:
@@ -134,6 +206,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="CI-sized run: tiny world, 14 days, workers 1 and 2",
     )
+    parser.add_argument(
+        "--repeats", type=int, default=1, metavar="N",
+        help="run each worker count N times, record the fastest (noise guard)",
+    )
+    parser.add_argument(
+        "--gate-against", default=None, metavar="PATH",
+        help="fail (exit 1) if serial throughput regresses more than "
+        "--gate-tolerance below this baseline record's",
+    )
+    parser.add_argument(
+        "--gate-tolerance", type=float, default=0.30, metavar="FRAC",
+        help="allowed fractional regression before the gate fails (default 0.30)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -157,7 +242,14 @@ def main(argv: list[str] | None = None) -> int:
             ),
         )
 
-    record = measure(config, num_days, workers_list)
+    # Load the baseline before write_record: --gate-against may name the
+    # same path as --out (self-gating against the committed record).
+    baseline = None
+    if args.gate_against is not None:
+        with open(args.gate_against, encoding="ascii") as handle:
+            baseline = json.load(handle)
+
+    record = measure(config, num_days, workers_list, repeats=args.repeats)
     write_record(args.out, record)
     best = max(record["speedup_vs_serial"].values(), default=None)
     print(
@@ -165,6 +257,11 @@ def main(argv: list[str] | None = None) -> int:
         f"{num_days} days, workers {workers_list}"
         + (f", best speedup {best}x" if best is not None else "")
     )
+    if baseline is not None:
+        passed, message = gate_against(baseline, record, args.gate_tolerance)
+        print(f"bench_record: {message}")
+        if not passed:
+            return 1
     return 0
 
 

@@ -21,6 +21,14 @@ collection code paths (``src/repro/sim``, ``src/repro/core``):
 - D105 — stdlib ``random.*`` and numpy's legacy global-state API
   (``np.random.seed/rand/randint/...``) share hidden mutable state
   across callers; only per-stream ``Generator`` objects are allowed.
+- D106 — a per-iteration RNG draw inside a loop in the collection
+  engine's hot path (``src/repro/sim/engine.py``).  The vectorized
+  kernel delegates all per-day draws to the policies' batched
+  ``days_activity`` kernels; a scalar draw loop reintroduced at the
+  engine layer is almost always the interpreted hot path the
+  vectorization removed.  Legitimate cases (e.g. a reference kernel
+  kept as executable spec) carry a justified
+  ``# reprolint: disable=D106 -- why`` suppression.
 """
 
 from __future__ import annotations
@@ -54,6 +62,13 @@ _NP_GLOBAL_RNG = {
     "seed", "rand", "randn", "randint", "random", "random_sample",
     "choice", "shuffle", "permutation", "uniform", "normal", "poisson",
     "binomial", "exponential", "bytes",
+}
+
+#: ``np.random.Generator`` draw methods (the modern per-stream API).
+_GENERATOR_DRAWS = {
+    "random", "standard_normal", "integers", "choice", "shuffle",
+    "permutation", "uniform", "normal", "lognormal", "beta",
+    "exponential", "poisson", "binomial", "bytes",
 }
 
 
@@ -191,4 +206,38 @@ class GlobalRandomState(Rule):
                     module, node.lineno, node.col_offset,
                     f"legacy global-state API {name}(): use "
                     "default_rng(SeedSequence(...)) streams instead",
+                )
+
+
+@rule
+class ScalarLoopRngDraw(Rule):
+    rule_id = "D106"
+    summary = "per-iteration RNG draw in an engine hot loop"
+    scope = ("src/repro/sim/engine.py",)
+
+    def check(self, module) -> Iterator[Finding]:
+        seen: set[tuple[int, int]] = set()
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for node in walk_calls(loop):
+                name = call_name(node)
+                if name is None or "." not in name:
+                    continue
+                receiver, _, method = name.rpartition(".")
+                receiver = receiver.lower()
+                if method not in _GENERATOR_DRAWS:
+                    continue
+                if "rng" not in receiver and "generator" not in receiver:
+                    continue
+                key = (node.lineno, node.col_offset)
+                if key in seen:
+                    continue  # nested loops walk the same call twice
+                seen.add(key)
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"scalar {name}() draw inside a loop in the engine "
+                    "hot path: batch the draws through the policies' "
+                    "days_activity kernels, or justify with "
+                    "'# reprolint: disable=D106 -- why'",
                 )
