@@ -30,6 +30,7 @@ Example::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from collections.abc import Sequence
@@ -37,7 +38,12 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core import change, churn, metrics, potential, seasonal, traffic
-from repro.core.io import load_dataset, save_dataset, save_routing_series
+from repro.core.io import (
+    load_dataset,
+    open_store,
+    save_dataset,
+    save_routing_series,
+)
 from repro.obs import (
     ObsContext,
     build_manifest,
@@ -114,6 +120,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "with a deterministic, seed-keyed injected fault (retries recover it; "
         "the output is unchanged)",
     )
+    simulate.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="write the dataset as an out-of-core sharded store under DIR "
+        "instead of a single .npz — the merge phase streams shards to disk "
+        "and never assembles the full dataset in memory",
+    )
+    simulate.add_argument(
+        "--store-shard-blocks",
+        type=int,
+        default=256,
+        metavar="N",
+        help="/24 blocks per store shard (with --store-dir)",
+    )
     simulate.add_argument("--out", required=True, help="output path prefix")
     _add_obs_flags(simulate)
 
@@ -122,7 +143,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "analysis",
         choices=["churn", "metrics", "change", "traffic", "potential", "weekday", "all"],
     )
-    analyze.add_argument("dataset", help="path to a .npz dataset")
+    analyze.add_argument(
+        "dataset",
+        help="path to a .npz dataset, or a store directory (churn and "
+        "metrics then stream shard-by-shard in constant memory)",
+    )
     analyze.add_argument("--month-days", type=int, default=28)
     analyze.add_argument("--top-fraction", type=float, default=0.10)
     _add_obs_flags(analyze)
@@ -241,6 +266,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if not 0.0 <= args.inject_fault_rate <= 1.0:
         print("--inject-fault-rate must be a probability", file=sys.stderr)
         return 2
+    if args.store_shard_blocks < 1:
+        print("--store-shard-blocks must be >= 1", file=sys.stderr)
+        return 2
     fault = (
         FaultInjection(rate=args.inject_fault_rate)
         if args.inject_fault_rate > 0
@@ -263,6 +291,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         fault=fault,
         obs=ctx,
         progress=_ProgressPrinter() if args.progress else None,
+        store_dir=args.store_dir,
+        store_shard_blocks=args.store_shard_blocks,
     )
     if args.weekly:
         if args.days % 7:
@@ -271,20 +301,39 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         result = observatory.collect_weekly(args.days // 7, **collect_kwargs)
     else:
         result = observatory.collect_daily(args.days, **collect_kwargs)
-    dataset_path = f"{args.out}.npz"
     routing_path = f"{args.out}.rib.txt"
-    with obs_api.activate(ctx):
-        save_dataset(dataset_path, result.dataset, compress=not args.no_compress)
-        save_routing_series(routing_path, result.routing)
-    manifest = build_manifest(ctx, dataset=result.dataset, dataset_path=dataset_path)
+    if result.store is not None:
+        store = result.store
+        dataset_path = store.root
+        with obs_api.activate(ctx):
+            save_routing_series(routing_path, result.routing)
+        manifest = build_manifest(
+            ctx, dataset_path=dataset_path, dataset_sha256=store.dataset_sha256
+        )
+        dataset_line = (
+            f"store: {dataset_path} ({len(store)} x {store.window_days}d "
+            f"snapshots, {store.num_blocks} /24 blocks in "
+            f"{len(store.shards)} shards)"
+        )
+    else:
+        dataset_path = f"{args.out}.npz"
+        with obs_api.activate(ctx):
+            save_dataset(dataset_path, result.dataset, compress=not args.no_compress)
+            save_routing_series(routing_path, result.routing)
+        manifest = build_manifest(
+            ctx, dataset=result.dataset, dataset_path=dataset_path
+        )
+        dataset_line = (
+            f"dataset: {dataset_path} ({len(result.dataset)} x "
+            f"{result.dataset.window_days}d snapshots, "
+            f"{format_count(result.dataset.total_unique())} unique addresses)"
+        )
     manifest_path = manifest_path_for(dataset_path)
     write_manifest(manifest_path, manifest)
     _export_obs(ctx, args)
     print(
         f"world: {len(world.ases)} ASes, {len(world.blocks)} /24 blocks\n"
-        f"dataset: {dataset_path} ({len(result.dataset)} x "
-        f"{result.dataset.window_days}d snapshots, "
-        f"{format_count(result.dataset.total_unique())} unique addresses)\n"
+        + dataset_line + "\n"
         f"routing: {routing_path} ({len(result.routing)} daily tables)\n"
         f"manifest: {manifest_path}\n"
         + _format_perf(result.perf)
@@ -292,13 +341,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _analyze_churn(dataset, args: argparse.Namespace) -> None:
-    if dataset.window_days != 1:
-        summary = churn.ChurnSummary(
-            dataset.window_days, tuple(churn.transition_churn(dataset))
-        )
-    else:
-        summary = churn.daily_churn(dataset)
+def _render_churn(summary) -> None:
+    """Print one churn summary — shared by in-memory and streamed paths."""
     rows = [
         ("window", f"{summary.window_days}d"),
         ("up events (min/median/max)",
@@ -311,8 +355,28 @@ def _analyze_churn(dataset, args: argparse.Namespace) -> None:
     print(render_table(["quantity", "value"], rows, title="Churn"))
 
 
-def _analyze_metrics(dataset, args: argparse.Namespace) -> None:
-    block_metrics = metrics.compute_block_metrics(dataset)
+def _analyze_churn(dataset, args: argparse.Namespace) -> None:
+    if dataset.window_days != 1:
+        summary = churn.ChurnSummary(
+            dataset.window_days, tuple(churn.transition_churn(dataset))
+        )
+    else:
+        summary = churn.daily_churn(dataset)
+    _render_churn(summary)
+
+
+def _analyze_churn_store(store, args: argparse.Namespace) -> None:
+    if store.window_days != 1:
+        summary = churn.ChurnSummary(
+            store.window_days, tuple(churn.transition_churn_streamed(store))
+        )
+    else:
+        summary = churn.daily_churn_streamed(store)
+    _render_churn(summary)
+
+
+def _render_block_metrics(block_metrics) -> None:
+    """Print block metrics — shared by in-memory and streamed paths."""
     fd = block_metrics.filling_degree
     rows = [
         ("active /24 blocks", str(block_metrics.num_blocks)),
@@ -322,6 +386,14 @@ def _analyze_metrics(dataset, args: argparse.Namespace) -> None:
         ("median STU", f"{float(np.median(block_metrics.stu)):.3f}"),
     ]
     print(render_table(["quantity", "value"], rows, title="Block metrics"))
+
+
+def _analyze_metrics(dataset, args: argparse.Namespace) -> None:
+    _render_block_metrics(metrics.compute_block_metrics(dataset))
+
+
+def _analyze_metrics_store(store, args: argparse.Namespace) -> None:
+    _render_block_metrics(metrics.compute_block_metrics_streamed(store))
 
 
 def _analyze_change(dataset, args: argparse.Namespace) -> None:
@@ -378,6 +450,33 @@ _ANALYSES = {
     "weekday": _analyze_weekday,
 }
 
+#: Analyses with a constant-memory streamed implementation over a store.
+_STREAMED_ANALYSES = {
+    "churn": _analyze_churn_store,
+    "metrics": _analyze_metrics_store,
+}
+
+
+def _analyze_store(store, args: argparse.Namespace) -> None:
+    """Dispatch analyses over an out-of-core store.
+
+    Streamed analyses (churn, metrics) never materialize the dataset;
+    the rest fall back through ``store.to_dataset()``, built at most
+    once even when running "all".
+    """
+    if args.analysis in _STREAMED_ANALYSES:
+        _STREAMED_ANALYSES[args.analysis](store, args)
+        return
+    names = list(_ANALYSES) if args.analysis == "all" else [args.analysis]
+    dataset = None
+    for name in names:
+        if name in _STREAMED_ANALYSES:
+            _STREAMED_ANALYSES[name](store, args)
+            continue
+        if dataset is None:
+            dataset = store.to_dataset()
+        _ANALYSES[name](dataset, args)
+
 
 def _run_lint(lint_args: Sequence[str]) -> int:
     """Run reprolint (``tools/reprolint``) from a repository checkout.
@@ -415,12 +514,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     # its memoized DatasetIndex (union, projections, block scatter).
     ctx = ObsContext()
     with obs_api.activate(ctx):
-        dataset = load_dataset(args.dataset)
-        if args.analysis == "all":
-            for run in _ANALYSES.values():
-                run(dataset, args)
+        if os.path.isdir(args.dataset):
+            with open_store(args.dataset) as store:
+                _analyze_store(store, args)
         else:
-            _ANALYSES[args.analysis](dataset, args)
+            dataset = load_dataset(args.dataset)
+            if args.analysis == "all":
+                for run in _ANALYSES.values():
+                    run(dataset, args)
+            else:
+                _ANALYSES[args.analysis](dataset, args)
     _export_obs(ctx, args)
     return 0
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -26,6 +27,9 @@ from repro.core.windows import (
 )
 from repro.errors import DatasetError
 from repro.obs import context as obs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.store import DatasetStore
 
 
 @dataclass(frozen=True)
@@ -166,6 +170,139 @@ def churn_by_window_size(
     for size in sizes:
         windowed = aggregate_to_window(dataset, size)
         out[size] = ChurnSummary(size, tuple(transition_churn(windowed)))
+    return out
+
+
+def transition_churn_streamed(store: "DatasetStore") -> list[TransitionChurn]:
+    """Churn for every consecutive window pair, streamed over a store.
+
+    Produces exactly ``transition_churn(store.to_dataset())`` — the
+    in-memory function is the reference spec — in constant memory:
+    up/down events between two windows decompose over the store's
+    disjoint address ranges, so each shard folds its counts into the
+    per-transition accumulators while holding only two columns at a
+    time.
+    """
+    if store.num_snapshots < 2:
+        raise DatasetError("need at least two windows to measure churn")
+    num_snapshots = store.num_snapshots
+    with obs.span("analyze/churn/transitions_streamed"):
+        ups = np.zeros(num_snapshots - 1, dtype=np.int64)
+        downs = np.zeros(num_snapshots - 1, dtype=np.int64)
+        active = np.zeros(num_snapshots, dtype=np.int64)
+        for shard in store.shards:
+            before = shard.columns(0)[0]
+            active[0] += before.size
+            for position in range(1, num_snapshots):
+                after = shard.columns(position)[0]
+                active[position] += after.size
+                ups[position - 1] += np.setdiff1d(
+                    after, before, assume_unique=True
+                ).size
+                downs[position - 1] += np.setdiff1d(
+                    before, after, assume_unique=True
+                ).size
+                before = after
+            shard.close()
+        out = [
+            TransitionChurn(
+                up_count=int(ups[position]),
+                down_count=int(downs[position]),
+                active_before=int(active[position]),
+                active_after=int(active[position + 1]),
+            )
+            for position in range(num_snapshots - 1)
+        ]
+        obs.add("analyze_churn_transitions_total", len(out))
+    return out
+
+
+def daily_churn_streamed(store: "DatasetStore") -> ChurnSummary:
+    """Streamed equivalent of :func:`daily_churn` over a store."""
+    if store.window_days != 1:
+        raise DatasetError("daily churn expects a daily dataset")
+    return ChurnSummary(1, tuple(transition_churn_streamed(store)))
+
+
+def churn_by_window_size_streamed(
+    store: "DatasetStore", window_sizes: Sequence[int] | None = None
+) -> dict[int, ChurnSummary]:
+    """Streamed equivalent of :func:`churn_by_window_size` over a store.
+
+    Same filtering, truncation, and error contract as the in-memory
+    sweep; per shard, every window size's unions are built from that
+    shard's daily columns (bounded by one shard's data) and the
+    up/down/active counts folded into global accumulators — window
+    unions restricted to disjoint address ranges partition the full
+    window union, so every count matches the reference exactly.
+    """
+    if store.window_days != 1:
+        raise DatasetError("the window-size sweep expects a daily dataset")
+    if window_sizes is None:
+        candidates: Sequence[int] = PAPER_WINDOW_SIZES
+    else:
+        candidates = list(window_sizes)
+        for size in candidates:
+            if size < 1:
+                raise DatasetError(f"bad window size: {size}")
+    num_days = store.num_snapshots
+    sizes = [size for size in candidates if num_days // size >= 2]
+    if not sizes:
+        raise DatasetError(
+            f"no usable window sizes in {list(candidates)}: every size leaves "
+            f"fewer than two windows over {num_days} days"
+        )
+    empty = np.empty(0, dtype=np.uint32)
+    ups: dict[int, np.ndarray] = {}
+    downs: dict[int, np.ndarray] = {}
+    active: dict[int, np.ndarray] = {}
+    for size in sizes:
+        num_windows = num_days // size
+        ups[size] = np.zeros(num_windows - 1, dtype=np.int64)
+        downs[size] = np.zeros(num_windows - 1, dtype=np.int64)
+        active[size] = np.zeros(num_windows, dtype=np.int64)
+    with obs.span("analyze/churn/window_sweep_streamed"):
+        for shard in store.shards:
+            columns = [
+                shard.columns(position)[0] for position in range(num_days)
+            ]
+            for size in sizes:
+                num_windows = num_days // size
+                previous: np.ndarray | None = None
+                for window in range(num_windows):
+                    parts = [
+                        column
+                        for column in columns[window * size : (window + 1) * size]
+                        if column.size
+                    ]
+                    if not parts:
+                        union = empty
+                    elif len(parts) == 1:
+                        union = parts[0]
+                    else:
+                        union = np.unique(np.concatenate(parts))  # bounded: one shard
+                    active[size][window] += union.size
+                    if previous is not None:
+                        ups[size][window - 1] += np.setdiff1d(
+                            union, previous, assume_unique=True
+                        ).size
+                        downs[size][window - 1] += np.setdiff1d(
+                            previous, union, assume_unique=True
+                        ).size
+                    previous = union
+            shard.close()
+    out: dict[int, ChurnSummary] = {}
+    for size in sizes:
+        transitions = tuple(
+            TransitionChurn(
+                up_count=int(ups[size][window]),
+                down_count=int(downs[size][window]),
+                active_before=int(active[size][window]),
+                active_after=int(active[size][window + 1]),
+            )
+            for window in range(num_days // size - 1)
+        )
+        out[size] = ChurnSummary(size, transitions)
     return out
 
 

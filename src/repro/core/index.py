@@ -25,10 +25,12 @@ left-fold of two-way merges, which turns window-aggregation sweeps
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator, Sequence
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.errors import DatasetError
 from repro.net.ipv4 import blocks_of
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -41,6 +43,35 @@ def _frozen(array: np.ndarray) -> np.ndarray:
     return array
 
 
+def kway_union_columns(
+    ips_parts: Sequence[np.ndarray], hits_parts: Sequence[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single-pass union of raw ``(ips, hits)`` columns.
+
+    The core of :func:`kway_union`, usable on bare arrays — the shape
+    shard slices arrive in — without wrapping them in snapshots.  Each
+    ``ips`` part must be sorted unique (within itself); parts may
+    overlap each other.  Hit totals are accumulated in exact ``uint64``
+    arithmetic.
+    """
+    if not ips_parts:
+        return np.empty(0, dtype=np.uint32), np.empty(0, dtype=np.uint64)
+    if len(ips_parts) == 1:
+        return ips_parts[0].copy(), hits_parts[0].copy()
+    all_ips = np.concatenate(ips_parts)
+    ips, inverse = np.unique(all_ips, return_inverse=True)
+    hits = np.zeros(ips.size, dtype=np.uint64)
+    # inverse has duplicates across parts but not within one (each
+    # part's addresses are unique), so scatter per part with plain
+    # fancy-index addition instead of the slow np.add.at.
+    start = 0
+    for part_ips, part_hits in zip(ips_parts, hits_parts):
+        stop = start + part_ips.size
+        hits[inverse[start:stop]] += part_hits
+        start = stop
+    return ips, hits
+
+
 def kway_union(snapshots) -> tuple[np.ndarray, np.ndarray]:
     """Single-pass union of many snapshots: ``(sorted ips, summed hits)``.
 
@@ -49,21 +80,40 @@ def kway_union(snapshots) -> tuple[np.ndarray, np.ndarray]:
     Hit totals are accumulated in exact ``uint64`` arithmetic.  The
     result is bit-identical to folding ``merge`` over the snapshots.
     """
-    if len(snapshots) == 1:
-        only = snapshots[0]
-        return only.ips.copy(), only.hits.copy()
-    all_ips = np.concatenate([snapshot.ips for snapshot in snapshots])
-    ips, inverse = np.unique(all_ips, return_inverse=True)
-    hits = np.zeros(ips.size, dtype=np.uint64)
-    # inverse has duplicates across snapshots but not within one (each
-    # snapshot's addresses are unique), so scatter per snapshot with
-    # plain fancy-index addition instead of the slow np.add.at.
-    start = 0
-    for snapshot in snapshots:
-        stop = start + snapshot.ips.size
-        hits[inverse[start:stop]] += snapshot.hits
-        start = stop
-    return ips, hits
+    return kway_union_columns(
+        [snapshot.ips for snapshot in snapshots],
+        [snapshot.hits for snapshot in snapshots],
+    )
+
+
+def iter_union_runs(
+    slice_groups: Iterable[tuple[Sequence[np.ndarray], Sequence[np.ndarray]]],
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Streaming k-way union: one sorted ``(ips, hits)`` run per slice.
+
+    *slice_groups* yields ``(ips_parts, hits_parts)`` pairs, one per
+    address-range slice in ascending address order — in practice one
+    per store shard (:mod:`repro.core.store`).  Each yielded run is the
+    deduplicated, hit-summed union of that slice's columns; empty
+    slices are skipped.  Runs are validated to be strictly ascending
+    across slices, so concatenating every run reproduces the full
+    :func:`kway_union` of the dataset — which this generator never
+    materializes: peak memory is one slice's columns plus one run.
+    """
+    previous_max = -1
+    for ips_parts, hits_parts in slice_groups:
+        ips, hits = kway_union_columns(list(ips_parts), list(hits_parts))
+        if ips.size == 0:
+            continue
+        if int(ips[0]) <= previous_max:
+            raise DatasetError(
+                "union runs out of order: a slice starting at "
+                f"{int(ips[0]):#010x} overlaps the previous run ending at "
+                f"{previous_max:#010x} — slices must cover disjoint, "
+                "ascending address ranges"
+            )
+        previous_max = int(ips[-1])
+        yield ips, hits
 
 
 class DatasetIndex:

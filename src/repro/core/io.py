@@ -20,7 +20,16 @@ Formats:
   truncated artifact behind;
 - routing tables/series: a line-oriented text format
   (``prefix|origin_asn``) with day separators, mirroring the shape of
-  RIB dump exports.
+  RIB dump exports;
+- sharded stores: a directory of raw-member ``.npz`` shards plus a
+  JSON manifest (:mod:`repro.core.store`), for worlds too large to
+  materialize — :func:`save_store` / :func:`open_store` here convert
+  to and from the legacy single-file format bit-identically.
+
+``load_dataset`` additionally has a zero-copy fast path: when every
+member of the bundle is stored raw (``compress=False``), the snapshot
+columns are memory-mapped read-only instead of being decompressed
+through a full in-memory copy per array.
 """
 
 from __future__ import annotations
@@ -32,7 +41,7 @@ import tempfile
 import zipfile
 import zlib
 from collections.abc import Iterable
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 from numpy.typing import NDArray
@@ -43,6 +52,9 @@ from repro.net.prefix import Prefix
 from repro.obs import context as obs
 from repro.routing.series import RoutingSeries
 from repro.routing.table import RoutingTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.store import DatasetStore
 
 _FORMAT_VERSION = 1
 
@@ -204,7 +216,63 @@ def load_dataset(path: str | os.PathLike[str]) -> ActivityDataset:
     """
     target = _dataset_path(path)
     with obs.span("io/load_dataset"):
+        fast = _load_dataset_raw(target)
+        if fast is not None:
+            obs.add("datasets_loaded_total")
+            return fast
         return _load_dataset(target)
+
+
+#: Anything that should make the zero-copy fast path quietly step
+#: aside: the legacy loader owns the canonical error taxonomy, so any
+#: defect detected here is re-detected (and properly reported) there.
+_FAST_PATH_BAILOUTS: tuple[type[BaseException], ...] = (
+    DatasetError,
+    KeyError,
+    IndexError,
+) + _CORRUPT_NPZ_ERRORS
+
+
+def _load_dataset_raw(target: str) -> ActivityDataset | None:
+    """Zero-copy fast path for raw-member (uncompressed) bundles.
+
+    Maps each snapshot column read-only straight out of the ``.npz``
+    instead of decompressing it through a full in-memory copy.  Returns
+    ``None`` — never raises — whenever the bundle is compressed,
+    missing, malformed, or otherwise something the legacy loader should
+    handle, so the error taxonomy stays exactly the legacy path's.
+    """
+    from repro.core.store import RawNpzReader
+
+    try:
+        reader = RawNpzReader(target)
+    except _CORRUPT_NPZ_ERRORS:
+        return None
+    mapped_bytes = 0
+    try:
+        if int(reader.array("version")[0]) != _FORMAT_VERSION:
+            return None
+        start = datetime.date.fromordinal(int(reader.array("start")[0]))
+        window_days = int(reader.array("window_days")[0])
+        count = int(reader.array("num_snapshots")[0])
+        snapshots = []
+        for index in range(count):
+            for member in (f"ips_{index}", f"hits_{index}"):
+                if reader.data_offset(member) < 0:
+                    return None  # compressed member: not zero-copy eligible
+            ips = reader.array(f"ips_{index}", mmap=True)
+            hits = reader.array(f"hits_{index}", mmap=True)
+            mapped_bytes += ips.nbytes + hits.nbytes
+            window_start = start + datetime.timedelta(days=index * window_days)
+            snapshots.append(Snapshot(window_start, window_days, ips, hits))
+        dataset = ActivityDataset(snapshots)
+    except _FAST_PATH_BAILOUTS:
+        return None
+    finally:
+        reader.close()
+    obs.add("datasets_loaded_zero_copy_total")
+    obs.gauge("dataset_load_mapped_bytes", float(mapped_bytes))
+    return dataset
 
 
 def _load_dataset(target: str) -> ActivityDataset:
@@ -333,3 +401,77 @@ def load_routing_series(path: str | os.PathLike[str]) -> RoutingSeries:
         raise RoutingError(f"empty routing series file: {path}")
     flush()
     return RoutingSeries(tables)
+
+
+def open_store(path: str | os.PathLike[str]) -> "DatasetStore":
+    """Open and validate the sharded dataset store at directory *path*.
+
+    Eagerly checks the manifest and every shard's header (day range,
+    block tiling, address ranges) but reads shard data lazily — see
+    :class:`repro.core.store.DatasetStore`.  Raises
+    :class:`~repro.errors.DatasetError` on any structural defect.
+    """
+    from repro.core.store import DatasetStore
+
+    with obs.span("io/open_store"):
+        store = DatasetStore.open(path)
+        obs.add("stores_opened_total")
+        return store
+
+
+def save_store(
+    path: str | os.PathLike[str],
+    dataset: ActivityDataset,
+    shard_blocks: int = 256,
+) -> "DatasetStore":
+    """Write *dataset* as a sharded store under directory *path*.
+
+    The dataset's active /24 blocks (sorted by base address) are tiled
+    into shards of *shard_blocks* blocks each; every snapshot column is
+    sliced by ``searchsorted`` on the shard's address range, so shard
+    members are contiguous views of the legacy columns and the store's
+    dataset SHA-256 equals :func:`repro.obs.manifest.dataset_digest` of
+    *dataset* exactly.
+    """
+    from repro.core.store import StoreWriter
+
+    with obs.span("io/save_store"):
+        writer = StoreWriter(
+            path,
+            start=dataset.start,
+            window_days=dataset.window_days,
+            num_snapshots=len(dataset),
+            shard_blocks=shard_blocks,
+        )
+        bases = dataset.index.block_bases
+        snapshots = list(dataset)
+        for chunk_start in range(0, int(bases.size), shard_blocks):
+            chunk = bases[chunk_start : chunk_start + shard_blocks]
+            lo = int(chunk[0])
+            # Inclusive last address of the chunk's top /24: stays in
+            # uint32 range, unlike the exclusive bound 2**32 would not.
+            hi = int(chunk[-1]) + 255
+            columns: list[tuple[NDArray[Any], NDArray[Any]]] = []
+            for snapshot in snapshots:
+                left = int(np.searchsorted(snapshot.ips, lo))
+                right = int(np.searchsorted(snapshot.ips, hi, side="right"))
+                columns.append(
+                    (snapshot.ips[left:right], snapshot.hits[left:right])
+                )
+            writer.add_shard(chunk, columns)
+        store = writer.finalize()
+        obs.add("stores_saved_total")
+        return store
+
+
+def export_store(
+    store: "DatasetStore", path: str | os.PathLike[str], compress: bool = True
+) -> None:
+    """Write *store* back out as a legacy single-``.npz`` dataset.
+
+    The round trip is bit-identical: for any dataset ``x``,
+    ``save_store(d, load_dataset(x))`` then
+    ``export_store(open_store(d), y)`` makes ``y`` load back with the
+    same columns — and the same dataset SHA-256 — as ``x``.
+    """
+    save_dataset(path, store.to_dataset(), compress=compress)

@@ -18,6 +18,7 @@ vector passes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -25,6 +26,9 @@ from repro.core.dataset import ActivityDataset
 from repro.errors import DatasetError
 from repro.net.ipv4 import block_of
 from repro.obs import context as obs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.store import DatasetStore
 
 BLOCK_SIZE = 256
 
@@ -97,6 +101,64 @@ def compute_block_metrics(dataset: ActivityDataset) -> BlockMetrics:
             filling_degree=fd.astype(np.int64),
             stu=stu,
             window_days=dataset.total_days,
+        )
+
+
+def compute_block_metrics_streamed(store: "DatasetStore") -> BlockMetrics:
+    """FD and STU streamed shard-at-a-time over an out-of-core store.
+
+    Produces exactly ``compute_block_metrics(store.to_dataset())`` —
+    the in-memory function above is the executable reference spec —
+    without ever materializing the dataset: per-/24 quantities
+    decompose over the store's disjoint, 256-aligned shard ranges, so
+    each shard contributes a complete, final slice of the result and
+    peak memory is one shard's columns plus the per-block output.
+    """
+    with obs.span("analyze/block_metrics_streamed"):
+        num_snapshots = store.num_snapshots
+        bases_parts: list[np.ndarray] = []
+        fd_parts: list[np.ndarray] = []
+        activity_parts: list[np.ndarray] = []
+        for shard in store.shards:
+            columns = [
+                shard.columns(position)[0] for position in range(num_snapshots)
+            ]
+            nonempty = [ips for ips in columns if ips.size]
+            if not nonempty:
+                shard.close()
+                continue
+            if len(nonempty) == 1:
+                union = nonempty[0]
+            else:
+                union = np.unique(np.concatenate(nonempty))  # bounded: one shard
+            shard_bases, ip_block_index = np.unique(
+                union & np.uint32(0xFFFFFF00), return_inverse=True
+            )
+            fd = np.bincount(ip_block_index, minlength=shard_bases.size)
+            activity = np.zeros(shard_bases.size, dtype=np.int64)
+            for ips in columns:
+                if ips.size == 0:
+                    continue
+                block_idx = np.searchsorted(
+                    shard_bases, ips & np.uint32(0xFFFFFF00)
+                )
+                activity += np.bincount(block_idx, minlength=shard_bases.size)
+            bases_parts.append(shard_bases)
+            fd_parts.append(fd.astype(np.int64))
+            activity_parts.append(activity)
+            shard.close()
+        if not bases_parts:
+            raise DatasetError("store has no active addresses")
+        bases = np.concatenate(bases_parts)  # O(active /24s), not O(addresses)
+        fd_all = np.concatenate(fd_parts)  # O(active /24s), not O(addresses)
+        activity_all = np.concatenate(activity_parts)  # O(active /24s)
+        stu = activity_all / (BLOCK_SIZE * num_snapshots)
+        obs.add("analyze_blocks_total", int(bases.size))
+        return BlockMetrics(
+            bases=bases,
+            filling_degree=fd_all,
+            stu=stu,
+            window_days=store.total_days,
         )
 
 

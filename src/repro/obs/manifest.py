@@ -118,12 +118,16 @@ def build_manifest(
     ctx: ObsContext,
     dataset: "ActivityDataset | None" = None,
     dataset_path: str | os.PathLike[str] | None = None,
+    dataset_sha256: str | None = None,
 ) -> RunManifest:
     """Assemble a manifest from a run's observation context.
 
     The run-identity fields come from ``ctx.info`` (recorded by the
     collection engine); passing the collected *dataset* additionally
-    stamps its SHA-256 digest.
+    stamps its SHA-256 digest.  When the dataset was never materialized
+    — an out-of-core store run — pass *dataset_sha256* directly: the
+    store's streamed digest hashes the identical byte stream, so the
+    manifest field is comparable across both layouts.
     """
     import repro
 
@@ -140,7 +144,7 @@ def build_manifest(
         fingerprint=info.get("fingerprint"),
         shard_map=info.get("shard_map"),
         dataset_path=None if dataset_path is None else os.fspath(dataset_path),
-        dataset_sha256=None if dataset is None else dataset_digest(dataset),
+        dataset_sha256=dataset_sha256 if dataset is None else dataset_digest(dataset),
         events=[event.as_dict() for event in ctx.events],
         counters=ctx.metrics.counters,
         gauges=ctx.metrics.gauges,

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -53,15 +54,24 @@ from repro.sim.restructure import (
 )
 from repro.sim.useragents import UASampleStore
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import DatasetStore
+
 #: Offset added to an AS number to form its post-event sibling origin.
 _SIBLING_ASN_OFFSET = 30000
 
 
 @dataclass
 class CollectionResult:
-    """Everything one observatory run produces."""
+    """Everything one observatory run produces.
 
-    dataset: ActivityDataset
+    Exactly one of :attr:`dataset` and :attr:`store` is set: with a
+    ``store_dir`` the dataset is written shard by shard to an
+    out-of-core store (:mod:`repro.core.store`) and never assembled in
+    memory.
+    """
+
+    dataset: ActivityDataset | None
     routing: RoutingSeries
     schedule: RestructureSchedule
     ua_store: UASampleStore | None
@@ -74,6 +84,8 @@ class CollectionResult:
     login_trace: list[tuple[np.ndarray, np.ndarray]] | None = None
     #: Wall-clock and throughput counters of the run.
     perf: PerfCounters | None = None
+    #: The finalized out-of-core store, when a ``store_dir`` was given.
+    store: "DatasetStore | None" = None
 
     @property
     def num_days(self) -> int:
@@ -103,6 +115,8 @@ class CDNObservatory:
         fault: FaultInjection | None = None,
         obs: ObsContext | None = None,
         progress=None,
+        store_dir: str | None = None,
+        store_shard_blocks: int = 256,
     ) -> CollectionResult:
         """Run *num_days* days and return daily snapshots.
 
@@ -128,6 +142,11 @@ class CDNObservatory:
         :func:`~repro.sim.engine.run_sharded_collection`; ``progress``
         is called with one :class:`~repro.sim.engine.ShardProgress` per
         finished shard.  Neither affects the collected output.
+
+        ``store_dir`` writes the dataset as an out-of-core sharded
+        store (``store_shard_blocks`` /24s per shard) instead of
+        assembling it in memory; the result then carries ``store``
+        instead of ``dataset``.
         """
         return self._collect(
             num_days,
@@ -143,6 +162,8 @@ class CDNObservatory:
             fault=fault,
             obs=obs,
             progress=progress,
+            store_dir=store_dir,
+            store_shard_blocks=store_shard_blocks,
         )
 
     def collect_weekly(
@@ -158,6 +179,8 @@ class CDNObservatory:
         fault: FaultInjection | None = None,
         obs: ObsContext | None = None,
         progress=None,
+        store_dir: str | None = None,
+        store_shard_blocks: int = 256,
     ) -> CollectionResult:
         """Run ``7 * num_weeks`` days, aggregating each week on the fly.
 
@@ -181,6 +204,8 @@ class CDNObservatory:
             fault=fault,
             obs=obs,
             progress=progress,
+            store_dir=store_dir,
+            store_shard_blocks=store_shard_blocks,
         )
 
     # -- internals -----------------------------------------------------------
@@ -200,6 +225,8 @@ class CDNObservatory:
         fault: FaultInjection | None = None,
         obs: ObsContext | None = None,
         progress=None,
+        store_dir: str | None = None,
+        store_shard_blocks: int = 256,
     ) -> CollectionResult:
         if not 0.0 <= login_panel_rate <= 1.0:
             raise ConfigError(f"login_panel_rate must be a probability: {login_panel_rate}")
@@ -260,6 +287,8 @@ class CDNObservatory:
             fault=fault,
             obs=obs,
             progress=progress,
+            store_dir=store_dir,
+            store_shard_blocks=store_shard_blocks,
         )
         perf = outcome.perf
         perf.routing_seconds = routing_seconds
@@ -268,7 +297,10 @@ class CDNObservatory:
             obs.absorb_perf_counters(perf)
 
         return CollectionResult(
-            dataset=ActivityDataset(outcome.snapshots),
+            dataset=(
+                None if outcome.store is not None
+                else ActivityDataset(outcome.snapshots)
+            ),
             routing=RoutingSeries(routing_tables),
             schedule=schedule,
             ua_store=outcome.ua_store,
@@ -276,6 +308,7 @@ class CDNObservatory:
             final_kinds=outcome.final_kinds,
             login_trace=outcome.login_trace,
             perf=perf,
+            store=outcome.store,
         )
 
     def _evolve_routing(

@@ -56,7 +56,8 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.core.dataset import Snapshot
-from repro.core.index import kway_union
+from repro.core.index import kway_union, kway_union_columns
+from repro.core.store import DatasetStore, StoreWriter
 from repro.errors import CollectionError, ConfigError, InjectedWorkerFault
 from repro.obs import context as obs_api
 from repro.obs.context import ObsContext
@@ -287,7 +288,14 @@ class PerfCounters:
 
 @dataclass
 class ShardedOutcome:
-    """Merged result of all shards (the coordinator adds routing)."""
+    """Merged result of all shards (the coordinator adds routing).
+
+    With a ``store_dir`` the merge phase writes the dataset straight to
+    an out-of-core store instead of assembling snapshots in memory:
+    :attr:`store` is then the finalized
+    :class:`~repro.core.store.DatasetStore` and :attr:`snapshots` is
+    empty.
+    """
 
     snapshots: list[Snapshot]
     ua_store: UASampleStore | None
@@ -295,6 +303,7 @@ class ShardedOutcome:
     scan_states: dict[int, dict[int, tuple[PolicyKind, np.ndarray]]]
     final_kinds: dict[int, PolicyKind]
     perf: PerfCounters
+    store: DatasetStore | None = None
 
 
 def _partial_column(
@@ -319,6 +328,63 @@ def _partial_column(
     group = np.cumsum(boundary) - 1
     summed = np.bincount(group, weights=hits)
     return ips[boundary], summed.astype(np.uint64)
+
+
+def _merge_results_to_store(
+    results: list[ShardResult],
+    start_date: datetime.date,
+    window_days: int,
+    num_windows: int,
+    store_dir: str,
+    shard_blocks: int,
+) -> DatasetStore:
+    """Merge worker results straight into an out-of-core store.
+
+    Writes the dataset the legacy merge would assemble — bit-identical,
+    by construction — without ever holding it whole: store shards are
+    keyed by sorted /24 base address (block *index* order is not
+    address order; the population allocator interleaves countries), and
+    every worker window column is sorted, so each chunk's members are
+    ``searchsorted`` slices whose per-chunk union equals the matching
+    slice of the full ``kway_union``.
+    """
+    base_parts = [
+        np.unique(ips & np.uint32(0xFFFFFF00))
+        for result in results
+        for ips in result.window_ips
+        if ips.size
+    ]
+    if base_parts:
+        bases = np.unique(np.concatenate(base_parts))
+    else:
+        bases = np.empty(0, dtype=np.uint32)
+    writer = StoreWriter(
+        store_dir,
+        start=start_date,
+        window_days=window_days,
+        num_snapshots=num_windows,
+        shard_blocks=shard_blocks,
+    )
+    for chunk_start in range(0, int(bases.size), shard_blocks):
+        chunk = bases[chunk_start : chunk_start + shard_blocks]
+        lo = int(chunk[0])
+        # Inclusive last address of the chunk's top /24 — the exclusive
+        # bound would overflow uint32 on the final block.
+        hi = int(chunk[-1]) + 255
+        columns: list[tuple[np.ndarray, np.ndarray]] = []
+        for window in range(num_windows):
+            ips_parts: list[np.ndarray] = []
+            hits_parts: list[np.ndarray] = []
+            for result in results:
+                column = result.window_ips[window]
+                left = int(np.searchsorted(column, lo))
+                right = int(np.searchsorted(column, hi, side="right"))
+                if right > left:
+                    ips_parts.append(column[left:right])
+                    hits_parts.append(result.window_hits[window][left:right])
+            columns.append(kway_union_columns(ips_parts, hits_parts))
+        writer.add_shard(chunk, columns)
+    return writer.finalize()
 
 
 def simulate_shard(task: ShardTask) -> ShardResult:
@@ -882,6 +948,8 @@ def run_sharded_collection(
     fault: FaultInjection | None = None,
     obs: ObsContext | None = None,
     progress=None,
+    store_dir: str | None = None,
+    store_shard_blocks: int = 256,
 ) -> ShardedOutcome:
     """Simulate all blocks across *workers* processes and merge.
 
@@ -906,12 +974,22 @@ def run_sharded_collection(
     is invoked each time a shard finishes, however it finished.  None
     of this touches any random stream: an observed run's dataset is
     bit-identical to an unobserved one.
+
+    Out-of-core: with *store_dir* set, the merge phase writes the
+    dataset directly as a sharded store of *store_shard_blocks* /24s
+    per shard (:mod:`repro.core.store`) — bit-identical to the
+    in-memory merge — and the outcome carries ``store`` instead of
+    ``snapshots``.
     """
     config = population.config
     blocks = population.blocks
     _validate_windowing(num_days, window_days)
     if max_retries < 0:
         raise ConfigError(f"max_retries must be >= 0: {max_retries}")
+    if store_shard_blocks < 1:
+        raise ConfigError(
+            f"store_shard_blocks must be >= 1: {store_shard_blocks}"
+        )
     if retry_backoff < 0:
         raise ConfigError(f"retry_backoff must be >= 0: {retry_backoff}")
     if resume and checkpoint_dir is None:
@@ -1080,15 +1158,28 @@ def run_sharded_collection(
     with obs_api.maybe_activate(obs), obs_api.span("collect/merge"):
         num_windows = num_days // window_days
         snapshots: list[Snapshot] = []
-        window_start = config.start_date
-        for window in range(num_windows):
-            columns = [
-                _ShardColumn(result.window_ips[window], result.window_hits[window])
-                for result in results
-            ]
-            ips, hits = kway_union(columns)
-            snapshots.append(Snapshot(window_start, window_days, ips, hits))
-            window_start += datetime.timedelta(days=window_days)
+        store: DatasetStore | None = None
+        if store_dir is not None:
+            store = _merge_results_to_store(
+                results,
+                config.start_date,
+                window_days,
+                num_windows,
+                store_dir,
+                store_shard_blocks,
+            )
+        else:
+            window_start = config.start_date
+            for window in range(num_windows):
+                columns = [
+                    _ShardColumn(
+                        result.window_ips[window], result.window_hits[window]
+                    )
+                    for result in results
+                ]
+                ips, hits = kway_union(columns)
+                snapshots.append(Snapshot(window_start, window_days, ips, hits))
+                window_start += datetime.timedelta(days=window_days)
 
         ua_store: UASampleStore | None = None
         if ua_window is not None:
@@ -1141,4 +1232,5 @@ def run_sharded_collection(
         scan_states=scan_states,
         final_kinds=final_kinds,
         perf=perf,
+        store=store,
     )

@@ -197,6 +197,43 @@ class TestDatasetIO:
         assert loaded.hit_totals().tolist() == dataset.hit_totals().tolist()
 
 
+class TestZeroCopyFastPath:
+    def activate(self):
+        from repro.obs import context as obs_api
+        from repro.obs.context import ObsContext
+
+        return ObsContext(), obs_api
+
+    def test_uncompressed_load_is_memory_mapped(self, tmp_path):
+        path = tmp_path / "raw.npz"
+        save_dataset(path, make_dataset(), compress=False)
+        ctx, obs_api = self.activate()
+        with obs_api.activate(ctx):
+            loaded = load_dataset(path)
+        # Snapshot's asarray turns the memmap into a view of it, so the
+        # zero-copy evidence is the base, not the array's own type.
+        assert all(isinstance(s.ips.base, np.memmap) for s in loaded)
+        assert ctx.metrics.counters["datasets_loaded_zero_copy_total"] == 1
+        assert ctx.metrics.gauges["dataset_load_mapped_bytes"] > 0
+
+    def test_compressed_load_takes_the_copy_path(self, tmp_path):
+        path = tmp_path / "small.npz"
+        save_dataset(path, make_dataset(), compress=True)
+        ctx, obs_api = self.activate()
+        with obs_api.activate(ctx):
+            loaded = load_dataset(path)
+        assert not any(isinstance(s.ips.base, np.memmap) for s in loaded)
+        assert "datasets_loaded_zero_copy_total" not in ctx.metrics.counters
+
+    def test_fast_path_content_matches_copy_path(self, tmp_path):
+        original = make_dataset()
+        save_dataset(tmp_path / "raw.npz", original, compress=False)
+        loaded = load_dataset(tmp_path / "raw.npz")
+        for a, b in zip(original, loaded):
+            assert np.array_equal(a.ips, b.ips)
+            assert np.array_equal(a.hits, b.hits)
+
+
 class TestRoutingIO:
     def make_series(self):
         day0 = RoutingTable([(Prefix.parse("10.0.0.0/8"), 100)])

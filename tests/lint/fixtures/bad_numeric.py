@@ -17,3 +17,9 @@ def narrow_casts(values):
     small = values.astype(np.float32)
     tiny = values.astype("int8")
     return small, tiny
+
+
+def shard_concat(shards):
+    merged = np.concatenate(shards)
+    stacked = np.vstack(shards)
+    return merged, stacked

@@ -17,3 +17,7 @@ def stated_intent(values, n):
 
 def widening_cast(values):
     return values.astype(np.float64)
+
+
+def bounded_concat(parts):
+    return np.concatenate(parts)  # bounded: one shard's columns

@@ -38,7 +38,7 @@ class TestRuleRegistry:
             "D101", "D102", "D103", "D104", "D105", "D106",
             "A201", "A202", "A203",
             "E301", "E302", "E303",
-            "N401", "N402",
+            "N401", "N402", "N403",
         }
 
     def test_known_ids_include_engine_findings(self):
@@ -106,6 +106,8 @@ class TestNumericRules:
             ("N401", 12),
             ("N402", 17),
             ("N402", 18),
+            ("N403", 23),
+            ("N403", 24),
         ]
 
     def test_good_fixture_clean(self):
@@ -191,8 +193,10 @@ class TestCliContract:
         file_report = json.loads(out_path.read_text())
         assert stdout_report == file_report
         assert file_report["schema"] == 1
-        assert file_report["summary"]["total"] == 5
-        assert file_report["summary"]["by_rule"] == {"N401": 3, "N402": 2}
+        assert file_report["summary"]["total"] == 7
+        assert file_report["summary"]["by_rule"] == {
+            "N401": 3, "N402": 2, "N403": 2,
+        }
         first = file_report["findings"][0]
         assert set(first) == {"rule", "path", "line", "col", "message"}
 

@@ -267,3 +267,108 @@ class TestBenchRecord:
         assert "gate FAILED" in capsys.readouterr().out
         # The record is still written for forensics even when gating fails.
         assert json.loads(out.read_text())["benchmark"] == "collect"
+
+
+class TestMemCeiling:
+    """The constant-memory gate tool (tools/mem_ceiling.py)."""
+
+    @pytest.fixture(scope="class")
+    def mem_ceiling(self):
+        return _load_tool("mem_ceiling")
+
+    def test_synthesize_store_is_deterministic(self, mem_ceiling, tmp_path):
+        from repro.obs.manifest import dataset_digest
+
+        a = mem_ceiling.synthesize_store(
+            str(tmp_path / "a"), num_blocks=4, num_days=3,
+            shard_blocks=2, seed=7,
+        )
+        b = mem_ceiling.synthesize_store(
+            str(tmp_path / "b"), num_blocks=4, num_days=3,
+            shard_blocks=2, seed=7,
+        )
+        assert a.dataset_sha256 == b.dataset_sha256
+        assert a.num_blocks == 4 and len(a.shards) == 2
+        assert a.dataset_sha256 == dataset_digest(a.to_dataset())
+        a.close()
+        b.close()
+
+    def test_different_seeds_differ(self, mem_ceiling, tmp_path):
+        a = mem_ceiling.synthesize_store(
+            str(tmp_path / "a"), num_blocks=2, num_days=2, seed=1,
+        )
+        b = mem_ceiling.synthesize_store(
+            str(tmp_path / "b"), num_blocks=2, num_days=2, seed=2,
+        )
+        assert a.dataset_sha256 != b.dataset_sha256
+        a.close()
+        b.close()
+
+    def test_bad_fill_rejected(self, mem_ceiling, tmp_path):
+        with pytest.raises(ValueError, match="fill"):
+            mem_ceiling.synthesize_store(
+                str(tmp_path / "x"), num_blocks=1, num_days=1, fill=0.0,
+            )
+
+    def test_gate_run_passes_on_tiny_world(self, mem_ceiling, tmp_path, capsys):
+        # A generous ceiling the streamed child fits under; skip the
+        # in-memory comparison (a tiny world never exceeds any real
+        # ceiling — the full-size check is CI's memory-ceiling job).
+        out = tmp_path / "record.json"
+        code = mem_ceiling.main([
+            "--blocks", "8", "--days", "4", "--shard-blocks", "4",
+            "--ceiling-mb", "512", "--skip-inmemory", "--out", str(out),
+        ])
+        assert code == 0
+        record = json.loads(out.read_text())
+        assert record["passed"] is True
+        assert record["children"][0]["mode"] == "streamed"
+        assert record["children"][0]["ok"] is True
+        assert record["children"][0]["peak_rss_mb"] > 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestBenchStoreStream:
+    """The streamed-analysis throughput recorder (benchmarks/)."""
+
+    @pytest.fixture(scope="class")
+    def bench(self):
+        import importlib.util
+
+        path = TOOLS_DIR.parent / "benchmarks" / "bench_store_stream.py"
+        spec = importlib.util.spec_from_file_location("bench_store_stream", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_measure_world_verifies_and_records(self, bench):
+        record = bench.measure_world(4, 3, seed=5, repeats=1)
+        assert record["block_days"] == 12
+        assert record["streamed_block_days_per_s"] > 0
+        assert record["inmemory_block_days_per_s"] > 0
+        assert record["store_bytes"] > 0
+
+    def test_gate_passes_and_fails_on_matching_world(self, bench):
+        baseline = {"worlds": [
+            {"num_blocks": 4, "num_days": 3, "streamed_block_days_per_s": 100.0}
+        ]}
+        same = {"worlds": [
+            {"num_blocks": 4, "num_days": 3, "streamed_block_days_per_s": 90.0}
+        ]}
+        passed, message = bench.gate_against(baseline, same, 0.5)
+        assert passed and "gate passed" in message
+        slow = {"worlds": [
+            {"num_blocks": 4, "num_days": 3, "streamed_block_days_per_s": 10.0}
+        ]}
+        passed, message = bench.gate_against(baseline, slow, 0.5)
+        assert not passed and "gate FAILED" in message
+
+    def test_gate_skips_without_matching_worlds(self, bench):
+        baseline = {"worlds": [
+            {"num_blocks": 9, "num_days": 9, "streamed_block_days_per_s": 1.0}
+        ]}
+        record = {"worlds": [
+            {"num_blocks": 4, "num_days": 3, "streamed_block_days_per_s": 2.0}
+        ]}
+        passed, message = bench.gate_against(baseline, record, 0.5)
+        assert passed and "gate skipped" in message

@@ -32,6 +32,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np  # noqa: E402
 
+from repro.obs import peak_rss_bytes  # noqa: E402
 from repro.sim import CDNObservatory, InternetPopulation, SimulationConfig, bench_config  # noqa: E402
 
 
@@ -87,6 +88,14 @@ def measure(
             run = result.perf.as_dict()
             if best is None or run["total_s"] < best["total_s"]:
                 best = run
+        # Memory footprint of the run: ru_maxrss is a process-lifetime
+        # high-water mark, so later worker counts can only inherit or
+        # raise it — read it per run anyway so the first (serial) entry
+        # is an honest ceiling for the out-of-core comparison.
+        best["peak_rss_mb"] = round(peak_rss_bytes() / (1 << 20), 1)
+        best["dataset_bytes"] = sum(
+            s.ips.nbytes + s.hits.nbytes for s in reference
+        )
         if workers > cpu_count:
             best["oversubscribed"] = True
             message = (

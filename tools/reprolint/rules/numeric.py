@@ -9,11 +9,16 @@ is suspect unless the author says why:
 - N401 — constructing an array (or scalar) with a narrow dtype
   (``int8/16/32``, ``uint8/16``, ``float16/32``);
 - N402 — ``.astype`` to a narrow dtype.
+- N403 — whole-array concatenation (``np.concatenate`` / ``np.vstack``
+  / ``np.hstack``) inside the out-of-core store and its streaming
+  analysis paths, where an unbounded concatenate silently re-creates
+  the O(addresses) memory profile the store exists to avoid.
 
-Both rules accept an *intent comment* on the flagged line (any
+All rules accept an *intent comment* on the flagged line (any
 trailing comment) as the author's explicit statement, mirroring the
 "astype without explicit intent comment" contract in the issue — a
-narrowing you can read the reason for is not a silent one.
+narrowing (or a concatenation you can read the bound for) is not a
+silent one.
 """
 
 from __future__ import annotations
@@ -115,4 +120,38 @@ class NarrowAstype(Rule):
                 module, node.lineno, node.col_offset,
                 f".astype({dtype}) narrows without a stated reason: add "
                 "an intent comment on this line or widen the dtype",
+            )
+
+
+_STREAMING_SCOPE = (
+    "src/repro/core/store.py",
+    "src/repro/core/metrics.py",
+    "src/repro/core/churn.py",
+)
+
+_CONCAT_CALLS = {"concatenate", "vstack", "hstack"}
+
+
+@rule
+class StreamingConcatenation(Rule):
+    rule_id = "N403"
+    summary = "whole-array concatenation in a streaming path without an intent comment"
+    scope = _STREAMING_SCOPE
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in walk_calls(module.tree):
+            name = call_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if parts[0] not in ("np", "numpy") or parts[-1] not in _CONCAT_CALLS:
+                continue
+            if module.has_comment(node.lineno):
+                continue  # the author stated the memory bound on the line
+            yield self.finding(
+                module, node.lineno, node.col_offset,
+                f"np.{parts[-1]} in a streaming path: whole-array "
+                "concatenation re-creates the O(addresses) footprint the "
+                "out-of-core store avoids; if this one is bounded (one "
+                "shard, per-/24 slices), say so in a comment on this line",
             )
