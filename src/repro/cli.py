@@ -12,6 +12,13 @@ would run them:
   dataset's memoized :class:`~repro.core.index.DatasetIndex`, so the
   expensive sorted-union/projection step is computed once per run, not
   once per analysis.
+- ``repro serve`` runs the live observatory: one interval collected
+  and crash-safely appended to a live store per tick, incremental
+  analyses folded in, and a Prometheus scrape endpoint serving the
+  run's metrics while collection is in flight.  Kill it at any instant
+  and rerun the same command: it catches up by deterministic replay
+  and converges on the identical dataset (same SHA-256) an
+  uninterrupted run produces.
 
 Long ``simulate`` runs are crash-safe: ``--checkpoint-dir`` persists
 every finished shard atomically, and ``--resume`` restarts an
@@ -44,6 +51,7 @@ from repro.core.io import (
     save_dataset,
     save_routing_series,
 )
+from repro.core.store import COMMIT_PHASE_FINALIZED, COMMIT_PHASE_FLIPPED
 from repro.obs import (
     ObsContext,
     build_manifest,
@@ -54,6 +62,7 @@ from repro.obs import (
 )
 from repro.obs import context as obs_api
 from repro.report import format_count, format_percent, render_table
+from repro.serve import MetricsEndpoint, ObservatoryService
 from repro.sim import (
     CDNObservatory,
     FaultInjection,
@@ -152,6 +161,83 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--top-fraction", type=float, default=0.10)
     _add_obs_flags(analyze)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the live observatory: collect one interval per tick, "
+        "append it crash-safely to a live store, expose metrics over HTTP",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--ases", type=int, default=60, help="number of ASes")
+    serve.add_argument(
+        "--blocks-per-as", type=float, default=8.0, help="mean /24 blocks per AS"
+    )
+    serve.add_argument("--days", type=int, default=28, help="collection horizon")
+    serve.add_argument(
+        "--window-days",
+        type=int,
+        default=1,
+        help="days per committed interval (must divide --days)",
+    )
+    serve.add_argument(
+        "--store-dir",
+        required=True,
+        metavar="DIR",
+        help="live store root; an existing store resumes (catch-up by "
+        "deterministic replay), a fresh directory starts from interval 1",
+    )
+    serve.add_argument(
+        "--store-shard-blocks",
+        type=int,
+        default=256,
+        metavar="N",
+        help="/24 blocks per store shard",
+    )
+    serve.add_argument(
+        "--max-intervals",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after committing N new intervals (default: run to the "
+        "--days horizon)",
+    )
+    serve.add_argument(
+        "--interval-seconds",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="pace: sleep S seconds between committed intervals",
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /status, and /healthz on 127.0.0.1:PORT "
+        "while collecting (0 picks an ephemeral port, printed to stderr)",
+    )
+    serve.add_argument(
+        "--no-verify-replay",
+        action="store_true",
+        help="skip the catch-up check that replayed columns match the "
+        "committed store bit for bit",
+    )
+    serve.add_argument(
+        "--inject-kill-interval",
+        type=int,
+        default=None,
+        metavar="K",
+        help="testing/CI hook: hard-kill the process (exit 86) while "
+        "committing interval K, at the phase chosen by "
+        "--inject-kill-phase — a restart must converge bit-identically",
+    )
+    serve.add_argument(
+        "--inject-kill-phase",
+        choices=[COMMIT_PHASE_FINALIZED, COMMIT_PHASE_FLIPPED],
+        default=COMMIT_PHASE_FINALIZED,
+        help="commit phase at which --inject-kill-interval fires",
+    )
+    _add_obs_flags(serve)
+
     lint = commands.add_parser(
         "lint",
         help="check the tree against the static contracts (reprolint)",
@@ -199,7 +285,10 @@ class _ProgressPrinter:
 
     def __call__(self, update) -> None:
         elapsed = time.perf_counter() - self._start
-        eta = elapsed / update.done * (update.total - update.done)
+        if update.done > 0:
+            eta = f"{elapsed / update.done * (update.total - update.done):.1f}s"
+        else:
+            eta = "?"
         extras = [
             f"{count} {label}"
             for count, label in (
@@ -212,7 +301,7 @@ class _ProgressPrinter:
         detail = f" ({', '.join(extras)})" if extras else ""
         print(
             f"progress: {update.done}/{update.total} shards{detail} "
-            f"elapsed {elapsed:.1f}s eta {eta:.1f}s",
+            f"elapsed {elapsed:.1f}s eta {eta}",
             file=sys.stderr,
             flush=True,
         )
@@ -478,6 +567,80 @@ def _analyze_store(store, args: argparse.Namespace) -> None:
         _ANALYSES[name](dataset, args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.days < 1:
+        print("--days must be >= 1", file=sys.stderr)
+        return 2
+    if args.window_days < 1 or args.days % args.window_days:
+        print("--window-days must divide --days", file=sys.stderr)
+        return 2
+    if args.store_shard_blocks < 1:
+        print("--store-shard-blocks must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_intervals is not None and args.max_intervals < 0:
+        print("--max-intervals must be >= 0", file=sys.stderr)
+        return 2
+    if args.interval_seconds < 0:
+        print("--interval-seconds must be >= 0", file=sys.stderr)
+        return 2
+    config = SimulationConfig(
+        seed=args.seed, num_ases=args.ases, mean_blocks_per_as=args.blocks_per_as
+    )
+    commit_hook = None
+    if args.inject_kill_interval is not None:
+        kill_interval = args.inject_kill_interval
+        kill_phase = args.inject_kill_phase
+
+        def commit_hook(interval: int, phase: str) -> None:
+            if interval == kill_interval and phase == kill_phase:
+                print(
+                    f"injected kill: interval {interval} at {phase}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                # A real hard kill, not an exception: nothing below this
+                # line — no finally, no atexit — may run, or the test
+                # would not exercise the store's crash protocol.
+                os._exit(86)
+
+    ctx = ObsContext()
+    endpoint: MetricsEndpoint | None = None
+    try:
+        publish = None
+        if args.metrics_port is not None:
+            endpoint = MetricsEndpoint(port=args.metrics_port)
+            endpoint.start()
+            publish = endpoint.publish
+            print(f"metrics: {endpoint.url}/metrics", file=sys.stderr, flush=True)
+        service = ObservatoryService(
+            config,
+            num_days=args.days,
+            window_days=args.window_days,
+            store_root=args.store_dir,
+            shard_blocks=args.store_shard_blocks,
+            ctx=ctx,
+            commit_hook=commit_hook,
+            publish=publish,
+            pace_seconds=args.interval_seconds,
+            verify_replay=not args.no_verify_replay,
+        )
+        with service:
+            report = service.run(max_intervals=args.max_intervals)
+    finally:
+        if endpoint is not None:
+            endpoint.stop()
+    _export_obs(ctx, args)
+    state = "complete" if report.complete else "paused"
+    sha = report.dataset_sha256 or "-"
+    print(
+        f"serve: {state} at {report.committed}/{report.total} intervals "
+        f"({report.replayed} replayed, {report.appended} appended)\n"
+        f"store: {args.store_dir}\n"
+        f"dataset sha256: {sha}"
+    )
+    return 0
+
+
 def _run_lint(lint_args: Sequence[str]) -> int:
     """Run reprolint (``tools/reprolint``) from a repository checkout.
 
@@ -539,6 +702,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(raw)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_analyze(args)
 
 

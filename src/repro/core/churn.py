@@ -191,19 +191,23 @@ def transition_churn_streamed(store: "DatasetStore") -> list[TransitionChurn]:
         downs = np.zeros(num_snapshots - 1, dtype=np.int64)
         active = np.zeros(num_snapshots, dtype=np.int64)
         for shard in store.shards:
-            before = shard.columns(0)[0]
-            active[0] += before.size
-            for position in range(1, num_snapshots):
-                after = shard.columns(position)[0]
-                active[position] += after.size
-                ups[position - 1] += np.setdiff1d(
-                    after, before, assume_unique=True
-                ).size
-                downs[position - 1] += np.setdiff1d(
-                    before, after, assume_unique=True
-                ).size
-                before = after
-            shard.close()
+            # try/finally, not happy-path close: an exception mid-fold
+            # must not leak the shard's open RawNpzReader handle.
+            try:
+                before = shard.columns(0)[0]
+                active[0] += before.size
+                for position in range(1, num_snapshots):
+                    after = shard.columns(position)[0]
+                    active[position] += after.size
+                    ups[position - 1] += np.setdiff1d(
+                        after, before, assume_unique=True
+                    ).size
+                    downs[position - 1] += np.setdiff1d(
+                        before, after, assume_unique=True
+                    ).size
+                    before = after
+            finally:
+                shard.close()
         out = [
             TransitionChurn(
                 up_count=int(ups[position]),
@@ -263,34 +267,38 @@ def churn_by_window_size_streamed(
         active[size] = np.zeros(num_windows, dtype=np.int64)
     with obs.span("analyze/churn/window_sweep_streamed"):
         for shard in store.shards:
-            columns = [
-                shard.columns(position)[0] for position in range(num_days)
-            ]
-            for size in sizes:
-                num_windows = num_days // size
-                previous: np.ndarray | None = None
-                for window in range(num_windows):
-                    parts = [
-                        column
-                        for column in columns[window * size : (window + 1) * size]
-                        if column.size
-                    ]
-                    if not parts:
-                        union = empty
-                    elif len(parts) == 1:
-                        union = parts[0]
-                    else:
-                        union = np.unique(np.concatenate(parts))  # bounded: one shard
-                    active[size][window] += union.size
-                    if previous is not None:
-                        ups[size][window - 1] += np.setdiff1d(
-                            union, previous, assume_unique=True
-                        ).size
-                        downs[size][window - 1] += np.setdiff1d(
-                            previous, union, assume_unique=True
-                        ).size
-                    previous = union
-            shard.close()
+            # try/finally, not happy-path close: an exception mid-sweep
+            # must not leak the shard's open RawNpzReader handle.
+            try:
+                columns = [
+                    shard.columns(position)[0] for position in range(num_days)
+                ]
+                for size in sizes:
+                    num_windows = num_days // size
+                    previous: np.ndarray | None = None
+                    for window in range(num_windows):
+                        parts = [
+                            column
+                            for column in columns[window * size : (window + 1) * size]
+                            if column.size
+                        ]
+                        if not parts:
+                            union = empty
+                        elif len(parts) == 1:
+                            union = parts[0]
+                        else:
+                            union = np.unique(np.concatenate(parts))  # bounded: one shard
+                        active[size][window] += union.size
+                        if previous is not None:
+                            ups[size][window - 1] += np.setdiff1d(
+                                union, previous, assume_unique=True
+                            ).size
+                            downs[size][window - 1] += np.setdiff1d(
+                                previous, union, assume_unique=True
+                            ).size
+                        previous = union
+            finally:
+                shard.close()
     out: dict[int, ChurnSummary] = {}
     for size in sizes:
         transitions = tuple(
@@ -304,6 +312,56 @@ def churn_by_window_size_streamed(
         )
         out[size] = ChurnSummary(size, transitions)
     return out
+
+
+class IncrementalChurn:
+    """Transition churn maintained one appended window at a time.
+
+    The live-observatory service's incremental twin of
+    :func:`transition_churn`: each :meth:`update` folds one new window
+    column against the previously appended one, so a scheduler tick
+    costs two set differences instead of a full re-walk of the store.
+    Columns are sorted unique ``uint32`` arrays (every snapshot's
+    shape), so the same ``np.setdiff1d(..., assume_unique=True)``
+    counts the batch and streamed functions use apply verbatim — the
+    property suite pins :meth:`transitions` equal to the batch
+    reference after every prefix of appended intervals.
+    """
+
+    def __init__(self) -> None:
+        self._previous: np.ndarray | None = None
+        self._transitions: list[TransitionChurn] = []
+
+    @property
+    def num_snapshots(self) -> int:
+        return len(self._transitions) + (0 if self._previous is None else 1)
+
+    def update(self, ips: np.ndarray) -> None:
+        """Fold one window column (sorted unique ``uint32``) in."""
+        column = np.asarray(ips, dtype=np.uint32)
+        previous = self._previous
+        if previous is not None:
+            self._transitions.append(
+                TransitionChurn(
+                    up_count=int(
+                        np.setdiff1d(column, previous, assume_unique=True).size
+                    ),
+                    down_count=int(
+                        np.setdiff1d(previous, column, assume_unique=True).size
+                    ),
+                    active_before=int(previous.size),
+                    active_after=int(column.size),
+                )
+            )
+        self._previous = column
+
+    def transitions(self) -> list[TransitionChurn]:
+        """Churn for every consecutive pair folded in so far."""
+        return list(self._transitions)
+
+    def summary(self, window_days: int) -> ChurnSummary:
+        """The :class:`ChurnSummary` over all transitions so far."""
+        return ChurnSummary(window_days, tuple(self._transitions))
 
 
 def churn_plateau(summaries: dict[int, ChurnSummary], from_size: int = 7) -> float:

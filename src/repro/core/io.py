@@ -408,13 +408,15 @@ def open_store(path: str | os.PathLike[str]) -> "DatasetStore":
 
     Eagerly checks the manifest and every shard's header (day range,
     block tiling, address ranges) but reads shard data lazily — see
-    :class:`repro.core.store.DatasetStore`.  Raises
+    :class:`repro.core.store.DatasetStore`.  Live-store roots (appended
+    interval by interval through ``StoreAppender``) resolve to their
+    committed generation transparently.  Raises
     :class:`~repro.errors.DatasetError` on any structural defect.
     """
-    from repro.core.store import DatasetStore
+    from repro.core.store import DatasetStore, resolve_store_root
 
     with obs.span("io/open_store"):
-        store = DatasetStore.open(path)
+        store = DatasetStore.open(resolve_store_root(path))
         obs.add("stores_opened_total")
         return store
 

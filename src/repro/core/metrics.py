@@ -120,33 +120,36 @@ def compute_block_metrics_streamed(store: "DatasetStore") -> BlockMetrics:
         fd_parts: list[np.ndarray] = []
         activity_parts: list[np.ndarray] = []
         for shard in store.shards:
-            columns = [
-                shard.columns(position)[0] for position in range(num_snapshots)
-            ]
-            nonempty = [ips for ips in columns if ips.size]
-            if not nonempty:
-                shard.close()
-                continue
-            if len(nonempty) == 1:
-                union = nonempty[0]
-            else:
-                union = np.unique(np.concatenate(nonempty))  # bounded: one shard
-            shard_bases, ip_block_index = np.unique(
-                union & np.uint32(0xFFFFFF00), return_inverse=True
-            )
-            fd = np.bincount(ip_block_index, minlength=shard_bases.size)
-            activity = np.zeros(shard_bases.size, dtype=np.int64)
-            for ips in columns:
-                if ips.size == 0:
+            # try/finally, not happy-path close: an exception mid-fold
+            # must not leak the shard's open RawNpzReader handle.
+            try:
+                columns = [
+                    shard.columns(position)[0] for position in range(num_snapshots)
+                ]
+                nonempty = [ips for ips in columns if ips.size]
+                if not nonempty:
                     continue
-                block_idx = np.searchsorted(
-                    shard_bases, ips & np.uint32(0xFFFFFF00)
+                if len(nonempty) == 1:
+                    union = nonempty[0]
+                else:
+                    union = np.unique(np.concatenate(nonempty))  # bounded: one shard
+                shard_bases, ip_block_index = np.unique(
+                    union & np.uint32(0xFFFFFF00), return_inverse=True
                 )
-                activity += np.bincount(block_idx, minlength=shard_bases.size)
-            bases_parts.append(shard_bases)
-            fd_parts.append(fd.astype(np.int64))
-            activity_parts.append(activity)
-            shard.close()
+                fd = np.bincount(ip_block_index, minlength=shard_bases.size)
+                activity = np.zeros(shard_bases.size, dtype=np.int64)
+                for ips in columns:
+                    if ips.size == 0:
+                        continue
+                    block_idx = np.searchsorted(
+                        shard_bases, ips & np.uint32(0xFFFFFF00)
+                    )
+                    activity += np.bincount(block_idx, minlength=shard_bases.size)
+                bases_parts.append(shard_bases)
+                fd_parts.append(fd.astype(np.int64))
+                activity_parts.append(activity)
+            finally:
+                shard.close()
         if not bases_parts:
             raise DatasetError("store has no active addresses")
         bases = np.concatenate(bases_parts)  # O(active /24s), not O(addresses)
@@ -159,6 +162,77 @@ def compute_block_metrics_streamed(store: "DatasetStore") -> BlockMetrics:
             filling_degree=fd_all,
             stu=stu,
             window_days=store.total_days,
+        )
+
+
+class IncrementalBlockMetrics:
+    """FD/STU maintained one appended snapshot at a time.
+
+    The live-observatory service commits one interval per scheduler
+    tick; recomputing :func:`compute_block_metrics_streamed` over the
+    whole store every tick would make each tick cost O(history).  This
+    accumulator folds a single new window column into running state —
+    the address union (FD) and per-/24 activity totals (STU) — and
+    :meth:`result` derives exactly what the batch functions compute
+    over the same snapshots:
+
+    - the union is maintained with ``np.union1d`` over sorted unique
+      columns, so FD counts each address once regardless of arrival
+      order;
+    - per-/24 activity adds this column's integer address counts into
+      ``int64`` totals — identical integers to the batch bincounts, so
+      the one ``activity / (256 * n)`` division at :meth:`result` time
+      produces bit-identical ``float64`` STU values.
+
+    The batch functions stay the executable reference spec; the
+    property suite pins ``result()`` equal to them after every prefix
+    of appended intervals.
+    """
+
+    def __init__(self, window_days: int) -> None:
+        if window_days < 1:
+            raise DatasetError(f"bad window length: {window_days}")
+        self._window_days = window_days
+        self._union = np.empty(0, dtype=np.uint32)
+        self._bases = np.empty(0, dtype=np.uint32)
+        self._activity = np.empty(0, dtype=np.int64)
+        self._num_snapshots = 0
+
+    @property
+    def num_snapshots(self) -> int:
+        return self._num_snapshots
+
+    def update(self, ips: np.ndarray) -> None:
+        """Fold one window column (sorted unique ``uint32``) in."""
+        column = np.asarray(ips, dtype=np.uint32)
+        self._num_snapshots += 1
+        if column.size == 0:
+            return
+        self._union = np.union1d(self._union, column)
+        new_bases, counts = np.unique(
+            column & np.uint32(0xFFFFFF00), return_counts=True
+        )
+        merged = np.union1d(self._bases, new_bases)
+        activity = np.zeros(merged.size, dtype=np.int64)
+        activity[np.searchsorted(merged, self._bases)] = self._activity
+        activity[np.searchsorted(merged, new_bases)] += counts
+        self._bases = merged
+        self._activity = activity
+
+    def result(self) -> BlockMetrics:
+        """The metrics over every snapshot folded in so far."""
+        if self._union.size == 0:
+            raise DatasetError("dataset has no active addresses")
+        bases, ip_block_index = np.unique(
+            self._union & np.uint32(0xFFFFFF00), return_inverse=True
+        )
+        fd = np.bincount(ip_block_index, minlength=bases.size)
+        stu = self._activity / (BLOCK_SIZE * self._num_snapshots)
+        return BlockMetrics(
+            bases=bases,
+            filling_degree=fd.astype(np.int64),
+            stu=stu,
+            window_days=self._num_snapshots * self._window_days,
         )
 
 

@@ -48,8 +48,10 @@ import hashlib
 import json
 import math
 import os
+import re
+import shutil
 import zipfile
-from collections.abc import Iterator, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
 from typing import IO, Any
 
@@ -66,6 +68,15 @@ STORE_FORMAT_VERSION = 1
 
 #: Manifest file name inside a store directory.
 STORE_MANIFEST_NAME = "store.manifest.json"
+
+#: Pointer file name inside a *live* store directory (appendable store).
+LIVE_POINTER_NAME = "live.json"
+
+#: Bump when the live-pointer schema changes.
+LIVE_POINTER_VERSION = 1
+
+#: Generation directory names inside a live store root.
+_GENERATION_PATTERN = re.compile(r"^gen_(\d{6})$")
 
 #: Addresses per /24 block.
 _BLOCK_SPAN = 256
@@ -90,10 +101,83 @@ def store_manifest_path(root: str | os.PathLike[str]) -> str:
     return os.path.join(os.fspath(root), STORE_MANIFEST_NAME)
 
 
+def generation_dir_name(generation: int) -> str:
+    """Directory name of one live-store generation (1-based)."""
+    return f"gen_{generation:06d}"
+
+
+def live_pointer_path(root: str | os.PathLike[str]) -> str:
+    """Path of the generation pointer inside live store *root*."""
+    return os.path.join(os.fspath(root), LIVE_POINTER_NAME)
+
+
+def read_live_pointer(root: str | os.PathLike[str]) -> int | None:
+    """The committed generation number of live store *root*.
+
+    Returns ``None`` when no pointer file exists (the directory is not
+    a live store, or no generation has ever been committed); raises
+    :class:`~repro.errors.DatasetError` on a malformed pointer.
+    """
+    target = live_pointer_path(root)
+    try:
+        with open(target, encoding="utf-8") as stream:
+            payload = json.load(stream)
+    except FileNotFoundError:
+        return None
+    except (json.JSONDecodeError, OSError) as exc:
+        raise DatasetError(
+            f"corrupt or unreadable live-store pointer: {target} ({exc})"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise DatasetError(f"malformed live-store pointer: {target}")
+    try:
+        schema = int(payload["schema"])
+        generation = int(payload["generation"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetError(
+            f"malformed live-store pointer: {target} ({exc})"
+        ) from exc
+    if schema != LIVE_POINTER_VERSION:
+        raise DatasetError(
+            f"unsupported live-store pointer schema in {target}: {schema}"
+        )
+    if generation < 1:
+        raise DatasetError(
+            f"malformed live-store pointer: {target} (generation {generation})"
+        )
+    return generation
+
+
+def resolve_store_root(path: str | os.PathLike[str]) -> str:
+    """The directory whose manifest describes *path*'s dataset.
+
+    A plain store directory resolves to itself.  A **live** store —
+    one whose snapshots are appended interval by interval through
+    :class:`StoreAppender` — keeps each committed state as a complete
+    store under a generation directory and points at the current one
+    with ``live.json``; such a root resolves to its committed
+    generation directory, so every store consumer (``open_store``,
+    ``repro analyze``) reads a live store transparently.
+    """
+    root = os.fspath(path)
+    if os.path.isfile(store_manifest_path(root)):
+        return root
+    generation = read_live_pointer(root)
+    if generation is not None:
+        return os.path.join(root, generation_dir_name(generation))
+    return root
+
+
 def is_store(path: str | os.PathLike[str]) -> bool:
-    """True when *path* is a directory containing a store manifest."""
+    """True when *path* is (or resolves to) a store-manifest directory."""
     target = os.fspath(path)
-    return os.path.isdir(target) and os.path.isfile(store_manifest_path(target))
+    if not os.path.isdir(target):
+        return False
+    try:
+        resolved = resolve_store_root(target)
+    except DatasetError:
+        return False
+    return os.path.isfile(store_manifest_path(resolved))
 
 
 class RawNpzReader:
@@ -489,6 +573,62 @@ class DatasetStore:
     def nbytes(self) -> int:
         """Total shard file bytes, per the manifest."""
         return sum(shard.info.nbytes for shard in self.shards)
+
+    def active_block_bases(self) -> NDArray[np.int64]:
+        """Sorted /24 bases with any activity, streamed shard by shard.
+
+        Shards cover ascending disjoint address ranges, so per-shard
+        sorted base sets concatenate into the global sorted base table;
+        peak memory is one shard's columns plus the base table itself
+        (O(active /24s), not O(addresses)).
+        """
+        parts: list[NDArray[np.int64]] = []
+        for shard in self.shards:
+            try:
+                masked = [
+                    (shard.columns(index)[0] & np.uint32(0xFFFFFF00)).astype(
+                        np.int64
+                    )
+                    for index in range(self.num_snapshots)
+                ]
+                nonempty = [blocks for blocks in masked if blocks.size]
+                if nonempty:
+                    parts.append(
+                        np.unique(np.concatenate(nonempty))  # bounded: one shard
+                    )
+            finally:
+                shard.close()
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)  # O(active /24s), not O(addresses)
+
+    def column_slice(
+        self, index: int, lo: int, hi: int
+    ) -> tuple[NDArray[Any], NDArray[Any]]:
+        """Snapshot *index*'s ``(ips, hits)`` restricted to ``[lo, hi]``.
+
+        *hi* is inclusive (the exclusive bound of the top /24 would
+        overflow ``uint32``).  Reads only the shards whose address
+        range overlaps the request, so the result is bounded by the
+        requested slice plus one shard's columns.
+        """
+        ips_parts: list[NDArray[Any]] = []
+        hits_parts: list[NDArray[Any]] = []
+        for shard in self.shards:
+            if shard.info.base_hi <= lo or shard.info.base_lo > hi:
+                continue
+            ips, hits = shard.columns(index)
+            left = int(np.searchsorted(ips, lo))
+            right = int(np.searchsorted(ips, hi, side="right"))
+            if right > left:
+                ips_parts.append(ips[left:right])
+                hits_parts.append(hits[left:right])
+        if not ips_parts:
+            return np.empty(0, dtype=np.uint32), np.empty(0, dtype=np.uint64)
+        return (
+            np.concatenate(ips_parts),  # bounded: one requested address slice
+            np.concatenate(hits_parts),  # bounded: one requested address slice
+        )
 
     def iter_union_runs(self) -> Iterator[tuple[NDArray[Any], NDArray[Any]]]:
         """Sorted ``(ips, hits)`` union runs, one per shard, streaming.
@@ -886,3 +1026,196 @@ class StoreWriter:
             dataset_sha256=dataset_sha256,
             shards=shards,
         )
+
+
+#: Commit-protocol phase names passed to a :class:`StoreAppender` hook.
+COMMIT_PHASE_FINALIZED = "generation-finalized"
+COMMIT_PHASE_FLIPPED = "pointer-flipped"
+
+
+class StoreAppender:
+    """Append one snapshot interval at a time to a **live** store.
+
+    A live store root holds generation directories — each a complete,
+    independently valid store — plus a ``live.json`` pointer naming the
+    committed one::
+
+        <root>/
+            live.json                # {"schema": 1, "generation": 2}
+            gen_000002/              # the committed 2-snapshot store
+                store.manifest.json
+                shard_*.npz
+
+    :meth:`append` builds generation ``k+1`` beside the committed
+    generation ``k`` (re-slicing the old columns plus the new one into
+    fresh shards), finalizes its manifest, then atomically flips the
+    pointer and garbage-collects the old generation.  The pointer flip
+    is the *only* commit point, so a crash at any instant leaves either
+    generation ``k`` or generation ``k+1`` committed — never a torn
+    store — and a restarted service replays the missed interval into
+    the same (deterministic) bytes.
+
+    The optional *commit_hook* is called with
+    :data:`COMMIT_PHASE_FINALIZED` after the new generation's manifest
+    lands and :data:`COMMIT_PHASE_FLIPPED` after the pointer flip;
+    fault-injection tests use it to kill the process at the
+    worst-possible instants.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        *,
+        start: datetime.date,
+        window_days: int,
+        shard_blocks: int = 256,
+        commit_hook: Callable[[str], None] | None = None,
+    ) -> None:
+        if window_days < 1:
+            raise DatasetError(f"bad window length: {window_days}")
+        if shard_blocks < 1:
+            raise DatasetError(f"bad shard size: {shard_blocks} blocks")
+        self._root = os.fspath(root)
+        if os.path.isfile(store_manifest_path(self._root)):
+            raise DatasetError(
+                f"not a live store: {self._root} holds a plain store manifest"
+            )
+        os.makedirs(self._root, exist_ok=True)
+        self._start = start
+        self._window_days = window_days
+        self._shard_blocks = shard_blocks
+        self._commit_hook = commit_hook
+        self._store: DatasetStore | None = None
+        generation = read_live_pointer(self._root)
+        self._committed = 0 if generation is None else generation
+        if generation is not None:
+            store = DatasetStore.open(
+                os.path.join(self._root, generation_dir_name(generation))
+            )
+            if store.num_snapshots != generation:
+                raise DatasetError(
+                    f"live store at {self._root} points at generation "
+                    f"{generation} holding {store.num_snapshots} snapshots"
+                )
+            if (
+                store.start != start
+                or store.window_days != window_days
+                or store.shard_blocks != shard_blocks
+            ):
+                raise DatasetError(
+                    f"live store at {self._root} was built with "
+                    f"start={store.start.isoformat()} "
+                    f"window_days={store.window_days} "
+                    f"shard_blocks={store.shard_blocks}; refusing to append "
+                    f"with start={start.isoformat()} "
+                    f"window_days={window_days} shard_blocks={shard_blocks}"
+                )
+            self._store = store
+
+    @property
+    def root(self) -> str:
+        return self._root
+
+    @property
+    def committed(self) -> int:
+        """Number of snapshots in the committed generation (0 = none)."""
+        return self._committed
+
+    @property
+    def store(self) -> DatasetStore | None:
+        """The committed generation's store, or ``None`` before any commit."""
+        return self._store
+
+    def _signal(self, phase: str) -> None:
+        if self._commit_hook is not None:
+            self._commit_hook(phase)
+
+    @staticmethod
+    def _validated_column(
+        ips: NDArray[Any], hits: NDArray[Any]
+    ) -> tuple[NDArray[Any], NDArray[Any]]:
+        ips_col = np.ascontiguousarray(ips, dtype=np.uint32)
+        hits_col = np.ascontiguousarray(hits, dtype=np.uint64)
+        if ips_col.ndim != 1 or hits_col.shape != ips_col.shape:
+            raise DatasetError("appended snapshot column shape mismatch")
+        if ips_col.size > 1 and not (ips_col[1:] > ips_col[:-1]).all():
+            raise DatasetError(
+                "appended snapshot addresses are not strictly ascending"
+            )
+        return ips_col, hits_col
+
+    def append(self, ips: NDArray[Any], hits: NDArray[Any]) -> DatasetStore:
+        """Commit snapshot ``committed + 1`` and return the new store.
+
+        *ips*/*hits* are one interval's sorted sparse columns (the
+        shapes every snapshot carries).  The commit is crash-safe: the
+        new generation's manifest is written before the pointer flips,
+        and the old generation is removed only after.
+        """
+        ips_col, hits_col = self._validated_column(ips, hits)
+        generation = self._committed + 1
+        gen_dir = os.path.join(self._root, generation_dir_name(generation))
+        if os.path.isdir(gen_dir):
+            # A crash between finalize and pointer flip leaves a complete
+            # but uncommitted generation; rebuilding it from scratch is
+            # deterministic, so replay converges on identical bytes.
+            shutil.rmtree(gen_dir)
+        prev = self._store
+        if prev is None:
+            prev_bases = np.empty(0, dtype=np.int64)
+        else:
+            prev_bases = prev.active_block_bases()
+        new_bases = np.unique(
+            (ips_col & np.uint32(0xFFFFFF00)).astype(np.int64)
+        )
+        union = np.union1d(prev_bases, new_bases)
+        writer = StoreWriter(
+            gen_dir,
+            start=self._start,
+            window_days=self._window_days,
+            num_snapshots=generation,
+            shard_blocks=self._shard_blocks,
+        )
+        for offset in range(0, int(union.size), self._shard_blocks):
+            chunk = union[offset : offset + self._shard_blocks]
+            lo = int(chunk[0])
+            hi = int(chunk[-1]) + _BLOCK_SPAN - 1  # inclusive top address
+            columns: list[tuple[NDArray[Any], NDArray[Any]]] = []
+            for index in range(self._committed):
+                assert prev is not None
+                columns.append(prev.column_slice(index, lo, hi))
+            left = int(np.searchsorted(ips_col, lo))
+            right = int(np.searchsorted(ips_col, hi, side="right"))
+            columns.append((ips_col[left:right], hits_col[left:right]))
+            writer.add_shard(chunk, columns)
+        store = writer.finalize()
+        self._signal(COMMIT_PHASE_FINALIZED)
+        atomic_write_text(
+            live_pointer_path(self._root),
+            json.dumps(
+                {"schema": LIVE_POINTER_VERSION, "generation": generation},
+                sort_keys=True,
+            )
+            + "\n",
+        )
+        self._signal(COMMIT_PHASE_FLIPPED)
+        if prev is not None:
+            prev.close()
+        for entry in os.listdir(self._root):
+            match = _GENERATION_PATTERN.match(entry)
+            if match is not None and int(match.group(1)) != generation:
+                shutil.rmtree(os.path.join(self._root, entry), ignore_errors=True)
+        self._store = store
+        self._committed = generation
+        obs.add("store_appends_total")
+        return store
+
+    def close(self) -> None:
+        if self._store is not None:
+            self._store.close()
+
+    def __enter__(self) -> "StoreAppender":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -45,6 +45,10 @@ def _escape_label_value(value: str) -> str:
 
 def _format_value(value: int | float) -> str:
     """Prometheus sample values: integers stay integral."""
+    if isinstance(value, bool):
+        # bool passes isinstance(..., int); "True"/"False" is not a
+        # valid exposition-format sample value.
+        return "1" if value else "0"
     if isinstance(value, int):
         return str(value)
     return repr(float(value))

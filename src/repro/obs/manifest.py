@@ -146,8 +146,11 @@ def build_manifest(
         dataset_path=None if dataset_path is None else os.fspath(dataset_path),
         dataset_sha256=dataset_sha256 if dataset is None else dataset_digest(dataset),
         events=[event.as_dict() for event in ctx.events],
-        counters=ctx.metrics.counters,
-        gauges=ctx.metrics.gauges,
+        # Copies, not references: the context stays live after the
+        # manifest is built (the serve loop builds one per interval),
+        # and a manifest must be a snapshot, not a view.
+        counters=dict(ctx.metrics.counters),
+        gauges=dict(ctx.metrics.gauges),
         spans=ctx.spans.tree(),
     )
 
@@ -182,6 +185,10 @@ def load_manifest(path: str | os.PathLike[str]) -> dict[str, Any]:
     except json.JSONDecodeError as exc:
         raise ObservabilityError(
             f"corrupt manifest file: {target} ({exc})"
+        ) from exc
+    except OSError as exc:
+        raise ObservabilityError(
+            f"unreadable manifest file: {target} ({exc})"
         ) from exc
     schema = payload.get("schema")
     if schema != MANIFEST_SCHEMA_VERSION:

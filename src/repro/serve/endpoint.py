@@ -1,0 +1,156 @@
+"""The live scrape endpoint: ``/metrics``, ``/status``, ``/healthz``.
+
+A tiny stdlib HTTP server (no new dependencies) that serves cached
+snapshots published by the observatory service.  The service publishes
+a fully rendered Prometheus exposition string once per committed
+interval; the handler only ever copies that string under a lock, so a
+scrape never reads — let alone locks — the live
+:class:`~repro.obs.context.ObsContext`, which is not thread-safe.
+
+Routes:
+
+- ``GET /metrics`` — the Prometheus text exposition snapshot
+  (``text/plain; version=0.0.4``);
+- ``GET /status`` — the service's JSON status snapshot;
+- ``GET /healthz`` — liveness probe, always ``ok``.
+
+``port=0`` binds an ephemeral port (tests and CI read it back from
+:attr:`MetricsEndpoint.port` after :meth:`MetricsEndpoint.start`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.errors import ObservabilityError
+
+#: The exposition-format content type Prometheus scrapers expect.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Served before the first interval commits — a comment-only body is a
+#: valid (empty) exposition.
+_INITIAL_EXPOSITION = "# repro serve: no interval committed yet\n"
+
+
+class _EndpointServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying a back-reference to the endpoint."""
+
+    daemon_threads = True
+    endpoint: "MetricsEndpoint"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    def _respond(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server's required name
+        endpoint = self.server.endpoint  # type: ignore[attr-defined]
+        assert isinstance(endpoint, MetricsEndpoint)
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._respond(
+                200, EXPOSITION_CONTENT_TYPE, endpoint.exposition()
+            )
+        elif path == "/status":
+            self._respond(
+                200, "application/json; charset=utf-8", endpoint.status_json()
+            )
+        elif path == "/healthz":
+            self._respond(200, "text/plain; charset=utf-8", "ok\n")
+        else:
+            self._respond(404, "text/plain; charset=utf-8", "not found\n")
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr lines (the service owns stderr)."""
+
+
+class MetricsEndpoint:
+    """A background scrape endpoint fed by published snapshots.
+
+    Lifecycle: construct, :meth:`start` (binds and spawns the daemon
+    server thread), :meth:`publish` after every committed interval,
+    :meth:`stop` on shutdown.  All handler reads and service writes go
+    through one lock around two immutable strings, so the hot path is
+    wait-free in practice and never touches live service state.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._host = host
+        self._requested_port = port
+        self._lock = threading.Lock()
+        self._exposition = _INITIAL_EXPOSITION
+        self._status_json = json.dumps({"committed": 0}) + "\n"
+        self._server: _EndpointServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self._server is not None:
+            raise ObservabilityError("metrics endpoint already started")
+        try:
+            server = _EndpointServer((self._host, self._requested_port), _Handler)
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot bind metrics endpoint on "
+                f"{self._host}:{self._requested_port} ({exc})"
+            ) from exc
+        server.endpoint = self
+        self._server = server
+        thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-serve-metrics",
+            daemon=True,
+        )
+        thread.start()
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral pick)."""
+        if self._server is None:
+            raise ObservabilityError("metrics endpoint is not started")
+        return int(self._server.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def publish(self, exposition: str, status: dict[str, Any]) -> None:
+        """Swap in a new exposition/status snapshot (service thread)."""
+        status_json = json.dumps(status, sort_keys=True) + "\n"
+        with self._lock:
+            self._exposition = exposition
+            self._status_json = status_json
+
+    def exposition(self) -> str:
+        with self._lock:
+            return self._exposition
+
+    def status_json(self) -> str:
+        with self._lock:
+            return self._status_json
+
+    def stop(self) -> None:
+        server = self._server
+        if server is None:
+            return
+        server.shutdown()
+        server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsEndpoint":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

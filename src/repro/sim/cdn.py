@@ -61,6 +61,209 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _SIBLING_ASN_OFFSET = 30000
 
 
+def _schedule_cover(population: InternetPopulation, event: RestructureEvent):
+    """Smallest prefix covering an event's blocks."""
+    ips = []
+    for index in event.block_indexes:
+        base = population.blocks[index].base
+        ips.extend((base, base + 255))
+    from repro.net.prefix import smallest_covering_prefix
+
+    return smallest_covering_prefix(np.asarray(ips, dtype=np.uint32))
+
+
+@dataclass
+class CollectionPlan:
+    """The coordinator-only inputs of one collection run.
+
+    Built once per run by :func:`plan_collection` — the schedule and
+    noise streams are spawned exactly as every prior release spawned
+    them, so a plan consumed by the batch engine and a plan consumed
+    interval by interval by the live service drive identical runs.
+    """
+
+    schedule: RestructureSchedule
+    directives: tuple[Directive, ...]
+    noise_rng: np.random.Generator
+
+
+def plan_collection(
+    population: InternetPopulation, num_days: int
+) -> CollectionPlan:
+    """Derive one run's schedule, directives, and noise stream.
+
+    This is the deterministic preamble of every collection run: the
+    root stream is keyed by ``(seed, COLLECT_STREAM_SALT)``, the
+    schedule is drawn first, and the noise stream is the second child —
+    the exact spawn order of the historical single-threaded releases,
+    which the golden-run digest pins.
+    """
+    config = population.config
+    root = np.random.SeedSequence([config.seed, COLLECT_STREAM_SALT])
+    # Three children keep the schedule and noise streams identical
+    # to earlier single-threaded releases; the third seeded the
+    # retired shared UA stream (UA draws are now per block, keyed
+    # by block index — see engine.block_ua_rng).
+    schedule_seed, noise_seed, _retired_ua_seed = root.spawn(3)
+    schedule = build_schedule(
+        population, num_days, np.random.default_rng(schedule_seed)
+    )
+    noise_rng = np.random.default_rng(noise_seed)
+    directives: list[Directive] = []
+    for event in schedule.events:
+        assert event.new_policy_kind is not None
+        for index in event.block_indexes:
+            directives.append(
+                (event.day, index, event.new_policy_kind.value, event.salt)
+            )
+    return CollectionPlan(
+        schedule=schedule,
+        directives=tuple(directives),
+        noise_rng=noise_rng,
+    )
+
+
+class RoutingEvolution:
+    """Day-by-day routing-table evolution (coordinator-only state).
+
+    Consumes the schedule's BGP-visible events and the background noise
+    stream, one day per :meth:`step` — the batch coordinator steps it
+    through the whole horizon at once, the live service steps it one
+    interval at a time, and both walks produce the identical table
+    series (every draw comes from the plan's noise stream in day
+    order).
+
+    Consecutive unchanged days share the *same* table object; the RIB
+    series renderer relies on that identity for its ``=== day N same``
+    compression.
+    """
+
+    def __init__(
+        self,
+        population: InternetPopulation,
+        schedule: RestructureSchedule,
+        noise_rng: np.random.Generator,
+    ) -> None:
+        self._population = population
+        self._config = population.config
+        self._events_by_day = schedule.by_day()
+        self._noise_rng = noise_rng
+        self._current = population.baseline_routing()
+        self._preannounce_event_covers(schedule, self._current)
+        self.tables: list[RoutingTable] = []
+
+    @property
+    def days_done(self) -> int:
+        return len(self.tables)
+
+    def step(self) -> RoutingTable:
+        """Evolve one day; append and return that day's table."""
+        day = len(self.tables)
+        table_changed = False
+        for event in self._events_by_day.get(day, ()):
+            if event.bgp_visible:
+                if not table_changed:
+                    self._current = self._current.copy()
+                    table_changed = True
+                self._apply_bgp_effect(event, self._current, self._noise_rng)
+        self._current, table_changed = self._apply_bgp_noise(
+            self._current, self._noise_rng, table_changed
+        )
+        if table_changed or not self.tables:
+            self.tables.append(self._current)
+        else:
+            self.tables.append(self.tables[-1])
+        return self.tables[-1]
+
+    def run(self, num_days: int) -> list[RoutingTable]:
+        """Step through *num_days* days and return the table series."""
+        for _ in range(num_days):
+            self.step()
+        return self.tables
+
+    def _apply_bgp_effect(
+        self,
+        event: RestructureEvent,
+        table: RoutingTable,
+        rng: np.random.Generator,
+    ) -> None:
+        """Realise an event's routing footprint on the live table.
+
+        The footprint is always the event's covering prefix (which was
+        pre-announced for origin/withdraw effects), so a routing change
+        never spills over onto addresses the event did not touch.
+        """
+        cover = _schedule_cover(self._population, event)
+        first_block = self._population.blocks[event.block_indexes[0]]
+        if event.bgp_effect == "announce":
+            if table.origin_of_prefix(cover) is None:
+                table.announce(cover, first_block.asn)
+            else:
+                table.announce(cover, first_block.asn + _SIBLING_ASN_OFFSET)
+        elif event.bgp_effect == "withdraw":
+            if cover in table:
+                table.withdraw(cover)
+        elif event.bgp_effect == "origin":
+            old = table.origin_of_prefix(cover)
+            if old is None:
+                table.announce(cover, first_block.asn + _SIBLING_ASN_OFFSET)
+            else:
+                table.announce(cover, old + _SIBLING_ASN_OFFSET)
+
+    def _preannounce_event_covers(
+        self, schedule: RestructureSchedule, table: RoutingTable
+    ) -> None:
+        """Announce, at day 0, the cover prefixes of events whose BGP
+        footprint needs an existing route (origin change, withdraw).
+
+        The pre-announcement uses the block's own AS, so day-0 origin
+        attribution is unchanged; the event day then produces exactly
+        one ORIGIN_CHANGE or WITHDRAW on that prefix.
+        """
+        for event in schedule.events:
+            if event.bgp_effect not in ("origin", "withdraw"):
+                continue
+            cover = _schedule_cover(self._population, event)
+            if table.origin_of_prefix(cover) is None:
+                asn = self._population.blocks[event.block_indexes[0]].asn
+                table.announce(cover, asn)
+
+    def _apply_bgp_noise(
+        self,
+        table: RoutingTable,
+        rng: np.random.Generator,
+        already_copied: bool,
+    ) -> tuple[RoutingTable, bool]:
+        """Unrelated background routing churn (rare, Fig. 5c baseline).
+
+        Returns ``(table, changed)``; the table is copied first when
+        this day's snapshot has not been forked from yesterday's yet.
+        """
+        probability = self._config.bgp_background_daily
+        if probability <= 0:
+            return table, already_copied
+        count = rng.binomial(len(table), probability)
+        if count == 0:
+            return table, already_copied
+        if not already_copied:
+            table = table.copy()
+        prefixes = table.prefixes()
+        for _ in range(int(count)):
+            prefix = prefixes[int(rng.integers(0, len(prefixes)))]
+            origin = table.origin_of_prefix(prefix)
+            if origin is None:
+                continue
+            roll = rng.random()
+            if roll < 0.6:
+                table.announce(prefix, origin + _SIBLING_ASN_OFFSET)
+            elif roll < 0.8:
+                table.withdraw(prefix)
+            else:
+                subnets = list(prefix.subnets(min(prefix.masklen + 1, 32)))
+                table.announce(subnets[0], origin)
+        return table, True
+
+
 @dataclass
 class CollectionResult:
     """Everything one observatory run produces.
@@ -246,30 +449,15 @@ class CDNObservatory:
 
         total_start = time.perf_counter()
         population = self.population
-        config = self.config
-        root = np.random.SeedSequence([config.seed, COLLECT_STREAM_SALT])
-        # Three children keep the schedule and noise streams identical
-        # to earlier single-threaded releases; the third seeded the
-        # retired shared UA stream (UA draws are now per block, keyed
-        # by block index — see engine.block_ua_rng).
-        schedule_seed, noise_seed, _retired_ua_seed = root.spawn(3)
-        schedule = build_schedule(
-            population, num_days, np.random.default_rng(schedule_seed)
-        )
-        noise_rng = np.random.default_rng(noise_seed)
+        plan = plan_collection(population, num_days)
+        schedule = plan.schedule
 
         routing_start = time.perf_counter()
         with obs_api.maybe_activate(obs), obs_api.span("collect/routing"):
-            routing_tables = self._evolve_routing(schedule, noise_rng, num_days)
+            routing_tables = RoutingEvolution(
+                population, schedule, plan.noise_rng
+            ).run(num_days)
         routing_seconds = time.perf_counter() - routing_start
-
-        directives: list[Directive] = []
-        for event in schedule.events:
-            assert event.new_policy_kind is not None
-            for index in event.block_indexes:
-                directives.append(
-                    (event.day, index, event.new_policy_kind.value, event.salt)
-                )
 
         outcome = run_sharded_collection(
             population,
@@ -278,7 +466,7 @@ class CDNObservatory:
             ua_window=ua_window,
             scan_days=scan_days,
             login_panel_rate=login_panel_rate,
-            directives=tuple(directives),
+            directives=plan.directives,
             workers=workers,
             max_retries=max_retries,
             retry_backoff=retry_backoff,
@@ -311,127 +499,6 @@ class CDNObservatory:
             store=outcome.store,
         )
 
-    def _evolve_routing(
-        self,
-        schedule: RestructureSchedule,
-        noise_rng: np.random.Generator,
-        num_days: int,
-    ) -> list[RoutingTable]:
-        """Day-by-day routing-table evolution (coordinator-only state).
-
-        Consumes the schedule's BGP-visible events and the background
-        noise stream; independent of the block simulation, so it runs
-        on the coordinator while workers simulate shards.
-        """
-        events_by_day = schedule.by_day()
-        routing_tables: list[RoutingTable] = []
-        current_table = self.population.baseline_routing()
-        self._preannounce_event_covers(schedule, current_table)
-        for day in range(num_days):
-            table_changed = False
-            for event in events_by_day.get(day, ()):
-                if event.bgp_visible:
-                    if not table_changed:
-                        current_table = current_table.copy()
-                        table_changed = True
-                    self._apply_bgp_effect(event, current_table, noise_rng)
-            current_table, table_changed = self._apply_bgp_noise(
-                current_table, noise_rng, table_changed
-            )
-            if table_changed or not routing_tables:
-                routing_tables.append(current_table)
-            else:
-                routing_tables.append(routing_tables[-1])
-        return routing_tables
-
-    def _apply_bgp_effect(
-        self,
-        event: RestructureEvent,
-        table: RoutingTable,
-        rng: np.random.Generator,
-    ) -> None:
-        """Realise an event's routing footprint on the live table.
-
-        The footprint is always the event's covering prefix (which was
-        pre-announced for origin/withdraw effects), so a routing change
-        never spills over onto addresses the event did not touch.
-        """
-        cover = self.schedule_cover(event)
-        first_block = self.population.blocks[event.block_indexes[0]]
-        if event.bgp_effect == "announce":
-            if table.origin_of_prefix(cover) is None:
-                table.announce(cover, first_block.asn)
-            else:
-                table.announce(cover, first_block.asn + _SIBLING_ASN_OFFSET)
-        elif event.bgp_effect == "withdraw":
-            if cover in table:
-                table.withdraw(cover)
-        elif event.bgp_effect == "origin":
-            old = table.origin_of_prefix(cover)
-            if old is None:
-                table.announce(cover, first_block.asn + _SIBLING_ASN_OFFSET)
-            else:
-                table.announce(cover, old + _SIBLING_ASN_OFFSET)
-
-    def _preannounce_event_covers(
-        self, schedule: RestructureSchedule, table: RoutingTable
-    ) -> None:
-        """Announce, at day 0, the cover prefixes of events whose BGP
-        footprint needs an existing route (origin change, withdraw).
-
-        The pre-announcement uses the block's own AS, so day-0 origin
-        attribution is unchanged; the event day then produces exactly
-        one ORIGIN_CHANGE or WITHDRAW on that prefix.
-        """
-        for event in schedule.events:
-            if event.bgp_effect not in ("origin", "withdraw"):
-                continue
-            cover = self.schedule_cover(event)
-            if table.origin_of_prefix(cover) is None:
-                asn = self.population.blocks[event.block_indexes[0]].asn
-                table.announce(cover, asn)
-
     def schedule_cover(self, event: RestructureEvent):
         """Smallest prefix covering an event's blocks (helper for tests)."""
-        ips = []
-        for index in event.block_indexes:
-            base = self.population.blocks[index].base
-            ips.extend((base, base + 255))
-        from repro.net.prefix import smallest_covering_prefix
-
-        return smallest_covering_prefix(np.asarray(ips, dtype=np.uint32))
-
-    def _apply_bgp_noise(
-        self,
-        table: RoutingTable,
-        rng: np.random.Generator,
-        already_copied: bool,
-    ) -> tuple[RoutingTable, bool]:
-        """Unrelated background routing churn (rare, Fig. 5c baseline).
-
-        Returns ``(table, changed)``; the table is copied first when
-        this day's snapshot has not been forked from yesterday's yet.
-        """
-        probability = self.config.bgp_background_daily
-        if probability <= 0:
-            return table, already_copied
-        count = rng.binomial(len(table), probability)
-        if count == 0:
-            return table, already_copied
-        if not already_copied:
-            table = table.copy()
-        prefixes = table.prefixes()
-        for _ in range(int(count)):
-            prefix = prefixes[int(rng.integers(0, len(prefixes)))]
-            origin = table.origin_of_prefix(prefix)
-            if origin is None:
-                continue
-            roll = rng.random()
-            if roll < 0.6:
-                table.announce(prefix, origin + _SIBLING_ASN_OFFSET)
-            elif roll < 0.8:
-                table.withdraw(prefix)
-            else:
-                subnets = list(prefix.subnets(min(prefix.masklen + 1, 32)))
-                table.announce(subnets[0], origin)
-        return table, True
+        return _schedule_cover(self.population, event)

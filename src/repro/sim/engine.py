@@ -782,6 +782,119 @@ def _simulate_shard_blocks_reference(task: ShardTask) -> ShardResult:
     )
 
 
+class LiveShardSimulator:
+    """Day-major stepper yielding one window column per call.
+
+    The live-observatory service (``repro serve``) collects the horizon
+    one interval at a time instead of all at once; this class is the
+    single-interval entry point into the engine.  It runs the exact
+    day-major loop of :func:`_simulate_shard_blocks_reference` — the
+    executable spec the vectorized kernel is pinned against — restricted
+    to the window-column artifact, so interval ``w`` of a live run is
+    bit-identical to window ``w`` of a batch
+    :func:`run_sharded_collection` over the same blocks:
+
+    - all policies are constructed up front (same private-stream draws
+      as both batch loops);
+    - directives are applied at the start of their day, last one wins;
+    - each block's policy advances exactly once per day via
+      ``day_activity``, and every stream is private to its block, so
+      stepping order across calls cannot perturb any other stream;
+    - the window flush is the same :func:`_partial_column` reduction.
+
+    Catch-up after a crash is a replay from day zero: every stream is
+    keyed by block seed, so re-stepping a fresh simulator through the
+    already-committed intervals reproduces their columns bit for bit.
+
+    The per-interval artifacts deliberately exclude UA sampling, scan
+    snapshots, and login traces — the live service collects none of
+    them; requesting them belongs to batch runs.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        blocks: tuple[Block, ...],
+        num_days: int,
+        window_days: int,
+        directives: tuple[Directive, ...],
+    ) -> None:
+        _validate_windowing(num_days, window_days)
+        self._config = config
+        self._blocks = tuple(blocks)
+        self._num_days = num_days
+        self._window_days = window_days
+        block_by_index = {block.index: block for block in self._blocks}
+        self._block_by_index = block_by_index
+        self._policies: dict[int, AddressPolicy] = {
+            block.index: block.make_policy(config) for block in self._blocks
+        }
+        self._directives_by_day: dict[int, list[tuple[int, str, int]]] = {}
+        for day, block_index, kind_value, salt in directives:
+            if block_index in block_by_index:
+                self._directives_by_day.setdefault(day, []).append(
+                    (block_index, kind_value, salt)
+                )
+        self._day = 0
+        self._addr_days = 0
+
+    @property
+    def num_windows(self) -> int:
+        return self._num_days // self._window_days
+
+    @property
+    def windows_done(self) -> int:
+        return self._day // self._window_days
+
+    @property
+    def exhausted(self) -> bool:
+        return self._day >= self._num_days
+
+    @property
+    def addr_days(self) -> int:
+        """Active address-days observed so far (the perf counter)."""
+        return self._addr_days
+
+    def advance_window(self) -> tuple[np.ndarray, np.ndarray]:
+        """Simulate the next ``window_days`` days; return their column.
+
+        The returned ``(ips, hits)`` pair is the sorted sparse window
+        column — exactly what one snapshot of a batch run holds for
+        this window.  Raises :class:`~repro.errors.CollectionError`
+        once the configured horizon is exhausted.
+        """
+        if self.exhausted:
+            raise CollectionError(
+                f"collection horizon exhausted: all {self._num_days} days "
+                "have been simulated"
+            )
+        pending_ips: list[np.ndarray] = []
+        pending_hits: list[np.ndarray] = []
+        for _ in range(self._window_days):
+            day = self._day
+            date = self._config.start_date + datetime.timedelta(days=day)
+            day_of_week = date.weekday()
+            traffic_scale = self._config.traffic_weekly_growth ** (day / 7.0)
+            for block_index, kind_value, salt in self._directives_by_day.get(
+                day, ()
+            ):
+                block = self._block_by_index[block_index]
+                self._policies[block_index] = block.make_policy(
+                    self._config, kind=PolicyKind(kind_value), salt=salt
+                )
+            for block in self._blocks:
+                activity = self._policies[block.index].day_activity(
+                    day_of_week, traffic_scale
+                )
+                if not activity.offsets.size:
+                    continue
+                pending_ips.append(block.base + activity.offsets.astype(np.uint32))
+                pending_hits.append(activity.hits)
+                self._addr_days += int(activity.offsets.size)
+            self._day += 1
+        return _partial_column(pending_ips, pending_hits)
+
+
 @dataclass(frozen=True)
 class _ShardColumn:
     """Adapter giving a shard's window column the snapshot interface

@@ -72,3 +72,25 @@ class TestPrometheus:
     def test_parseable_line_shape(self):
         for line in to_prometheus(make_context()).strip().splitlines():
             assert line.startswith("#") or len(line.rsplit(" ", 1)) == 2
+
+
+class TestBooleanValues:
+    def test_format_value_renders_bool_as_numeric(self):
+        # Regression: bool passes isinstance(..., int), so the integer
+        # branch rendered bool samples as "True"/"False" — unparseable
+        # exposition-format values.  They must render 1/0.
+        from repro.obs.export import _format_value
+
+        assert _format_value(True) == "1"
+        assert _format_value(False) == "0"
+        assert _format_value(1) == "1"
+
+    def test_bool_gauges_never_leak_python_repr(self):
+        ctx = ObsContext()
+        ctx.set_gauge("serve_complete", True)
+        ctx.set_gauge("serve_catching_up", False)
+        ctx.add("flag_total", True)
+        text = to_prometheus(ctx)
+        assert "repro_serve_complete 1" in text
+        assert "repro_serve_catching_up 0" in text
+        assert "True" not in text and "False" not in text

@@ -119,3 +119,26 @@ class TestBuildWriteLoad:
         path.write_text(json.dumps({"schema": 999}))
         with pytest.raises(ObservabilityError, match="schema"):
             load_manifest(path)
+
+
+class TestManifestSnapshotting:
+    def test_manifest_is_a_snapshot_not_a_view(self):
+        # Regression: build_manifest used to alias the context's live
+        # counter/gauge dicts, so counters bumped after the build
+        # retroactively appeared in the already-built manifest — fatal
+        # for the serve loop, which builds one manifest per interval
+        # from a context that keeps accumulating.
+        ctx = ObsContext()
+        ctx.add("intervals_total", 3)
+        ctx.set_gauge("committed", 3)
+        manifest = build_manifest(ctx)
+        ctx.add("intervals_total", 1)
+        ctx.set_gauge("committed", 4)
+        assert manifest.counters["intervals_total"] == 3
+        assert manifest.gauges["committed"] == 3
+
+    def test_load_unreadable_path_raises_observability_error(self, tmp_path):
+        # Regression: a directory (or any unreadable path) used to
+        # escape as a raw OSError instead of the module's error type.
+        with pytest.raises(ObservabilityError, match="unreadable"):
+            load_manifest(tmp_path)

@@ -1,0 +1,92 @@
+"""Tests for the live scrape endpoint (stdlib HTTP server)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.serve import MetricsEndpoint
+from repro.serve.endpoint import EXPOSITION_CONTENT_TYPE
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+class TestRoutes:
+    def test_metrics_before_first_publish_is_valid_exposition(self):
+        with MetricsEndpoint() as endpoint:
+            status, headers, body = fetch(endpoint.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == EXPOSITION_CONTENT_TYPE
+        assert body.startswith("#")
+
+    def test_publish_swaps_both_snapshots(self):
+        with MetricsEndpoint() as endpoint:
+            endpoint.publish(
+                "repro_serve_intervals_committed_total 3\n", {"committed": 3}
+            )
+            _, _, metrics_body = fetch(endpoint.url + "/metrics")
+            _, headers, status_body = fetch(endpoint.url + "/status")
+        assert metrics_body == "repro_serve_intervals_committed_total 3\n"
+        assert headers["Content-Type"].startswith("application/json")
+        assert json.loads(status_body) == {"committed": 3}
+
+    def test_healthz(self):
+        with MetricsEndpoint() as endpoint:
+            status, _, body = fetch(endpoint.url + "/healthz")
+        assert (status, body) == (200, "ok\n")
+
+    def test_unknown_path_is_404(self):
+        with MetricsEndpoint() as endpoint:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(endpoint.url + "/nope")
+            assert excinfo.value.code == 404
+
+    def test_query_string_is_ignored(self):
+        with MetricsEndpoint() as endpoint:
+            status, _, _ = fetch(endpoint.url + "/metrics?scrape=1")
+        assert status == 200
+
+
+class TestLifecycle:
+    def test_ephemeral_port_resolves(self):
+        with MetricsEndpoint(port=0) as endpoint:
+            assert endpoint.port > 0
+            assert str(endpoint.port) in endpoint.url
+
+    def test_port_before_start_raises(self):
+        endpoint = MetricsEndpoint()
+        with pytest.raises(ObservabilityError, match="not started"):
+            endpoint.port
+
+    def test_double_start_raises(self):
+        with MetricsEndpoint() as endpoint:
+            with pytest.raises(ObservabilityError, match="already started"):
+                endpoint.start()
+
+    def test_bind_conflict_raises_observability_error(self):
+        with MetricsEndpoint() as first:
+            second = MetricsEndpoint(port=first.port)
+            with pytest.raises(ObservabilityError, match="cannot bind"):
+                second.start()
+
+    def test_stop_is_idempotent(self):
+        endpoint = MetricsEndpoint()
+        endpoint.start()
+        endpoint.stop()
+        endpoint.stop()
+
+    def test_restart_after_stop(self):
+        endpoint = MetricsEndpoint()
+        endpoint.start()
+        endpoint.stop()
+        endpoint.start()
+        try:
+            status, _, _ = fetch(endpoint.url + "/healthz")
+            assert status == 200
+        finally:
+            endpoint.stop()

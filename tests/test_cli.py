@@ -299,3 +299,76 @@ class TestExtendedAnalyses:
     def test_potential_output_mentions_pools(self, stored_world, capsys):
         main(["analyze", "potential", str(stored_world) + ".npz"])
         assert "pools" in capsys.readouterr().out
+
+
+class TestProgressPrinter:
+    def test_first_heartbeat_with_zero_done_prints_unknown_eta(self, capsys):
+        # Regression: a heartbeat before any shard finished (done == 0,
+        # emitted e.g. for a resumed run's initial snapshot) used to
+        # divide by zero; it must print an unknown ETA instead.
+        from repro.cli import _ProgressPrinter
+        from repro.sim.engine import ShardProgress
+
+        printer = _ProgressPrinter()
+        printer(ShardProgress(done=0, total=8))
+        err = capsys.readouterr().err
+        assert "0/8 shards" in err
+        assert "eta ?" in err
+
+    def test_eta_is_finite_once_work_completes(self, capsys):
+        from repro.cli import _ProgressPrinter
+        from repro.sim.engine import ShardProgress
+
+        printer = _ProgressPrinter()
+        printer(ShardProgress(done=2, total=8, retried=1))
+        err = capsys.readouterr().err
+        assert "2/8 shards (1 retried)" in err
+        assert "eta ?" not in err
+
+
+class TestServeCommand:
+    def test_serve_then_analyze_live_store(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                "--seed", "4",
+                "--ases", "12",
+                "--blocks-per-as", "3",
+                "--days", "4",
+                "--store-dir", str(tmp_path / "live"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "complete at 4/4 intervals" in out
+        assert "dataset sha256:" in out
+        code = main(["analyze", "churn", str(tmp_path / "live")])
+        assert code == 0
+        assert "Churn" in capsys.readouterr().out
+
+    def test_serve_rejects_non_dividing_window(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                "--days", "5",
+                "--window-days", "2",
+                "--store-dir", str(tmp_path / "live"),
+            ]
+        )
+        assert code == 2
+        assert "--window-days" in capsys.readouterr().err
+
+    def test_serve_max_intervals_pauses(self, tmp_path, capsys):
+        args = [
+            "serve",
+            "--seed", "4",
+            "--ases", "12",
+            "--blocks-per-as", "3",
+            "--days", "4",
+            "--store-dir", str(tmp_path / "live"),
+        ]
+        assert main(args + ["--max-intervals", "1"]) == 0
+        assert "paused at 1/4 intervals" in capsys.readouterr().out
+        # Rerunning without the cap resumes from the committed interval.
+        assert main(args) == 0
+        assert "(1 replayed, 3 appended)" in capsys.readouterr().out
