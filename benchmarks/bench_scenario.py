@@ -1,0 +1,127 @@
+"""Scenario-seam benchmark: injection must not tax the clean path.
+
+The scenario library (`sim/scenario.py`) threads compiled perturbation
+tables through the block-simulation kernel.  The seam's cost model:
+
+- **empty timeline** — a run with ``scenario=Scenario.empty()`` takes
+  the exact scenario-free code path (no per-block table lookups hit)
+  and must be *bit-identical* to a plain run; the wall-clock ratio is
+  printed so a regression that sneaks per-day work into the clean path
+  is visible.
+- **busy timeline** — a six-event timeline touching a large fraction
+  of the world; the overhead stays a modest multiple because
+  perturbations only rescale precomputed hit rows (`perturb_hits`),
+  they never add RNG draws.
+- **detection** — `core/detect.py` localizes the injected events from
+  the dataset alone; its wall-clock is measured over the perturbed
+  dataset and the found events are printed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.detect import detect_events
+from repro.obs.manifest import dataset_digest
+from repro.sim import (
+    CDNObservatory,
+    InternetPopulation,
+    Scenario,
+    SimulationConfig,
+)
+from repro.sim.scenario import parse_scenario
+
+NUM_DAYS = 28
+WORKERS = 2
+
+#: A deliberately busy timeline: every mechanism the compiler knows
+#: (perturbation windows, kind switches, switch+revert, renumbering).
+BUSY_TIMELINE = {
+    "name": "bench-busy",
+    "events": [
+        {"kind": "lockdown", "start_day": 6, "duration_days": 10,
+         "factor": 2.5, "select": {"network_type": "residential"}},
+        {"kind": "outage", "start_day": 10, "duration_days": 3,
+         "select": {"max_blocks": 12}},
+        {"kind": "cgnat", "start_day": 8,
+         "select": {"network_type": "residential", "fraction": 0.5}},
+        {"kind": "scanner_storm", "start_day": 14, "duration_days": 4,
+         "select": {"network_type": "hosting", "max_blocks": 8}},
+        {"kind": "renumbering", "start_day": 20,
+         "select": {"policy": "static"}},
+        {"kind": "lockdown", "start_day": 22, "duration_days": 5,
+         "factor": 0.6, "select": {"network_type": "enterprise"}},
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = SimulationConfig(seed=31, num_ases=40, mean_blocks_per_as=4.0)
+    return InternetPopulation.build(config)
+
+
+@pytest.fixture(scope="module")
+def timings(world):
+    observatory = CDNObservatory(world)
+
+    start = time.perf_counter()
+    plain = observatory.collect_daily(NUM_DAYS, workers=WORKERS)
+    plain_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    empty = observatory.collect_daily(
+        NUM_DAYS, workers=WORKERS, scenario=Scenario.empty()
+    )
+    empty_seconds = time.perf_counter() - start
+
+    busy_scenario = parse_scenario(BUSY_TIMELINE)
+    start = time.perf_counter()
+    busy = observatory.collect_daily(
+        NUM_DAYS, workers=WORKERS, scenario=busy_scenario
+    )
+    busy_seconds = time.perf_counter() - start
+
+    return {
+        "plain": (plain, plain_seconds),
+        "empty": (empty, empty_seconds),
+        "busy": (busy, busy_seconds),
+    }
+
+
+def test_empty_timeline_is_free_and_identical(timings):
+    plain, plain_seconds = timings["plain"]
+    empty, empty_seconds = timings["empty"]
+    assert dataset_digest(empty.dataset) == dataset_digest(plain.dataset)
+    print()
+    print(
+        f"plain {plain_seconds:.2f}s vs empty-timeline {empty_seconds:.2f}s "
+        f"({empty_seconds / plain_seconds:.2f}x)"
+    )
+
+
+def test_busy_timeline_overhead_is_bounded(timings):
+    plain, plain_seconds = timings["plain"]
+    busy, busy_seconds = timings["busy"]
+    # The timeline changes the data, never the amount of simulation.
+    assert dataset_digest(busy.dataset) != dataset_digest(plain.dataset)
+    assert len(busy.dataset) == len(plain.dataset)
+    print()
+    print(
+        f"plain {plain_seconds:.2f}s vs busy-timeline {busy_seconds:.2f}s "
+        f"({busy_seconds / plain_seconds:.2f}x, 6 events)"
+    )
+
+
+def test_detection_wall_clock(timings):
+    busy, _ = timings["busy"]
+    start = time.perf_counter()
+    events = detect_events(busy.dataset)
+    seconds = time.perf_counter() - start
+    assert events, "the busy timeline must be detectable"
+    print()
+    print(f"detect_events over {len(busy.dataset)} windows: {seconds:.2f}s")
+    for event in events:
+        print(f"  {event.to_dict()}")

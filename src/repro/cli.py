@@ -44,7 +44,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core import change, churn, metrics, potential, seasonal, traffic
+from repro.core import change, churn, detect, metrics, potential, seasonal, traffic
 from repro.core.io import (
     load_dataset,
     open_store,
@@ -60,6 +60,8 @@ from repro.obs import (
     write_prometheus,
     write_trace_json,
 )
+from repro.errors import ConfigError
+from repro.net.ipv4 import format_ip
 from repro.obs import context as obs_api
 from repro.report import format_count, format_percent, render_table
 from repro.serve import MetricsEndpoint, ObservatoryService
@@ -68,6 +70,7 @@ from repro.sim import (
     FaultInjection,
     InternetPopulation,
     SimulationConfig,
+    load_scenario,
 )
 
 
@@ -144,6 +147,15 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="/24 blocks per store shard (with --store-dir)",
     )
+    simulate.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="JSON scenario timeline injecting exogenous events (outages, "
+        "lockdown shifts, CGNAT consolidation, ...) into the collection; "
+        "see examples/scenarios/ — output stays bit-identical for any "
+        "--workers and across --resume",
+    )
     simulate.add_argument("--out", required=True, help="output path prefix")
     _add_obs_flags(simulate)
 
@@ -159,6 +171,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("--month-days", type=int, default=28)
     analyze.add_argument("--top-fraction", type=float, default=0.10)
+    analyze.add_argument(
+        "--detect-events",
+        action="store_true",
+        help="additionally localize exogenous change points (outages, "
+        "demand shifts, renumbering) in the dataset's per-block "
+        "active/hits/churn series",
+    )
     _add_obs_flags(analyze)
 
     serve = commands.add_parser(
@@ -220,6 +239,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the catch-up check that replayed columns match the "
         "committed store bit for bit",
+    )
+    serve.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="JSON scenario timeline injecting exogenous events into the "
+        "live collection; catch-up replay and the committed dataset "
+        "SHA-256 stay bit-identical to a batch run of the same timeline",
     )
     serve.add_argument(
         "--inject-kill-interval",
@@ -342,6 +369,13 @@ def _format_perf(perf) -> str:
     return text
 
 
+def _load_scenario_arg(args: argparse.Namespace):
+    """The parsed ``--scenario`` timeline, or ``None`` without the flag."""
+    if args.scenario is None:
+        return None
+    return load_scenario(args.scenario)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
@@ -363,6 +397,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if args.inject_fault_rate > 0
         else None
     )
+    try:
+        scenario = _load_scenario_arg(args)
+    except ConfigError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     config = SimulationConfig(
         seed=args.seed, num_ases=args.ases, mean_blocks_per_as=args.blocks_per_as
     )
@@ -372,7 +411,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     # written next to the dataset is the run's provenance record, and
     # recording it never perturbs collected output (tested).
     ctx = ObsContext()
+    if scenario is not None:
+        ctx.info.update(
+            scenario=scenario.name, scenario_events=len(scenario.events)
+        )
     collect_kwargs = dict(
+        scenario=scenario,
         workers=args.workers,
         max_retries=args.max_retries,
         checkpoint_dir=args.checkpoint_dir,
@@ -383,13 +427,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         store_dir=args.store_dir,
         store_shard_blocks=args.store_shard_blocks,
     )
-    if args.weekly:
-        if args.days % 7:
-            print("--weekly requires --days to be a multiple of 7", file=sys.stderr)
-            return 2
-        result = observatory.collect_weekly(args.days // 7, **collect_kwargs)
-    else:
-        result = observatory.collect_daily(args.days, **collect_kwargs)
+    try:
+        if args.weekly:
+            if args.days % 7:
+                print("--weekly requires --days to be a multiple of 7", file=sys.stderr)
+                return 2
+            result = observatory.collect_weekly(args.days // 7, **collect_kwargs)
+        else:
+            result = observatory.collect_daily(args.days, **collect_kwargs)
+    except ConfigError as error:
+        # Scenario compilation happens against the concrete world and
+        # horizon, so e.g. an out-of-horizon event only surfaces here.
+        print(str(error), file=sys.stderr)
+        return 2
     routing_path = f"{args.out}.rib.txt"
     if result.store is not None:
         store = result.store
@@ -530,6 +580,30 @@ def _analyze_traffic(dataset, args: argparse.Namespace) -> None:
     print(render_table(["quantity", "value"], rows, title="Traffic concentration"))
 
 
+def _analyze_events(dataset, args: argparse.Namespace) -> None:
+    events = detect.detect_events(dataset)
+    if not events:
+        print("Detected events: none")
+        return
+    rows = [
+        (
+            str(event.window),
+            event.kind,
+            str(event.num_blocks),
+            f"{format_ip(event.first_base)} - {format_ip(event.last_base)}",
+            f"{event.magnitude:.2f}",
+        )
+        for event in events
+    ]
+    print(
+        render_table(
+            ["window", "kind", "blocks", "block range", "magnitude"],
+            rows,
+            title="Detected events",
+        )
+    )
+
+
 _ANALYSES = {
     "churn": _analyze_churn,
     "metrics": _analyze_metrics,
@@ -583,6 +657,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.interval_seconds < 0:
         print("--interval-seconds must be >= 0", file=sys.stderr)
         return 2
+    try:
+        scenario = _load_scenario_arg(args)
+    except ConfigError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     config = SimulationConfig(
         seed=args.seed, num_ases=args.ases, mean_blocks_per_as=args.blocks_per_as
     )
@@ -612,18 +691,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             endpoint.start()
             publish = endpoint.publish
             print(f"metrics: {endpoint.url}/metrics", file=sys.stderr, flush=True)
-        service = ObservatoryService(
-            config,
-            num_days=args.days,
-            window_days=args.window_days,
-            store_root=args.store_dir,
-            shard_blocks=args.store_shard_blocks,
-            ctx=ctx,
-            commit_hook=commit_hook,
-            publish=publish,
-            pace_seconds=args.interval_seconds,
-            verify_replay=not args.no_verify_replay,
-        )
+        try:
+            service = ObservatoryService(
+                config,
+                num_days=args.days,
+                window_days=args.window_days,
+                store_root=args.store_dir,
+                shard_blocks=args.store_shard_blocks,
+                ctx=ctx,
+                commit_hook=commit_hook,
+                publish=publish,
+                pace_seconds=args.interval_seconds,
+                verify_replay=not args.no_verify_replay,
+                scenario=scenario,
+            )
+        except ConfigError as error:
+            print(str(error), file=sys.stderr)
+            return 2
         with service:
             report = service.run(max_intervals=args.max_intervals)
     finally:
@@ -680,6 +764,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if os.path.isdir(args.dataset):
             with open_store(args.dataset) as store:
                 _analyze_store(store, args)
+                if args.detect_events:
+                    _analyze_events(store.to_dataset(), args)
         else:
             dataset = load_dataset(args.dataset)
             if args.analysis == "all":
@@ -687,6 +773,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                     run(dataset, args)
             else:
                 _ANALYSES[args.analysis](dataset, args)
+            if args.detect_events:
+                _analyze_events(dataset, args)
     _export_obs(ctx, args)
     return 0
 

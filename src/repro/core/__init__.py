@@ -13,6 +13,7 @@ from repro.core import (
     change,
     churn,
     demographics,
+    detect,
     estimation,
     eventsize,
     growth,
@@ -42,6 +43,7 @@ __all__ = [
     "churn",
     "dataset_from_daily_logs",
     "demographics",
+    "detect",
     "estimation",
     "eventsize",
     "growth",

@@ -51,6 +51,7 @@ from repro.sim.cdn import RoutingEvolution, plan_collection
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import LiveShardSimulator
 from repro.sim.population import InternetPopulation
+from repro.sim.scenario import Scenario
 
 #: Called around every commit: ``(interval, phase)`` with the phases of
 #: :data:`repro.core.store.COMMIT_PHASE_FINALIZED` /
@@ -95,6 +96,7 @@ class ObservatoryService:
         publish: PublishHook | None = None,
         pace_seconds: float = 0.0,
         verify_replay: bool = True,
+        scenario: "Scenario | None" = None,
     ) -> None:
         if pace_seconds < 0:
             raise DatasetError(f"pace_seconds must be >= 0: {pace_seconds}")
@@ -110,7 +112,7 @@ class ObservatoryService:
         self._verify_replay = verify_replay
 
         self._population = InternetPopulation.build(config)
-        plan = plan_collection(self._population, num_days)
+        plan = plan_collection(self._population, num_days, scenario=scenario)
         self._routing = RoutingEvolution(
             self._population, plan.schedule, plan.noise_rng
         )
@@ -120,6 +122,7 @@ class ObservatoryService:
             num_days,
             window_days,
             plan.directives,
+            plan.perturbations,
         )
         self._appender = StoreAppender(
             self._root,
@@ -148,6 +151,10 @@ class ObservatoryService:
             window_days=window_days,
             num_blocks=len(self._population.blocks),
         )
+        if scenario is not None:
+            self._ctx.info.update(
+                scenario=scenario.name, scenario_events=len(scenario.events)
+            )
 
     # -- introspection -----------------------------------------------------
 

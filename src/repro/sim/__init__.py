@@ -53,6 +53,18 @@ from repro.sim.restructure import (
     build_schedule,
 )
 from repro.sim.scanner import ProbeObservatory
+from repro.sim.scenario import (
+    EVENT_KINDS,
+    BlockSelector,
+    CatalogEntry,
+    Scenario,
+    ScenarioEvent,
+    ScenarioPlan,
+    compile_scenario,
+    load_catalog_entry,
+    load_scenario,
+    parse_scenario,
+)
 from repro.sim.useragents import (
     NUM_APP_UAS,
     NUM_BROWSER_UAS,
@@ -70,11 +82,14 @@ __all__ = [
     "DYNAMIC_KINDS",
     "NUM_APP_UAS",
     "NUM_BROWSER_UAS",
+    "EVENT_KINDS",
     "ASNode",
     "ASTypeMix",
     "AddressPolicy",
     "Block",
+    "BlockSelector",
     "CDNObservatory",
+    "CatalogEntry",
     "CollectionResult",
     "DayActivity",
     "EventKind",
@@ -88,6 +103,9 @@ __all__ = [
     "ProbeObservatory",
     "RestructureEvent",
     "RestructureSchedule",
+    "Scenario",
+    "ScenarioEvent",
+    "ScenarioPlan",
     "ShardTask",
     "SimulationConfig",
     "UASampleStore",
@@ -97,11 +115,15 @@ __all__ = [
     "best_scan_hour",
     "block_ua_rng",
     "build_schedule",
+    "compile_scenario",
     "daily_hits",
     "diurnal_factor",
     "draw_engagement",
+    "load_catalog_entry",
+    "load_scenario",
     "local_hour",
     "make_policy",
+    "parse_scenario",
     "plan_shards",
     "run_sharded_collection",
     "sample_uas",

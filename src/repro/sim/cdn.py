@@ -52,6 +52,7 @@ from repro.sim.restructure import (
     RestructureSchedule,
     build_schedule,
 )
+from repro.sim.scenario import Perturbation, Scenario, compile_scenario
 from repro.sim.useragents import UASampleStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -85,10 +86,14 @@ class CollectionPlan:
     schedule: RestructureSchedule
     directives: tuple[Directive, ...]
     noise_rng: np.random.Generator
+    #: Compiled scenario hit-volume windows (``()`` without a scenario).
+    perturbations: tuple[Perturbation, ...] = ()
 
 
 def plan_collection(
-    population: InternetPopulation, num_days: int
+    population: InternetPopulation,
+    num_days: int,
+    scenario: Scenario | None = None,
 ) -> CollectionPlan:
     """Derive one run's schedule, directives, and noise stream.
 
@@ -97,6 +102,14 @@ def plan_collection(
     schedule is drawn first, and the noise stream is the second child —
     the exact spawn order of the historical single-threaded releases,
     which the golden-run digest pins.
+
+    A *scenario* (:mod:`repro.sim.scenario`) is compiled *after* that
+    preamble, against the schedule's own directives, and consumes no
+    RNG — so a run with an empty timeline is bit-identical to a run
+    with no scenario at all, and scenario directives appended after the
+    schedule's win same-day conflicts exactly as the engine applies
+    them.  Scenario events are BGP-invisible: the routing evolution
+    sees only the schedule, so the RIB series is scenario-independent.
     """
     config = population.config
     root = np.random.SeedSequence([config.seed, COLLECT_STREAM_SALT])
@@ -116,10 +129,18 @@ def plan_collection(
             directives.append(
                 (event.day, index, event.new_policy_kind.value, event.salt)
             )
+    perturbations: tuple[Perturbation, ...] = ()
+    if scenario is not None and scenario.events:
+        scenario_plan = compile_scenario(
+            scenario, population, num_days, tuple(directives)
+        )
+        directives.extend(scenario_plan.directives)
+        perturbations = scenario_plan.perturbations
     return CollectionPlan(
         schedule=schedule,
         directives=tuple(directives),
         noise_rng=noise_rng,
+        perturbations=perturbations,
     )
 
 
@@ -320,8 +341,16 @@ class CDNObservatory:
         progress=None,
         store_dir: str | None = None,
         store_shard_blocks: int = 256,
+        scenario: Scenario | None = None,
     ) -> CollectionResult:
         """Run *num_days* days and return daily snapshots.
+
+        ``scenario`` injects a declarative timeline of exogenous events
+        (:mod:`repro.sim.scenario`) — outages, CGNAT consolidation,
+        lockdown shifts, scanner storms — compiled deterministically
+        into directives and hit-volume perturbations.  An empty
+        timeline (or ``None``) leaves the run bit-identical to a
+        scenario-free one.
 
         ``login_panel_rate`` > 0 additionally records a login trace — a
         per-day (address, user) sample for a fixed panel of subscribers
@@ -367,6 +396,7 @@ class CDNObservatory:
             progress=progress,
             store_dir=store_dir,
             store_shard_blocks=store_shard_blocks,
+            scenario=scenario,
         )
 
     def collect_weekly(
@@ -384,6 +414,7 @@ class CDNObservatory:
         progress=None,
         store_dir: str | None = None,
         store_shard_blocks: int = 256,
+        scenario: Scenario | None = None,
     ) -> CollectionResult:
         """Run ``7 * num_weeks`` days, aggregating each week on the fly.
 
@@ -409,6 +440,7 @@ class CDNObservatory:
             progress=progress,
             store_dir=store_dir,
             store_shard_blocks=store_shard_blocks,
+            scenario=scenario,
         )
 
     # -- internals -----------------------------------------------------------
@@ -430,6 +462,7 @@ class CDNObservatory:
         progress=None,
         store_dir: str | None = None,
         store_shard_blocks: int = 256,
+        scenario: Scenario | None = None,
     ) -> CollectionResult:
         if not 0.0 <= login_panel_rate <= 1.0:
             raise ConfigError(f"login_panel_rate must be a probability: {login_panel_rate}")
@@ -449,7 +482,7 @@ class CDNObservatory:
 
         total_start = time.perf_counter()
         population = self.population
-        plan = plan_collection(population, num_days)
+        plan = plan_collection(population, num_days, scenario=scenario)
         schedule = plan.schedule
 
         routing_start = time.perf_counter()
@@ -467,6 +500,7 @@ class CDNObservatory:
             scan_days=scan_days,
             login_panel_rate=login_panel_rate,
             directives=plan.directives,
+            perturbations=plan.perturbations,
             workers=workers,
             max_retries=max_retries,
             retry_backoff=retry_backoff,

@@ -64,12 +64,16 @@ def run_fingerprint(
     scan_days: tuple[int, ...],
     login_panel_rate: float,
     directives: tuple,
+    perturbations: tuple = (),
 ) -> str:
     """Digest of everything that determines a shard's output.
 
     Two runs share a fingerprint iff their shards would compute
     identical results for identical block ranges; the worker count is
     deliberately excluded (it only changes how blocks are grouped).
+    ``perturbations`` carries a scenario's compiled hit-volume windows
+    (:mod:`repro.sim.scenario`) — a resume under a different timeline
+    must never reuse a shard.
     """
     payload = repr(
         (
@@ -81,6 +85,7 @@ def run_fingerprint(
             tuple(scan_days),
             login_panel_rate,
             tuple(directives),
+            tuple(perturbations),
         )
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

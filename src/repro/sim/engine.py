@@ -69,6 +69,11 @@ from repro.sim.checkpoint import (
 from repro.sim.config import SimulationConfig
 from repro.sim.policies import BLOCK_SIZE, AddressPolicy, PolicyKind
 from repro.sim.population import Block, InternetPopulation
+from repro.sim.scenario import (
+    Perturbation,
+    build_day_factor_tables,
+    perturb_hits,
+)
 from repro.sim.useragents import UASampleStore, sample_uas
 from repro.sim.util import hash_coin
 
@@ -191,6 +196,11 @@ class ShardTask:
     scan_days: tuple[int, ...]
     login_panel_rate: float
     directives: tuple[Directive, ...]
+    #: Compiled scenario hit-volume windows for this shard's blocks
+    #: only (:mod:`repro.sim.scenario`); ``()`` outside scenario runs.
+    #: Applied as a pure function of these tuples — no stream is
+    #: consumed — so the empty tuple is bit-identical to no scenario.
+    perturbations: tuple[Perturbation, ...] = ()
     #: Optional injected-failure plan (testing/CI); ``None`` in
     #: production runs.
     fault: FaultInjection | None = None
@@ -500,6 +510,11 @@ def _simulate_shard_blocks(task: ShardTask) -> ShardResult:
         if 0 <= day < num_days:
             directives_by_block.setdefault(block_index, {})[day] = (kind_value, salt)
 
+    # Scenario hit-volume windows, precompiled to per-block day-factor
+    # tables.  Blocks without a table take the exact historical path,
+    # so the empty timeline cannot perturb a single bit.
+    factor_tables = build_day_factor_tables(task.perturbations, num_days)
+
     scan_days = sorted({day for day in task.scan_days if 0 <= day < num_days})
     ua_window = task.ua_window
 
@@ -516,6 +531,7 @@ def _simulate_shard_blocks(task: ShardTask) -> ShardResult:
 
     for block in blocks:
         changes = directives_by_block.get(block.index, {})
+        day_factors = factor_tables.get(block.index)
         cuts = [0] + [day for day in sorted(changes) if day > 0] + [num_days]
         policy: AddressPolicy | None = None
         kind = block.kind
@@ -545,9 +561,18 @@ def _simulate_shard_blocks(task: ShardTask) -> ShardResult:
                 day_rel = np.repeat(
                     np.arange(num_seg_days), np.diff(activity.day_starts)
                 )
+                weights = activity.sub_hits
+                if day_factors is not None:
+                    # Row-wise identical to the reference kernel's
+                    # per-day scalar factor: each row sees its own
+                    # day's factor, and the (day, offset) bincount
+                    # groups sum the same values in the same order.
+                    weights = perturb_hits(
+                        weights, day_factors[seg_start + day_rel]
+                    )
                 cells = np.bincount(
                     day_rel * BLOCK_SIZE + activity.sub_offsets,
-                    weights=activity.sub_hits,
+                    weights=weights,
                     minlength=num_seg_days * BLOCK_SIZE,
                 ).reshape(num_seg_days, BLOCK_SIZE)
                 addr_days += int(np.count_nonzero(cells))
@@ -689,6 +714,7 @@ def _simulate_shard_blocks_reference(task: ShardTask) -> ShardResult:
     directives_by_day: dict[int, list[tuple[int, str, int]]] = {}
     for day, block_index, kind_value, salt in task.directives:
         directives_by_day.setdefault(day, []).append((block_index, kind_value, salt))
+    factor_tables = build_day_factor_tables(task.perturbations, task.num_days)
 
     ua_rngs: dict[int, np.random.Generator] = {}
     ua_samples: dict[int, Counter] = {}
@@ -724,9 +750,25 @@ def _simulate_shard_blocks_reference(task: ShardTask) -> ShardResult:
             activity = policies[block.index].day_activity(day_of_week, traffic_scale)
             if not activity.offsets.size:
                 continue
-            pending_ips.append(block.base + activity.offsets.astype(np.uint32))
-            pending_hits.append(activity.hits)
-            addr_days += int(activity.offsets.size)
+            day_factors = factor_tables.get(block.index)
+            if day_factors is None:
+                pending_ips.append(block.base + activity.offsets.astype(np.uint32))
+                pending_hits.append(activity.hits)
+                addr_days += int(activity.offsets.size)
+            else:
+                # Perturbed window column only: UA sampling and the
+                # login panel below observe the unperturbed rows, so
+                # every RNG stream keeps the scenario-free call order.
+                per_offset = np.bincount(
+                    activity.sub_offsets,
+                    weights=perturb_hits(activity.sub_hits, day_factors[day]),
+                    minlength=BLOCK_SIZE,
+                )
+                offsets = np.flatnonzero(per_offset)
+                if offsets.size:
+                    pending_ips.append(block.base + offsets.astype(np.uint32))
+                    pending_hits.append(per_offset[offsets])
+                    addr_days += int(offsets.size)
             if in_ua_window and activity.sub_ids.size:
                 rng = ua_rngs.get(block.index)
                 if rng is None:
@@ -818,12 +860,14 @@ class LiveShardSimulator:
         num_days: int,
         window_days: int,
         directives: tuple[Directive, ...],
+        perturbations: tuple[Perturbation, ...] = (),
     ) -> None:
         _validate_windowing(num_days, window_days)
         self._config = config
         self._blocks = tuple(blocks)
         self._num_days = num_days
         self._window_days = window_days
+        self._factor_tables = build_day_factor_tables(perturbations, num_days)
         block_by_index = {block.index: block for block in self._blocks}
         self._block_by_index = block_by_index
         self._policies: dict[int, AddressPolicy] = {
@@ -888,9 +932,30 @@ class LiveShardSimulator:
                 )
                 if not activity.offsets.size:
                     continue
-                pending_ips.append(block.base + activity.offsets.astype(np.uint32))
-                pending_hits.append(activity.hits)
-                self._addr_days += int(activity.offsets.size)
+                day_factors = self._factor_tables.get(block.index)
+                if day_factors is None:
+                    pending_ips.append(
+                        block.base + activity.offsets.astype(np.uint32)
+                    )
+                    pending_hits.append(activity.hits)
+                    self._addr_days += int(activity.offsets.size)
+                else:
+                    # Same perturbed reduction as the reference kernel:
+                    # scenario factors shape the column, never a stream.
+                    per_offset = np.bincount(
+                        activity.sub_offsets,
+                        weights=perturb_hits(
+                            activity.sub_hits, day_factors[day]
+                        ),
+                        minlength=BLOCK_SIZE,
+                    )
+                    offsets = np.flatnonzero(per_offset)
+                    if offsets.size:
+                        pending_ips.append(
+                            block.base + offsets.astype(np.uint32)
+                        )
+                        pending_hits.append(per_offset[offsets])
+                        self._addr_days += int(offsets.size)
             self._day += 1
         return _partial_column(pending_ips, pending_hits)
 
@@ -1054,6 +1119,7 @@ def run_sharded_collection(
     login_panel_rate: float,
     directives: tuple[Directive, ...],
     workers: int,
+    perturbations: tuple[Perturbation, ...] = (),
     max_retries: int = 2,
     retry_backoff: float = 0.1,
     checkpoint_dir: str | None = None,
@@ -1123,6 +1189,11 @@ def run_sharded_collection(
                 scan_days=scan_days,
                 login_panel_rate=login_panel_rate,
                 directives=tuple(d for d in directives if d[1] in members),
+                perturbations=tuple(
+                    (start, stop, factor, tuple(i for i in indexes if i in members))
+                    for start, stop, factor, indexes in perturbations
+                    if any(i in members for i in indexes)
+                ),
                 fault=fault,
                 observe=obs is not None,
             )
@@ -1140,6 +1211,7 @@ def run_sharded_collection(
             scan_days,
             login_panel_rate,
             directives,
+            perturbations,
         )
     if obs is not None:
         obs.info.update(

@@ -1,0 +1,21 @@
+"""Clean scenario-library shapes: compile-time draws, pure apply path."""
+import numpy as np
+
+
+def compile_selection(seed_sequence, fraction, indexes):
+    # Randomness at *compile* time is fine: the salts and selections
+    # are folded into the compiled tables before any block simulates.
+    rng = np.random.default_rng(seed_sequence)
+    keep = rng.random(len(indexes)) < fraction
+    return [index for index, kept in zip(indexes, keep) if kept]
+
+
+def perturb_hits(hits, factors):
+    scaled = np.floor(hits.astype(np.float64) * factors)
+    return np.where(factors > 0.0, np.maximum(scaled, 1.0), 0.0)
+
+
+def apply_day_factors(columns, tables):
+    return [
+        perturb_hits(column, tables[day]) for day, column in enumerate(columns)
+    ]

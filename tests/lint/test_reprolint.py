@@ -35,7 +35,7 @@ class TestRuleRegistry:
     def test_all_families_registered(self):
         ids = {rule.rule_id for rule in all_rules()}
         assert ids == {
-            "D101", "D102", "D103", "D104", "D105", "D106",
+            "D101", "D102", "D103", "D104", "D105", "D106", "D107",
             "A201", "A202", "A203",
             "E301", "E302", "E303",
             "N401", "N402", "N403",
@@ -66,6 +66,34 @@ class TestDeterminismRules:
 
     def test_good_fixture_clean(self):
         assert findings_for("good_determinism.py") == []
+
+
+class TestScenarioRule:
+    """D107: the scenario apply path must never draw from an RNG."""
+
+    def test_bad_fixture_exact_findings(self):
+        assert triples(findings_for("bad_scenario.py")) == [
+            ("D107", 6),
+            ("D107", 10),
+            ("D107", 11),
+            ("D107", 15),
+        ]
+
+    def test_justified_suppression_waives_the_draw(self):
+        # perturb_with_waiver's draw (line 20) carries a justified
+        # disable directive and must not appear above.
+        lines = [f.line for f in findings_for("bad_scenario.py")]
+        assert 20 not in lines
+
+    def test_good_fixture_clean(self):
+        assert findings_for("good_scenario.py") == []
+
+    def test_scoped_to_the_scenario_module(self):
+        # Without --all-rules the fixture path is out of scope for
+        # D107 (the waiver directive then reports as unused — X002 —
+        # which is exactly the engine noticing the rule didn't run).
+        findings = findings_for("bad_scenario.py", all_rules_flag=False)
+        assert [f for f in findings if f.rule == "D107"] == []
 
 
 class TestAtomicityRules:

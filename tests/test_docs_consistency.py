@@ -49,6 +49,71 @@ class TestDesignIndex:
             assert any(c.exists() for c in candidates + module_candidates), dotted
 
 
+class TestCliFlags:
+    """Flags shown in README shell blocks must exist in the CLI."""
+
+    def _all_cli_flags(self):
+        import argparse
+        import sys
+
+        sys.path.insert(0, str(ROOT / "src"))
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        flags = {
+            option
+            for option in parser._option_string_actions
+            if option.startswith("--")
+        }
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                for sub in set(action.choices.values()):
+                    flags.update(
+                        option
+                        for option in sub._option_string_actions
+                        if option.startswith("--")
+                    )
+        return flags
+
+    def _readme_repro_flags(self):
+        flags = set()
+        continuing = False
+        for line in README.splitlines():
+            stripped = line.strip()
+            if not continuing and "-m repro" not in stripped:
+                continue
+            flags.update(re.findall(r"--[a-z][a-z-]*", stripped))
+            continuing = stripped.endswith("\\")
+        return flags
+
+    def test_every_readme_repro_flag_exists(self):
+        documented = self._readme_repro_flags()
+        assert documented, "README shows no repro CLI invocations?"
+        missing = documented - self._all_cli_flags()
+        assert not missing, f"README documents unknown flags: {missing}"
+
+    def test_scenario_flags_documented(self):
+        # The scenario seam's user surface must be in both documents.
+        assert "--scenario" in README and "--scenario" in DESIGN
+        assert "--detect-events" in README
+
+    def test_referenced_scenario_files_exist(self):
+        referenced = re.findall(
+            r"examples/scenarios/([a-z0-9-]+\.json)", README + DESIGN
+        )
+        assert referenced, "no catalog files referenced in the docs"
+        for name in referenced:
+            assert (ROOT / "examples" / "scenarios" / name).exists(), name
+
+    def test_catalog_fully_documented(self):
+        on_disk = {
+            path.stem for path in (ROOT / "examples" / "scenarios").glob("*.json")
+        }
+        assert len(on_disk) >= 7
+        for stem in sorted(on_disk):
+            assert stem in DESIGN, f"catalog scenario {stem} not in DESIGN.md"
+
+
 class TestReadme:
     def test_every_listed_example_exists(self):
         for name in re.findall(r"`([a-z_]+\.py)`", README):

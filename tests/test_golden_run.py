@@ -32,8 +32,12 @@ GOLDEN_NUM_DAYS = 10
 GOLDEN_SHA256 = "ee089c8b003565560a8e0a226d9cb3a55064a6630e04fe595f93a5a1a583c7e4"
 
 
-def collect_golden(workers: int):
-    """Collect the golden dataset from scratch at *workers* processes."""
+def collect_golden(workers: int, scenario=None):
+    """Collect the golden dataset from scratch at *workers* processes.
+
+    *scenario* exists for the scenario-library seam tests: an empty
+    timeline must reproduce this exact digest.
+    """
     config = SimulationConfig(
         seed=GOLDEN_SEED,
         num_slash8=5,
@@ -41,7 +45,10 @@ def collect_golden(workers: int):
         mean_blocks_per_as=GOLDEN_BLOCKS_PER_AS,
     )
     world = InternetPopulation.build(config)
-    return CDNObservatory(world).collect_daily(GOLDEN_NUM_DAYS, workers=workers).dataset
+    result = CDNObservatory(world).collect_daily(
+        GOLDEN_NUM_DAYS, workers=workers, scenario=scenario
+    )
+    return result.dataset
 
 
 @pytest.mark.parametrize("workers", [1, 3])
