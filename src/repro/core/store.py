@@ -491,20 +491,26 @@ def _streamed_digest(
     """
     digest = hashlib.sha256()
     digest.update(f"v1|{start.toordinal()}|{window_days}|{num_snapshots}".encode())
-    sizes = [shard.snapshot_sizes() for shard in shards]
-    for index in range(num_snapshots):
-        total = sum(per_shard[index] for per_shard in sizes)
-        for member_prefix, expected_dtype in (("ips", "<u4"), ("hits", "<u8")):
-            digest.update(f"|{expected_dtype}|{total}|".encode())
-            for shard in shards:
-                column = shard.reader().array(f"{member_prefix}_{index}")
-                if column.dtype.str != expected_dtype:
-                    raise DatasetError(
-                        f"bad column dtype in shard {shard.path}: "
-                        f"{member_prefix}_{index} is {column.dtype.str}, "
-                        f"expected {expected_dtype}"
-                    )
-                digest.update(column.tobytes())
+    try:
+        sizes = [shard.snapshot_sizes() for shard in shards]
+        for index in range(num_snapshots):
+            total = sum(per_shard[index] for per_shard in sizes)
+            for member_prefix, expected_dtype in (("ips", "<u4"), ("hits", "<u8")):
+                digest.update(f"|{expected_dtype}|{total}|".encode())
+                for shard in shards:
+                    column = shard.reader().array(f"{member_prefix}_{index}")
+                    if column.dtype.str != expected_dtype:
+                        raise DatasetError(
+                            f"bad column dtype in shard {shard.path}: "
+                            f"{member_prefix}_{index} is {column.dtype.str}, "
+                            f"expected {expected_dtype}"
+                        )
+                    digest.update(column.tobytes())
+    finally:
+        # Each shard's reader was opened here; release every one even
+        # on a mid-stream error (the callers' shards reopen lazily).
+        for shard in shards:
+            shard.close()
     return digest.hexdigest()
 
 
@@ -640,15 +646,20 @@ class DatasetStore:
 
         def groups() -> Iterator[tuple[list[NDArray[Any]], list[NDArray[Any]]]]:
             for shard in self.shards:
-                ips_parts: list[NDArray[Any]] = []
-                hits_parts: list[NDArray[Any]] = []
-                for index in range(self.num_snapshots):
-                    ips, hits = shard.columns(index)
-                    if ips.size:
-                        ips_parts.append(ips)
-                        hits_parts.append(hits)
-                yield ips_parts, hits_parts
-                shard.close()
+                # finally, not close-after-yield: an abandoned generator
+                # only runs finally blocks, and an exception mid-read
+                # must not leak the open reader.
+                try:
+                    ips_parts: list[NDArray[Any]] = []
+                    hits_parts: list[NDArray[Any]] = []
+                    for index in range(self.num_snapshots):
+                        ips, hits = shard.columns(index)
+                        if ips.size:
+                            ips_parts.append(ips)
+                            hits_parts.append(hits)
+                    yield ips_parts, hits_parts
+                finally:
+                    shard.close()
 
         return iter_union_runs(groups())
 
@@ -1159,7 +1170,7 @@ class StoreAppender:
             # A crash between finalize and pointer flip leaves a complete
             # but uncommitted generation; rebuilding it from scratch is
             # deterministic, so replay converges on identical bytes.
-            shutil.rmtree(gen_dir)
+            shutil.rmtree(gen_dir)  # reprolint: disable=P602 -- removes only the *uncommitted* next generation, which no pointer has ever named; the committed generation is untouched (covered by the commit-phase fault-injection tests)
         prev = self._store
         if prev is None:
             prev_bases = np.empty(0, dtype=np.int64)

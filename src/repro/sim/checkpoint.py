@@ -41,12 +41,20 @@ import hashlib
 import os
 import re
 from collections import Counter
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.core.io import _CORRUPT_NPZ_ERRORS, atomic_write_npz
 from repro.obs import context as obs_api
 from repro.sim.policies import PolicyKind
+
+if TYPE_CHECKING:
+    # engine imports this module at import time; type-only imports
+    # keep the annotations without the runtime cycle.
+    from repro.sim.config import SimulationConfig
+    from repro.sim.engine import ShardResult, ShardTask
 
 #: Bump when the checkpoint payload layout changes; old files are then
 #: treated as absent and their shards re-simulated.
@@ -57,14 +65,14 @@ _SHARD_FILE_RE = re.compile(r"^shard_(\d{6})_(\d{6})\.npz$")
 
 
 def run_fingerprint(
-    config,
+    config: "SimulationConfig",
     num_days: int,
     window_days: int,
     ua_window: tuple[int, int] | None,
     scan_days: tuple[int, ...],
     login_panel_rate: float,
-    directives: tuple,
-    perturbations: tuple = (),
+    directives: tuple[object, ...],
+    perturbations: tuple[object, ...] = (),
 ) -> str:
     """Digest of everything that determines a shard's output.
 
@@ -91,13 +99,13 @@ def run_fingerprint(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
-def run_directory(root: str | os.PathLike, fingerprint: str) -> str:
+def run_directory(root: str | os.PathLike[str], fingerprint: str) -> str:
     """The directory holding one run's shard checkpoints."""
     return os.path.join(os.fspath(root), f"run_{fingerprint}")
 
 
 def shard_checkpoint_path(
-    root: str | os.PathLike, fingerprint: str, start: int, stop: int
+    root: str | os.PathLike[str], fingerprint: str, start: int, stop: int
 ) -> str:
     """Checkpoint file for the shard covering blocks ``[start, stop)``."""
     return os.path.join(
@@ -105,12 +113,14 @@ def shard_checkpoint_path(
     )
 
 
-def _shard_bounds(task) -> tuple[int, int]:
+def _shard_bounds(task: "ShardTask") -> tuple[int, int]:
     """Global ``[start, stop)`` block-index range of a shard task."""
     return task.blocks[0].index, task.blocks[-1].index + 1
 
 
-def _flatten_counters(samples: dict[int, Counter]) -> dict[str, np.ndarray]:
+def _flatten_counters(
+    samples: dict[int, Counter[int]]
+) -> dict[str, NDArray[Any]]:
     """UA counters as three parallel arrays, sorted for determinism."""
     bases: list[int] = []
     ids: list[int] = []
@@ -129,9 +139,9 @@ def _flatten_counters(samples: dict[int, Counter]) -> dict[str, np.ndarray]:
 
 
 def _restore_counters(
-    bases: np.ndarray, ids: np.ndarray, counts: np.ndarray
-) -> dict[int, Counter]:
-    samples: dict[int, Counter] = {}
+    bases: NDArray[Any], ids: NDArray[Any], counts: NDArray[Any]
+) -> dict[int, Counter[int]]:
+    samples: dict[int, Counter[int]] = {}
     for base, ua_id, count in zip(
         bases.tolist(), ids.tolist(), counts.tolist()
     ):
@@ -139,9 +149,11 @@ def _restore_counters(
     return samples
 
 
-def serialize_shard_result(result, fingerprint: str, start: int, stop: int) -> dict:
+def serialize_shard_result(
+    result: "ShardResult", fingerprint: str, start: int, stop: int
+) -> dict[str, NDArray[Any]]:
     """Flatten a :class:`~repro.sim.engine.ShardResult` to plain arrays."""
-    arrays: dict[str, np.ndarray] = {
+    arrays: dict[str, NDArray[Any]] = {
         "version": np.array([CHECKPOINT_VERSION], dtype=np.int64),
         "fingerprint": np.frombuffer(  # uint8 = raw digest bytes, not an accumulator
             bytes.fromhex(fingerprint), dtype=np.uint8
@@ -190,7 +202,10 @@ def serialize_shard_result(result, fingerprint: str, start: int, stop: int) -> d
 
 
 def save_shard_checkpoint(
-    root: str | os.PathLike, fingerprint: str, task, result
+    root: str | os.PathLike[str],
+    fingerprint: str,
+    task: "ShardTask",
+    result: "ShardResult",
 ) -> str:
     """Atomically persist one finished shard; returns the file path.
 
@@ -210,7 +225,9 @@ def save_shard_checkpoint(
     return path
 
 
-def load_shard_checkpoint(root: str | os.PathLike, fingerprint: str, task):
+def load_shard_checkpoint(
+    root: str | os.PathLike[str], fingerprint: str, task: "ShardTask"
+) -> "ShardResult | None":
     """Load the checkpoint matching *task*, or ``None``.
 
     Returns ``None`` when the file is missing, corrupt, truncated, of
@@ -229,7 +246,7 @@ def load_shard_checkpoint(root: str | os.PathLike, fingerprint: str, task):
     start, stop = _shard_bounds(task)
     path = shard_checkpoint_path(root, fingerprint, start, stop)
 
-    def skip(reason: str):
+    def skip(reason: str) -> None:
         obs_api.event(
             "checkpoint_skip",
             shard=task.shard_index,
@@ -259,13 +276,15 @@ def load_shard_checkpoint(root: str | os.PathLike, fingerprint: str, task):
                     (bundle[f"login_ips_{d}"], bundle[f"login_users_{d}"])
                     for d in range(int(bundle["num_login_days"][0]))
                 ]
-            scan_states: dict[int, dict[int, tuple[PolicyKind, np.ndarray]]] = {}
+            scan_states: dict[
+                int, dict[int, tuple[PolicyKind, NDArray[Any]]]
+            ] = {}
             for day in bundle["scan_days"].tolist():
                 blocks = bundle[f"scan{day}_blocks"].tolist()
                 kinds = bundle[f"scan{day}_kinds"].tolist()
                 lengths = bundle[f"scan{day}_offlens"].tolist()
                 flat = bundle[f"scan{day}_offsets"]
-                states: dict[int, tuple[PolicyKind, np.ndarray]] = {}
+                states: dict[int, tuple[PolicyKind, NDArray[Any]]] = {}
                 cursor = 0
                 for block, kind, length in zip(blocks, kinds, lengths):
                     states[block] = (
@@ -303,7 +322,7 @@ def load_shard_checkpoint(root: str | os.PathLike, fingerprint: str, task):
 # -- inspection / garbage collection (consumed by tools/checkpoints.py) --
 
 
-def inspect_checkpoint(path: str | os.PathLike) -> dict:
+def inspect_checkpoint(path: str | os.PathLike[str]) -> dict[str, Any]:
     """Lightweight header read of one shard checkpoint file.
 
     Returns a dict with ``valid`` plus (when readable) the version,
@@ -311,7 +330,7 @@ def inspect_checkpoint(path: str | os.PathLike) -> dict:
     for an operator to see what a checkpoint directory holds without
     deserializing the payload.
     """
-    info: dict = {
+    info: dict[str, Any] = {
         "path": os.fspath(path),
         "bytes": 0,
         "valid": False,
@@ -331,10 +350,10 @@ def inspect_checkpoint(path: str | os.PathLike) -> dict:
     return info
 
 
-def list_runs(root: str | os.PathLike) -> list[dict]:
+def list_runs(root: str | os.PathLike[str]) -> list[dict[str, Any]]:
     """Summaries of every ``run_<fingerprint>`` directory under *root*."""
     root_text = os.fspath(root)
-    runs: list[dict] = []
+    runs: list[dict[str, Any]] = []
     try:
         entries = sorted(os.listdir(root_text))
     except FileNotFoundError:
@@ -343,7 +362,7 @@ def list_runs(root: str | os.PathLike) -> list[dict]:
         directory = os.path.join(root_text, name)
         if not (_RUN_DIR_RE.match(name) and os.path.isdir(directory)):
             continue
-        shards = []
+        shards: list[dict[str, Any]] = []
         for file_name in sorted(os.listdir(directory)):
             if _SHARD_FILE_RE.match(file_name):
                 shards.append(inspect_checkpoint(os.path.join(directory, file_name)))
@@ -359,7 +378,7 @@ def list_runs(root: str | os.PathLike) -> list[dict]:
     return runs
 
 
-def gc_run(directory: str | os.PathLike, dry_run: bool = False) -> int:
+def gc_run(directory: str | os.PathLike[str], dry_run: bool = False) -> int:
     """Delete one run directory's checkpoints; returns files removed.
 
     Only recognised shard checkpoint files are deleted (and the

@@ -8,6 +8,7 @@ pinning the streamed analyses to their in-memory reference spec.
 """
 
 import datetime
+import gc
 import shutil
 import tempfile
 
@@ -137,6 +138,64 @@ class TestRoundTrip:
         ref_ips, ref_hits = kway_union(list(original))
         assert np.array_equal(ips, ref_ips)
         assert np.array_equal(hits, ref_hits)
+        store.close()
+
+
+class TestHandleLifetimes:
+    """Regression tests for the streamed-path handle leaks.
+
+    Found by reprolint's R701/R702 lifetime analysis: the streamed
+    digest left every shard reader open (including the throwaway
+    shards ``StoreWriter.finalize`` builds), and the union-run
+    generator's close-after-yield never ran when the generator was
+    abandoned or a shard raised mid-read.
+    """
+
+    def test_digest_closes_every_shard(self, tmp_path):
+        store = save_store(tmp_path / "store", make_dataset(), shard_blocks=1)
+        store.digest()
+        assert all(shard._reader is None for shard in store.shards)
+        store.close()
+
+    def test_digest_closes_shards_opened_before_an_error(self, tmp_path):
+        store = save_store(tmp_path / "store", make_dataset(), shard_blocks=1)
+        victim = store.shards[-1]
+
+        def boom():
+            raise DatasetError("injected shard failure")
+
+        victim.reader = boom  # shadow the bound method on this instance
+        with pytest.raises(DatasetError, match="injected shard failure"):
+            store.digest()
+        assert all(
+            shard._reader is None
+            for shard in store.shards
+            if shard is not victim
+        )
+        store.close()
+
+    def test_abandoned_union_run_generator_closes_shards(self, tmp_path):
+        store = save_store(tmp_path / "store", make_dataset(), shard_blocks=1)
+        runs = store.iter_union_runs()
+        next(runs)
+        runs.close()  # consumer walks away after the first run
+        gc.collect()
+        assert all(shard._reader is None for shard in store.shards)
+        store.close()
+
+    def test_union_run_error_mid_read_closes_current_shard(self, tmp_path):
+        store = save_store(tmp_path / "store", make_dataset(), shard_blocks=1)
+        victim = store.shards[1]
+        real_columns = victim.columns
+
+        def boom(index, **kwargs):
+            real_columns(index)  # open the reader for real, then fail
+            raise DatasetError("injected mid-read failure")
+
+        victim.columns = boom
+        with pytest.raises(DatasetError, match="injected mid-read"):
+            list(store.iter_union_runs())
+        assert victim._reader is None
         store.close()
 
 

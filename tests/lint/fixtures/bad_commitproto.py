@@ -1,0 +1,34 @@
+"""Deliberately broken: P6xx commit-protocol ordering rules."""
+import shutil
+
+
+def live_pointer_path(root):
+    return root + "/live.json"
+
+
+def store_manifest_path(root):
+    return root + "/store.manifest.json"
+
+
+def atomic_write_text(path, payload):
+    raise NotImplementedError(path)
+
+
+def write_manifest(path):
+    raise NotImplementedError(path)
+
+
+class BadAppender:
+    def append(self, root, payload):
+        # Seeded defect: the pointer flips before the manifest lands.
+        atomic_write_text(live_pointer_path(root), payload)  # P601
+        write_manifest(store_manifest_path(root))
+
+    def compact(self, root, payload, old_dir):
+        shutil.rmtree(old_dir)  # P602: destroys before the flip
+        atomic_write_text(live_pointer_path(root), payload)
+
+    def republish(self, root, payload):
+        write_manifest(store_manifest_path(root))
+        with open(live_pointer_path(root), "w") as handle:  # P603
+            handle.write(payload)

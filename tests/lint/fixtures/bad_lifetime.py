@@ -1,0 +1,30 @@
+"""Deliberately broken: R7xx resource-lifetime rules."""
+
+
+def leak_plain(path):
+    handle = open(path, "rb")  # R701: no close on any path
+    handle.read(4)
+
+
+def leak_on_exception(path, buffer):
+    handle = open(path, "rb")  # R701: the exception edge skips close
+    handle.readinto(buffer)
+    handle.close()
+    return buffer
+
+
+def stream_totals(shards):
+    total = 0
+    for shard in shards:  # R702: the PR 8 shape, no try/finally
+        header = shard.header()
+        total += header.rows
+    return total
+
+
+class BadStore:
+    def __init__(self, shards):
+        self.shards = shards
+
+    def iter_columns(self):
+        for shard in self.shards:  # R702: generator over self.shards
+            yield shard.columns(0)

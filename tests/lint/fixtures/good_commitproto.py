@@ -1,0 +1,25 @@
+"""Clean commit protocol: data, manifest, pointer flip, then GC."""
+import shutil
+
+
+def live_pointer_path(root):
+    return root + "/live.json"
+
+
+def store_manifest_path(root):
+    return root + "/store.manifest.json"
+
+
+def atomic_write_text(path, payload):
+    raise NotImplementedError(path)
+
+
+def write_manifest(path):
+    raise NotImplementedError(path)
+
+
+class GoodAppender:
+    def append(self, root, payload, old_dir):
+        write_manifest(store_manifest_path(root))
+        atomic_write_text(live_pointer_path(root), payload)
+        shutil.rmtree(old_dir)  # GC strictly after the flip

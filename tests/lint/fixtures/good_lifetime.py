@@ -1,0 +1,60 @@
+"""Clean lifetime shapes: finally-close, with, ownership transfer."""
+
+
+def closes_in_finally(path, buffer):
+    handle = open(path, "rb")
+    try:
+        handle.readinto(buffer)
+    finally:
+        handle.close()
+    return buffer
+
+
+def with_statement(path):
+    handle = open(path, "rb")
+    with handle:
+        return handle.read()
+
+
+def ownership_transfer(path):
+    handle = open(path, "rb")
+    return handle  # the caller owns it now
+
+
+def shard_loop_with_finally(shards):
+    total = 0
+    for shard in shards:
+        try:
+            total += shard.header().rows
+        finally:
+            shard.close()
+    return total
+
+
+def collection_finally(shards):
+    total = 0
+    try:
+        for shard in shards:
+            total += shard.header().rows
+    finally:
+        for shard in shards:
+            shard.close()
+    return total
+
+
+class GoodStore:
+    def __init__(self, shards):
+        self.shards = shards
+
+    def snapshot_total(self):
+        total = 0
+        for shard in self.shards:  # non-generator: object-scope close()
+            total += shard.header().rows
+        return total
+
+    def iter_columns(self):
+        for shard in self.shards:
+            try:
+                yield shard.columns(0)
+            finally:
+                shard.close()

@@ -1,0 +1,35 @@
+"""Clean stream-order shapes: private streams, fixed draw counts."""
+import numpy as np
+
+
+def apply_event(tables, rows):
+    return rows * tables  # pure: no RNG anywhere on the apply path
+
+
+def kernel_fixed(blocks, rng, flags):
+    out = []
+    for index, block in enumerate(blocks):
+        noise = rng.random()  # every iteration draws exactly once
+        if flags[index]:
+            out.append(block + noise)
+        else:
+            out.append(block)
+    return out
+
+
+def kernel_private_stream(blocks, seed):
+    out = []
+    for index, block in enumerate(blocks):
+        rng = np.random.default_rng([seed, index])  # keyed per block
+        if index % 2:
+            out.append(block + rng.random())
+        else:
+            out.append(block)
+    return out
+
+
+def draw_sorted(rng, table):
+    out = {}
+    for key in sorted(table):  # explicit order: the stream replays
+        out[key] = rng.random()
+    return out

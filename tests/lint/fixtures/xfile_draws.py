@@ -1,0 +1,5 @@
+"""The drawing helper the cross-file fixture reaches through."""
+
+
+def shifted(tables, rng):
+    return tables + rng.random()

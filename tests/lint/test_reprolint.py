@@ -19,8 +19,18 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 sys.path.insert(0, str(REPO_ROOT))
 
-from tools.reprolint import all_rules, check_file, known_rule_ids, run  # noqa: E402
+from tools.reprolint import (  # noqa: E402
+    all_project_rules,
+    all_rules,
+    check_file,
+    known_rule_ids,
+    run,
+)
 from tools.reprolint.cli import main as lint_main  # noqa: E402
+
+PROJECT_RULE_IDS = {
+    "F501", "F502", "F503", "P601", "P602", "P603", "R701", "R702",
+}
 
 
 def findings_for(name: str, all_rules_flag: bool = True):
@@ -29,6 +39,19 @@ def findings_for(name: str, all_rules_flag: bool = True):
 
 def triples(findings):
     return [(f.rule, f.line) for f in findings]
+
+
+def project_run(*names: str):
+    """Whole-program run over explicit fixture files."""
+    return run([str(FIXTURES / name) for name in names], all_rules_everywhere=True)
+
+
+def project_triples(*names: str):
+    return [
+        (f.rule, f.line)
+        for f in project_run(*names).findings
+        if f.rule in PROJECT_RULE_IDS
+    ]
 
 
 class TestRuleRegistry:
@@ -41,12 +64,22 @@ class TestRuleRegistry:
             "N401", "N402", "N403",
         }
 
+    def test_all_project_families_registered(self):
+        ids = {rule.rule_id for rule in all_project_rules()}
+        assert ids == PROJECT_RULE_IDS
+
     def test_known_ids_include_engine_findings(self):
-        assert {"P001", "X001", "X002"} <= known_rule_ids()
+        assert {"P001", "X001", "X002", "X003"} <= known_rule_ids()
 
     def test_every_rule_has_summary(self):
-        for rule in all_rules():
+        for rule in [*all_rules(), *all_project_rules()]:
             assert rule.summary, rule.rule_id
+
+    def test_check_file_never_runs_project_rules(self):
+        # The single-file fast path stays file-rules-only: project
+        # families need the whole program and only run through run().
+        findings = findings_for("bad_lifetime.py")
+        assert [f for f in findings if f.rule in PROJECT_RULE_IDS] == []
 
 
 class TestDeterminismRules:
@@ -166,6 +199,234 @@ class TestSuppressions:
         # The directive on line 11 must not leak to line 16's finding.
         survivors = [f for f in findings_for("suppressed.py") if f.rule == "E302"]
         assert [f.line for f in survivors] == [16]
+
+
+class TestRngFlowRules:
+    """F5xx: interprocedural RNG stream-order contracts."""
+
+    def test_bad_fixture_exact_findings(self):
+        assert project_triples("bad_rngflow.py") == [
+            ("F501", 5),
+            ("F502", 21),
+            ("F502", 31),
+            ("F503", 40),
+        ]
+
+    def test_seam_chain_reported_as_related_spans(self):
+        finding = next(
+            f for f in project_run("bad_rngflow.py").findings
+            if f.rule == "F501"
+        )
+        notes = [note for _, _, note in finding.related]
+        assert notes == [
+            "scenario seam apply_event()",
+            "apply_event() calls _relabel()",
+            "_relabel() calls _jitter()",
+        ]
+        assert [line for _, line, _ in finding.related] == [12, 15, 9]
+
+    def test_good_fixture_has_no_project_findings(self):
+        assert project_triples("good_rngflow.py") == []
+
+
+class TestCommitProtocolRules:
+    """P6xx: manifest-last / pointer-last commit ordering."""
+
+    def test_bad_fixture_exact_findings(self):
+        assert project_triples("bad_commitproto.py") == [
+            ("P601", 24),
+            ("P602", 28),
+            ("P603", 33),
+        ]
+
+    def test_ordering_findings_carry_the_other_side(self):
+        findings = {
+            f.rule: f for f in project_run("bad_commitproto.py").findings
+        }
+        assert findings["P601"].related == (
+            (
+                "tests/lint/fixtures/bad_commitproto.py", 25,
+                "manifest write that must come first",
+            ),
+        )
+        assert findings["P602"].related == (
+            (
+                "tests/lint/fixtures/bad_commitproto.py", 29,
+                "pointer flip that must come first",
+            ),
+        )
+
+    def test_good_fixture_has_no_project_findings(self):
+        assert project_triples("good_commitproto.py") == []
+
+
+class TestLifetimeRules:
+    """R7xx: handles closed on every path, incl. the PR 8 loop shape."""
+
+    def test_bad_fixture_exact_findings(self):
+        assert project_triples("bad_lifetime.py") == [
+            ("R701", 5),
+            ("R701", 10),
+            ("R702", 18),
+            ("R702", 29),
+        ]
+
+    def test_exception_edge_reported_even_with_a_close(self):
+        finding = next(
+            f for f in project_run("bad_lifetime.py").findings
+            if f.rule == "R701" and f.line == 10
+        )
+        assert "exception escapes" in finding.message
+
+    def test_generator_message_names_the_finally_requirement(self):
+        finding = next(
+            f for f in project_run("bad_lifetime.py").findings
+            if f.rule == "R702" and f.line == 29
+        )
+        assert "generator" in finding.message
+
+    def test_good_fixture_has_no_project_findings(self):
+        assert project_triples("good_lifetime.py") == []
+
+
+class TestCrossFileSuppression:
+    """A waiver in file A must never mask a finding whose primary span
+    is in file B, however many related spans point back at A."""
+
+    def test_wrong_file_waiver_does_not_mask(self):
+        result = project_run("xfile_waiver.py", "xfile_draws.py")
+        survivors = [f for f in result.findings if f.rule == "F501"]
+        assert [(f.path, f.line) for f in survivors] == [
+            ("tests/lint/fixtures/xfile_draws.py", 5)
+        ]
+        related_paths = {path for path, _, _ in survivors[0].related}
+        assert related_paths == {"tests/lint/fixtures/xfile_waiver.py"}
+
+    def test_the_useless_waiver_is_itself_flagged(self):
+        result = project_run("xfile_waiver.py", "xfile_draws.py")
+        unused = [f for f in result.findings if f.rule == "X002"]
+        assert [(f.path, f.line) for f in unused] == [
+            ("tests/lint/fixtures/xfile_waiver.py", 6)
+        ]
+
+
+class TestRuleCrash:
+    """X003: a crashing rule becomes a finding, not a dead run."""
+
+    def test_file_rule_crash_yields_x003_and_exit_two(self):
+        from tools.reprolint import registry
+
+        class Boom(registry.Rule):
+            rule_id = "Z999"
+            summary = "always crashes (test-only)"
+
+            def check(self, module):
+                raise RuntimeError("kaboom")
+
+        registry._REGISTRY["Z999"] = Boom()
+        try:
+            result = run(
+                [str(FIXTURES / "good_taxonomy.py")],
+                all_rules_everywhere=True,
+            )
+        finally:
+            del registry._REGISTRY["Z999"]
+        crashes = [f for f in result.findings if f.rule == "X003"]
+        assert len(crashes) == 1
+        assert "Z999" in crashes[0].message
+        assert "RuntimeError: kaboom" in crashes[0].message
+        assert "Traceback" in crashes[0].message
+        assert result.exit_code == 2
+
+    def test_project_rule_crash_yields_x003_and_exit_two(self):
+        from tools.reprolint import registry
+
+        class Boom(registry.ProjectRule):
+            rule_id = "Z998"
+            summary = "always crashes (test-only)"
+
+            def check_project(self, project, graph):
+                raise ValueError("project kaboom")
+
+        registry._PROJECT_REGISTRY["Z998"] = Boom()
+        try:
+            result = run(
+                [str(FIXTURES / "good_taxonomy.py")],
+                all_rules_everywhere=True,
+            )
+        finally:
+            del registry._PROJECT_REGISTRY["Z998"]
+        crashes = [f for f in result.findings if f.rule == "X003"]
+        assert [f.path for f in crashes] == ["<project>"]
+        assert "ValueError: project kaboom" in crashes[0].message
+        assert result.exit_code == 2
+
+
+class TestFindingsCache:
+    def fixture_copy(self, tmp_path, name="bad_numeric.py"):
+        target = tmp_path / name
+        target.write_text((FIXTURES / name).read_text())
+        return target
+
+    def test_second_run_hits_and_findings_are_identical(self, tmp_path):
+        target = self.fixture_copy(tmp_path)
+        cache = tmp_path / "cache.json"
+        first = run(
+            [str(target)], all_rules_everywhere=True, cache_path=str(cache)
+        )
+        assert (first.cache_hits, first.cache_misses) == (0, 1)
+        assert first.findings
+        second = run(
+            [str(target)], all_rules_everywhere=True, cache_path=str(cache)
+        )
+        assert (second.cache_hits, second.cache_misses) == (1, 0)
+        assert second.findings == first.findings
+
+    def test_content_change_invalidates_the_entry(self, tmp_path):
+        target = self.fixture_copy(tmp_path)
+        cache = tmp_path / "cache.json"
+        run([str(target)], all_rules_everywhere=True, cache_path=str(cache))
+        target.write_text(target.read_text() + "\n\nEXTRA = 1\n")
+        third = run(
+            [str(target)], all_rules_everywhere=True, cache_path=str(cache)
+        )
+        assert (third.cache_hits, third.cache_misses) == (0, 1)
+
+    def test_all_rules_flag_is_part_of_the_key(self, tmp_path):
+        target = self.fixture_copy(tmp_path)
+        cache = tmp_path / "cache.json"
+        scoped = run([str(target)], cache_path=str(cache))
+        assert scoped.findings == []  # out of scope without --all-rules
+        everywhere = run(
+            [str(target)], all_rules_everywhere=True, cache_path=str(cache)
+        )
+        # A scoped cache entry must not satisfy an --all-rules lookup.
+        assert everywhere.cache_hits == 0
+        assert everywhere.findings
+
+
+class TestSarifOutput:
+    def test_sarif_document_shape(self, tmp_path):
+        out_path = tmp_path / "lint.sarif"
+        code = lint_main(
+            [str(FIXTURES / "bad_commitproto.py"), "--all-rules",
+             "--no-cache", "--sarif-out", str(out_path)]
+        )
+        assert code == 1
+        doc = json.loads(out_path.read_text())
+        assert doc["version"] == "2.1.0"
+        sarif_run = doc["runs"][0]
+        assert sarif_run["tool"]["driver"]["name"] == "reprolint"
+        declared = {r["id"] for r in sarif_run["tool"]["driver"]["rules"]}
+        assert PROJECT_RULE_IDS <= declared
+        by_rule = {r["ruleId"]: r for r in sarif_run["results"]}
+        assert {"P601", "P602", "P603"} <= set(by_rule)
+        primary = by_rule["P601"]["locations"][0]["physicalLocation"]
+        assert primary["region"]["startLine"] == 24
+        related = by_rule["P601"]["relatedLocations"]
+        assert related[0]["message"]["text"] == (
+            "manifest write that must come first"
+        )
 
 
 class TestParseErrors:

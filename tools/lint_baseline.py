@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Whole-program lint gate: diff against the committed baseline, timed.
+
+CI runs ``python tools/lint_baseline.py check``: a **cold** whole-program
+pass (empty cache) over ``src/ tools/ tests/`` followed by a **warm**
+pass reusing the cache the cold pass just wrote.  The gate fails when
+
+- the findings differ from ``LINT_BASELINE.json`` — *either* direction:
+  a new finding is a regression, a disappeared one means the baseline
+  is stale and must be refreshed with ``update`` (so the tree's
+  lint-clean status is an explicit, reviewed artifact, not an
+  accident); or
+- the cold pass exceeds its time budget (default 60 s) or the warm
+  pass exceeds its budget (default 10 s) — the analysis must stay
+  cheap enough to run on every push, and the cache must actually
+  cache.
+
+``python tools/lint_baseline.py update`` rewrites the baseline from
+the current tree.  ``--json-out`` writes the full findings report for
+artifact upload either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint import run  # noqa: E402
+from tools.reprolint.reporters import as_report, write_report  # noqa: E402
+
+BASELINE_SCHEMA = 1
+DEFAULT_ROOTS = ("src", "tools", "tests")
+
+
+def finding_key(entry: dict) -> tuple:
+    return (entry["rule"], entry["path"], entry["line"], entry["col"])
+
+
+def timed_run(roots: tuple[str, ...], cache_path: str):
+    started = time.monotonic()
+    result = run(list(roots), cache_path=cache_path)
+    return result, time.monotonic() - started
+
+
+def check(args: argparse.Namespace) -> int:
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(
+            f"lint_baseline: no baseline at {baseline_path} — run "
+            f"`python tools/lint_baseline.py update` and commit it",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        print(
+            f"lint_baseline: unknown baseline schema "
+            f"{baseline.get('schema')!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    roots = tuple(baseline.get("roots", DEFAULT_ROOTS))
+    with tempfile.TemporaryDirectory(prefix="reprolint-gate-") as tmp:
+        cache_path = os.path.join(tmp, "cache.json")
+        cold_result, cold_seconds = timed_run(roots, cache_path)
+        warm_result, warm_seconds = timed_run(roots, cache_path)
+    print(
+        f"lint_baseline: cold {cold_seconds:.2f}s "
+        f"({cold_result.files_checked} files, "
+        f"{cold_result.cache_misses} misses), "
+        f"warm {warm_seconds:.2f}s ({warm_result.cache_hits} hits)"
+    )
+
+    if args.json_out:
+        write_report(args.json_out, json.dumps(as_report(cold_result), indent=2))
+
+    failures = 0
+
+    current = {finding_key(f.as_dict()): f for f in cold_result.findings}
+    recorded = {finding_key(e): e for e in baseline.get("findings", [])}
+    new = sorted(set(current) - set(recorded))
+    fixed = sorted(set(recorded) - set(current))
+    for key in new:
+        print(f"NEW (not in baseline): {current[key].render()}")
+    for key in fixed:
+        entry = recorded[key]
+        print(
+            "FIXED (still in baseline): "
+            f"{entry['path']}:{entry['line']}: {entry['rule']} — refresh "
+            "the baseline with `python tools/lint_baseline.py update`"
+        )
+    if new or fixed:
+        failures += 1
+        print(
+            f"lint_baseline: findings diverge from {baseline_path} "
+            f"({len(new)} new, {len(fixed)} fixed)"
+        )
+
+    if warm_result.findings != cold_result.findings:
+        failures += 1
+        print(
+            "lint_baseline: warm (cached) findings differ from the cold "
+            "pass — the findings cache is unsound"
+        )
+
+    if args.cold_budget and cold_seconds > args.cold_budget:
+        failures += 1
+        print(
+            f"lint_baseline: cold pass took {cold_seconds:.2f}s "
+            f"(budget {args.cold_budget:.0f}s)"
+        )
+    if args.warm_budget and warm_seconds > args.warm_budget:
+        failures += 1
+        print(
+            f"lint_baseline: warm pass took {warm_seconds:.2f}s "
+            f"(budget {args.warm_budget:.0f}s)"
+        )
+
+    if failures:
+        return 1
+    print("lint_baseline: clean — findings match the baseline, within budget")
+    return 0
+
+
+def update(args: argparse.Namespace) -> int:
+    with tempfile.TemporaryDirectory(prefix="reprolint-update-") as tmp:
+        result, seconds = timed_run(
+            DEFAULT_ROOTS, os.path.join(tmp, "cache.json")
+        )
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "roots": list(DEFAULT_ROOTS),
+        "files_checked": result.files_checked,
+        "findings": [f.as_dict() for f in result.findings],
+    }
+    write_report(args.baseline, json.dumps(payload, indent=2) + "\n")
+    print(
+        f"lint_baseline: wrote {args.baseline} with "
+        f"{len(result.findings)} finding(s) over {result.files_checked} "
+        f"files ({seconds:.2f}s)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("command", choices=("check", "update"))
+    parser.add_argument(
+        "--baseline", default="LINT_BASELINE.json", metavar="PATH"
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="also write the full findings report (artifact upload)",
+    )
+    parser.add_argument(
+        "--cold-budget", type=float, default=60.0, metavar="SECONDS",
+        help="cold-pass wall-clock budget; 0 disables (default 60)",
+    )
+    parser.add_argument(
+        "--warm-budget", type=float, default=10.0, metavar="SECONDS",
+        help="warm-pass wall-clock budget; 0 disables (default 10)",
+    )
+    args = parser.parse_args(argv)
+    os.chdir(REPO_ROOT)  # rule scopes are repo-relative path prefixes
+    return check(args) if args.command == "check" else update(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

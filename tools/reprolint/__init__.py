@@ -14,12 +14,20 @@ root, or via the ``repro lint`` subcommand.
 
 from tools.reprolint.engine import LintResult, check_file, run
 from tools.reprolint.findings import Finding
-from tools.reprolint.registry import Rule, all_rules, known_rule_ids
+from tools.reprolint.registry import (
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    known_rule_ids,
+)
 
 __all__ = [
     "Finding",
     "LintResult",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
     "check_file",
     "known_rule_ids",

@@ -1,0 +1,131 @@
+"""Per-file result cache keyed by content hash.
+
+Only the *file-rule* pass is cached: raw (pre-suppression) findings
+per file, keyed by the SHA-256 of the file's bytes.  Suppressions are
+re-applied on every run (they are part of the file, so any edit to a
+directive changes the hash and invalidates the entry anyway, but
+re-applying keeps the directive ``used`` bookkeeping exact).  The
+whole-program pass is always recomputed — it depends on every file at
+once, and parsing ~150 modules is well inside the warm-run budget.
+
+The whole cache is invalidated when the *ruleset fingerprint* changes:
+a SHA-256 over the sources of every ``tools/reprolint`` module, so
+editing any rule or the engine itself re-lints everything.  The cache
+file is plain JSON, written atomically, safe to delete at any time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from tools.reprolint.findings import Finding
+
+CACHE_SCHEMA_VERSION = 1
+DEFAULT_CACHE_PATH = ".reprolint_cache.json"
+
+
+def content_hash(data: bytes | str) -> str:
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def ruleset_fingerprint() -> str:
+    """Hash of every reprolint source file (rules included)."""
+    package_root = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(path.relative_to(package_root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class FindingsCache:
+    """Content-hash keyed cache of raw per-file findings."""
+
+    def __init__(self, path: str, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self._entries: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+
+    @classmethod
+    def load(cls, path: str, fingerprint: str | None = None) -> "FindingsCache":
+        if fingerprint is None:
+            fingerprint = ruleset_fingerprint()
+        cache = cls(path, fingerprint)
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(raw, dict)
+            or raw.get("schema") != CACHE_SCHEMA_VERSION
+            or raw.get("ruleset") != fingerprint
+        ):
+            # Stale schema or edited ruleset: start over.
+            cache._dirty = True
+            return cache
+        files = raw.get("files")
+        if isinstance(files, dict):
+            cache._entries = files
+        return cache
+
+    def lookup(self, path: str, file_sha: str) -> list[Finding] | None:
+        """Cached raw findings for *path* at *file_sha*, or ``None``."""
+        entry = self._entries.get(path)
+        if entry is None or entry.get("sha") != file_sha:
+            self.misses += 1
+            return None
+        self.hits += 1
+        try:
+            return [Finding.from_dict(item) for item in entry["findings"]]
+        except (KeyError, TypeError):
+            self.misses += 1
+            self.hits -= 1
+            return None
+
+    def store(
+        self, path: str, file_sha: str, findings: list[Finding]
+    ) -> None:
+        self._entries[path] = {
+            "sha": file_sha,
+            "findings": [finding.as_dict() for finding in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the cache (best-effort: IO errors ignored)."""
+        if not self._dirty and self.misses == 0:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "ruleset": self.fingerprint,
+            "files": self._entries,
+        }
+        text = json.dumps(payload, sort_keys=True)
+        directory = os.path.dirname(self.path) or "."
+        try:
+            handle, temp_path = tempfile.mkstemp(
+                prefix=os.path.basename(self.path) + ".",
+                suffix=".tmp",
+                dir=directory,
+            )
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(text)
+            os.replace(temp_path, self.path)
+        except OSError:
+            # A read-only checkout still lints; it just never warms up.
+            try:
+                os.unlink(temp_path)
+            except (OSError, UnboundLocalError):
+                pass

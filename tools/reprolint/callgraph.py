@@ -1,0 +1,226 @@
+"""Project-wide call graph built on the :mod:`project` symbol table.
+
+Resolution strategy, in order:
+
+1. plain / dotted names resolved through the module's import aliases
+   (``helper()``, ``scenario.build_tables()``, ``Cls.method``);
+2. ``self.method()`` dispatched within the enclosing class and its
+   resolved bases;
+3. ``obj.method()`` where ``obj`` has an inferred local type
+   (parameter annotation, constructor assignment, typed loop var) or
+   is a typed ``self`` attribute;
+4. constructor calls ``C(...)`` resolve to ``C.__init__`` when defined;
+5. unique-method fallback: if exactly one project class defines the
+   method name (and it is not a too-common name like ``close`` or a
+   dunder), attribute calls dispatch to it.
+
+Unresolved calls contribute no edge — analyses are therefore
+under-approximate over dynamic dispatch, documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+
+from .project import FunctionInfo, Project, local_bindings
+
+#: Method names too generic for the unique-method fallback.
+_AMBIGUOUS_METHODS = frozenset(
+    {
+        "close",
+        "get",
+        "items",
+        "keys",
+        "values",
+        "append",
+        "add",
+        "update",
+        "copy",
+        "pop",
+        "read",
+        "write",
+        "open",
+        "run",
+        "start",
+        "stop",
+    }
+)
+
+
+@dataclass
+class CallSite:
+    """One resolved call: caller -> callee at (line, col)."""
+
+    caller: str
+    callee: str
+    line: int
+    col: int
+
+
+@dataclass
+class CallGraph:
+    project: Project
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    callers: dict[str, set[str]] = field(default_factory=dict)
+    #: (caller, callee) -> call sites.
+    sites: dict[tuple[str, str], list[CallSite]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, project: Project) -> "CallGraph":
+        graph = cls(project=project)
+        for func in project.functions.values():
+            graph._index_function(func)
+        return graph
+
+    def _index_function(self, func: FunctionInfo) -> None:
+        bindings = local_bindings(self.project, func)
+        for node in ast.walk(func.node):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ) and node is not func.node:
+                continue  # nested defs are indexed as their own functions
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self.resolve_call(func, node, bindings)
+            if callee is None:
+                continue
+            self.edges.setdefault(func.qualname, set()).add(callee)
+            self.callers.setdefault(callee, set()).add(func.qualname)
+            self.sites.setdefault((func.qualname, callee), []).append(
+                CallSite(func.qualname, callee, node.lineno, node.col_offset)
+            )
+
+    # ----------------------------------------------------- resolution
+
+    def resolve_call(
+        self,
+        func: FunctionInfo,
+        call: ast.Call,
+        bindings: dict[str, tuple[str | None, str | None]] | None = None,
+    ) -> str | None:
+        project = self.project
+        target = call.func
+        if bindings is None:
+            bindings = local_bindings(project, func)
+        # Plain or dotted name through imports.
+        if isinstance(target, ast.Name) or (
+            isinstance(target, ast.Attribute)
+            and not isinstance(target.value, ast.Name)
+        ):
+            resolved = project.resolve_name(func.module, target)
+            return self._canonical(resolved)
+        if isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Name
+        ):
+            base = target.value.id
+            method = target.attr
+            # self.method()
+            if base == "self" and func.class_qualname:
+                cls = project.class_for(func.class_qualname)
+                if cls is not None:
+                    found = project.lookup_method(cls, method)
+                    if found is not None:
+                        return found.qualname
+                return self._unique_method(method)
+            # Module-or-class dotted path (np.zeros, scenario.apply).
+            resolved = project.resolve_name(func.module, target)
+            if resolved is not None:
+                return self._canonical(resolved)
+            # Typed local receiver.
+            receiver = project.class_for(bindings.get(base, (None, None))[0])
+            if receiver is not None:
+                found = project.lookup_method(receiver, method)
+                if found is not None:
+                    return found.qualname
+                return None
+            # Unique-method fallback.
+            return self._unique_method(method)
+        if isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Attribute
+        ):
+            # self.attr.method() — typed attribute receiver.
+            inner = target.value
+            if (
+                isinstance(inner.value, ast.Name)
+                and inner.value.id == "self"
+                and func.class_qualname
+            ):
+                cls = project.class_for(func.class_qualname)
+                if cls is not None:
+                    attr_cls = project.class_for(
+                        cls.attr_types.get(inner.attr)
+                    )
+                    if attr_cls is not None:
+                        found = project.lookup_method(attr_cls, target.attr)
+                        if found is not None:
+                            return found.qualname
+                        return None
+            return self._unique_method(target.attr)
+        return None
+
+    def _canonical(self, qualname: str | None) -> str | None:
+        """Map a class qualname to its ``__init__`` when defined."""
+        if qualname is None:
+            return None
+        project = self.project
+        if qualname in project.functions:
+            return qualname
+        if qualname in project.classes:
+            init = project.lookup_method(
+                project.classes[qualname], "__init__"
+            )
+            return init.qualname if init is not None else None
+        return None
+
+    def _unique_method(self, method: str) -> str | None:
+        if method.startswith("__") or method in _AMBIGUOUS_METHODS:
+            return None
+        owners = self.project.method_index.get(method, [])
+        if len(owners) == 1:
+            found = self.project.classes[owners[0]].methods.get(method)
+            return found.qualname if found is not None else None
+        return None
+
+    # ---------------------------------------------------- reachability
+
+    def reachable(
+        self, root: str, max_depth: int | None = None
+    ) -> dict[str, tuple[int, str | None]]:
+        """BFS from *root*: qualname -> (depth, BFS parent)."""
+        out: dict[str, tuple[int, str | None]] = {root: (0, None)}
+        queue: deque[str] = deque([root])
+        while queue:
+            current = queue.popleft()
+            depth = out[current][0]
+            if max_depth is not None and depth >= max_depth:
+                continue
+            for callee in sorted(self.edges.get(current, ())):
+                if callee not in out:
+                    out[callee] = (depth + 1, current)
+                    queue.append(callee)
+        return out
+
+    def chain(
+        self, reachable: dict[str, tuple[int, str | None]], target: str
+    ) -> list[str]:
+        """Root-to-target call chain from a :meth:`reachable` map."""
+        path: list[str] = []
+        cursor: str | None = target
+        while cursor is not None:
+            path.append(cursor)
+            cursor = reachable[cursor][1]
+        return list(reversed(path))
+
+    def transitively_calling(self, seeds: set[str]) -> set[str]:
+        """All functions that (transitively) call into *seeds*."""
+        out = set(seeds)
+        queue = deque(seeds)
+        while queue:
+            current = queue.popleft()
+            for caller in self.callers.get(current, ()):
+                if caller not in out:
+                    out.add(caller)
+                    queue.append(caller)
+        return out

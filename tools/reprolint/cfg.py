@@ -1,0 +1,437 @@
+"""Intraprocedural control-flow graphs for the dataflow rule families.
+
+One :class:`CFG` is built per function body.  Nodes are *statements*
+(plus three synthetic nodes: entry, normal exit, and a raise-exit that
+models an exception escaping the function); edges are either ``normal``
+(sequential / branch flow) or ``exception`` (flow that happens because
+the statement raised — or, inside a generator, because the consumer
+abandoned it at a ``yield``, which runs ``finally`` blocks exactly like
+an exception would).
+
+The graph is deliberately conservative in the direction the rules
+need:
+
+- every statement that *could* raise (it contains a call, attribute or
+  subscript access, arithmetic, a comparison, an explicit ``raise`` or
+  ``assert``, or a ``yield``) gets an exception edge to the innermost
+  enclosing handler chain, then ``finally``, then the raise-exit;
+- ``finally`` blocks are built once and their exit fans out to both the
+  normal successor and the enclosing exceptional target (a sound
+  over-approximation that merges the two ways of reaching the block);
+- ``return`` / ``break`` / ``continue`` route through the innermost
+  enclosing ``finally`` before reaching their target.
+
+Soundness caveats are documented in DESIGN.md ("Static contracts"):
+the CFG does not model ``sys.exit``, signals, or ``del``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+NORMAL = "normal"
+EXCEPTION = "exception"
+
+#: Expression node types whose evaluation may raise at runtime.  A
+#: constant-to-name assignment has none of these and therefore gets no
+#: exception edge — which is what lets ``x = open(p)`` followed by
+#: ``n = 0`` and a ``try/finally: x.close()`` verify as leak-free.
+_RAISING_EXPRS = (
+    ast.Call,
+    ast.Attribute,
+    ast.Subscript,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.Compare,
+    ast.BoolOp,
+    ast.Await,
+    ast.Yield,
+    ast.YieldFrom,
+    ast.Starred,
+    ast.FormattedValue,
+)
+
+
+def header_region(stmt: ast.stmt) -> list[ast.AST]:
+    """The AST region a compound statement's CFG *head node* executes.
+
+    Body statements of If/While/For/With get their own CFG nodes, so a
+    transfer function evaluating the head must only see the header
+    expressions (test, iterable, context managers) — not the branches.
+    Simple statements execute whole.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        out: list[ast.AST] = []
+        for item in stmt.items:
+            out.append(item.context_expr)
+            if item.optional_vars is not None:
+                out.append(item.optional_vars)
+        return out
+    return [stmt]
+
+
+def statement_may_raise(stmt: ast.stmt) -> bool:
+    """Whether *stmt* can raise (conservatively, by node inspection)."""
+    if isinstance(stmt, (ast.Raise, ast.Assert, ast.For, ast.AsyncFor, ast.With, ast.AsyncWith)):
+        return True
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested definitions execute their body later, not here.
+            continue
+        if isinstance(node, _RAISING_EXPRS):
+            return True
+    return False
+
+
+def contains_yield(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether *func* is a generator (has a yield outside nested defs)."""
+    for stmt in func.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                break
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+    # ast.walk cannot prune subtrees; redo precisely with a visitor.
+    finder = _YieldFinder()
+    for stmt in func.body:
+        finder.visit(stmt)
+    return finder.found
+
+
+class _YieldFinder(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.found = False
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # do not descend: nested generators are their own scope
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self.found = True
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self.found = True
+
+
+@dataclass
+class CFGNode:
+    """One node: a statement, or a synthetic entry/exit marker."""
+
+    index: int
+    stmt: ast.stmt | None  # None for entry/exit/raise-exit
+    kind: str = "stmt"  # "stmt" | "entry" | "exit" | "raise-exit"
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+@dataclass
+class CFG:
+    """Statement-level CFG with normal and exception edges."""
+
+    nodes: list[CFGNode] = field(default_factory=list)
+    #: (src index, dst index, kind) triples.
+    edges: set[tuple[int, int, str]] = field(default_factory=set)
+    entry: int = 0
+    exit: int = 1
+    raise_exit: int = 2
+
+    def add_node(self, stmt: ast.stmt | None, kind: str = "stmt") -> int:
+        node = CFGNode(len(self.nodes), stmt, kind)
+        self.nodes.append(node)
+        return node.index
+
+    def add_edge(self, src: int, dst: int, kind: str = NORMAL) -> None:
+        self.edges.add((src, dst, kind))
+
+    def predecessors(self, index: int) -> list[tuple[int, str]]:
+        return [(src, kind) for src, dst, kind in self.edges if dst == index]
+
+    def successors(self, index: int) -> list[tuple[int, str]]:
+        return [(dst, kind) for src, dst, kind in self.edges if src == index]
+
+
+@dataclass
+class _Frame:
+    """Targets the statement builder threads through nested blocks."""
+
+    #: Where an uncaught exception goes: handler heads, or the finally
+    #: head, or the raise-exit.
+    exception_targets: tuple[int, ...]
+    #: Innermost ``finally`` head an abrupt jump must route through.
+    finally_head: int | None
+    break_target: int | None
+    continue_target: int | None
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG of one function body."""
+    cfg = CFG()
+    cfg.entry = cfg.add_node(None, "entry")
+    cfg.exit = cfg.add_node(None, "exit")
+    cfg.raise_exit = cfg.add_node(None, "raise-exit")
+    frame = _Frame(
+        exception_targets=(cfg.raise_exit,),
+        finally_head=None,
+        break_target=None,
+        continue_target=None,
+    )
+    builder = _Builder(cfg)
+    last = builder.build_block(func.body, cfg.entry, frame)
+    for index in last:
+        cfg.add_edge(index, cfg.exit)
+    return cfg
+
+
+class _Builder:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+
+    # Each build_* method takes the set of predecessor node indexes and
+    # returns the set of indexes that fall through to whatever follows.
+
+    def build_block(
+        self, stmts: list[ast.stmt], pred: int | list[int], frame: _Frame
+    ) -> list[int]:
+        preds = [pred] if isinstance(pred, int) else list(pred)
+        for stmt in stmts:
+            preds = self.build_stmt(stmt, preds, frame)
+        return preds
+
+    def _new_stmt_node(
+        self, stmt: ast.stmt, preds: list[int], frame: _Frame
+    ) -> int:
+        index = self.cfg.add_node(stmt)
+        for p in preds:
+            self.cfg.add_edge(p, index)
+        if statement_may_raise(stmt):
+            for target in frame.exception_targets:
+                self.cfg.add_edge(index, target, EXCEPTION)
+        return index
+
+    def _abrupt_target(self, frame: _Frame, ultimate: int | None) -> int:
+        """Route an abrupt jump through the innermost finally if any."""
+        if frame.finally_head is not None:
+            return frame.finally_head
+        return ultimate if ultimate is not None else self.cfg.exit
+
+    def build_stmt(
+        self, stmt: ast.stmt, preds: list[int], frame: _Frame
+    ) -> list[int]:
+        if not preds:
+            return []  # unreachable code
+        cfg = self.cfg
+        if isinstance(stmt, (ast.If,)):
+            head = self._new_stmt_node(stmt, preds, frame)
+            body_out = self.build_block(stmt.body, head, frame)
+            if stmt.orelse:
+                else_out = self.build_block(stmt.orelse, head, frame)
+            else:
+                else_out = [head]
+            return body_out + else_out
+        if isinstance(stmt, (ast.While,)):
+            head = self._new_stmt_node(stmt, preds, frame)
+            loop_frame = _Frame(
+                exception_targets=frame.exception_targets,
+                finally_head=frame.finally_head,
+                break_target=head,  # placeholder; breaks collected below
+                continue_target=head,
+            )
+            breaks: list[int] = []
+            loop_frame.break_target = -1  # sentinel replaced by collector
+            body_out = self._build_loop_body(stmt.body, head, loop_frame, breaks)
+            for index in body_out:
+                cfg.add_edge(index, head)
+            exits = [head] + breaks
+            if stmt.orelse:
+                exits = self.build_block(stmt.orelse, [head], frame) + breaks
+            return exits
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            head = self._new_stmt_node(stmt, preds, frame)
+            loop_frame = _Frame(
+                exception_targets=frame.exception_targets,
+                finally_head=frame.finally_head,
+                break_target=-1,
+                continue_target=head,
+            )
+            breaks = []
+            body_out = self._build_loop_body(stmt.body, head, loop_frame, breaks)
+            for index in body_out:
+                cfg.add_edge(index, head)
+            exits = [head] + breaks
+            if stmt.orelse:
+                exits = self.build_block(stmt.orelse, [head], frame) + breaks
+            return exits
+        if isinstance(stmt, (ast.Try,)):
+            return self._build_try(stmt, preds, frame)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = self._new_stmt_node(stmt, preds, frame)
+            return self.build_block(stmt.body, head, frame)
+        if isinstance(stmt, ast.Return):
+            index = self._new_stmt_node(stmt, preds, frame)
+            cfg.add_edge(index, self._abrupt_target(frame, cfg.exit))
+            return []
+        if isinstance(stmt, ast.Raise):
+            index = self._new_stmt_node(stmt, preds, frame)
+            # The exception edges added by _new_stmt_node already point
+            # at the handler chain; a raise never falls through.
+            return []
+        if isinstance(stmt, ast.Break):
+            index = self._new_stmt_node(stmt, preds, frame)
+            cfg.add_edge(index, self._abrupt_target(frame, frame.break_target))
+            return []
+        if isinstance(stmt, ast.Continue):
+            index = self._new_stmt_node(stmt, preds, frame)
+            cfg.add_edge(
+                index, self._abrupt_target(frame, frame.continue_target)
+            )
+            return []
+        # Simple statement (expr, assign, import, nested def, ...).
+        index = self._new_stmt_node(stmt, preds, frame)
+        return [index]
+
+    def _build_loop_body(
+        self,
+        body: list[ast.stmt],
+        head: int,
+        loop_frame: _Frame,
+        breaks: list[int],
+    ) -> list[int]:
+        """Build a loop body, collecting break-exit nodes into *breaks*."""
+        collector = _BreakCollector(self, loop_frame, breaks)
+        return collector.build(body, head)
+
+    def _build_try(
+        self, stmt: ast.Try, preds: list[int], frame: _Frame
+    ) -> list[int]:
+        cfg = self.cfg
+        outer_exc = frame.exception_targets
+        # finally block (if any) is built once; its exits fan out to the
+        # normal continuation and every enclosing exceptional target.
+        finally_head: int | None = None
+        finally_out: list[int] = []
+        if stmt.finalbody:
+            finally_head = cfg.add_node(stmt.finalbody[0], "finally-head")
+            # The head doubles as the first finally statement's node so
+            # analyses see its effect; remaining statements follow.
+            first = stmt.finalbody[0]
+            if statement_may_raise(first):
+                for target in outer_exc:
+                    cfg.add_edge(finally_head, target, EXCEPTION)
+            inner_frame = _Frame(
+                exception_targets=outer_exc,
+                finally_head=frame.finally_head,
+                break_target=frame.break_target,
+                continue_target=frame.continue_target,
+            )
+            finally_out = self.build_block(
+                stmt.finalbody[1:], finally_head, inner_frame
+            )
+            for index in finally_out:
+                for target in outer_exc:
+                    cfg.add_edge(index, target)
+            # Abrupt exits that routed through the finally continue on
+            # to the function exit / loop targets.
+            for index in finally_out:
+                cfg.add_edge(index, cfg.exit)
+                if frame.break_target is not None and frame.break_target >= 0:
+                    cfg.add_edge(index, frame.break_target)
+                if frame.continue_target is not None:
+                    cfg.add_edge(index, frame.continue_target)
+
+        # Handlers: each handler body starts at a synthetic node for the
+        # except clause itself.
+        handler_heads: list[int] = []
+        handler_outs: list[int] = []
+        handler_exc: tuple[int, ...] = (
+            (finally_head,) if finally_head is not None else outer_exc
+        )
+        handler_frame = _Frame(
+            exception_targets=handler_exc,
+            finally_head=(
+                finally_head if finally_head is not None else frame.finally_head
+            ),
+            break_target=frame.break_target,
+            continue_target=frame.continue_target,
+        )
+        for handler in stmt.handlers:
+            head = cfg.add_node(handler.body[0] if handler.body else stmt, "handler-head")
+            handler_heads.append(head)
+            if handler.body and statement_may_raise(handler.body[0]):
+                for target in handler_exc:
+                    cfg.add_edge(head, target, EXCEPTION)
+            outs = self.build_block(handler.body[1:], head, handler_frame)
+            handler_outs.extend(outs)
+
+        body_exc: tuple[int, ...]
+        if handler_heads:
+            body_exc = tuple(handler_heads)
+        elif finally_head is not None:
+            body_exc = (finally_head,)
+        else:
+            body_exc = outer_exc
+        body_frame = _Frame(
+            exception_targets=body_exc,
+            finally_head=(
+                finally_head if finally_head is not None else frame.finally_head
+            ),
+            break_target=frame.break_target,
+            continue_target=frame.continue_target,
+        )
+        body_out = self.build_block(stmt.body, preds, body_frame)
+        if stmt.orelse:
+            body_out = self.build_block(stmt.orelse, body_out, body_frame)
+        # A handler whose body raises again escapes to finally/outer —
+        # covered by the exception edges added while building handlers.
+        through = body_out + handler_outs
+        if finally_head is not None:
+            for index in through:
+                cfg.add_edge(index, finally_head)
+            return list(finally_out) if finally_out else [finally_head]
+        return through
+
+
+class _BreakCollector:
+    """Builds a loop body with break statements collected, not routed."""
+
+    def __init__(
+        self, builder: _Builder, frame: _Frame, breaks: list[int]
+    ) -> None:
+        self.builder = builder
+        self.frame = frame
+        self.breaks = breaks
+
+    def build(self, body: list[ast.stmt], head: int) -> list[int]:
+        # Temporarily intercept break routing: the builder sends breaks
+        # to frame.break_target; we post-process edges to -1 sentinel by
+        # collecting them instead.  Simpler: walk statements ourselves
+        # and special-case Break at this nesting level only — nested
+        # loops re-enter build_stmt with their own frames.
+        preds: list[int] = [head]
+        for stmt in body:
+            preds = self._stmt(stmt, preds)
+        return preds
+
+    def _stmt(self, stmt: ast.stmt, preds: list[int]) -> list[int]:
+        if not preds:
+            return []
+        if isinstance(stmt, ast.Break) and self.frame.finally_head is None:
+            index = self.builder.cfg.add_node(stmt)
+            for p in preds:
+                self.builder.cfg.add_edge(p, index)
+            self.breaks.append(index)
+            return []
+        return self.builder.build_stmt(stmt, preds, self.frame)

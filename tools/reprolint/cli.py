@@ -6,8 +6,9 @@ on it):
 - ``0`` — every checked file is clean;
 - ``1`` — at least one finding (including suppression-hygiene and
   parse-error findings);
-- ``2`` — usage or environment error (unknown path, bad flags); no
-  lint verdict was produced.
+- ``2`` — internal or usage error: a rule crashed mid-run (the crash
+  surfaces as a synthetic ``X003`` finding with the traceback) or the
+  invocation itself was bad (unknown path, bad flags).
 """
 
 from __future__ import annotations
@@ -16,9 +17,15 @@ import argparse
 import sys
 from typing import Sequence
 
+from tools.reprolint.cache import DEFAULT_CACHE_PATH
 from tools.reprolint.engine import run
-from tools.reprolint.registry import all_rules
-from tools.reprolint.reporters import render_json, render_text, write_report
+from tools.reprolint.registry import all_project_rules, all_rules
+from tools.reprolint.reporters import (
+    render_json,
+    render_sarif,
+    render_text,
+    write_report,
+)
 
 DEFAULT_TARGETS = ("src", "tests")
 
@@ -28,7 +35,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="reprolint",
         description=(
             "AST-based checker of the repository's determinism, "
-            "atomicity, error-taxonomy, and numeric-hygiene contracts"
+            "atomicity, error-taxonomy, numeric-hygiene, RNG "
+            "stream-order, commit-protocol, and resource-lifetime "
+            "contracts"
         ),
     )
     parser.add_argument(
@@ -41,7 +50,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--out", default=None, metavar="PATH",
-        help="additionally write the report to PATH (atomic write)",
+        help="additionally write the JSON report to PATH (atomic write)",
+    )
+    parser.add_argument(
+        "--sarif-out", default=None, metavar="PATH",
+        help="additionally write a SARIF 2.1.0 report to PATH",
     )
     parser.add_argument(
         "--all-rules", action="store_true",
@@ -53,6 +66,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also walk into the deliberately-broken lint fixtures",
     )
     parser.add_argument(
+        "--no-whole-program", action="store_true",
+        help="skip the project-wide pass (file rules only)",
+    )
+    parser.add_argument(
+        "--cache", default=DEFAULT_CACHE_PATH, metavar="PATH",
+        help="per-file findings cache keyed by content hash "
+        f"(default: {DEFAULT_CACHE_PATH})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the findings cache for this run",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule registry and exit",
     )
@@ -61,13 +87,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _list_rules() -> str:
     lines = []
-    for rule in all_rules():
+    for rule in [*all_rules(), *all_project_rules()]:
         scope = "everywhere" if rule.scope is None else ", ".join(rule.scope)
         lines.append(f"{rule.rule_id}  {rule.summary}  [{scope}]")
     lines.append("P001  file cannot be parsed  [everywhere]")
     lines.append("X001  suppression without justification  [everywhere]")
     lines.append("X002  unused or unknown suppression  [everywhere]")
-    return "\n".join(lines) + "\n"
+    lines.append("X003  a rule crashed while checking  [everywhere]")
+    return "\n".join(sorted(lines)) + "\n"
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -80,6 +107,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.paths,
             all_rules_everywhere=args.all_rules,
             use_default_excludes=not args.no_default_excludes,
+            whole_program=not args.no_whole_program,
+            cache_path=None if args.no_cache else args.cache,
         )
     except FileNotFoundError as exc:
         print(f"reprolint: {exc}", file=sys.stderr)
@@ -92,6 +121,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         # The artifact is always JSON — it is the machine-readable record
         # CI uploads regardless of what was printed to the console.
         write_report(args.out, render_json(result))
+    if args.sarif_out:
+        write_report(args.sarif_out, render_sarif(result))
     return result.exit_code
 
 

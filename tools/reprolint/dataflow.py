@@ -1,0 +1,149 @@
+"""A small forward worklist dataflow framework over :mod:`cfg` graphs.
+
+Analyses subclass :class:`ForwardAnalysis` and provide:
+
+- ``initial()`` — the state on entry to the function;
+- ``bottom()`` — the state for not-yet-reached nodes (identity of join);
+- ``join(states)`` — merge of predecessor states (union for a
+  may-analysis, intersection for a must-analysis);
+- ``transfer(node, state)`` — returns ``(normal_out, exceptional_out)``
+  for one statement.  The default exceptional-out is the *pre*-state:
+  an exception may fire before the statement's effect lands, which is
+  the sound default for both leak tracking (``x = open(p)`` failing
+  leaves nothing to close) and event ordering (a write that raised
+  never happened).  Analyses override it per-statement when the effect
+  is best-effort-atomic (e.g. ``x.close()`` raising still counts as a
+  release attempt).
+
+States must be immutable (frozensets) and comparable with ``==``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, TypeVar
+
+from .cfg import CFG, EXCEPTION, CFGNode
+
+State = TypeVar("State")
+
+
+class ForwardAnalysis(Generic[State]):
+    """Base class for forward dataflow analyses."""
+
+    def initial(self) -> State:
+        raise NotImplementedError
+
+    def bottom(self) -> State:
+        raise NotImplementedError
+
+    def join(self, states: list[State]) -> State:
+        raise NotImplementedError
+
+    def transfer(self, node: CFGNode, state: State) -> tuple[State, State]:
+        """Return ``(normal_out, exceptional_out)`` for *node*."""
+        raise NotImplementedError
+
+
+class MaySetAnalysis(ForwardAnalysis[frozenset[Any]]):
+    """Union-join analysis over frozensets ("may hold on some path")."""
+
+    def initial(self) -> frozenset[Any]:
+        return frozenset()
+
+    def bottom(self) -> frozenset[Any]:
+        return frozenset()
+
+    def join(self, states: list[frozenset[Any]]) -> frozenset[Any]:
+        out: frozenset[Any] = frozenset()
+        for state in states:
+            out = out | state
+        return out
+
+
+class MustSetAnalysis(ForwardAnalysis[frozenset[Any] | None]):
+    """Intersection-join analysis ("holds on every path").
+
+    ``None`` is the bottom element (no path reaches the node yet) and
+    is the identity of the intersection join.
+    """
+
+    def initial(self) -> frozenset[Any] | None:
+        return frozenset()
+
+    def bottom(self) -> frozenset[Any] | None:
+        return None
+
+    def join(
+        self, states: list[frozenset[Any] | None]
+    ) -> frozenset[Any] | None:
+        out: frozenset[Any] | None = None
+        for state in states:
+            if state is None:
+                continue
+            out = state if out is None else (out & state)
+        return out
+
+
+def solve(
+    cfg: CFG, analysis: ForwardAnalysis[State]
+) -> tuple[dict[int, State], dict[int, State], dict[int, State]]:
+    """Run *analysis* to a fixpoint over *cfg*.
+
+    Returns ``(in_states, out_states, exc_out_states)`` keyed by node
+    index.  ``in_states`` for a node is the join over each predecessor's
+    normal-out (for a normal edge) or exceptional-out (for an exception
+    edge).
+    """
+    preds: dict[int, list[tuple[int, str]]] = {
+        node.index: [] for node in cfg.nodes
+    }
+    succs: dict[int, list[int]] = {node.index: [] for node in cfg.nodes}
+    for src, dst, kind in cfg.edges:
+        preds[dst].append((src, kind))
+        succs[src].append(dst)
+
+    in_states: dict[int, State] = {
+        node.index: analysis.bottom() for node in cfg.nodes
+    }
+    out_states: dict[int, State] = {
+        node.index: analysis.bottom() for node in cfg.nodes
+    }
+    exc_states: dict[int, State] = {
+        node.index: analysis.bottom() for node in cfg.nodes
+    }
+
+    in_states[cfg.entry] = analysis.initial()
+    out_states[cfg.entry] = analysis.initial()
+    exc_states[cfg.entry] = analysis.initial()
+
+    worklist = list(succs[cfg.entry])
+    iterations = 0
+    limit = max(64, 16 * len(cfg.nodes) * max(1, len(cfg.edges)))
+    while worklist:
+        iterations += 1
+        if iterations > limit:  # pragma: no cover - safety valve
+            break
+        index = worklist.pop()
+        if index == cfg.entry:
+            continue
+        node = cfg.nodes[index]
+        incoming = [
+            exc_states[src] if kind == EXCEPTION else out_states[src]
+            for src, kind in preds[index]
+        ]
+        new_in = analysis.join(incoming) if incoming else analysis.bottom()
+        if node.stmt is None:
+            new_out, new_exc = new_in, new_in
+        else:
+            new_out, new_exc = analysis.transfer(node, new_in)
+        if (
+            new_in == in_states[index]
+            and new_out == out_states[index]
+            and new_exc == exc_states[index]
+        ):
+            continue
+        in_states[index] = new_in
+        out_states[index] = new_out
+        exc_states[index] = new_exc
+        worklist.extend(succs[index])
+    return in_states, out_states, exc_states

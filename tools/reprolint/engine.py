@@ -5,29 +5,45 @@ The engine is deliberately dependency-free (stdlib ``ast`` +
 no install step, no third-party linter frameworks.  One
 :class:`ModuleSource` is built per file (parsed tree, raw lines, the
 set of comment-bearing lines, suppression directives); every registered
-rule whose scope covers the file walks that shared tree.
+file rule whose scope covers the file walks that shared tree, and the
+whole-program :class:`~tools.reprolint.registry.ProjectRule` families
+then run once over the symbol table + call graph built from *all*
+parsed modules.
 
 Scoping: rule scopes are repository-relative posix path prefixes
 (``src/repro/sim``), matched against each checked file's path relative
 to the working directory.  ``all_rules=True`` disables scope matching —
 the hook the fixture self-tests use to exercise scoped rules on files
 that live under ``tests/lint/fixtures/``.
+
+Suppressions are applied to each finding via the suppression set of
+its *primary* path — a waiver in file A can never mask a finding whose
+primary span sits in file B, however many ``related`` spans point back
+at A.  Hygiene findings (X001/X002) are computed after both passes so
+directives that waive whole-program findings count as used.
+
+A rule that raises does not kill the run: the exception is converted
+into a synthetic ``X003 rule-crash`` finding carrying the traceback,
+and the run exits 2 (internal error) instead of dying mid-walk.
 """
 
 from __future__ import annotations
 
 import ast
 import os
+import traceback
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from tools.reprolint.cache import FindingsCache, content_hash
 from tools.reprolint.findings import Finding
-from tools.reprolint.registry import all_rules, known_rule_ids
+from tools.reprolint.registry import (
+    all_project_rules,
+    all_rules,
+    known_rule_ids,
+)
 from tools.reprolint.suppressions import SuppressionSet
-
-# Rule modules self-register on import.
-import tools.reprolint.rules  # noqa: F401
 
 #: Directories never walked into (fixtures are linted only when named
 #: explicitly as file arguments — they are deliberately broken).
@@ -114,23 +130,21 @@ def _comment_lines(suppressions_source: str) -> set[int]:
     return lines
 
 
-def check_file(path: str, all_rules_everywhere: bool = False) -> list[Finding]:
-    """Lint one file: parse, run in-scope rules, apply suppressions."""
+def load_module_source(path: str) -> ModuleSource | Finding:
+    """Parse one file into a :class:`ModuleSource`, or a P001 finding."""
     normalized = normalize_path(path)
     try:
         source = Path(path).read_text(encoding="utf-8")
     except OSError as exc:
-        return [Finding("P001", normalized, 1, 0, f"cannot read file: {exc}")]
+        return Finding("P001", normalized, 1, 0, f"cannot read file: {exc}")
     try:
         tree = ast.parse(source, filename=normalized)
     except SyntaxError as exc:
-        return [
-            Finding(
-                "P001", normalized, exc.lineno or 1, (exc.offset or 1) - 1,
-                f"syntax error: {exc.msg}",
-            )
-        ]
-    module = ModuleSource(
+        return Finding(
+            "P001", normalized, exc.lineno or 1, (exc.offset or 1) - 1,
+            f"syntax error: {exc.msg}",
+        )
+    return ModuleSource(
         path=normalized,
         source=source,
         tree=tree,
@@ -138,19 +152,75 @@ def check_file(path: str, all_rules_everywhere: bool = False) -> list[Finding]:
         comment_lines=_comment_lines(source),
         suppressions=SuppressionSet.parse(source),
     )
+
+
+def _crash_finding(rule_id: str, path: str, exc: BaseException) -> Finding:
+    trace = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    ).strip()
+    return Finding(
+        "X003", path, 1, 0,
+        f"rule {rule_id} crashed while checking this file: "
+        f"{type(exc).__name__}: {exc}\n{trace}",
+    )
+
+
+def _file_rule_findings(
+    module: ModuleSource, all_rules_everywhere: bool
+) -> list[Finding]:
+    """Raw (pre-suppression) findings of every in-scope file rule."""
     raw: list[Finding] = []
     for rule in all_rules():
-        if all_rules_everywhere or rule.applies_to(normalized):
+        if not (all_rules_everywhere or rule.applies_to(module.path)):
+            continue
+        try:
             raw.extend(rule.check(module))
+        except Exception as exc:  # noqa: BLE001 - X003 converts any crash
+            raw.append(_crash_finding(rule.rule_id, module.path, exc))
+    return raw
+
+
+def check_file(path: str, all_rules_everywhere: bool = False) -> list[Finding]:
+    """Lint one file: parse, run in-scope file rules, apply suppressions.
+
+    This is the single-file fast path (fixture tests, editor
+    integrations); the whole-program families only run through
+    :func:`run`.
+    """
+    module = load_module_source(path)
+    if isinstance(module, Finding):
+        return [module]
+    raw = _file_rule_findings(module, all_rules_everywhere)
     kept = [
         finding
         for finding in raw
         if not module.suppressions.suppresses(finding.rule, finding.line)
     ]
     kept.extend(
-        module.suppressions.hygiene_findings(normalized, known_rule_ids())
+        module.suppressions.hygiene_findings(module.path, known_rule_ids())
     )
     return sorted(kept, key=Finding.sort_key)
+
+
+def _project_findings(
+    modules: list[ModuleSource], all_rules_everywhere: bool
+) -> list[Finding]:
+    """Run every whole-program rule over the parsed modules."""
+    if not modules:
+        return []
+    # Imported lazily: project/callgraph import ModuleSource from here.
+    from tools.reprolint.callgraph import CallGraph
+    from tools.reprolint.project import Project
+
+    project = Project.build(modules, all_rules_everywhere=all_rules_everywhere)
+    graph = CallGraph.build(project)
+    raw: list[Finding] = []
+    for rule in all_project_rules():
+        try:
+            raw.extend(rule.check_project(project, graph))
+        except Exception as exc:  # noqa: BLE001 - X003 converts any crash
+            raw.append(_crash_finding(rule.rule_id, "<project>", exc))
+    return raw
 
 
 @dataclass
@@ -159,11 +229,16 @@ class LintResult:
 
     files_checked: int
     findings: list[Finding]
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def exit_code(self) -> int:
-        """The exit-code contract: 0 clean, 1 findings (2 = usage error,
-        raised before a result exists)."""
+        """The exit-code contract: 0 clean, 1 findings, 2 internal
+        error (a rule crashed — X003 — or, before a result exists, a
+        usage error)."""
+        if any(finding.rule == "X003" for finding in self.findings):
+            return 2
         return 1 if self.findings else 0
 
 
@@ -171,13 +246,73 @@ def run(
     roots: Iterable[str],
     all_rules_everywhere: bool = False,
     use_default_excludes: bool = True,
+    whole_program: bool = True,
+    cache_path: str | None = None,
 ) -> LintResult:
-    """Lint every target file under *roots*; findings sorted and stable."""
-    findings: list[Finding] = []
+    """Lint every target file under *roots*; findings sorted and stable.
+
+    ``cache_path`` enables the content-hash keyed file-rule cache;
+    ``whole_program=False`` skips the project pass (file rules only).
+    """
+    cache: FindingsCache | None = None
+    if cache_path is not None:
+        cache = FindingsCache.load(cache_path)
+
+    modules: list[ModuleSource] = []
+    raw: list[Finding] = []
+    parse_failures: list[Finding] = []
     count = 0
     for path in iter_target_files(roots, use_default_excludes):
         count += 1
-        findings.extend(check_file(path, all_rules_everywhere))
-    return LintResult(files_checked=count, findings=sorted(
-        findings, key=Finding.sort_key
-    ))
+        module = load_module_source(path)
+        if isinstance(module, Finding):
+            parse_failures.append(module)
+            continue
+        modules.append(module)
+        if cache is not None:
+            # The flag changes which rules ran, so it is part of the key.
+            sha = content_hash(module.source) + (
+                "/all" if all_rules_everywhere else ""
+            )
+            cached = cache.lookup(module.path, sha)
+            if cached is not None:
+                raw.extend(cached)
+                continue
+            fresh = _file_rule_findings(module, all_rules_everywhere)
+            cache.store(module.path, sha, fresh)
+            raw.extend(fresh)
+        else:
+            raw.extend(_file_rule_findings(module, all_rules_everywhere))
+
+    if whole_program:
+        raw.extend(_project_findings(modules, all_rules_everywhere))
+
+    # Suppressions are looked up in the finding's *primary* file only.
+    by_path = {module.path: module for module in modules}
+    kept: list[Finding] = list(parse_failures)
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if module is not None and module.suppressions.suppresses(
+            finding.rule, finding.line
+        ):
+            continue
+        kept.append(finding)
+    # Hygiene runs last so directives used by the project pass count.
+    known = known_rule_ids()
+    for module in modules:
+        kept.extend(module.suppressions.hygiene_findings(module.path, known))
+
+    if cache is not None:
+        cache.save()
+    return LintResult(
+        files_checked=count,
+        findings=sorted(kept, key=Finding.sort_key),
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )
+
+
+# Rule modules self-register on import; imported last so the registry
+# decorators can import Rule/ProjectRule from tools.reprolint.registry
+# while this module is still initialising.
+import tools.reprolint.rules  # noqa: E402,F401

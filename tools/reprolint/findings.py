@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 
@@ -13,6 +13,12 @@ class Finding:
     ``line``/``col`` are 1-based line and 0-based column, matching the
     ``ast`` node they were derived from (and the ``path:line:col``
     convention editors jump to).
+
+    ``related`` carries the secondary spans of a whole-program finding
+    — e.g. the call chain from a scenario seam to the flagged RNG draw,
+    or the manifest write a mis-ordered pointer write should have
+    followed.  Each entry is ``(path, line, note)``; the *primary* span
+    (``path``/``line``) is where suppression directives are looked up.
     """
 
     rule: str
@@ -20,18 +26,42 @@ class Finding:
     line: int
     col: int
     message: str
+    related: tuple[tuple[str, int, str], ...] = field(default=())
 
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "message": self.message,
         }
+        if self.related:
+            out["related"] = [
+                {"path": path, "line": line, "note": note}
+                for path, line, note in self.related
+            ]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        return cls(
+            rule=data["rule"],
+            path=data["path"],
+            line=data["line"],
+            col=data["col"],
+            message=data["message"],
+            related=tuple(
+                (span["path"], span["line"], span["note"])
+                for span in data.get("related", [])
+            ),
+        )
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        head = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        for path, line, note in self.related:
+            head += f"\n    {path}:{line}: {note}"
+        return head

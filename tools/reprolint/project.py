@@ -1,0 +1,409 @@
+"""Project-wide symbol table for the whole-program rule families.
+
+A :class:`Project` is built once per lint run from every parsed module.
+It indexes functions and classes by dotted qualname, records each
+module's import aliases, and does just enough local type inference —
+parameter annotations, constructor assignments, ``self``-attribute
+types gathered from ``__init__`` — for :mod:`callgraph` to resolve the
+calls our rules care about.  Resolution is deliberately best-effort:
+an unresolved call simply contributes no edge, which makes every
+analysis built on top under-approximate reachability rather than
+crash (see DESIGN.md "Static contracts" for the soundness ledger).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported lazily to avoid an engine<->project cycle
+    from .engine import ModuleSource
+
+
+def module_name_for(path: str) -> str:
+    """Map a repo-relative posix path to a dotted module name."""
+    name = path[:-3] if path.endswith(".py") else path
+    if name.endswith("/__init__"):
+        name = name[: -len("/__init__")]
+    if name.startswith("src/"):
+        name = name[len("src/") :]
+    return name.replace("/", ".")
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  # e.g. "repro.core.store.StoreAppender.append"
+    name: str
+    module: "ModuleInfo"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_qualname: str | None = None
+
+    @property
+    def path(self) -> str:
+        return self.module.path
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its methods and inferred attr types."""
+
+    qualname: str
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    bases: tuple[str, ...] = ()  # resolved base-class qualnames
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.<attr>`` -> class qualname, inferred from assignments.
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: ``self.<attr>`` -> element class qualname for list/tuple attrs.
+    attr_elem_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module with its definitions and import aliases."""
+
+    path: str
+    modname: str
+    source: ModuleSource
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: local alias -> fully dotted target ("np" -> "numpy",
+    #: "StoreShard" -> "repro.core.store.StoreShard").
+    imports: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def tree(self) -> ast.Module:
+        return self.source.tree
+
+
+class Project:
+    """Symbol table over every module in one lint run."""
+
+    def __init__(self, all_rules_everywhere: bool = False) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.by_path: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: method name -> class qualnames defining it (for the
+        #: unique-method fallback heuristic).
+        self.method_index: dict[str, list[str]] = {}
+        self.all_rules_everywhere = all_rules_everywhere
+
+    # ---------------------------------------------------------- build
+
+    @classmethod
+    def build(
+        cls,
+        sources: list[ModuleSource],
+        all_rules_everywhere: bool = False,
+    ) -> "Project":
+        project = cls(all_rules_everywhere=all_rules_everywhere)
+        for source in sources:
+            project._index_module(source)
+        project._link()
+        return project
+
+    def _index_module(self, source: ModuleSource) -> None:
+        modname = module_name_for(source.path)
+        module = ModuleInfo(path=source.path, modname=modname, source=source)
+        self.modules[modname] = module
+        self.by_path[source.path] = module
+        self._collect_imports(module)
+        self._collect_defs(module)
+
+    def _collect_imports(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        module.imports[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        module.imports[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    # Relative import: resolve against this module's
+                    # package.
+                    parts = module.modname.split(".")
+                    base = ".".join(parts[: len(parts) - node.level])
+                    prefix = f"{base}.{node.module}" if node.module else base
+                else:
+                    prefix = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    module.imports[local] = (
+                        f"{prefix}.{alias.name}" if prefix else alias.name
+                    )
+
+    def _collect_defs(self, module: ModuleInfo) -> None:
+        def visit(body: list[ast.stmt], prefix: str, cls: ClassInfo | None) -> None:
+            for node in body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{prefix}.{node.name}"
+                    info = FunctionInfo(
+                        qualname=qualname,
+                        name=node.name,
+                        module=module,
+                        node=node,
+                        class_qualname=cls.qualname if cls else None,
+                    )
+                    module.functions[qualname] = info
+                    self.functions[qualname] = info
+                    if cls is not None:
+                        cls.methods[node.name] = info
+                        self.method_index.setdefault(node.name, []).append(
+                            cls.qualname
+                        )
+                    # Nested defs get qualnames but no class context.
+                    visit(node.body, qualname, None)
+                elif isinstance(node, ast.ClassDef):
+                    qualname = f"{prefix}.{node.name}"
+                    info_c = ClassInfo(
+                        qualname=qualname,
+                        name=node.name,
+                        module=module,
+                        node=node,
+                    )
+                    module.classes[qualname] = info_c
+                    self.classes[qualname] = info_c
+                    visit(node.body, qualname, info_c)
+
+        visit(module.tree.body, module.modname, None)
+
+    def _link(self) -> None:
+        """Resolve class bases and infer self-attribute types."""
+        for cls in self.classes.values():
+            bases: list[str] = []
+            for base in cls.node.bases:
+                resolved = self.resolve_name(cls.module, base)
+                if resolved and resolved in self.classes:
+                    bases.append(resolved)
+            cls.bases = tuple(bases)
+        for cls in self.classes.values():
+            self._infer_attr_types(cls)
+
+    # ----------------------------------------------------- resolution
+
+    def resolve_name(
+        self, module: ModuleInfo, expr: ast.expr
+    ) -> str | None:
+        """Resolve a Name/Attribute expression to a dotted qualname."""
+        dotted = _dotted(expr)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = module.imports.get(head)
+        if target is not None:
+            dotted = f"{target}.{rest}" if rest else target
+        else:
+            # Module-local definition?
+            local = f"{module.modname}.{dotted}"
+            if local in self.classes or local in self.functions:
+                return local
+        if dotted in self.classes or dotted in self.functions:
+            return dotted
+        return None
+
+    def resolve_annotation(
+        self, module: ModuleInfo, annotation: ast.expr | None
+    ) -> tuple[str | None, str | None]:
+        """Resolve a type annotation to ``(class qualname, element)``.
+
+        ``element`` is set for ``list[C]`` / ``tuple[C, ...]`` /
+        ``Sequence[C]`` style annotations; plain ``C`` sets only the
+        first slot.  String annotations are parsed.
+        """
+        if annotation is None:
+            return None, None
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None, None
+        if isinstance(annotation, ast.Subscript):
+            container = _dotted(annotation.value) or ""
+            tail = container.rsplit(".", 1)[-1].lower()
+            if tail in {"list", "tuple", "sequence", "iterable", "iterator",
+                        "set", "frozenset", "mutablesequence"}:
+                inner = annotation.slice
+                if isinstance(inner, ast.Tuple) and inner.elts:
+                    inner = inner.elts[0]
+                elem = self.resolve_name(module, inner) if isinstance(
+                    inner, (ast.Name, ast.Attribute)
+                ) else None
+                return None, elem
+            if tail == "optional":
+                inner = annotation.slice
+                if isinstance(inner, (ast.Name, ast.Attribute)):
+                    return self.resolve_name(module, inner), None
+            return None, None
+        if isinstance(annotation, (ast.Name, ast.Attribute)):
+            return self.resolve_name(module, annotation), None
+        if isinstance(annotation, ast.BinOp) and isinstance(
+            annotation.op, ast.BitOr
+        ):
+            # ``C | None`` — try the left side.
+            if isinstance(annotation.left, (ast.Name, ast.Attribute)):
+                return self.resolve_name(module, annotation.left), None
+        return None, None
+
+    def _infer_attr_types(self, cls: ClassInfo) -> None:
+        """Record ``self.<attr>`` types from every method's assignments."""
+        for method in cls.methods.values():
+            params = _param_annotations(self, cls.module, method.node)
+            for node in ast.walk(method.node):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                value = node.value
+                for target in targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    attr = target.attr
+                    if isinstance(node, ast.AnnAssign):
+                        typ, elem = self.resolve_annotation(
+                            cls.module, node.annotation
+                        )
+                        if typ:
+                            cls.attr_types.setdefault(attr, typ)
+                        if elem:
+                            cls.attr_elem_types.setdefault(attr, elem)
+                        continue
+                    if isinstance(value, ast.Call):
+                        typ = self.resolve_name(cls.module, value.func)
+                        if typ and typ in self.classes:
+                            cls.attr_types.setdefault(attr, typ)
+                    elif isinstance(value, ast.Name):
+                        typ, elem = params.get(value.id, (None, None))
+                        if typ:
+                            cls.attr_types.setdefault(attr, typ)
+                        if elem:
+                            cls.attr_elem_types.setdefault(attr, elem)
+
+    def class_for(self, qualname: str | None) -> ClassInfo | None:
+        return self.classes.get(qualname) if qualname else None
+
+    def lookup_method(
+        self, cls: ClassInfo, name: str
+    ) -> FunctionInfo | None:
+        """Find *name* on *cls* or (depth-first) its resolved bases."""
+        if name in cls.methods:
+            return cls.methods[name]
+        for base in cls.bases:
+            base_cls = self.classes.get(base)
+            if base_cls is not None:
+                found = self.lookup_method(base_cls, name)
+                if found is not None:
+                    return found
+        return None
+
+
+def _dotted(expr: ast.expr) -> str | None:
+    """``a.b.c`` attribute chain as a string, or None."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _param_annotations(
+    project: Project,
+    module: ModuleInfo,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, tuple[str | None, str | None]]:
+    """Map parameter name -> (class qualname, element qualname)."""
+    out: dict[str, tuple[str | None, str | None]] = {}
+    args = func.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        typ, elem = project.resolve_annotation(module, arg.annotation)
+        if typ or elem:
+            out[arg.arg] = (typ, elem)
+    return out
+
+
+def local_bindings(
+    project: Project, func: FunctionInfo
+) -> dict[str, tuple[str | None, str | None]]:
+    """Infer local-variable types for *func*.
+
+    Returns name -> ``(class qualname, element qualname)``.  Sources,
+    in increasing precedence: parameter annotations, ``x: C = ...``
+    annotated assignments, ``x = C(...)`` constructor calls, and
+    ``for x in <list-of-C>`` loop variables.
+    """
+    module = func.module
+    out = dict(_param_annotations(project, module, func.node))
+    cls = project.class_for(func.class_qualname)
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            typ, elem = project.resolve_annotation(module, node.annotation)
+            if typ or elem:
+                out[node.target.id] = (typ, elem)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and isinstance(
+                node.value, ast.Call
+            ):
+                typ = project.resolve_name(module, node.value.func)
+                if typ and typ in project.classes:
+                    out[target.id] = (typ, None)
+        elif isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(
+            node.target, ast.Name
+        ):
+            elem = _element_type_of(project, module, cls, out, node.iter)
+            if elem:
+                out[node.target.id] = (elem, None)
+    return out
+
+
+def _element_type_of(
+    project: Project,
+    module: ModuleInfo,
+    cls: ClassInfo | None,
+    bindings: dict[str, tuple[str | None, str | None]],
+    iter_expr: ast.expr,
+) -> str | None:
+    """Element type of an iterated expression, when inferable."""
+    if isinstance(iter_expr, ast.Name):
+        return bindings.get(iter_expr.id, (None, None))[1]
+    if (
+        isinstance(iter_expr, ast.Attribute)
+        and isinstance(iter_expr.value, ast.Name)
+    ):
+        base = iter_expr.value.id
+        owner: ClassInfo | None = None
+        if base == "self" and cls is not None:
+            owner = cls
+        else:
+            owner_qual = bindings.get(base, (None, None))[0]
+            owner = project.class_for(owner_qual)
+        if owner is not None:
+            return owner.attr_elem_types.get(iter_expr.attr)
+    return None

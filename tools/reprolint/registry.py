@@ -1,14 +1,21 @@
 """Rule model and registry.
 
-A rule is a small object with an identifier (``D101``), a one-line
-summary, an optional path *scope* (tuple of repository-relative
-prefixes it applies to; ``None`` means every checked file), and a
-``check`` method that walks one parsed module and yields findings.
+Two kinds of rule live here:
 
-Rules self-register at import time via the :func:`rule` decorator;
-:func:`all_rules` returns them sorted by identifier.  The registry is
-the single source of truth for ``--list-rules`` and for the fixture
-self-tests that prove each rule both fires and suppresses.
+- a file :class:`Rule` walks one parsed module at a time (``D101`` …
+  ``N403``) — cheap, cacheable per file;
+- a :class:`ProjectRule` runs once per lint run over the whole
+  :class:`~tools.reprolint.project.Project` (symbol table + call
+  graph) and may emit findings anywhere, with cross-file ``related``
+  spans (``F5xx`` RNG stream-order, ``P6xx`` commit protocol, ``R7xx``
+  resource lifetimes).
+
+Both kinds carry an identifier (``D101``), a one-line summary, and an
+optional path *scope*; for a project rule the scope restricts where
+its *findings* may land (the analysis itself always sees the whole
+program).  Rules self-register at import time via the :func:`rule` /
+:func:`project_rule` decorators; the registries are the single source
+of truth for ``--list-rules`` and the fixture self-tests.
 """
 
 from __future__ import annotations
@@ -19,7 +26,9 @@ from typing import TYPE_CHECKING, Iterator
 from tools.reprolint.findings import Finding
 
 if TYPE_CHECKING:
+    from tools.reprolint.callgraph import CallGraph
     from tools.reprolint.engine import ModuleSource
+    from tools.reprolint.project import Project
 
 _RULE_ID_RE = re.compile(r"^[A-Z]\d{3}$")
 
@@ -50,28 +59,80 @@ class Rule:
         return Finding(self.rule_id, module.path, line, col, message)
 
 
+class ProjectRule(Rule):
+    """A whole-program rule: runs once over the project symbol table.
+
+    ``scope`` restricts where findings may land; when the engine runs
+    with ``--all-rules`` (fixture mode) the restriction is lifted via
+    ``project.all_rules_everywhere``.  Implement :meth:`check_project`;
+    use :meth:`in_scope` on each candidate primary span.
+    """
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        return iter(())  # project rules do not run per-file
+
+    def check_project(
+        self, project: "Project", graph: "CallGraph"
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def in_scope(self, project: "Project", path: str) -> bool:
+        return project.all_rules_everywhere or self.applies_to(path)
+
+    def project_finding(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        related: tuple[tuple[str, int, str], ...] = (),
+    ) -> Finding:
+        return Finding(self.rule_id, path, line, col, message, related)
+
+
 _REGISTRY: dict[str, Rule] = {}
+_PROJECT_REGISTRY: dict[str, ProjectRule] = {}
+
+
+def _validate(rule_id: str) -> None:
+    if not _RULE_ID_RE.match(rule_id):
+        raise ValueError(f"bad rule id: {rule_id!r}")
+    if rule_id in _REGISTRY or rule_id in _PROJECT_REGISTRY:
+        raise ValueError(f"duplicate rule id: {rule_id}")
 
 
 def rule(cls: type[Rule]) -> type[Rule]:
-    """Class decorator: validate and register one rule instance."""
+    """Class decorator: validate and register one file rule instance."""
     instance = cls()
-    if not _RULE_ID_RE.match(instance.rule_id):
-        raise ValueError(f"bad rule id: {instance.rule_id!r}")
-    if instance.rule_id in _REGISTRY:
-        raise ValueError(f"duplicate rule id: {instance.rule_id}")
+    _validate(instance.rule_id)
     _REGISTRY[instance.rule_id] = instance
     return cls
 
 
+def project_rule(cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator: validate and register one project rule."""
+    instance = cls()
+    _validate(instance.rule_id)
+    _PROJECT_REGISTRY[instance.rule_id] = instance
+    return cls
+
+
 def all_rules() -> list[Rule]:
-    """Every registered rule, sorted by identifier."""
+    """Every registered file rule, sorted by identifier."""
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def all_project_rules() -> list[ProjectRule]:
+    """Every registered whole-program rule, sorted by identifier."""
+    return [_PROJECT_REGISTRY[rule_id] for rule_id in sorted(_PROJECT_REGISTRY)]
 
 
 def known_rule_ids() -> set[str]:
     """Identifiers of registered rules plus the engine's own findings."""
-    # P001 (parse error) and X001/X002 (suppression hygiene) are emitted
-    # by the engine rather than by a registered rule, but they are valid
-    # targets for disable= comments all the same.
-    return set(_REGISTRY) | {"P001", "X001", "X002"}
+    # P001 (parse error), X001/X002 (suppression hygiene) and X003
+    # (rule crash) are emitted by the engine rather than by a
+    # registered rule, but they are valid targets for disable=
+    # comments all the same.
+    return set(_REGISTRY) | set(_PROJECT_REGISTRY) | {
+        "P001", "X001", "X002", "X003",
+    }

@@ -1,8 +1,10 @@
-"""Text and JSON rendering of a lint run.
+"""Text, JSON, and SARIF rendering of a lint run.
 
-The JSON report is the machine-readable artifact CI uploads; when
-written to a file it goes through the same temp-file + ``os.replace``
-discipline the linter itself enforces (rule A201), without importing
+The JSON report is the machine-readable artifact CI uploads and diffs
+against ``LINT_BASELINE.json``; the SARIF document is the same data in
+SARIF 2.1.0 shape so code-review UIs can ingest it.  When written to a
+file both go through the same temp-file + ``os.replace`` discipline
+the linter itself enforces (rule A201), without importing
 :mod:`repro` — the linter must run on a tree too broken to import.
 """
 
@@ -14,16 +16,24 @@ import tempfile
 from typing import Any
 
 from tools.reprolint.engine import LintResult
+from tools.reprolint.registry import all_project_rules, all_rules
 
 REPORT_SCHEMA_VERSION = 1
+SARIF_VERSION = "2.1.0"
 
 
 def render_text(result: LintResult) -> str:
     lines = [finding.render() for finding in result.findings]
     touched = len({finding.path for finding in result.findings})
+    cache_note = ""
+    if result.cache_hits or result.cache_misses:
+        cache_note = (
+            f", cache {result.cache_hits} hit(s)/"
+            f"{result.cache_misses} miss(es)"
+        )
     lines.append(
         f"reprolint: {len(result.findings)} finding(s) in {touched} file(s) "
-        f"({result.files_checked} checked)"
+        f"({result.files_checked} checked{cache_note})"
     )
     return "\n".join(lines) + "\n"
 
@@ -45,6 +55,68 @@ def as_report(result: LintResult) -> dict[str, Any]:
 
 def render_json(result: LintResult) -> str:
     return json.dumps(as_report(result), indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_location(path: str, line: int, col: int = 0) -> dict[str, Any]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {"startLine": max(line, 1), "startColumn": col + 1},
+        }
+    }
+
+
+def as_sarif(result: LintResult) -> dict[str, Any]:
+    """The run as a SARIF 2.1.0 document (one run, one driver)."""
+    rule_meta = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.summary},
+        }
+        for rule in [*all_rules(), *all_project_rules()]
+    ]
+    results = []
+    for finding in result.findings:
+        entry: dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                _sarif_location(finding.path, finding.line, finding.col)
+            ],
+        }
+        if finding.related:
+            entry["relatedLocations"] = [
+                {
+                    **_sarif_location(path, line),
+                    "message": {"text": note},
+                }
+                for path, line, note in finding.related
+            ]
+        results.append(entry)
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "tools/reprolint",
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    return json.dumps(as_sarif(result), indent=2, sort_keys=True) + "\n"
 
 
 def write_report(path: str, text: str) -> None:

@@ -1,14 +1,38 @@
 """Rule families; importing this package registers every rule.
 
+Per-file (syntactic) families:
+
 - ``determinism`` (D1xx) — seeded, stream-keyed randomness only.
 - ``atomicity`` (A2xx) — artifacts go through the atomic-write helpers.
 - ``taxonomy`` (E3xx) — the typed error taxonomy of ``repro.errors``.
 - ``numeric`` (N4xx) — no silent narrow-dtype accumulators.
 
-The engine itself additionally emits P001 (parse failure) and
-X001/X002 (suppression hygiene).
+Whole-program (dataflow) families:
+
+- ``rngflow`` (F5xx) — interprocedural RNG stream-order contracts.
+- ``commitproto`` (P6xx) — manifest-last / pointer-last write ordering.
+- ``lifetime`` (R7xx) — handles closed on every path.
+
+The engine itself additionally emits P001 (parse failure), X001/X002
+(suppression hygiene), and X003 (a rule crashed).
 """
 
-from tools.reprolint.rules import atomicity, determinism, numeric, taxonomy
+from tools.reprolint.rules import (
+    atomicity,
+    commitproto,
+    determinism,
+    lifetime,
+    numeric,
+    rngflow,
+    taxonomy,
+)
 
-__all__ = ["atomicity", "determinism", "numeric", "taxonomy"]
+__all__ = [
+    "atomicity",
+    "commitproto",
+    "determinism",
+    "lifetime",
+    "numeric",
+    "rngflow",
+    "taxonomy",
+]

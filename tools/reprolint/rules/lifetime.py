@@ -1,0 +1,390 @@
+"""Family R7: resource lifetimes — handles closed on every path.
+
+The out-of-core store hands out real OS resources: ``RawNpzReader``
+holds a ``ZipFile`` plus a raw file handle, and ``StoreShard.reader()``
+lazily opens one per shard.  PR 8 fixed, by hand, a class of leak where
+streaming analyses looped over shards and an exception mid-read left
+every already-opened handle dangling.  These rules prove the property
+statically:
+
+- R701 — a handle bound by ``x = open(...)`` / ``RawNpzReader(...)`` /
+  ``ZipFile(...)`` that is not closed on *every* CFG path out of the
+  function, including the exception edges (a may-leak dataflow
+  analysis: escape via return/yield/aliasing/argument-passing
+  transfers ownership and ends tracking).
+- R702 — the PR 8 shape itself: a loop over shards whose body opens
+  per-shard state (``.reader()``/``.columns()``/...) without a
+  ``try/finally: shard.close()`` around it.  Exemptions encode the
+  repo's ownership rules: a non-generator method iterating
+  ``self.shards`` manages handles at object scope (``store.close()``);
+  a collection that escapes the function (returned or passed on)
+  transfers ownership with it; an enclosing ``try`` whose ``finally``
+  loops the same collection and closes every element releases at
+  function scope.  A *generator* iterating ``self.shards`` is not
+  exempt — an abandoned generator only runs ``finally`` blocks, so
+  cleanup after a ``yield`` needs one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.astutil import call_name
+from tools.reprolint.callgraph import CallGraph
+from tools.reprolint.cfg import build_cfg, contains_yield, header_region
+from tools.reprolint.dataflow import MaySetAnalysis, solve
+from tools.reprolint.findings import Finding
+from tools.reprolint.project import FunctionInfo, Project
+from tools.reprolint.registry import ProjectRule, project_rule
+from tools.reprolint.rules.rngflow import own_calls, walk_own
+
+_LIFETIME_SCOPE = ("src/repro", "tools", "benchmarks")
+
+#: Callees (final dotted component) that acquire a closable handle.
+_ACQUIRERS = ("open", "RawNpzReader", "ZipFile", "NamedTemporaryFile")
+
+#: Shard-method calls that open (or may lazily open) per-shard state.
+_SHARD_OPENERS = (
+    "reader", "columns", "header", "ranges", "snapshot_sizes", "array",
+    "arrays",
+)
+
+
+def _is_acquisition(call: ast.Call) -> bool:
+    name = call_name(call)
+    if name is None:
+        return False
+    return name.rsplit(".", 1)[-1] in _ACQUIRERS
+
+
+#: A tracked handle: (variable name, acquisition line, acquisition col).
+Handle = tuple[str, int, int]
+
+
+class _LeakAnalysis(MaySetAnalysis):
+    """May-be-open set of ``(var, line, col)`` handles."""
+
+    def transfer(self, node, state):
+        stmt = node.stmt
+        assert stmt is not None
+        # Acquisition: x = open(...) — only the direct Name = Call form.
+        acquired: Handle | None = None
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+            and _is_acquisition(stmt.value)
+        ):
+            acquired = (
+                stmt.targets[0].id, stmt.value.lineno, stmt.value.col_offset
+            )
+
+        closed: set[str] = set()
+        escaped: set[str] = set()
+        tracked_vars = {handle[0] for handle in state}
+        # Compound statements only execute their header at this node.
+        region_nodes: list[ast.AST] = []
+        for region in header_region(stmt):
+            region_nodes.append(region)
+            region_nodes.extend(walk_own(region))
+        for child in region_nodes:
+            # x.close() — release.
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "close"
+                and isinstance(child.func.value, ast.Name)
+            ):
+                closed.add(child.func.value.id)
+            # f(..., x, ...) — ownership may transfer to the callee.
+            elif isinstance(child, ast.Call):
+                for arg in [*child.args, *[k.value for k in child.keywords]]:
+                    for name in ast.walk(arg):
+                        if (
+                            isinstance(name, ast.Name)
+                            and name.id in tracked_vars
+                        ):
+                            escaped.add(name.id)
+        # return x / yield x — ownership transfers to the caller.
+        if isinstance(stmt, (ast.Return, ast.Expr)):
+            value = (
+                stmt.value
+                if isinstance(stmt, ast.Return)
+                else (
+                    stmt.value.value
+                    if isinstance(stmt.value, (ast.Yield, ast.YieldFrom))
+                    else None
+                )
+            )
+            if value is not None:
+                for name in ast.walk(value):
+                    if isinstance(name, ast.Name) and name.id in tracked_vars:
+                        escaped.add(name.id)
+        # y = x / self.a = x — aliasing: the alias owns it now.
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)) and stmt.value is not None:
+            for name in ast.walk(stmt.value):
+                if isinstance(name, ast.Name) and name.id in tracked_vars:
+                    escaped.add(name.id)
+        # with x: — the context manager releases it.
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                expr = item.context_expr
+                for name in ast.walk(expr):
+                    if isinstance(name, ast.Name) and name.id in tracked_vars:
+                        closed.add(name.id)
+
+        dropped = closed | escaped
+        out = frozenset(h for h in state if h[0] not in dropped)
+        if acquired is not None:
+            # Rebinding an already-tracked name replaces the old handle.
+            out = frozenset(
+                h for h in out if h[0] != acquired[0]
+            ) | {acquired}
+        # Exceptional exit: the pre-state minus close *attempts* — a
+        # close() that raised still released the handle best-effort,
+        # but an acquisition that raised never bound anything.
+        exc_out = frozenset(h for h in state if h[0] not in closed)
+        return out, exc_out
+
+
+@project_rule
+class HandleLeak(ProjectRule):
+    rule_id = "R701"
+    summary = "handle not closed on every path (incl. exception edges)"
+    scope = _LIFETIME_SCOPE
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Finding]:
+        for func in sorted(
+            project.functions.values(), key=lambda f: (f.path, f.line)
+        ):
+            if not self.in_scope(project, func.path):
+                continue
+            if not any(
+                isinstance(stmt, ast.Assign)
+                and isinstance(stmt.value, ast.Call)
+                and _is_acquisition(stmt.value)
+                for stmt in walk_own(func.node)
+                if isinstance(stmt, ast.stmt)
+            ):
+                continue  # no tracked acquisitions: skip the dataflow
+            cfg = build_cfg(func.node)
+            in_states, _, _ = solve(cfg, _LeakAnalysis())
+            leaks: dict[Handle, str] = {}
+            for exit_index, how in (
+                (cfg.exit, "on the fall-through path"),
+                (cfg.raise_exit, "when an exception escapes"),
+            ):
+                for handle in sorted(in_states[exit_index]):
+                    leaks.setdefault(handle, how)
+            for (var, line, col), how in sorted(leaks.items()):
+                yield self.project_finding(
+                    func.path, line, col,
+                    f"handle '{var}' opened here is not closed {how} "
+                    f"out of {func.name}(): close it in a finally block "
+                    "or hand it to a with statement (escaping it — "
+                    "return/yield/store/pass — transfers ownership and "
+                    "also satisfies the rule)",
+                )
+
+
+def _iterated_collection(node: ast.expr) -> tuple[str, ast.expr] | None:
+    """Classify a for-loop iterable as a shard collection.
+
+    Returns ``(kind, base_expr)`` where kind is ``"self-shards"``,
+    ``"attr-shards"`` (``store.shards``), or ``"name"`` (a bare name
+    that looks like a shard list), else ``None``.
+    """
+    # Unwrap one level of sorted(...)/list(...)/tuple(...).
+    if isinstance(node, ast.Call) and call_name(node) in (
+        "sorted", "list", "tuple", "reversed", "enumerate",
+    ):
+        if node.args:
+            node = node.args[0]
+    if isinstance(node, ast.Attribute) and node.attr == "shards":
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            return "self-shards", node.value
+        return "attr-shards", node.value
+    if isinstance(node, ast.Name) and "shard" in node.id.lower():
+        return "name", node
+    return None
+
+
+def _collection_escapes(func_node: ast.AST, name: str) -> bool:
+    """Whether the collection *name* is returned or passed to a call."""
+    for child in walk_own(func_node):
+        if isinstance(child, ast.Return) and child.value is not None:
+            for node in ast.walk(child.value):
+                if isinstance(node, ast.Name) and node.id == name:
+                    return True
+        if isinstance(child, ast.Call):
+            for arg in [*child.args, *[k.value for k in child.keywords]]:
+                for node in ast.walk(arg):
+                    if isinstance(node, ast.Name) and node.id == name:
+                        return True
+    return False
+
+
+def _protected_by_finally(
+    loop: ast.For | ast.AsyncFor, var: str, opener: ast.Call
+) -> bool:
+    """Whether *opener* sits in a try whose finally closes *var*."""
+    for stmt in ast.walk(loop):
+        if not isinstance(stmt, ast.Try) or not stmt.finalbody:
+            continue
+        closes = any(
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr == "close"
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == var
+            for fin in stmt.finalbody
+            for call in ast.walk(fin)
+        )
+        if not closes:
+            continue
+        for node in ast.walk(stmt):
+            if node is opener:
+                # The opener must be in the protected body/else, not in
+                # the finally itself.
+                in_finally = any(
+                    opener in set(ast.walk(fin)) for fin in stmt.finalbody
+                )
+                if not in_finally:
+                    return True
+    return False
+
+
+def _protected_by_collection_finally(
+    func_node: ast.AST, loop: ast.For | ast.AsyncFor
+) -> bool:
+    """Whether *loop* sits in a try whose finally closes the collection.
+
+    Recognises the function-level ownership pattern::
+
+        try:
+            for shard in shards: ...   # the flagged loop
+        finally:
+            for shard in shards: shard.close()
+
+    The finally's loop must iterate the *same* collection expression
+    and call ``.close()`` on its own target.
+    """
+    classified = _iterated_collection(loop.iter)
+    if classified is None:
+        return False
+    base_dump = ast.dump(classified[1])
+    for stmt in walk_own(func_node):
+        if not isinstance(stmt, ast.Try) or not stmt.finalbody:
+            continue
+        protected = any(
+            node is loop
+            for body in (stmt.body, stmt.orelse)
+            for child in body
+            for node in ast.walk(child)
+        )
+        if not protected:
+            continue
+        for fin in stmt.finalbody:
+            for node in ast.walk(fin):
+                if not isinstance(node, (ast.For, ast.AsyncFor)):
+                    continue
+                if not isinstance(node.target, ast.Name):
+                    continue
+                fin_classified = _iterated_collection(node.iter)
+                if (
+                    fin_classified is None
+                    or ast.dump(fin_classified[1]) != base_dump
+                ):
+                    continue
+                target = node.target.id
+                closes = any(
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "close"
+                    and isinstance(call.func.value, ast.Name)
+                    and call.func.value.id == target
+                    for call in ast.walk(node)
+                )
+                if closes:
+                    return True
+    return False
+
+
+@project_rule
+class ShardLoopLeak(ProjectRule):
+    rule_id = "R702"
+    summary = "shard loop opens per-shard state without finally-close"
+    scope = _LIFETIME_SCOPE
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Finding]:
+        for func in sorted(
+            project.functions.values(), key=lambda f: (f.path, f.line)
+        ):
+            if not self.in_scope(project, func.path):
+                continue
+            is_generator = contains_yield(func.node)
+            for loop in walk_own(func.node):
+                if not isinstance(loop, (ast.For, ast.AsyncFor)):
+                    continue
+                if not isinstance(loop.target, ast.Name):
+                    continue
+                classified = _iterated_collection(loop.iter)
+                if classified is None:
+                    continue
+                kind, base = classified
+                # Ownership exemptions (see module docstring).
+                if kind == "self-shards" and not is_generator:
+                    continue
+                if (
+                    kind == "name"
+                    and isinstance(base, ast.Name)
+                    and _collection_escapes(func.node, base.id)
+                ):
+                    continue
+                var = loop.target.id
+                openers = [
+                    call
+                    for call in own_calls(loop)
+                    if isinstance(call.func, ast.Attribute)
+                    and call.func.attr in _SHARD_OPENERS
+                    and isinstance(call.func.value, ast.Name)
+                    and call.func.value.id == var
+                ]
+                unprotected = [
+                    call
+                    for call in openers
+                    if not _protected_by_finally(loop, var, call)
+                ]
+                if not unprotected:
+                    continue
+                if _protected_by_collection_finally(func.node, loop):
+                    continue
+                first = unprotected[0]
+                extra = (
+                    " (this function is a generator: cleanup after a "
+                    "yield only runs from a finally block)"
+                    if is_generator
+                    else ""
+                )
+                yield self.project_finding(
+                    func.path, loop.lineno, loop.col_offset,
+                    f"loop over shards in {func.name}() opens per-shard "
+                    f"state via .{first.func.attr}() without a "  # type: ignore[union-attr]
+                    "try/finally that closes the shard: an exception "
+                    "mid-iteration leaks every handle opened so far — "
+                    f"wrap the body in try/finally: {var}.close()"
+                    f"{extra}",
+                    related=(
+                        (
+                            func.path,
+                            first.lineno,
+                            f"opens per-shard state: .{first.func.attr}()",  # type: ignore[union-attr]
+                        ),
+                    ),
+                )
